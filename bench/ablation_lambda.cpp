@@ -1,0 +1,89 @@
+/// \file ablation_lambda.cpp
+/// \brief Ablations of the EasyBO design choices (beyond the paper's
+/// tables, motivated by its §III discussion):
+///
+///   (a) lambda sweep for the kappa ~ U[0, lambda] weight sampling —
+///       the paper fixes lambda = 6 "to prevent too much exploration";
+///   (b) nonlinear weight map w = kappa/(kappa+1) vs uniform w ~ U[0,1]
+///       (the Fig. 2 argument) at fixed batch size;
+///   (c) penalization on/off in async mode (EasyBO vs EasyBO-A).
+///
+/// Run on the op-amp benchmark with the paper's budget.
+/// Environment: EASYBO_RUNS (default 3), EASYBO_SIMS (default 150).
+
+#include <cstdio>
+
+#include "harness.h"
+
+int main() {
+  using namespace easybo;
+  using namespace easybo::bench;
+
+  const auto circuit_bench = circuit::make_opamp_benchmark();
+  const std::size_t runs = env_size("EASYBO_RUNS", 3);
+  const std::size_t sims = env_size("EASYBO_SIMS", circuit_bench.max_sims);
+
+  auto base = [&] {
+    bo::BoConfig c;
+    c.mode = bo::Mode::AsyncBatch;
+    c.acq = bo::AcqKind::EasyBo;
+    c.penalize = true;
+    c.batch = 10;
+    c.init_points = circuit_bench.init_points;
+    c.max_sims = sims;
+    apply_bench_budgets(c);
+    return c;
+  };
+
+  std::printf(
+      "=== Ablation (op-amp, B = 10, %zu runs, %zu sims) ===\n\n", runs,
+      sims);
+
+  std::printf("(a) lambda sweep, kappa ~ U[0, lambda] (paper: lambda = 6; "
+              "max w = lambda/(lambda+1)):\n");
+  {
+    AsciiTable table({"lambda", "Best", "Worst", "Mean", "Std", "Time"});
+    for (double lambda : {0.5, 1.0, 2.0, 4.0, 6.0, 9.0, 12.0}) {
+      auto c = base();
+      c.lambda = lambda;
+      auto stats = run_bo_repeated(circuit_bench, c, runs);
+      stats.label = format_double(lambda, 1);
+      add_table_row(table, stats, 2);
+      std::fflush(stdout);
+    }
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  std::printf("(b) weight map: w = kappa/(kappa+1) vs uniform w ~ U[0,1]:\n");
+  {
+    AsciiTable table({"weights", "Best", "Worst", "Mean", "Std", "Time"});
+    auto nonlinear = base();
+    auto stats = run_bo_repeated(circuit_bench, nonlinear, runs);
+    stats.label = "kappa-map";
+    add_table_row(table, stats, 2);
+
+    auto uniform = base();
+    uniform.uniform_w = true;
+    auto ustats = run_bo_repeated(circuit_bench, uniform, runs);
+    ustats.label = "uniform-w";
+    add_table_row(table, ustats, 2);
+    std::printf("%s\n", table.str().c_str());
+  }
+
+  std::printf("(c) hallucination penalization on/off (async, B = 10):\n");
+  {
+    AsciiTable table({"penalize", "Best", "Worst", "Mean", "Std", "Time"});
+    auto on = base();
+    auto on_stats = run_bo_repeated(circuit_bench, on, runs);
+    on_stats.label = "on (EasyBO)";
+    add_table_row(table, on_stats, 2);
+
+    auto off = base();
+    off.penalize = false;
+    auto off_stats = run_bo_repeated(circuit_bench, off, runs);
+    off_stats.label = "off (EasyBO-A)";
+    add_table_row(table, off_stats, 2);
+    std::printf("%s\n", table.str().c_str());
+  }
+  return 0;
+}

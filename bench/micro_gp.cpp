@@ -1,0 +1,148 @@
+/// \file micro_gp.cpp
+/// \brief google-benchmark micro-benchmarks of the computational kernels:
+/// Cholesky factorization, GP fit/predict, LML gradient, acquisition
+/// maximization, MNA solves and the circuit evaluations. These quantify
+/// the modeling overhead that the paper's footnote 1 excludes from its
+/// reported times.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "acq/acq_optimizer.h"
+#include "acq/acquisition.h"
+#include "circuit/classe.h"
+#include "circuit/opamp.h"
+#include "common/rng.h"
+#include "gp/gp.h"
+#include "linalg/cholesky.h"
+
+namespace {
+
+using easybo::Rng;
+using easybo::gp::GpRegressor;
+using easybo::gp::SquaredExponentialArd;
+using easybo::gp::Vec;
+using easybo::linalg::Matrix;
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.normal();
+  }
+  Matrix a = easybo::linalg::gram(b);
+  a.add_diagonal(static_cast<double>(n));
+  return a;
+}
+
+GpRegressor fitted_gp(std::size_t n, std::size_t d, Rng& rng) {
+  std::vector<Vec> xs(n, Vec(d));
+  Vec ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : xs[i]) v = rng.uniform();
+    ys[i] = rng.normal();
+  }
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(d), 1e-4);
+  gp.set_data(std::move(xs), std::move(ys));
+  gp.fit();
+  return gp;
+}
+
+void BM_Cholesky(benchmark::State& state) {
+  Rng rng(1);
+  const auto a = random_spd(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    easybo::linalg::Cholesky chol(a);
+    benchmark::DoNotOptimize(chol.log_det());
+  }
+}
+BENCHMARK(BM_Cholesky)->Arg(32)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GpFit(benchmark::State& state) {
+  Rng rng(2);
+  auto gp = fitted_gp(static_cast<std::size_t>(state.range(0)), 10, rng);
+  for (auto _ : state) {
+    gp.fit();
+    benchmark::DoNotOptimize(gp.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(50)->Arg(150)->Arg(450);
+
+void BM_GpPredict(benchmark::State& state) {
+  Rng rng(3);
+  const auto gp = fitted_gp(static_cast<std::size_t>(state.range(0)), 10,
+                            rng);
+  const Vec x = rng.uniform_vector(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.predict(x).mean);
+  }
+}
+BENCHMARK(BM_GpPredict)->Arg(50)->Arg(150)->Arg(450);
+
+void BM_GpLmlGradient(benchmark::State& state) {
+  Rng rng(4);
+  const auto gp = fitted_gp(static_cast<std::size_t>(state.range(0)), 10,
+                            rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gp.lml_gradient());
+  }
+}
+BENCHMARK(BM_GpLmlGradient)->Arg(50)->Arg(150);
+
+void BM_Hallucinate(benchmark::State& state) {
+  Rng rng(5);
+  const auto gp = fitted_gp(static_cast<std::size_t>(state.range(0)), 10,
+                            rng);
+  std::vector<Vec> pending(14, Vec(10));
+  for (auto& p : pending) p = rng.uniform_vector(10);
+  for (auto _ : state) {
+    const auto aug = gp.with_hallucinated(pending);
+    benchmark::DoNotOptimize(aug.num_points());
+  }
+}
+BENCHMARK(BM_Hallucinate)->Arg(150)->Arg(450);
+
+void BM_AcquisitionMaximize(benchmark::State& state) {
+  Rng rng(6);
+  const auto gp = fitted_gp(150, 10, rng);
+  const easybo::acq::WeightedUcb fn(&gp, &gp, 0.7);
+  easybo::acq::AcqOptOptions opt;
+  opt.sobol_candidates = 256;
+  opt.random_candidates = 64;
+  opt.refine_top_k = 2;
+  opt.refine_evals = 80;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        easybo::acq::maximize_acquisition(fn, 10, rng, {}, opt).best_value);
+  }
+}
+BENCHMARK(BM_AcquisitionMaximize);
+
+void BM_OpampEvaluation(benchmark::State& state) {
+  Rng rng(7);
+  const auto bounds = easybo::circuit::opamp_bounds();
+  Vec x(bounds.dim());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    x[j] = 0.5 * (bounds.lower[j] + bounds.upper[j]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(easybo::circuit::evaluate_opamp(x).fom);
+  }
+}
+BENCHMARK(BM_OpampEvaluation);
+
+void BM_ClasseEvaluation(benchmark::State& state) {
+  const auto bounds = easybo::circuit::classe_bounds();
+  Vec x(bounds.dim());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    x[j] = 0.5 * (bounds.lower[j] + bounds.upper[j]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(easybo::circuit::evaluate_classe(x).fom);
+  }
+}
+BENCHMARK(BM_ClasseEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

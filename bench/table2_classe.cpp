@@ -1,0 +1,75 @@
+/// \file table2_classe.cpp
+/// \brief Reproduces Table II: optimization results and simulation time of
+/// the class-E power amplifier circuit (paper §IV-B).
+///
+/// Same roster and columns as Table I, on the 12-D class-E benchmark with
+/// 450 simulations (DE: 15000). Prints the §IV-B claim checks: async time
+/// reduction at fixed #sims (paper: 26.7% / 35.7% / 40.0% for B = 5 / 10 /
+/// 15) and the DE speed-up (paper: up to 500x at equal quality budgets).
+///
+/// Environment: EASYBO_RUNS (default 3; paper used 20), EASYBO_SIMS
+/// (default 450), EASYBO_DE (default 15000).
+
+#include <cstdio>
+#include <map>
+
+#include "harness.h"
+
+int main() {
+  using namespace easybo;
+  using namespace easybo::bench;
+
+  const auto circuit_bench = circuit::make_classe_benchmark();
+  const std::size_t runs = env_size("EASYBO_RUNS", 3);
+  const std::size_t sims = env_size("EASYBO_SIMS", circuit_bench.max_sims);
+  const std::size_t de_evals = env_size("EASYBO_DE", circuit_bench.de_sims);
+
+  std::printf(
+      "=== Table II: class-E power amplifier (12-D), %zu runs/algorithm, "
+      "%zu sims (DE: %zu) ===\n",
+      runs, sims, de_evals);
+  std::printf("FOM = 3*PAE + Pout(W)\n\n");
+
+  AsciiTable table({"Algo", "Best", "Worst", "Mean", "Std", "Time"});
+
+  const auto de = run_de_repeated(circuit_bench, de_evals, runs);
+  add_table_row(table, de, 2);
+
+  std::map<std::pair<std::string, std::size_t>, double> makespan;
+
+  for (const auto& config : paper_roster(circuit_bench.init_points, sims)) {
+    const auto stats = run_bo_repeated(circuit_bench, config, runs);
+    add_table_row(table, stats, 2);
+    if (config.acq == bo::AcqKind::EasyBo && config.penalize &&
+        config.mode != bo::Mode::Sequential) {
+      const std::string kind =
+          config.mode == bo::Mode::SyncBatch ? "sync" : "async";
+      makespan[{kind, config.batch}] = stats.mean_makespan;
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf(
+      "Async time reduction at fixed #sims (EasyBO vs EasyBO-SP), paper "
+      "reports 26.7%% / 35.7%% / 40.0%%:\n");
+  for (std::size_t b : {5u, 10u, 15u}) {
+    const auto sync_it = makespan.find({"sync", b});
+    const auto async_it = makespan.find({"async", b});
+    if (sync_it == makespan.end() || async_it == makespan.end()) continue;
+    const double saving = 1.0 - async_it->second / sync_it->second;
+    std::printf("  B=%-2zu : %5.1f%%  (sync %s -> async %s)\n", b,
+                100.0 * saving,
+                format_duration(sync_it->second).c_str(),
+                format_duration(async_it->second).c_str());
+  }
+
+  const auto easybo15 = makespan.find({"async", 15});
+  if (easybo15 != makespan.end() && easybo15->second > 0.0) {
+    std::printf(
+        "\nSpeed-up of EasyBO-15 over DE: %.0fx (paper: up to 500x)\n",
+        de.mean_makespan / easybo15->second);
+  }
+  return 0;
+}

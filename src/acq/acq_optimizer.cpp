@@ -1,0 +1,104 @@
+#include "acq/acq_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/sampling.h"
+
+namespace easybo::acq {
+
+using linalg::Vec;
+
+AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
+                                  easybo::Rng& rng,
+                                  const std::vector<Vec>& anchors,
+                                  const AcqOptOptions& opt) {
+  EASYBO_REQUIRE(dim >= 1, "maximize_acquisition: dim must be >= 1");
+  EASYBO_REQUIRE(opt.sobol_candidates + opt.random_candidates > 0,
+                 "maximize_acquisition: no screening candidates configured");
+
+  AcqOptResult result;
+  result.best_value = -std::numeric_limits<double>::infinity();
+
+  std::vector<Vec> candidates;
+  candidates.reserve(opt.sobol_candidates + opt.random_candidates +
+                     anchors.size() * (1 + opt.anchor_jitter));
+
+  if (opt.sobol_candidates > 0 && dim <= SobolSequence::kMaxDim) {
+    // Random-shifted Sobol (Cranley–Patterson rotation): deterministic
+    // stratification, decorrelated between calls.
+    SobolSequence sobol(dim);
+    Vec shift(dim);
+    for (auto& s : shift) s = rng.uniform();
+    for (std::size_t i = 0; i < opt.sobol_candidates; ++i) {
+      Vec p = sobol.next();
+      for (std::size_t j = 0; j < dim; ++j) {
+        p[j] += shift[j];
+        if (p[j] >= 1.0) p[j] -= 1.0;
+      }
+      candidates.push_back(std::move(p));
+    }
+  }
+  const std::size_t random_count =
+      opt.random_candidates +
+      (dim > SobolSequence::kMaxDim ? opt.sobol_candidates : 0);
+  for (std::size_t i = 0; i < random_count; ++i) {
+    candidates.push_back(rng.uniform_vector(dim));
+  }
+  for (const auto& anchor : anchors) {
+    EASYBO_REQUIRE(anchor.size() == dim,
+                   "maximize_acquisition: anchor dim mismatch");
+    candidates.push_back(anchor);
+    for (std::size_t k = 0; k < opt.anchor_jitter; ++k) {
+      Vec p = anchor;
+      for (std::size_t j = 0; j < dim; ++j) {
+        p[j] = std::clamp(p[j] + rng.normal(0.0, opt.jitter_scale), 0.0, 1.0);
+      }
+      candidates.push_back(std::move(p));
+    }
+  }
+
+  // Screen.
+  Vec values(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    values[i] = fn(candidates[i]);
+    ++result.num_evals;
+  }
+
+  // Indices of the top-k screened candidates.
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const std::size_t k = std::min(opt.refine_top_k, order.size());
+  std::partial_sort(order.begin(),
+                    order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&](std::size_t a, std::size_t b) {
+                      return values[a] > values[b];
+                    });
+
+  const std::size_t best_screen = order.front();
+  result.best_x = candidates[best_screen];
+  result.best_value = values[best_screen];
+
+  // Local refinement.
+  if (opt.refine_evals > dim + 2) {
+    opt::Bounds unit{Vec(dim, 0.0), Vec(dim, 1.0)};
+    opt::NelderMeadOptions nm;
+    nm.max_evals = opt.refine_evals;
+    nm.initial_step = 0.05;
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto local = opt::nelder_mead_maximize(
+          [&fn](const Vec& x) { return fn(x); }, unit, candidates[order[i]],
+          nm);
+      result.num_evals += local.num_evals;
+      if (local.best_y > result.best_value) {
+        result.best_value = local.best_y;
+        result.best_x = local.best_x;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace easybo::acq

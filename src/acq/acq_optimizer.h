@@ -1,0 +1,45 @@
+#pragma once
+/// \file acq_optimizer.h
+/// \brief Inner-loop maximization of acquisition functions.
+///
+/// Every algorithm in the comparison (EI, LCB, pBO, pHCBO, all EasyBO
+/// variants) maximizes its acquisition with the same machinery, so the
+/// comparison measures acquisition *design*, not inner-optimizer luck:
+///   1. screen a low-discrepancy Sobol batch + random points + caller-
+///      provided anchors (e.g. the incumbent and jittered copies of it);
+///   2. locally refine the top-k screened points with Nelder–Mead;
+///   3. return the overall argmax.
+/// Operates on the normalized unit cube.
+
+#include <vector>
+
+#include "acq/acquisition.h"
+#include "common/rng.h"
+#include "opt/nelder_mead.h"
+
+namespace easybo::acq {
+
+struct AcqOptOptions {
+  std::size_t sobol_candidates = 512;   ///< deterministic screening points
+  std::size_t random_candidates = 256;  ///< iid screening points
+  std::size_t anchor_jitter = 8;        ///< jittered copies per anchor
+  double jitter_scale = 0.05;           ///< stddev of anchor jitter
+  std::size_t refine_top_k = 3;         ///< NM starts
+  std::size_t refine_evals = 120;       ///< NM budget per start
+};
+
+struct AcqOptResult {
+  linalg::Vec best_x;       ///< in the unit cube
+  double best_value = 0.0;
+  std::size_t num_evals = 0;  ///< total acquisition evaluations
+};
+
+/// Maximizes \p fn over [0,1]^dim.
+/// \param anchors  extra screening points (unit cube), each also screened
+///                 with `anchor_jitter` Gaussian-jittered copies.
+AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
+                                  easybo::Rng& rng,
+                                  const std::vector<linalg::Vec>& anchors = {},
+                                  const AcqOptOptions& options = {});
+
+}  // namespace easybo::acq

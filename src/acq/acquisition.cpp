@@ -1,0 +1,210 @@
+#include "acq/acquisition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace easybo::acq {
+
+double norm_pdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double norm_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
+
+// ---------------------------------------------------------------------------
+// Ucb
+// ---------------------------------------------------------------------------
+
+Ucb::Ucb(const GpRegressor* model, double kappa)
+    : model_(model), kappa_(kappa) {
+  EASYBO_REQUIRE(model != nullptr, "Ucb: null model");
+  EASYBO_REQUIRE(kappa >= 0.0, "Ucb: kappa must be non-negative");
+}
+
+double Ucb::operator()(const Vec& x) const {
+  const auto p = model_->predict(x);
+  return p.mean + kappa_ * p.stddev();
+}
+
+// ---------------------------------------------------------------------------
+// Ei / Pi
+// ---------------------------------------------------------------------------
+
+Ei::Ei(const GpRegressor* model, double best_y, double xi)
+    : model_(model), best_y_(best_y), xi_(xi) {
+  EASYBO_REQUIRE(model != nullptr, "Ei: null model");
+}
+
+double Ei::operator()(const Vec& x) const {
+  const auto p = model_->predict(x);
+  const double sd = p.stddev();
+  const double improve = p.mean - best_y_ - xi_;
+  if (sd < 1e-12) return std::max(improve, 0.0);
+  const double z = improve / sd;
+  return improve * norm_cdf(z) + sd * norm_pdf(z);
+}
+
+Pi::Pi(const GpRegressor* model, double best_y, double xi)
+    : model_(model), best_y_(best_y), xi_(xi) {
+  EASYBO_REQUIRE(model != nullptr, "Pi: null model");
+}
+
+double Pi::operator()(const Vec& x) const {
+  const auto p = model_->predict(x);
+  const double sd = p.stddev();
+  const double improve = p.mean - best_y_ - xi_;
+  if (sd < 1e-12) return improve > 0.0 ? 1.0 : 0.0;
+  return norm_cdf(improve / sd);
+}
+
+// ---------------------------------------------------------------------------
+// WeightedUcb (Eq. 4 / 8 / 9)
+// ---------------------------------------------------------------------------
+
+WeightedUcb::WeightedUcb(const GpRegressor* mean_model,
+                         const GpRegressor* var_model, double w)
+    : mean_model_(mean_model), var_model_(var_model), w_(w) {
+  EASYBO_REQUIRE(mean_model != nullptr && var_model != nullptr,
+                 "WeightedUcb: null model");
+  EASYBO_REQUIRE(w >= 0.0 && w <= 1.0, "WeightedUcb: w must be in [0,1]");
+}
+
+double WeightedUcb::operator()(const Vec& x) const {
+  const double mu = mean_model_->predict(x).mean;
+  const double sd = var_model_->predict(x).stddev();
+  return (1.0 - w_) * mu + w_ * sd;
+}
+
+Bucb::Bucb(const GpRegressor* mean_model, const GpRegressor* var_model,
+           double kappa)
+    : mean_model_(mean_model), var_model_(var_model), kappa_(kappa) {
+  EASYBO_REQUIRE(mean_model != nullptr && var_model != nullptr,
+                 "Bucb: null model");
+  EASYBO_REQUIRE(kappa >= 0.0, "Bucb: kappa must be non-negative");
+}
+
+double Bucb::operator()(const Vec& x) const {
+  return mean_model_->predict(x).mean +
+         kappa_ * var_model_->predict(x).stddev();
+}
+
+double sample_easybo_weight(easybo::Rng& rng, double lambda) {
+  EASYBO_REQUIRE(lambda > 0.0, "sample_easybo_weight: lambda must be > 0");
+  const double kappa = rng.uniform(0.0, lambda);
+  return kappa / (kappa + 1.0);
+}
+
+Vec pbo_weight_grid(std::size_t batch_size) {
+  EASYBO_REQUIRE(batch_size >= 1, "pbo_weight_grid: batch size must be >= 1");
+  if (batch_size == 1) return {0.5};
+  Vec w(batch_size);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    w[i] = static_cast<double>(i) / static_cast<double>(batch_size - 1);
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// HighCoveragePenalty (Eq. 6) and pHCBO (Eq. 5)
+// ---------------------------------------------------------------------------
+
+HighCoveragePenalty::HighCoveragePenalty(double d, double n_hc)
+    : d_(d), n_hc_(n_hc) {
+  EASYBO_REQUIRE(d > 0.0, "HC penalty: d must be positive");
+  EASYBO_REQUIRE(n_hc > 0.0, "HC penalty: N_HC must be positive");
+}
+
+void HighCoveragePenalty::record(const Vec& x) {
+  history_.push_back(x);
+  while (history_.size() > 5) history_.pop_front();
+}
+
+double HighCoveragePenalty::operator()(const Vec& x) const {
+  if (history_.empty()) return 0.0;
+  // Geometric mean of exp[(d/d_x)^10] over the (up to 5) history points =
+  // exp of the mean exponent. Exponents are clamped: the raw value
+  // overflows double inside the d-ball, and "astronomically large" is all
+  // the penalty needs to express there.
+  double exponent_sum = 0.0;
+  for (const auto& xj : history_) {
+    const double dist = linalg::dist(x, xj);
+    if (dist < 1e-12) {
+      exponent_sum += 700.0 * static_cast<double>(history_.size());
+      break;
+    }
+    exponent_sum += std::min(std::pow(d_ / dist, 10.0), 700.0);
+  }
+  const double mean_exponent =
+      std::min(exponent_sum / static_cast<double>(history_.size()), 700.0);
+  return n_hc_ * std::exp(mean_exponent);
+}
+
+PhcboAcquisition::PhcboAcquisition(const GpRegressor* model, double w,
+                                   const HighCoveragePenalty* penalty)
+    : base_(model, model, w), penalty_(penalty) {
+  EASYBO_REQUIRE(penalty != nullptr, "PhcboAcquisition: null penalty");
+}
+
+double PhcboAcquisition::operator()(const Vec& x) const {
+  return base_(x) - (*penalty_)(x);
+}
+
+// ---------------------------------------------------------------------------
+// LocalPenalization (extension baseline)
+// ---------------------------------------------------------------------------
+
+LocalPenalization::LocalPenalization(const AcquisitionFn* base,
+                                     const GpRegressor* model,
+                                     std::vector<Vec> busy, double lipschitz,
+                                     double best_y)
+    : base_(base),
+      model_(model),
+      busy_(std::move(busy)),
+      lipschitz_(std::max(lipschitz, 1e-8)),
+      best_y_(best_y) {
+  EASYBO_REQUIRE(base != nullptr && model != nullptr,
+                 "LocalPenalization: null dependency");
+}
+
+double LocalPenalization::operator()(const Vec& x) const {
+  // Soft-plus shift keeps the base acquisition positive so multiplicative
+  // hammers behave (González et al. §3.2).
+  const double raw = (*base_)(x);
+  double value = std::log1p(std::exp(std::clamp(raw, -30.0, 30.0)));
+  for (const auto& xj : busy_) {
+    const auto p = model_->predict(xj);
+    const double sd = std::max(p.stddev(), 1e-9);
+    // Hammer: probability that x lies outside the exclusion ball around xj.
+    const double z =
+        (lipschitz_ * linalg::dist(x, xj) - (best_y_ - p.mean)) /
+        (std::numbers::sqrt2 * sd);
+    value *= norm_cdf(z);
+  }
+  return value;
+}
+
+double estimate_lipschitz(const GpRegressor& model, easybo::Rng& rng,
+                          std::size_t probes) {
+  EASYBO_REQUIRE(probes >= 2, "estimate_lipschitz: need at least two probes");
+  const std::size_t d = model.dim();
+  double best = 1e-3;
+  // Finite differences of the GP mean between random unit-cube pairs.
+  for (std::size_t i = 0; i < probes; ++i) {
+    Vec a(d), b(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      a[j] = rng.uniform();
+      b[j] = rng.uniform();
+    }
+    const double dist = linalg::dist(a, b);
+    if (dist < 1e-9) continue;
+    const double slope =
+        std::abs(model.predict(a).mean - model.predict(b).mean) / dist;
+    best = std::max(best, slope);
+  }
+  return best;
+}
+
+}  // namespace easybo::acq

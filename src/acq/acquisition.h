@@ -1,0 +1,185 @@
+#pragma once
+/// \file acquisition.h
+/// \brief Acquisition functions: UCB/EI/PI, pBO (Eq. 4), pHCBO (Eq. 5-6),
+/// and the EasyBO randomized-weight acquisition (Eq. 8) with the
+/// hallucination penalization (Eq. 9).
+///
+/// All acquisitions are MAXIMIZED and operate in the BO loop's normalized
+/// model space (inputs in [0,1]^d, z-scored targets). They hold non-owning
+/// pointers to GP models owned by the BO driver; a driver must keep the
+/// models alive and fitted while an acquisition referencing them is in use.
+
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+#include "gp/gp.h"
+
+namespace easybo::acq {
+
+using gp::GpRegressor;
+using linalg::Vec;
+
+/// Interface: a scalar utility over the normalized design space.
+class AcquisitionFn {
+ public:
+  virtual ~AcquisitionFn() = default;
+  virtual double operator()(const Vec& x) const = 0;
+};
+
+/// Upper confidence bound, Eq. 3: mu(x) + kappa * sigma(x).
+/// With kappa > 0 this is also what the paper's experiments call "LCB" (an
+/// optimistic bound used for maximization).
+class Ucb final : public AcquisitionFn {
+ public:
+  Ucb(const GpRegressor* model, double kappa);
+  double operator()(const Vec& x) const override;
+
+  double kappa() const { return kappa_; }
+
+ private:
+  const GpRegressor* model_;
+  double kappa_;
+};
+
+/// Expected improvement over the incumbent best (maximization form):
+/// EI(x) = (mu - y* - xi) Phi(z) + sigma phi(z), z = (mu - y* - xi)/sigma.
+class Ei final : public AcquisitionFn {
+ public:
+  Ei(const GpRegressor* model, double best_y, double xi = 0.0);
+  double operator()(const Vec& x) const override;
+
+ private:
+  const GpRegressor* model_;
+  double best_y_;
+  double xi_;
+};
+
+/// Probability of improvement: PI(x) = Phi((mu - y* - xi)/sigma).
+class Pi final : public AcquisitionFn {
+ public:
+  Pi(const GpRegressor* model, double best_y, double xi = 0.0);
+  double operator()(const Vec& x) const override;
+
+ private:
+  const GpRegressor* model_;
+  double best_y_;
+  double xi_;
+};
+
+/// Weighted UCB family shared by pBO (Eq. 4), EasyBO (Eq. 8) and penalized
+/// EasyBO (Eq. 9):
+///     alpha(x, w) = (1 - w) * mu(x) + w * sigma_hat(x)
+/// where mu comes from \p mean_model (always fitted on observed data only)
+/// and sigma_hat from \p var_model. Passing the same model twice gives the
+/// unpenalized Eq. 4/8; passing the hallucinated model (GpRegressor::
+/// with_hallucinated) as var_model gives Eq. 9.
+class WeightedUcb final : public AcquisitionFn {
+ public:
+  WeightedUcb(const GpRegressor* mean_model, const GpRegressor* var_model,
+              double w);
+  double operator()(const Vec& x) const override;
+
+  double weight() const { return w_; }
+
+ private:
+  const GpRegressor* mean_model_;
+  const GpRegressor* var_model_;
+  double w_;
+};
+
+/// BUCB (Desautels et al., JMLR'14) batch acquisition: a plain UCB whose
+/// variance comes from the hallucinated model (pending points conditioned
+/// at their predictive mean) while the mean comes from observed data:
+///     alpha(x) = mu(x) + kappa * sigma_hat(x).
+/// This is the penalization strategy EasyBO's Eq. 9 cites; exposed as a
+/// batch baseline beyond the paper's roster.
+class Bucb final : public AcquisitionFn {
+ public:
+  Bucb(const GpRegressor* mean_model, const GpRegressor* var_model,
+       double kappa);
+  double operator()(const Vec& x) const override;
+
+ private:
+  const GpRegressor* mean_model_;
+  const GpRegressor* var_model_;
+  double kappa_;
+};
+
+/// EasyBO's weight sampling (§III-B): kappa ~ U[0, lambda], w = kappa/(kappa+1).
+/// The induced density of w rises toward 1, maintaining batch diversity once
+/// sigma has shrunk below mu. The paper fixes lambda = 6.
+double sample_easybo_weight(easybo::Rng& rng, double lambda = 6.0);
+
+/// pBO's fixed uniform weight grid, w_i = (i-1)/(B-1) (w = 0.5 for B = 1).
+Vec pbo_weight_grid(std::size_t batch_size);
+
+/// pHCBO's high-coverage penalty (Eq. 6):
+///   alpha_HC(x) = N_HC * exp( (1/5) * sum_{j=1..5} (d / ||x - x_j||)^10 )
+/// over the last (up to) 5 query points recorded for the same weight index.
+/// The exponent is clamped to avoid overflow; inside the d-ball around a
+/// previous query the penalty is astronomically large, as intended.
+class HighCoveragePenalty {
+ public:
+  /// \param d     penalization radius (normalized space); paper: manual.
+  /// \param n_hc  penalty magnitude.
+  explicit HighCoveragePenalty(double d = 0.1, double n_hc = 1.0);
+
+  /// Records a new query point for this weight's history (keeps last 5).
+  void record(const Vec& x);
+
+  /// Penalty value at x; 0 when no history yet.
+  double operator()(const Vec& x) const;
+
+  std::size_t history_size() const { return history_.size(); }
+
+ private:
+  double d_;
+  double n_hc_;
+  std::deque<Vec> history_;
+};
+
+/// pHCBO acquisition (Eq. 5): alpha_pBO(x, w) - alpha_HC(x).
+class PhcboAcquisition final : public AcquisitionFn {
+ public:
+  PhcboAcquisition(const GpRegressor* model, double w,
+                   const HighCoveragePenalty* penalty);
+  double operator()(const Vec& x) const override;
+
+ private:
+  WeightedUcb base_;
+  const HighCoveragePenalty* penalty_;
+};
+
+/// Local penalization (González et al., AISTATS'16) baseline extension:
+/// multiplies a base acquisition (shifted to be positive) by hammer
+/// functions centered at busy points. Used for the batch baseline "LP".
+class LocalPenalization final : public AcquisitionFn {
+ public:
+  /// \param base       the acquisition to penalize (not owned)
+  /// \param model      GP used for the hammer radii (not owned)
+  /// \param busy       points under evaluation (copied)
+  /// \param lipschitz  estimated Lipschitz constant of the objective
+  /// \param best_y     current incumbent (the estimated max M)
+  LocalPenalization(const AcquisitionFn* base, const GpRegressor* model,
+                    std::vector<Vec> busy, double lipschitz, double best_y);
+  double operator()(const Vec& x) const override;
+
+ private:
+  const AcquisitionFn* base_;
+  const GpRegressor* model_;
+  std::vector<Vec> busy_;
+  double lipschitz_;
+  double best_y_;
+};
+
+/// Crude Lipschitz estimate for LP: max gradient magnitude proxy from GP
+/// mean differences over random probe pairs.
+double estimate_lipschitz(const GpRegressor& model, easybo::Rng& rng,
+                          std::size_t probes = 64);
+
+/// Standard normal pdf / cdf (shared by EI/PI/LP).
+double norm_pdf(double z);
+double norm_cdf(double z);
+
+}  // namespace easybo::acq

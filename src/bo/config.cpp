@@ -1,0 +1,80 @@
+#include "bo/config.h"
+
+#include "common/error.h"
+
+namespace easybo::bo {
+
+const char* to_string(Mode mode) {
+  switch (mode) {
+    case Mode::Sequential: return "sequential";
+    case Mode::SyncBatch: return "sync";
+    case Mode::AsyncBatch: return "async";
+  }
+  return "?";
+}
+
+const char* to_string(AcqKind kind) {
+  switch (kind) {
+    case AcqKind::Ei: return "EI";
+    case AcqKind::Lcb: return "LCB";
+    case AcqKind::EasyBo: return "EasyBO";
+    case AcqKind::Pbo: return "pBO";
+    case AcqKind::Phcbo: return "pHCBO";
+    case AcqKind::Bucb: return "BUCB";
+    case AcqKind::Lp: return "LP";
+    case AcqKind::Ts: return "TS";
+    case AcqKind::Hedge: return "Hedge";
+  }
+  return "?";
+}
+
+std::string BoConfig::label() const {
+  if (mode == Mode::Sequential) {
+    return to_string(acq);  // "EI", "LCB", "EasyBO"
+  }
+  std::string name;
+  switch (acq) {
+    case AcqKind::Pbo: name = "pBO"; break;
+    case AcqKind::Phcbo: name = "pHCBO"; break;
+    case AcqKind::EasyBo:
+      if (mode == Mode::SyncBatch) {
+        name = penalize ? "EasyBO-SP" : "EasyBO-S";
+      } else {
+        name = penalize ? "EasyBO" : "EasyBO-A";
+      }
+      break;
+    case AcqKind::Ei: name = "EI"; break;
+    case AcqKind::Lcb: name = "LCB"; break;
+    case AcqKind::Bucb: name = "BUCB"; break;
+    case AcqKind::Lp: name = "LP"; break;
+    case AcqKind::Ts: name = "TS"; break;
+    case AcqKind::Hedge: name = "Hedge"; break;
+  }
+  return name + "-" + std::to_string(batch);
+}
+
+void BoConfig::validate() const {
+  EASYBO_REQUIRE(init_points >= 2, "need at least two initial points");
+  EASYBO_REQUIRE(max_sims > init_points,
+                 "simulation budget must exceed the initial design");
+  EASYBO_REQUIRE(lambda > 0.0, "lambda must be positive");
+  EASYBO_REQUIRE(refit_every >= 1, "refit_every must be >= 1");
+  if (mode != Mode::Sequential) {
+    EASYBO_REQUIRE(batch >= 2, "batch modes need batch >= 2");
+  }
+  if (acq == AcqKind::Pbo || acq == AcqKind::Phcbo) {
+    EASYBO_REQUIRE(mode == Mode::SyncBatch,
+                   "pBO/pHCBO are synchronous batch algorithms");
+  }
+  if (acq == AcqKind::Ei || acq == AcqKind::Lcb) {
+    EASYBO_REQUIRE(mode == Mode::Sequential,
+                   "EI/LCB baselines run in sequential mode only");
+  }
+  if (acq == AcqKind::Bucb || acq == AcqKind::Lp) {
+    EASYBO_REQUIRE(mode != Mode::Sequential,
+                   "BUCB/LP are batch algorithms (they penalize around "
+                   "pending points)");
+  }
+}
+
+}  // namespace easybo::bo

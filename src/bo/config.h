@@ -1,0 +1,89 @@
+#pragma once
+/// \file config.h
+/// \brief Configuration for the BO engine: every algorithm of the paper's
+/// comparison is one BoConfig.
+///
+/// Paper algorithm -> configuration map:
+///   LCB          Sequential + AcqKind::Lcb
+///   EI           Sequential + AcqKind::Ei
+///   EasyBO (seq) Sequential + AcqKind::EasyBo
+///   pBO-B        SyncBatch  + AcqKind::Pbo,    batch B
+///   pHCBO-B      SyncBatch  + AcqKind::Phcbo,  batch B
+///   EasyBO-S-B   SyncBatch  + AcqKind::EasyBo, penalize=false
+///   EasyBO-SP-B  SyncBatch  + AcqKind::EasyBo, penalize=true
+///   EasyBO-A-B   AsyncBatch + AcqKind::EasyBo, penalize=false
+///   EasyBO-B     AsyncBatch + AcqKind::EasyBo, penalize=true
+/// Extension baselines beyond the paper's roster:
+///   BUCB-B       Sync/AsyncBatch + AcqKind::Bucb (hallucinated UCB [32])
+///   LP-B         Sync/AsyncBatch + AcqKind::Lp (local penalization [33])
+///   TS(-B)       any mode + AcqKind::Ts (Thompson sampling [30])
+///   Hedge(-B)    any mode + AcqKind::Hedge (GP-Hedge portfolio [31])
+
+#include <cstdint>
+#include <string>
+
+#include "acq/acq_optimizer.h"
+#include "gp/trainer.h"
+
+namespace easybo::bo {
+
+/// How query points are issued to the worker pool.
+enum class Mode {
+  Sequential,  ///< one worker, one point at a time
+  SyncBatch,   ///< B points per iteration, barrier until all finish
+  AsyncBatch,  ///< new point whenever a worker goes idle (Fig. 1, right)
+};
+
+/// Which acquisition proposes the next point.
+enum class AcqKind {
+  Ei,      ///< expected improvement (sequential baseline)
+  Lcb,     ///< optimistic confidence bound, mu + kappa*sigma (baseline)
+  EasyBo,  ///< randomized-weight UCB, Eq. 8 (Eq. 9 with penalize=true)
+  Pbo,     ///< fixed uniform weight grid, Eq. 4 [23]
+  Phcbo,   ///< pBO + high-coverage penalty, Eq. 5-6 [23]
+  Bucb,    ///< batch UCB with hallucinated variance [32] (extension)
+  Lp,      ///< EI with local penalization around busy points [33] (ext.)
+  Ts,      ///< Thompson sampling over a candidate set [30] (extension)
+  Hedge,   ///< GP-Hedge portfolio of EI/PI/UCB [31] (extension)
+};
+
+const char* to_string(Mode mode);
+const char* to_string(AcqKind kind);
+
+/// Full engine configuration. Defaults follow the paper (§III-B/§IV).
+struct BoConfig {
+  Mode mode = Mode::AsyncBatch;
+  AcqKind acq = AcqKind::EasyBo;
+  /// EasyBO hallucination penalization (§III-C). Only meaningful for
+  /// AcqKind::EasyBo in batch modes; ignored elsewhere.
+  bool penalize = true;
+  std::size_t batch = 5;        ///< B; forced to 1 in Sequential mode
+  std::size_t init_points = 20; ///< random initial design size
+  std::size_t max_sims = 150;   ///< total simulations including the init
+  double lambda = 6.0;          ///< EasyBO kappa range [0, lambda] (§III-B)
+  /// Ablation switch: draw w ~ U[0,1] instead of w = kappa/(kappa+1).
+  /// Isolates the value of EasyBO's nonlinear weight map (Fig. 2).
+  bool uniform_w = false;
+  double lcb_kappa = 2.0;       ///< kappa for the LCB baseline
+  double bucb_kappa = 2.0;      ///< kappa for the BUCB extension baseline
+  std::size_t ts_candidates = 192;  ///< Thompson-sampling candidate count
+  double hedge_eta = 1.0;       ///< GP-Hedge softmax temperature
+  double ei_xi = 0.0;           ///< EI exploration offset
+  double hc_d = 0.1;            ///< pHCBO penalization radius (normalized)
+  double hc_n = 1.0;            ///< pHCBO penalty magnitude N_HC
+  std::size_t refit_every = 5;  ///< retrain hyperparameters every k obs
+  std::string kernel = "se";    ///< "se" (paper) or "matern52" (extension)
+  std::uint64_t seed = 1;
+
+  gp::TrainerOptions trainer;   ///< hyperparameter MLE options
+  acq::AcqOptOptions acq_opt;   ///< acquisition maximizer options
+
+  /// Human-readable algorithm label in the paper's style, e.g.
+  /// "EasyBO-SP-5", "pBO-10", "EI".
+  std::string label() const;
+
+  /// Throws InvalidArgument when the combination is inconsistent.
+  void validate() const;
+};
+
+}  // namespace easybo::bo

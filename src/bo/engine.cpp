@@ -1,0 +1,410 @@
+#include "bo/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "acq/acquisition.h"
+#include "acq/thompson.h"
+#include "common/error.h"
+#include "common/sampling.h"
+#include "gp/kernel.h"
+#include "gp/trainer.h"
+
+namespace easybo::bo {
+
+namespace {
+
+std::unique_ptr<gp::Kernel> make_engine_kernel(const BoConfig& cfg,
+                                               std::size_t dim) {
+  auto kernel = gp::make_kernel(cfg.kernel, dim);
+  // Start with moderate lengthscales for unit-cube inputs.
+  Vec lp = kernel->log_params();
+  for (std::size_t i = 1; i < lp.size(); ++i) lp[i] = std::log(0.3);
+  kernel->set_log_params(lp);
+  return kernel;
+}
+
+}  // namespace
+
+BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
+                   opt::Objective objective,
+                   std::function<double(const Vec&)> sim_time)
+    : cfg_(std::move(config)),
+      bounds_(std::move(bounds)),
+      objective_(std::move(objective)),
+      sim_time_(std::move(sim_time)),
+      rng_(cfg_.seed),
+      box_(bounds_.lower, bounds_.upper),
+      model_(make_engine_kernel(cfg_, bounds_.lower.size()), 1e-6) {
+  cfg_.validate();
+  bounds_.validate();
+  EASYBO_REQUIRE(static_cast<bool>(objective_), "BoEngine: null objective");
+  if (!sim_time_) {
+    sim_time_ = [](const Vec&) { return 1.0; };
+  }
+  if (cfg_.acq == AcqKind::Phcbo) {
+    hc_penalties_.assign(cfg_.batch,
+                         acq::HighCoveragePenalty(cfg_.hc_d, cfg_.hc_n));
+  }
+  next_hyper_refit_ = cfg_.init_points;
+}
+
+BoResult BoEngine::run() {
+  EASYBO_REQUIRE(obs_x_.empty(), "BoEngine::run() may be called only once");
+  const std::size_t workers =
+      (cfg_.mode == Mode::Sequential) ? 1 : cfg_.batch;
+  sched::VirtualScheduler pool(workers);
+  BoResult result;
+
+  run_init_phase(pool, result);
+  update_model(/*force_train=*/true);
+
+  switch (cfg_.mode) {
+    case Mode::Sequential: run_sequential(pool, result); break;
+    case Mode::SyncBatch: run_sync_batch(pool, result); break;
+    case Mode::AsyncBatch: run_async_batch(pool, result); break;
+  }
+
+  result.makespan = pool.now();
+  result.total_sim_time = pool.total_busy_time();
+  result.hyper_refits = hyper_refits_;
+  const std::size_t inc = incumbent_index();
+  result.best_x = box_.from_unit(obs_x_[inc]);
+  result.best_y = obs_y_[inc];
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Phases
+// ---------------------------------------------------------------------------
+
+void BoEngine::run_init_phase(sched::VirtualScheduler& pool,
+                              BoResult& result) {
+  // Random initial design (the paper samples uniformly at random). All
+  // modes push the init points through the pool greedily — identical
+  // schedules keep the wall-clock comparison between algorithms fair.
+  std::size_t issued = 0;
+  while (obs_x_.size() < cfg_.init_points) {
+    while (pool.has_idle_worker() && issued < cfg_.init_points) {
+      submit(pool, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
+      ++issued;
+    }
+    absorb(pool.wait_next(), result);
+  }
+}
+
+void BoEngine::run_sequential(sched::VirtualScheduler& pool,
+                              BoResult& result) {
+  while (obs_x_.size() < cfg_.max_sims) {
+    submit(pool, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
+    absorb(pool.wait_next(), result);
+    update_model(false);
+  }
+}
+
+void BoEngine::run_sync_batch(sched::VirtualScheduler& pool,
+                              BoResult& result) {
+  while (obs_x_.size() < cfg_.max_sims) {
+    const std::size_t remaining = cfg_.max_sims - obs_x_.size();
+    const std::size_t k = std::min(cfg_.batch, remaining);
+    // Select the whole batch against the current model, then submit and
+    // barrier. For EasyBO-SP, each slot hallucinates on the batch points
+    // selected so far (pending grows inside the loop).
+    std::vector<Vec> batch;
+    batch.reserve(k);
+    for (std::size_t slot = 0; slot < k; ++slot) {
+      batch.push_back(propose(batch, slot));
+    }
+    for (auto& x : batch) submit(pool, std::move(x), /*is_init=*/false);
+    for (const auto& job : pool.wait_all()) absorb(job, result);
+    update_model(false);
+  }
+}
+
+void BoEngine::run_async_batch(sched::VirtualScheduler& pool,
+                               BoResult& result) {
+  std::size_t issued = obs_x_.size();  // init points already went through
+  std::vector<Vec> pending;            // unit points currently running
+
+  // Fill the pool (Algorithm 1 bootstraps with B in-flight points).
+  while (pool.has_idle_worker() && issued < cfg_.max_sims) {
+    Vec x = propose(pending, /*slot=*/0);
+    pending.push_back(x);
+    submit(pool, std::move(x), /*is_init=*/false);
+    ++issued;
+  }
+
+  // Main loop (Algorithm 1): wait for a worker, absorb its observation,
+  // refine the model, propose for the idle worker with the still-running
+  // points as pseudo-observations.
+  while (pool.num_running() > 0) {
+    const auto job = pool.wait_next();
+    const Vec finished_x = prop_x_[job.tag];
+    absorb(job, result);
+    // Remove the finished point from the pending set.
+    const auto it = std::find(pending.begin(), pending.end(), finished_x);
+    if (it != pending.end()) pending.erase(it);
+
+    update_model(false);
+    if (issued < cfg_.max_sims) {
+      Vec x = propose(pending, /*slot=*/0);
+      pending.push_back(x);
+      submit(pool, std::move(x), /*is_init=*/false);
+      ++issued;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposal
+// ---------------------------------------------------------------------------
+
+Vec BoEngine::propose(const std::vector<Vec>& pending, std::size_t slot) {
+  const std::size_t dim = bounds_.dim();
+  const std::vector<Vec> anchors = {obs_x_[incumbent_index()]};
+
+  // Thompson sampling picks from a sampled posterior path directly; it
+  // never goes through the generic acquisition maximizer.
+  if (cfg_.acq == AcqKind::Ts) {
+    return propose_thompson(pending);
+  }
+  if (cfg_.acq == AcqKind::Hedge) {
+    return propose_hedge(pending);
+  }
+
+  // The hallucinated model / base acquisition (when used) must outlive
+  // the maximization.
+  std::unique_ptr<gp::GpRegressor> hallucinated;
+  std::unique_ptr<acq::AcquisitionFn> base_acq;
+  std::unique_ptr<acq::AcquisitionFn> fn;
+
+  switch (cfg_.acq) {
+    case AcqKind::Lcb:
+      fn = std::make_unique<acq::Ucb>(&model_, cfg_.lcb_kappa);
+      break;
+    case AcqKind::Ei: {
+      const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
+      fn = std::make_unique<acq::Ei>(&model_, best_z, cfg_.ei_xi);
+      break;
+    }
+    case AcqKind::EasyBo: {
+      const double w = cfg_.uniform_w
+                           ? rng_.uniform()
+                           : acq::sample_easybo_weight(rng_, cfg_.lambda);
+      if (cfg_.penalize && !pending.empty()) {
+        hallucinated = std::make_unique<gp::GpRegressor>(
+            model_.with_hallucinated(pending));
+        fn = std::make_unique<acq::WeightedUcb>(&model_, hallucinated.get(),
+                                                w);
+      } else {
+        fn = std::make_unique<acq::WeightedUcb>(&model_, &model_, w);
+      }
+      break;
+    }
+    case AcqKind::Pbo: {
+      const Vec grid = acq::pbo_weight_grid(cfg_.batch);
+      fn = std::make_unique<acq::WeightedUcb>(&model_, &model_,
+                                              grid[slot % grid.size()]);
+      break;
+    }
+    case AcqKind::Phcbo: {
+      const Vec grid = acq::pbo_weight_grid(cfg_.batch);
+      fn = std::make_unique<acq::PhcboAcquisition>(
+          &model_, grid[slot % grid.size()],
+          &hc_penalties_[slot % hc_penalties_.size()]);
+      break;
+    }
+    case AcqKind::Bucb: {
+      if (!pending.empty()) {
+        hallucinated = std::make_unique<gp::GpRegressor>(
+            model_.with_hallucinated(pending));
+        fn = std::make_unique<acq::Bucb>(&model_, hallucinated.get(),
+                                         cfg_.bucb_kappa);
+      } else {
+        fn = std::make_unique<acq::Bucb>(&model_, &model_, cfg_.bucb_kappa);
+      }
+      break;
+    }
+    case AcqKind::Lp: {
+      const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
+      base_acq = std::make_unique<acq::Ei>(&model_, best_z, cfg_.ei_xi);
+      const double lipschitz = acq::estimate_lipschitz(model_, rng_);
+      fn = std::make_unique<acq::LocalPenalization>(
+          base_acq.get(), &model_, pending, lipschitz, best_z);
+      break;
+    }
+    case AcqKind::Ts:
+    case AcqKind::Hedge:
+      break;  // handled above
+  }
+
+  auto best = acq::maximize_acquisition(*fn, dim, rng_, anchors,
+                                        cfg_.acq_opt);
+  Vec x = dedup(std::move(best.best_x), pending);
+  if (cfg_.acq == AcqKind::Phcbo) {
+    hc_penalties_[slot % hc_penalties_.size()].record(x);
+  }
+  return x;
+}
+
+Vec BoEngine::propose_thompson(const std::vector<Vec>& pending) {
+  // Candidate set: shifted Sobol + jittered incumbent copies. With
+  // penalization, sample from the hallucinated posterior so pending
+  // regions carry no leftover uncertainty to exploit.
+  const std::size_t dim = bounds_.dim();
+  std::vector<Vec> candidates;
+  const std::size_t sobol_count =
+      std::max<std::size_t>(cfg_.ts_candidates, 16);
+  if (dim <= SobolSequence::kMaxDim) {
+    SobolSequence sobol(dim);
+    Vec shift = rng_.uniform_vector(dim);
+    for (std::size_t i = 0; i < sobol_count; ++i) {
+      Vec p = sobol.next();
+      for (std::size_t j = 0; j < dim; ++j) {
+        p[j] += shift[j];
+        if (p[j] >= 1.0) p[j] -= 1.0;
+      }
+      candidates.push_back(std::move(p));
+    }
+  } else {
+    for (std::size_t i = 0; i < sobol_count; ++i) {
+      candidates.push_back(rng_.uniform_vector(dim));
+    }
+  }
+  const Vec& incumbent = obs_x_[incumbent_index()];
+  for (int k = 0; k < 8; ++k) {
+    Vec p = incumbent;
+    for (auto& v : p) v = std::clamp(v + rng_.normal(0.0, 0.05), 0.0, 1.0);
+    candidates.push_back(std::move(p));
+  }
+
+  std::size_t pick;
+  if (cfg_.penalize && !pending.empty()) {
+    const auto augmented = model_.with_hallucinated(pending);
+    pick = acq::thompson_sample_argmax(augmented, candidates, rng_);
+  } else {
+    pick = acq::thompson_sample_argmax(model_, candidates, rng_);
+  }
+  return dedup(std::move(candidates[pick]), pending);
+}
+
+Vec BoEngine::propose_hedge(const std::vector<Vec>& pending) {
+  const std::size_t dim = bounds_.dim();
+  const std::vector<Vec> anchors = {obs_x_[incumbent_index()]};
+
+  // Reward the previous nominees under the refreshed model first.
+  if (!hedge_nominees_.empty()) {
+    Vec means(acq::HedgePortfolio::kMembers);
+    for (std::size_t i = 0; i < hedge_nominees_.size(); ++i) {
+      means[i] = model_.predict(hedge_nominees_[i]).mean;
+    }
+    hedge_.reward(means);
+  }
+
+  // Each member nominates its own maximizer.
+  const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
+  const acq::Ei ei(&model_, best_z, cfg_.ei_xi);
+  const acq::Pi pi(&model_, best_z, cfg_.ei_xi);
+  const acq::Ucb ucb(&model_, cfg_.lcb_kappa);
+  const acq::AcquisitionFn* members[] = {&ei, &pi, &ucb};
+
+  hedge_nominees_.clear();
+  for (const auto* member : members) {
+    hedge_nominees_.push_back(
+        acq::maximize_acquisition(*member, dim, rng_, anchors, cfg_.acq_opt)
+            .best_x);
+  }
+  const std::size_t choice = hedge_.choose(rng_);
+  return dedup(hedge_nominees_[choice], pending);
+}
+
+Vec BoEngine::dedup(Vec x, const std::vector<Vec>& pending) {
+  auto too_close = [&](const Vec& other) {
+    return linalg::dist_sq(x, other) < 1e-12;
+  };
+  const bool collides =
+      std::any_of(obs_x_.begin(), obs_x_.end(), too_close) ||
+      std::any_of(pending.begin(), pending.end(), too_close);
+  if (!collides) return x;
+  // Nudge inside the cube; an exact duplicate adds no information and can
+  // degrade the covariance conditioning.
+  for (auto& v : x) {
+    v = std::clamp(v + rng_.normal(0.0, 0.01), 0.0, 1.0);
+  }
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Model management
+// ---------------------------------------------------------------------------
+
+void BoEngine::update_model(bool force_train) {
+  zscore_.refit(obs_y_);
+  model_.set_data(obs_x_, zscore_.transform(obs_y_));
+
+  const bool train = force_train || obs_x_.size() >= next_hyper_refit_;
+  if (train) {
+    gp::train_mle(model_, rng_, cfg_.trainer);
+    ++hyper_refits_;
+    // Geometrically thinning schedule: early observations shift the
+    // hyperparameters a lot, late ones barely; this caps total O(n^3)
+    // training cost without changing behaviour materially.
+    const auto n = obs_x_.size();
+    next_hyper_refit_ = std::max(
+        n + cfg_.refit_every,
+        static_cast<std::size_t>(static_cast<double>(n) * 1.5));
+  } else {
+    model_.fit();
+  }
+}
+
+std::size_t BoEngine::incumbent_index() const {
+  EASYBO_REQUIRE(!obs_y_.empty(), "incumbent of empty dataset");
+  return linalg::argmax(obs_y_);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler plumbing
+// ---------------------------------------------------------------------------
+
+void BoEngine::submit(sched::VirtualScheduler& pool, Vec unit_x,
+                      bool is_init) {
+  const Vec x_design = box_.from_unit(unit_x);
+  // The objective is deterministic, so its value can be computed at submit
+  // time; the scheduler controls WHEN the value becomes visible to the
+  // model (absorb), which is all that matters for information flow.
+  const double y = objective_(x_design);
+  const double duration = sim_time_(x_design);
+  const std::size_t tag = prop_x_.size();
+  prop_x_.push_back(std::move(unit_x));
+  prop_y_.push_back(y);
+  prop_init_.push_back(is_init);
+  pool.submit(tag, duration);
+}
+
+void BoEngine::absorb(const sched::JobRecord& job, BoResult& result) {
+  const Vec& unit_x = prop_x_[job.tag];
+  const double y = prop_y_[job.tag];
+  obs_x_.push_back(unit_x);
+  obs_y_.push_back(y);
+  obs_is_init_.push_back(prop_init_[job.tag]);
+
+  EvalRecord rec;
+  rec.x = box_.from_unit(unit_x);
+  rec.y = y;
+  rec.start = job.start;
+  rec.finish = job.finish;
+  rec.worker = job.worker;
+  rec.is_init = prop_init_[job.tag];
+  result.evals.push_back(std::move(rec));
+}
+
+BoResult run_bo(const BoConfig& config, const opt::Bounds& bounds,
+                const opt::Objective& objective,
+                const std::function<double(const Vec&)>& sim_time) {
+  BoEngine engine(config, bounds, objective, sim_time);
+  return engine.run();
+}
+
+}  // namespace easybo::bo

@@ -1,0 +1,125 @@
+#pragma once
+/// \file engine.h
+/// \brief The BO engine: sequential, synchronous-batch and asynchronous-
+/// batch Bayesian optimization drivers over a virtual-time worker pool.
+///
+/// This implements the paper's Algorithm 1 (EasyBO) plus every comparison
+/// algorithm of §IV, all sharing one GP stack, one acquisition maximizer
+/// and one scheduler so that measured differences come from the algorithm
+/// design (issue policy, weight distribution, penalization), not from
+/// implementation asymmetries.
+///
+/// The engine models in normalized space: inputs are mapped to [0,1]^d and
+/// observations are z-scored before GP fitting, so mu and sigma in the
+/// weighted acquisitions are commensurate regardless of the circuit's FOM
+/// scale. Hyperparameters are re-trained on a geometrically thinning
+/// schedule (every refit_every observations early on, stretching by 1.5x
+/// as the dataset grows), warm-started from the previous optimum.
+
+#include <functional>
+
+#include "acq/thompson.h"
+#include "bo/config.h"
+#include "bo/result.h"
+#include "common/rng.h"
+#include "gp/gp.h"
+#include "gp/normalizer.h"
+#include "opt/objective.h"
+#include "sched/event_sim.h"
+
+namespace easybo::bo {
+
+/// One optimization run of one algorithm configuration on one problem.
+///
+/// The objective is evaluated "inside" a virtual-time scheduler: each
+/// evaluation costs sim_time(x) virtual seconds on one of `batch` workers,
+/// and the issue policy is the configured Mode. Construct, call run(),
+/// read the BoResult.
+class BoEngine {
+ public:
+  /// \param config     algorithm configuration (validated here)
+  /// \param bounds     design box (the engine normalizes internally)
+  /// \param objective  the FOM to maximize (paper Eq. 1)
+  /// \param sim_time   virtual duration of one evaluation; defaults to a
+  ///                   constant 1s when null (pure sample-efficiency runs)
+  BoEngine(BoConfig config, opt::Bounds bounds, opt::Objective objective,
+           std::function<double(const Vec&)> sim_time = nullptr);
+
+  /// Executes the full run. Call once per engine instance.
+  BoResult run();
+
+ private:
+  // --- model management -------------------------------------------------
+  /// Re-standardizes y, re-fits the GP; trains hyperparameters when the
+  /// thinning schedule says so (or when force_train).
+  void update_model(bool force_train);
+
+  /// Index of the incumbent (max observed y).
+  std::size_t incumbent_index() const;
+
+  // --- proposal ---------------------------------------------------------
+  /// Proposes the next query point (unit space). \p pending holds the
+  /// unit-space points currently under evaluation (for hallucination);
+  /// \p slot is the batch slot index (selects the pBO/pHCBO weight).
+  Vec propose(const std::vector<Vec>& pending, std::size_t slot);
+
+  /// Thompson-sampling proposal (AcqKind::Ts).
+  Vec propose_thompson(const std::vector<Vec>& pending);
+
+  /// GP-Hedge portfolio proposal (AcqKind::Hedge).
+  Vec propose_hedge(const std::vector<Vec>& pending);
+
+  /// Nudges a proposal that collides with an existing/pending point.
+  Vec dedup(Vec x, const std::vector<Vec>& pending);
+
+  // --- run phases ---------------------------------------------------------
+  void run_init_phase(sched::VirtualScheduler& pool, BoResult& result);
+  void run_sequential(sched::VirtualScheduler& pool, BoResult& result);
+  void run_sync_batch(sched::VirtualScheduler& pool, BoResult& result);
+  void run_async_batch(sched::VirtualScheduler& pool, BoResult& result);
+
+  /// Submits proposal (unit space) to the pool, bookkeeping the tag.
+  void submit(sched::VirtualScheduler& pool, Vec unit_x, bool is_init);
+
+  /// Handles one completion: evaluates nothing (the objective was already
+  /// evaluated at submit time — see note in engine.cpp), records the
+  /// result, returns the observed y.
+  void absorb(const sched::JobRecord& job, BoResult& result);
+
+  BoConfig cfg_;
+  opt::Bounds bounds_;
+  opt::Objective objective_;
+  std::function<double(const Vec&)> sim_time_;
+  Rng rng_;
+  gp::BoxNormalizer box_;
+  gp::ZScore zscore_;
+  gp::GpRegressor model_;
+
+  // Observations (unit space + raw y).
+  std::vector<Vec> obs_x_;
+  Vec obs_y_;
+  std::vector<bool> obs_is_init_;
+
+  // Proposals by tag: the scheduler's job tag indexes these.
+  std::vector<Vec> prop_x_;       // unit space
+  Vec prop_y_;                    // objective value (computed at submit)
+  std::vector<bool> prop_init_;
+
+  // pHCBO per-weight-slot penalty history.
+  std::vector<acq::HighCoveragePenalty> hc_penalties_;
+
+  // GP-Hedge state (AcqKind::Hedge): portfolio gains and the members'
+  // last nominees awaiting their reward.
+  acq::HedgePortfolio hedge_;
+  std::vector<Vec> hedge_nominees_;
+
+  std::size_t next_hyper_refit_ = 0;
+  std::size_t hyper_refits_ = 0;
+};
+
+/// Convenience wrapper: configure, run, return.
+BoResult run_bo(const BoConfig& config, const opt::Bounds& bounds,
+                const opt::Objective& objective,
+                const std::function<double(const Vec&)>& sim_time = nullptr);
+
+}  // namespace easybo::bo

@@ -1,0 +1,51 @@
+#pragma once
+/// \file result.h
+/// \brief Run records produced by the BO engine.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vec.h"
+
+namespace easybo::bo {
+
+using linalg::Vec;
+
+/// One completed simulation.
+struct EvalRecord {
+  Vec x;                 ///< design-space point
+  double y = 0.0;        ///< observed FOM
+  double start = 0.0;    ///< virtual time the simulation started
+  double finish = 0.0;   ///< virtual time it finished
+  std::size_t worker = 0;
+  bool is_init = false;  ///< part of the random initial design
+};
+
+/// Full result of one optimization run.
+struct BoResult {
+  Vec best_x;
+  double best_y = 0.0;
+  std::vector<EvalRecord> evals;  ///< in completion order
+  double makespan = 0.0;          ///< virtual wall-clock of all simulation
+  double total_sim_time = 0.0;    ///< sum of evaluation durations
+  std::size_t hyper_refits = 0;   ///< MLE trainings performed
+
+  std::size_t num_evals() const { return evals.size(); }
+
+  /// Pool utilization: total_sim_time / (makespan * workers).
+  double utilization(std::size_t workers) const;
+
+  /// Best-so-far FOM sampled at the completion time of each evaluation:
+  /// pairs (finish_time, best_y_up_to_that_time), in time order. This is
+  /// the series plotted in the paper's Fig. 4 / Fig. 6.
+  std::vector<std::pair<double, double>> best_vs_time() const;
+
+  /// Best-so-far FOM after each completed simulation (index = #sims).
+  Vec best_vs_evals() const;
+
+  /// Earliest virtual time at which best-so-far reached \p target;
+  /// negative when the run never reached it.
+  double time_to_target(double target) const;
+};
+
+}  // namespace easybo::bo

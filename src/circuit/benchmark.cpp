@@ -1,0 +1,41 @@
+#include "circuit/benchmark.h"
+
+#include "circuit/classe.h"
+#include "circuit/opamp.h"
+
+namespace easybo::circuit {
+
+SizingBenchmark make_opamp_benchmark() {
+  auto bounds = opamp_bounds();
+  SizingBenchmark b{
+      /*name=*/"opamp",
+      /*bounds=*/bounds,
+      /*fom=*/[](const Vec& x) { return opamp_fom(x); },
+      // Mean ~38.7 s (paper: 150 sims in ~1h37m sequential); mild
+      // systematic spread, sigma 0.12 -> CV ~12%.
+      /*sim_time=*/SimTimeModel(36.0, 0.30, 0.12, bounds, /*salt=*/0x0A11u),
+  };
+  b.init_points = 20;
+  b.max_sims = 150;
+  b.de_sims = 20000;
+  return b;
+}
+
+SizingBenchmark make_classe_benchmark() {
+  auto bounds = classe_bounds();
+  SizingBenchmark b{
+      /*name=*/"classe",
+      /*bounds=*/bounds,
+      /*fom=*/[](const Vec& x) { return classe_fom(x); },
+      // Mean ~52.7 s (paper: 450 sims in ~6h35m sequential); strong
+      // systematic spread, sigma 0.40 -> CV ~45%: transient analyses of
+      // switching PAs vary much more than op-amp AC/ac sweeps.
+      /*sim_time=*/SimTimeModel(44.0, 0.80, 0.40, bounds, /*salt=*/0xC1A55Eu),
+  };
+  b.init_points = 20;
+  b.max_sims = 450;
+  b.de_sims = 15000;
+  return b;
+}
+
+}  // namespace easybo::circuit

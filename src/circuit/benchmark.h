@@ -1,0 +1,39 @@
+#pragma once
+/// \file benchmark.h
+/// \brief Bundled sizing benchmarks: objective + box + simulation-time
+/// model + the paper's experiment budgets, ready for the experiment
+/// harness.
+
+#include <cstddef>
+#include <string>
+
+#include "circuit/sim_time_model.h"
+#include "opt/objective.h"
+
+namespace easybo::circuit {
+
+/// Everything the harness needs to run one of the paper's two circuits
+/// (or any other black-box posed the same way).
+struct SizingBenchmark {
+  std::string name;
+  opt::Bounds bounds;
+  opt::Objective fom;        ///< maximize (paper Eq. 1)
+  SimTimeModel sim_time;     ///< virtual seconds per evaluation
+
+  // The paper's budgets for this circuit (Table I/II setup).
+  std::size_t init_points = 20;   ///< random initial samples for BO
+  std::size_t max_sims = 150;     ///< BO simulation budget (incl. init)
+  std::size_t de_sims = 20000;    ///< DE evaluation budget
+};
+
+/// Op-amp benchmark (§IV-A): 10-D, FOM = 1.2 GAIN + 10 UGF + 1.6 PM.
+/// Sim-time model calibrated to ~39 s mean with a modest (~12%) CV —
+/// the paper reports 9-14% async savings on this circuit.
+SizingBenchmark make_opamp_benchmark();
+
+/// Class-E benchmark (§IV-B): 12-D, FOM = 3 PAE + Pout.
+/// Sim-time model calibrated to ~53 s mean with a large (~45%) CV — the
+/// paper reports 27-40% async savings and a 7.35x headline speed-up here.
+SizingBenchmark make_classe_benchmark();
+
+}  // namespace easybo::circuit

@@ -1,0 +1,131 @@
+#include "circuit/classe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace easybo::circuit {
+
+namespace {
+
+// Technology-flavored constants for the 180 nm (thick-oxide / cascode) PA
+// device. Ron is inversely proportional to width and gate overdrive;
+// capacitances scale with width.
+constexpr double kVth = 0.5;           // V
+constexpr double kRonSpec = 1.5;       // ohm * mm * V  (Ron = spec/(W*(Vg-Vth)))
+constexpr double kCossPerMm = 0.9e-12; // F/mm, switch output capacitance
+constexpr double kCgPerMm = 3.5e-12;   // F/mm, switch input capacitance
+constexpr double kDriverTaper = 4.0;   // tapered-buffer capacitance overhead
+constexpr double kIndQ = 25.0;         // unloaded Q of integrated inductors
+constexpr double kBvdss = 9.5;        // V, soft drain-breakdown knee
+
+}  // namespace
+
+opt::Bounds classe_bounds() {
+  opt::Bounds b;
+  //          w    wd    vg   vb   duty vdd  c1(pF) l0(nH) c0(pF) lm(nH) cm(pF) lc(nH)
+  b.lower = {0.5, 0.02, 0.8, 0.5, 0.3, 0.5, 0.1, 1.0, 1.0, 0.5, 1.0, 5.0};
+  b.upper = {8.0, 1.0, 1.8, 1.5, 0.7, 3.0, 60.0, 20.0, 60.0, 10.0, 50.0, 100.0};
+  return b;
+}
+
+ClassEPerformance evaluate_classe(const Vec& x) {
+  EASYBO_REQUIRE(x.size() == kClassEDim, "class-E design point must be 12-D");
+  const double w = x[0];            // mm
+  const double wd = x[1];           // mm
+  const double vg = x[2];           // V
+  const double vb = x[3];           // V
+  const double duty = x[4];
+  const double vdd = x[5];          // V
+  const double c1 = x[6] * 1e-12;   // F
+  const double l0 = x[7] * 1e-9;    // H
+  const double c0 = x[8] * 1e-12;   // F
+  const double lm = x[9] * 1e-9;    // H
+  const double cm = x[10] * 1e-12;  // F
+  const double lc = x[11] * 1e-9;   // H
+
+  const double omega = 2.0 * std::numbers::pi * kClassEFreqHz;
+  ClassEPerformance perf;
+
+  // --- Load transformation: RL shunted by Cm, then series Lm. ---
+  const std::complex<double> jwcm(0.0, omega * cm);
+  std::complex<double> zload =
+      kClassELoadOhm / (1.0 + jwcm * kClassELoadOhm);
+  zload += std::complex<double>(0.0, omega * lm);
+  const double r = std::max(zload.real(), 1e-3);
+  const double x_match = zload.imag();
+  perf.r_loaded = r;
+
+  // --- Series filter reactance and its ESR loss (finite inductor Q). ---
+  const double x_filter = omega * l0 - 1.0 / (omega * c0);
+  const double esr = omega * (l0 + lm) / kIndQ;
+  const double eta_filter = r / (r + esr);
+
+  // --- Ideal class-E targets at this R (Sokal design equations, D=0.5). ---
+  const double c_shunt_opt = 0.1836 / (omega * r);
+  const double x_opt = 1.1525 * r;
+  const double pout_ideal = 0.5768 * vdd * vdd / r;
+
+  // --- Switch conduction loss. ---
+  const double vov = std::max(vg - kVth, 0.05);
+  const double ron = kRonSpec / (w * vov);
+  const double eta_cond = 1.0 / (1.0 + 1.365 * ron / r);
+
+  // --- Tuning penalties: shunt capacitance and net series reactance. ---
+  const double c_shunt = c1 + kCossPerMm * w;
+  const double dc1 = (c_shunt - c_shunt_opt) / c_shunt_opt;
+  const double dx = (x_filter + x_match - x_opt) / r;
+  // Heavy-tailed (Cauchy-like) penalties: detuned designs still show a
+  // slope toward the optimum, like the gradual efficiency degradation a
+  // transient simulation exhibits (a hard exp(-x^2) cliff would leave the
+  // optimizer blind far from the ridge).
+  const double eta_tune =
+      1.0 / ((1.0 + 0.9 * dc1 * dc1) * (1.0 + 0.3 * dx * dx));
+
+  // --- Effective duty cycle (driver bias shifts the switching threshold)
+  //     and its Gaussian penalty around the 50% optimum. ---
+  const double duty_eff = std::clamp(duty + 0.15 * (vb - 0.9), 0.05, 0.95);
+  const double dd = (duty_eff - 0.5) / 0.19;
+  const double eta_duty = 1.0 / (1.0 + dd * dd);
+
+  // --- Finite DC-feed choke: current ripple penalty. ---
+  const double choke_ratio = omega * lc / (10.0 * r);
+  const double eta_choke = choke_ratio / (choke_ratio + 0.35);
+
+  // --- Switching (transition) loss: the driver must be ~W/15 wide to slew
+  //     the gate; undersized drivers leave the switch in its linear region
+  //     during transitions. ---
+  const double drive_ratio = w / (15.0 * std::max(wd, 1e-3));
+  const double eta_sw = 1.0 / (1.0 + 0.06 * drive_ratio);
+
+  // --- Soft drain-breakdown penalty: class-E peak is ~3.56 Vdd. ---
+  const double v_peak = 3.56 * vdd;
+  const double over = std::max(v_peak - kBvdss, 0.0) / 2.0;
+  const double eta_bv = std::exp(-over * over);
+
+  perf.drain_eff =
+      eta_cond * eta_tune * eta_duty * eta_choke * eta_sw * eta_bv;
+  perf.pout_w = pout_ideal * perf.drain_eff * eta_filter;
+
+  // --- Gate-drive power (switch gate + tapered driver chain). ---
+  const double cg_total = kCgPerMm * (w + kDriverTaper * wd);
+  const double p_drive = cg_total * vg * vg * kClassEFreqHz;
+
+  const double p_dc = pout_ideal * eta_filter > 0.0
+                          ? perf.pout_w / std::max(perf.drain_eff, 1e-6)
+                          : 0.0;
+  const double pae_raw =
+      p_dc + p_drive > 1e-12 ? (perf.pout_w - p_drive) / (p_dc + p_drive)
+                             : 0.0;
+  perf.pae = std::max(pae_raw, -1.0);  // deeply negative PAE is clamped
+
+  perf.fom = 3.0 * perf.pae + perf.pout_w;
+  return perf;
+}
+
+double classe_fom(const Vec& x) { return evaluate_classe(x).fom; }
+
+}  // namespace easybo::circuit

@@ -1,0 +1,74 @@
+#pragma once
+/// \file classe.h
+/// \brief Class-E power amplifier benchmark (paper §IV-B, 12 design
+/// variables).
+///
+/// The paper optimizes a 180 nm class-E PA with HSPICE transient analysis:
+///     FOM = 3 * PAE + Pout                               (Eq. 11)
+/// with PAE the power-added efficiency and Pout the output power.
+///
+/// Our substitute is a steady-state analytic class-E model built on the
+/// classic Sokal/Raab design equations with non-idealities, which together
+/// shape the same narrow high-efficiency ridge the transient simulation
+/// exposes:
+///   * switch conduction loss via Ron(W, Vg)                  (1/(1+1.365 Ron/R))
+///   * shunt-capacitance mistuning: C1 + Coss(W) vs the ZVS optimum
+///     0.1836/(w R), Gaussian penalty on the relative detuning
+///   * series reactance mistuning: X(L0, C0) + Im(Zmatch) vs 1.1525 R
+///   * L-match (Lm, Cm) transforming the 50-ohm load down to R, with
+///     inductor ESR loss (finite unloaded Q)
+///   * duty-cycle deviation from 50% (driver bias Vb shifts the effective
+///     duty), Gaussian penalty
+///   * finite DC-feed choke Lc (ripple penalty when w Lc / R is small)
+///   * gate-drive power of the switch + tapered driver (reduces PAE)
+///   * soft drain-breakdown penalty (peak voltage 3.56 Vdd vs BVdss)
+///
+/// Design variables:
+///   x[0]  w     switch width                [0.5, 8]    mm
+///   x[1]  wd    driver width                [0.02, 1]   mm
+///   x[2]  vg    gate drive amplitude        [0.8, 1.8]  V
+///   x[3]  vb    driver bias                 [0.5, 1.5]  V
+///   x[4]  duty  nominal duty cycle          [0.3, 0.7]
+///   x[5]  vdd   supply voltage              [0.5, 3.0]  V
+///   x[6]  c1    external shunt capacitor    [0.1, 60]   pF
+///   x[7]  l0    series filter inductor      [1, 20]     nH
+///   x[8]  c0    series filter capacitor     [1, 60]     pF
+///   x[9]  lm    matching inductor           [0.5, 10]   nH
+///   x[10] cm    matching capacitor          [1, 50]     pF
+///   x[11] lc    DC-feed choke               [5, 100]    nH
+
+#include "linalg/vec.h"
+#include "opt/objective.h"
+
+namespace easybo::circuit {
+
+using linalg::Vec;
+
+/// Performance of one class-E design point.
+struct ClassEPerformance {
+  double pout_w = 0.0;       ///< output power delivered to the 50-ohm load
+  double pae = 0.0;          ///< power-added efficiency in [0, 1)
+  double drain_eff = 0.0;    ///< drain efficiency in [0, 1)
+  double r_loaded = 0.0;     ///< transformed load resistance seen by switch
+  double fom = 0.0;          ///< Eq. 11: 3*PAE + Pout
+};
+
+inline constexpr std::size_t kClassEDim = 12;
+
+/// Operating frequency of the PA (fixed, not a design variable).
+inline constexpr double kClassEFreqHz = 900e6;
+
+/// External load the PA drives.
+inline constexpr double kClassELoadOhm = 50.0;
+
+/// Search box for the 12 design variables (order documented above; pF/nH/mm
+/// scaled units exactly as listed).
+opt::Bounds classe_bounds();
+
+/// Evaluates a design point. Never throws for in-box designs.
+ClassEPerformance evaluate_classe(const Vec& x);
+
+/// The FOM alone, as an opt::Objective-compatible callable.
+double classe_fom(const Vec& x);
+
+}  // namespace easybo::circuit

@@ -1,0 +1,66 @@
+#pragma once
+/// \file classe_transient.h
+/// \brief Time-domain (transient) simulation of the class-E power stage.
+///
+/// The paper evaluates its class-E PA with HSPICE transient analysis; the
+/// fast benchmark objective in classe.h is an analytic steady-state model.
+/// This module provides the missing middle: an actual switched-circuit
+/// transient simulator for the class-E power stage, used to validate the
+/// analytic model (see bench/ablation_transient) and available as a
+/// drop-in, more expensive objective.
+///
+/// Topology simulated (the canonical class-E stage):
+///
+///   Vdd --- Lc (choke) ---+--- switch (Ron / off) --- gnd
+///                         |
+///                         +--- C1 (shunt) --- gnd
+///                         |
+///                         +--- L0 --- C0 ---+--- R (loaded) --- gnd
+///
+/// Four state variables: choke current i_Lc, shunt voltage v_C1, resonator
+/// current i_L0 and resonator voltage v_C0. Within each switch phase the
+/// network is linear (dx/dt = A_phase x + c_phase), so each fixed step is
+/// advanced with the trapezoidal rule whose per-phase update matrices are
+/// precomputed — A-stable, which matters because the on-phase time constant
+/// Ron*C1 can be far below the step size. The simulation runs until the
+/// cycle-to-cycle state change falls below a tolerance (periodic steady
+/// state), then one more cycle is integrated to measure powers.
+
+#include <cstddef>
+
+namespace easybo::circuit {
+
+/// Electrical parameters of the transient run (SI units).
+struct ClassETransientParams {
+  double vdd = 2.5;        ///< supply voltage [V]
+  double ron = 0.3;        ///< switch on-resistance [ohm]
+  double lc = 50e-9;       ///< DC-feed choke [H]
+  double c1 = 30e-12;      ///< total shunt capacitance (incl. Coss) [F]
+  double l0 = 2e-9;        ///< series resonator inductance [H]
+  double c0 = 40e-12;      ///< series resonator capacitance [F]
+  double r_load = 1.5;     ///< loaded resistance seen by the resonator [ohm]
+  double freq = 900e6;     ///< switching frequency [Hz]
+  double duty = 0.5;       ///< switch on-fraction of the period
+  std::size_t steps_per_cycle = 512;  ///< trapezoidal resolution
+  std::size_t max_cycles = 200;       ///< steady-state search limit
+  double ss_tol = 1e-4;    ///< relative cycle-to-cycle tolerance
+};
+
+/// Measured quantities from the steady-state cycle.
+struct ClassETransientResult {
+  double p_out = 0.0;       ///< average power into r_load [W]
+  double p_dc = 0.0;        ///< average supply power Vdd * mean(i_Lc) [W]
+  double drain_eff = 0.0;   ///< p_out / p_dc (0 when p_dc ~ 0)
+  double v_switch_peak = 0.0;  ///< peak drain voltage [V]
+  double v_switch_at_on = 0.0; ///< |v_C1| at the turn-on instant [V]
+                               ///< (~0 when the ZVS condition is met)
+  std::size_t cycles_run = 0;  ///< cycles until steady state
+  bool converged = false;      ///< steady state reached within max_cycles
+};
+
+/// Runs the transient simulation to periodic steady state and measures the
+/// last cycle. Throws InvalidArgument on non-physical parameters.
+ClassETransientResult simulate_classe_transient(
+    const ClassETransientParams& params);
+
+}  // namespace easybo::circuit

@@ -1,0 +1,50 @@
+#include "circuit/mosfet.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace easybo::circuit {
+
+MosProcess MosProcess::nmos_180() {
+  MosProcess p;
+  p.kp = 170e-6;      // mu_n * Cox
+  p.vth = 0.45;
+  p.lambda0 = 0.08;   // lambda = 0.08/L(um) 1/V
+  p.cox = 8.5e-15;    // 8.5 fF/um^2
+  p.cov = 0.35e-15;   // 0.35 fF/um
+  p.cj = 0.8e-15;     // 0.8 fF/um
+  return p;
+}
+
+MosProcess MosProcess::pmos_180() {
+  MosProcess p;
+  p.kp = 60e-6;       // mu_p * Cox (holes ~3x slower)
+  p.vth = 0.45;
+  p.lambda0 = 0.10;
+  p.cox = 8.5e-15;
+  p.cov = 0.35e-15;
+  p.cj = 0.9e-15;
+  return p;
+}
+
+MosSmallSignal mos_small_signal(MosType type, double w_um, double l_um,
+                                double id) {
+  EASYBO_REQUIRE(w_um > 0.0 && l_um > 0.0, "MOSFET W and L must be positive");
+  EASYBO_REQUIRE(id > 0.0, "drain current must be positive");
+  const MosProcess p =
+      (type == MosType::Nmos) ? MosProcess::nmos_180() : MosProcess::pmos_180();
+
+  MosSmallSignal ss;
+  const double w_over_l = w_um / l_um;
+  ss.gm = std::sqrt(2.0 * p.kp * w_over_l * id);
+  ss.vov = std::sqrt(2.0 * id / (p.kp * w_over_l));
+  ss.gds = (p.lambda0 / l_um) * id;
+  ss.ro = 1.0 / ss.gds;
+  ss.cgs = (2.0 / 3.0) * w_um * l_um * p.cox + w_um * p.cov;
+  ss.cgd = w_um * p.cov;
+  ss.cdb = w_um * p.cj;
+  return ss;
+}
+
+}  // namespace easybo::circuit

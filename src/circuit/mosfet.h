@@ -1,0 +1,58 @@
+#pragma once
+/// \file mosfet.h
+/// \brief Square-law MOSFET model with 180 nm-flavored parameters.
+///
+/// The op-amp benchmark linearizes its transistors around a DC operating
+/// point; this model supplies the small-signal parameters (gm, gds/ro and
+/// the device capacitances) from W, L and the bias drain current, using the
+/// long-channel square-law equations with a 1/L channel-length-modulation
+/// term. It replaces the BSIM models an HSPICE PDK would provide — accurate
+/// enough to create the gain/bandwidth/stability couplings the optimizer
+/// has to navigate, which is the property the reproduction needs.
+
+#include <cstddef>
+
+namespace easybo::circuit {
+
+/// Device polarity.
+enum class MosType { Nmos, Pmos };
+
+/// Process constants (per polarity). Values are representative of a generic
+/// 0.18 um CMOS node.
+struct MosProcess {
+  double kp;        ///< transconductance parameter mu*Cox [A/V^2]
+  double vth;       ///< threshold voltage magnitude [V]
+  double lambda0;   ///< channel-length modulation coefficient [um/V]
+  double cox;       ///< gate oxide capacitance [F/um^2]
+  double cov;       ///< overlap capacitance per width [F/um]
+  double cj;        ///< junction capacitance per width [F/um]
+
+  static MosProcess nmos_180();
+  static MosProcess pmos_180();
+};
+
+/// Small-signal parameters at a DC operating point.
+struct MosSmallSignal {
+  double gm = 0.0;    ///< transconductance [S]
+  double gds = 0.0;   ///< output conductance [S]
+  double ro = 0.0;    ///< output resistance [ohm]
+  double vov = 0.0;   ///< overdrive voltage [V]
+  double cgs = 0.0;   ///< gate-source capacitance [F]
+  double cgd = 0.0;   ///< gate-drain (overlap) capacitance [F]
+  double cdb = 0.0;   ///< drain-bulk junction capacitance [F]
+};
+
+/// Evaluates the square-law small-signal model in saturation.
+///
+/// \param type  device polarity (selects the process constants)
+/// \param w_um  channel width in micrometers, > 0
+/// \param l_um  channel length in micrometers, > 0
+/// \param id    DC drain current magnitude in amps, > 0
+///
+/// gm  = sqrt(2 kp (W/L) Id)
+/// gds = (lambda0 / L) * Id        (stronger modulation for short channels)
+/// Cgs = (2/3) W L Cox + W Cov,  Cgd = W Cov,  Cdb = W Cj
+MosSmallSignal mos_small_signal(MosType type, double w_um, double l_um,
+                                double id);
+
+}  // namespace easybo::circuit

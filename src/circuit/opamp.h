@@ -1,0 +1,64 @@
+#pragma once
+/// \file opamp.h
+/// \brief Two-stage Miller-compensated operational amplifier benchmark
+/// (paper §IV-A, 10 design variables).
+///
+/// The paper sizes an op-amp in a 180 nm process with HSPICE and maximizes
+///     FOM = 1.2 * GAIN + 10 * UGF + 1.6 * PM            (Eq. 10)
+/// Our substitute builds the textbook two-stage Miller op-amp small-signal
+/// equivalent — differential pair, current-mirror load, common-source
+/// second stage, Miller capacitor with nulling resistor, capacitive load —
+/// from the square-law device model (mosfet.h), then runs an AC sweep on
+/// the MNA simulator (src/spice) and measures GAIN (dB), UGF and PM exactly
+/// as an HSPICE .measure block would. Units in the FOM: GAIN in dB, UGF in
+/// GHz, PM in degrees (the paper does not state its metric units; these
+/// make the three terms genuinely compete, giving an interior optimum that
+/// couples gm1/Cc, gm6/CL and the nulling resistor).
+///
+/// Design variables (all lengths in um, currents in A, caps in F, R in ohm):
+///   x[0] w12    diff-pair width            [2, 100]
+///   x[1] l12    diff-pair length           [0.18, 2]
+///   x[2] w34    mirror-load width          [2, 100]
+///   x[3] l34    mirror-load length         [0.18, 2]
+///   x[4] w6     2nd-stage driver width     [5, 300]
+///   x[5] l6     2nd-stage driver length    [0.18, 2]
+///   x[6] itail  tail current               [10u, 500u]
+///   x[7] i2     2nd-stage current          [50u, 2m]
+///   x[8] cc     Miller capacitor           [0.2p, 5p]
+///   x[9] rz     nulling resistor           [10, 10k]
+
+#include "linalg/vec.h"
+#include "opt/objective.h"
+
+namespace easybo::circuit {
+
+using linalg::Vec;
+
+/// Measured performance of one op-amp design point.
+struct OpAmpPerformance {
+  double gain_db = 0.0;
+  double ugf_hz = 0.0;
+  double pm_deg = 0.0;
+  bool stable = false;   ///< true when a unity-gain crossing exists
+  double fom = 0.0;      ///< Eq. 10 with the unit conventions above
+};
+
+/// Number of design variables.
+inline constexpr std::size_t kOpAmpDim = 10;
+
+/// Search box for the 10 design variables (order documented above).
+opt::Bounds opamp_bounds();
+
+/// Full small-signal evaluation of a design point (AC sweep + measure).
+/// Requires x inside (or on) the bounds; never throws for in-box designs —
+/// unusable designs (no unity-gain crossing) return a strongly negative FOM
+/// so optimization loops keep running.
+OpAmpPerformance evaluate_opamp(const Vec& x);
+
+/// The FOM alone, as an opt::Objective-compatible callable.
+double opamp_fom(const Vec& x);
+
+/// Load capacitance the amplifier drives (fixed, not a design variable).
+inline constexpr double kOpAmpLoadCap = 3e-12;
+
+}  // namespace easybo::circuit

@@ -1,0 +1,78 @@
+#include "circuit/sim_time_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace easybo::circuit {
+
+namespace {
+
+std::uint64_t hash_bits(const Vec& x, std::uint64_t salt) {
+  std::uint64_t state = salt ^ 0x9E3779B97F4A7C15ull;
+  for (double v : x) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    state ^= bits;
+    (void)splitmix64(state);
+  }
+  return splitmix64(state);
+}
+
+}  // namespace
+
+double hash_normal(const Vec& x, std::uint64_t salt) {
+  std::uint64_t s = hash_bits(x, salt);
+  const double u1 =
+      (static_cast<double>(splitmix64(s) >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+SimTimeModel::SimTimeModel(double base_seconds, double coord_span,
+                           double sigma, opt::Bounds bounds,
+                           std::uint64_t salt)
+    : base_(base_seconds),
+      span_(coord_span),
+      sigma_(sigma),
+      bounds_(std::move(bounds)),
+      salt_(salt) {
+  EASYBO_REQUIRE(base_ > 0.0, "SimTimeModel: base time must be positive");
+  EASYBO_REQUIRE(span_ >= 0.0 && span_ < 2.0,
+                 "SimTimeModel: coordinate span out of range");
+  EASYBO_REQUIRE(sigma_ >= 0.0, "SimTimeModel: sigma must be non-negative");
+  bounds_.validate();
+
+  // Fixed positive weights derived from the salt (so the systematic
+  // dependence is reproducible but not axis-aligned-trivial).
+  Rng rng(salt ^ 0xC0FFEEull);
+  weights_.resize(bounds_.dim());
+  double total = 0.0;
+  for (auto& w : weights_) {
+    w = 0.2 + rng.uniform();
+    total += w;
+  }
+  for (auto& w : weights_) w /= total;
+}
+
+double SimTimeModel::operator()(const Vec& x) const {
+  EASYBO_REQUIRE(x.size() == bounds_.dim(),
+                 "SimTimeModel: design point dimension mismatch");
+  double s = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double u = (x[j] - bounds_.lower[j]) /
+                     (bounds_.upper[j] - bounds_.lower[j]);
+    s += weights_[j] * std::clamp(u, 0.0, 1.0);
+  }
+  const double systematic = (1.0 - 0.5 * span_) + span_ * s;
+  const double jitter = std::exp(sigma_ * hash_normal(x, salt_));
+  return base_ * systematic * jitter;
+}
+
+}  // namespace easybo::circuit

@@ -1,0 +1,15 @@
+#include "common/error.h"
+
+#include <sstream>
+
+namespace easybo::detail {
+
+void throw_invalid_argument(const char* cond, const char* file, int line,
+                            const std::string& msg) {
+  std::ostringstream oss;
+  oss << "precondition failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " — " << msg;
+  throw InvalidArgument(oss.str());
+}
+
+}  // namespace easybo::detail

@@ -1,0 +1,50 @@
+#pragma once
+/// \file error.h
+/// \brief Exception types and precondition-checking helpers used across EasyBO.
+
+#include <stdexcept>
+#include <string>
+
+namespace easybo {
+
+/// Base exception for all errors raised by the EasyBO library.
+///
+/// Thrown for programming errors (dimension mismatch, invalid configuration,
+/// numerically impossible requests). Simulator-level "this design point is
+/// non-physical" conditions are NOT exceptions; they are reported as large
+/// negative figures of merit so that optimization loops never unwind.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a matrix factorization fails (e.g. Cholesky of a matrix that
+/// is not positive definite even after the maximum jitter was added).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_invalid_argument(const char* cond, const char* file,
+                                         int line, const std::string& msg);
+}  // namespace detail
+
+/// Precondition check: throws easybo::InvalidArgument with location info when
+/// \p cond is false. Always active (not compiled out in release builds) —
+/// these guard the public API surface, not inner loops.
+#define EASYBO_REQUIRE(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::easybo::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, \
+                                               (msg));                  \
+    }                                                                   \
+  } while (false)
+
+}  // namespace easybo

@@ -1,0 +1,76 @@
+#pragma once
+/// \file sampling.h
+/// \brief Space-filling designs: Latin hypercube and Sobol sequences.
+///
+/// Bayesian optimization needs an initial design that covers the search box
+/// (the paper samples 20 random initial points); acquisition maximization
+/// needs dense low-discrepancy screening candidates. Both live here and
+/// produce points in the unit hypercube [0,1)^d; callers scale to bounds.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace easybo {
+
+/// A set of n points in [0,1)^d, row-major: points[i*dim + j].
+struct UnitSample {
+  std::size_t n = 0;
+  std::size_t dim = 0;
+  std::vector<double> points;
+
+  /// Value of coordinate j of point i.
+  double at(std::size_t i, std::size_t j) const { return points[i * dim + j]; }
+
+  /// Copy of point i as a vector of length dim.
+  std::vector<double> row(std::size_t i) const;
+};
+
+/// Pure iid uniform sampling (the paper's "randomly sample 20 initial data
+/// points").
+UnitSample random_design(std::size_t n, std::size_t dim, Rng& rng);
+
+/// Latin hypercube design: each of the d one-dimensional projections is
+/// stratified into n equal bins with exactly one point per bin, at a uniform
+/// random location inside its bin.
+UnitSample latin_hypercube(std::size_t n, std::size_t dim, Rng& rng);
+
+/// Maximin-improved Latin hypercube: builds `restarts` independent LHS
+/// designs and returns the one with the largest minimum pairwise distance.
+UnitSample maximin_latin_hypercube(std::size_t n, std::size_t dim, Rng& rng,
+                                   std::size_t restarts = 8);
+
+/// Gray-code Sobol sequence generator supporting up to kMaxDim dimensions
+/// (direction numbers from the Joe–Kuo D6 table). Skips the all-zeros first
+/// point by default, which otherwise degrades GP conditioning at the corner.
+class SobolSequence {
+ public:
+  static constexpr std::size_t kMaxDim = 21;
+
+  /// \param dim   number of dimensions, 1..kMaxDim.
+  /// \param skip  number of initial points to discard (default 1: the origin).
+  explicit SobolSequence(std::size_t dim, std::uint32_t skip = 1);
+
+  std::size_t dim() const { return dim_; }
+
+  /// Next point of the sequence, length dim, each coordinate in [0,1).
+  std::vector<double> next();
+
+  /// Convenience: the next n points as a UnitSample.
+  UnitSample take(std::size_t n);
+
+ private:
+  std::size_t dim_;
+  std::uint32_t index_ = 0;  // zero-based index of the NEXT point
+  // direction numbers v_[j][k], scaled by 2^-32 on output
+  std::vector<std::vector<std::uint32_t>> v_;
+  std::vector<std::uint32_t> x_;  // current Gray-code state per dimension
+};
+
+/// Scales a unit-cube point into a box: out[j] = lo[j] + u[j]*(hi[j]-lo[j]).
+std::vector<double> scale_to_box(const std::vector<double>& unit,
+                                 const std::vector<double>& lower,
+                                 const std::vector<double>& upper);
+
+}  // namespace easybo

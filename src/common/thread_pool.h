@@ -1,0 +1,68 @@
+#pragma once
+/// \file thread_pool.h
+/// \brief Fixed-size worker pool used by the real-threads execution mode.
+///
+/// The experiment harness normally runs on the virtual-time discrete-event
+/// scheduler (src/sched), but the public API also offers genuine parallel
+/// evaluation of expensive objectives; this pool backs that mode.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace easybo {
+
+/// A plain fixed-size thread pool with a FIFO task queue.
+///
+/// Tasks must not throw out of the packaged callable's future unless the
+/// caller retrieves it; exceptions propagate through the returned future.
+class ThreadPool {
+ public:
+  /// Spawns \p num_threads workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains remaining tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a nullary callable; the result (or exception) is delivered via
+  /// the returned future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until the queue is empty and all in-flight tasks finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace easybo

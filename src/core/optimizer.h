@@ -1,0 +1,51 @@
+#pragma once
+/// \file optimizer.h
+/// \brief The EasyBO public optimizer facade.
+///
+/// Quickstart:
+///   easybo::Problem problem{"my-circuit", bounds, fom, sim_time};
+///   easybo::bo::BoConfig config;           // defaults = EasyBO, async, B=5
+///   config.max_sims = 150;
+///   easybo::Optimizer opt(problem, config);
+///   auto result = opt.optimize();           // virtual-time execution
+///   // result.best_x / result.best_y / result.evals / result.makespan
+///
+/// For genuinely parallel evaluation of an expensive objective on this
+/// machine, use optimize_parallel(threads): the same asynchronous EasyBO
+/// algorithm drives a real std::thread pool and wall-clock times are
+/// measured with a monotonic clock.
+
+#include "bo/engine.h"
+#include "core/problem.h"
+
+namespace easybo {
+
+using bo::BoConfig;
+using bo::BoResult;
+
+/// Facade tying a Problem to a BoConfig.
+class Optimizer {
+ public:
+  /// Validates both arguments eagerly.
+  Optimizer(Problem problem, BoConfig config);
+
+  const Problem& problem() const { return problem_; }
+  const BoConfig& config() const { return config_; }
+
+  /// Runs the configured algorithm on the virtual-time scheduler
+  /// (deterministic; reproduces the paper's experiment regime).
+  BoResult optimize() const;
+
+  /// Runs asynchronous EasyBO with real threads: `threads` workers
+  /// evaluate the objective concurrently and a new proposal is issued the
+  /// moment any worker finishes. Requires config().mode == AsyncBatch;
+  /// config().batch is ignored in favor of `threads`. Times in the result
+  /// are real seconds since the run started.
+  BoResult optimize_parallel(std::size_t threads) const;
+
+ private:
+  Problem problem_;
+  BoConfig config_;
+};
+
+}  // namespace easybo

@@ -1,0 +1,35 @@
+#include "core/problem.h"
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace easybo {
+
+void Problem::validate() const {
+  bounds.validate();
+  EASYBO_REQUIRE(static_cast<bool>(objective), "Problem: null objective");
+}
+
+opt::Objective make_weighted_fom(std::vector<opt::Objective> metrics,
+                                 std::vector<double> weights) {
+  EASYBO_REQUIRE(!metrics.empty(), "weighted FOM needs at least one metric");
+  EASYBO_REQUIRE(metrics.size() == weights.size(),
+                 "weighted FOM: one weight per metric");
+  for (const auto& m : metrics) {
+    EASYBO_REQUIRE(static_cast<bool>(m), "weighted FOM: null metric");
+  }
+  // Shared state so the returned callable is cheaply copyable.
+  auto shared = std::make_shared<
+      std::pair<std::vector<opt::Objective>, std::vector<double>>>(
+      std::move(metrics), std::move(weights));
+  return [shared](const linalg::Vec& x) {
+    double fom = 0.0;
+    for (std::size_t i = 0; i < shared->first.size(); ++i) {
+      fom += shared->second[i] * shared->first[i](x);
+    }
+    return fom;
+  };
+}
+
+}  // namespace easybo

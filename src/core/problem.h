@@ -1,0 +1,35 @@
+#pragma once
+/// \file problem.h
+/// \brief Public problem description for the EasyBO optimizer facade.
+
+#include <functional>
+#include <string>
+
+#include "opt/objective.h"
+
+namespace easybo {
+
+/// A black-box maximization problem over a rectangular design space.
+///
+/// This is how a user hands their circuit (or any expensive function) to
+/// the optimizer: a FOM callable (paper Eq. 1 — fold your metric weights in
+/// yourself, or use make_weighted_fom) and bounds. The optional sim_time
+/// hook tells the virtual-time scheduler how long each evaluation takes;
+/// leave it null for real-threads execution or pure sample-efficiency
+/// studies (all evaluations then cost 1 virtual second).
+struct Problem {
+  std::string name;
+  opt::Bounds bounds;
+  opt::Objective objective;  ///< maximize
+  std::function<double(const linalg::Vec&)> sim_time;  ///< optional
+
+  /// Throws InvalidArgument when bounds/objective are unusable.
+  void validate() const;
+};
+
+/// Builds a weighted-sum FOM (paper Eq. 1): sum_i alpha_i * f_i(x).
+/// Metrics and weights must have equal, non-zero size.
+opt::Objective make_weighted_fom(std::vector<opt::Objective> metrics,
+                                 std::vector<double> weights);
+
+}  // namespace easybo

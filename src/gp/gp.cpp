@@ -1,0 +1,183 @@
+#include "gp/gp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace easybo::gp {
+
+double Prediction::stddev() const { return std::sqrt(std::max(var, 0.0)); }
+
+GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, double noise_variance)
+    : kernel_(std::move(kernel)), noise_var_(noise_variance) {
+  EASYBO_REQUIRE(kernel_ != nullptr, "GpRegressor needs a kernel");
+  EASYBO_REQUIRE(noise_var_ > 0.0, "noise variance must be positive");
+}
+
+GpRegressor::GpRegressor(const GpRegressor& other)
+    : kernel_(other.kernel_->clone()),
+      noise_var_(other.noise_var_),
+      xs_(other.xs_),
+      ys_(other.ys_),
+      chol_(other.chol_),
+      alpha_(other.alpha_),
+      y_mean_(other.y_mean_),
+      fitted_params_(other.fitted_params_) {}
+
+GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
+  if (this == &other) return *this;
+  kernel_ = other.kernel_->clone();
+  noise_var_ = other.noise_var_;
+  xs_ = other.xs_;
+  ys_ = other.ys_;
+  chol_ = other.chol_;
+  alpha_ = other.alpha_;
+  y_mean_ = other.y_mean_;
+  fitted_params_ = other.fitted_params_;
+  return *this;
+}
+
+void GpRegressor::set_data(std::vector<Vec> xs, Vec ys) {
+  EASYBO_REQUIRE(xs.size() == ys.size(),
+                 "GpRegressor::set_data: |X| must equal |y|");
+  for (const auto& x : xs) {
+    EASYBO_REQUIRE(x.size() == dim(), "GpRegressor: input dim mismatch");
+  }
+  // Keep the factor when the new inputs are the old ones plus appended
+  // points (the common BO case); fit() then extends incrementally.
+  const bool appended =
+      chol_.has_value() && xs.size() >= xs_.size() &&
+      std::equal(xs_.begin(), xs_.end(), xs.begin());
+  xs_ = std::move(xs);
+  ys_ = std::move(ys);
+  if (!appended) chol_.reset();
+}
+
+void GpRegressor::add_point(Vec x, double y) {
+  EASYBO_REQUIRE(x.size() == dim(), "GpRegressor: input dim mismatch");
+  xs_.push_back(std::move(x));
+  ys_.push_back(y);
+  // The factor (if any) still covers the first n-1 points; fit() extends.
+}
+
+void GpRegressor::fit() {
+  EASYBO_REQUIRE(!xs_.empty(), "GpRegressor::fit: no training data");
+  y_mean_ = 0.0;
+  for (double y : ys_) y_mean_ += y;
+  y_mean_ /= static_cast<double>(ys_.size());
+
+  // Incremental fast path: extend the existing factor row by row while the
+  // hyperparameters are unchanged and only appended points are missing.
+  bool extended = chol_.has_value() && chol_->size() <= xs_.size() &&
+                  chol_->size() > 0 && log_hyperparams() == fitted_params_;
+  if (extended) {
+    while (chol_->size() < xs_.size()) {
+      const std::size_t n = chol_->size();
+      const Vec& x_new = xs_[n];
+      Vec column(n + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        column[i] = (*kernel_)(x_new, xs_[i]);
+      }
+      column[n] = (*kernel_)(x_new, x_new) + noise_var_;
+      if (!chol_->extend(column)) {
+        extended = false;  // lost positive definiteness: full refactor
+        break;
+      }
+    }
+  }
+  if (!extended || chol_->size() != xs_.size()) {
+    Matrix k = kernel_->gram(xs_);
+    k.add_diagonal(noise_var_);
+    chol_.emplace(k);
+    fitted_params_ = log_hyperparams();
+  }
+
+  Vec centered(ys_.size());
+  for (std::size_t i = 0; i < ys_.size(); ++i) centered[i] = ys_[i] - y_mean_;
+  alpha_ = chol_->solve(centered);
+}
+
+Prediction GpRegressor::predict(const Vec& x) const {
+  EASYBO_REQUIRE(fitted(), "GpRegressor::predict before fit()");
+  EASYBO_REQUIRE(x.size() == dim(), "GpRegressor::predict dim mismatch");
+  const Vec kstar = kernel_->cross(x, xs_);
+  const double mean = y_mean_ + linalg::dot(kstar, alpha_);
+  // var = k(x,x) - ||L^{-1} k*||^2, clamped: round-off can push it below 0
+  // when x coincides with a training point.
+  const Vec z = chol_->solve_lower(kstar);
+  const double var = (*kernel_)(x, x) - linalg::dot(z, z);
+  return {mean, std::max(var, 0.0)};
+}
+
+double GpRegressor::predict_observation_var(const Vec& x) const {
+  return predict(x).var + noise_var_;
+}
+
+double GpRegressor::log_marginal_likelihood() const {
+  EASYBO_REQUIRE(fitted(), "log_marginal_likelihood before fit()");
+  const auto n = static_cast<double>(xs_.size());
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < ys_.size(); ++i) {
+    fit_term += (ys_[i] - y_mean_) * alpha_[i];
+  }
+  return -0.5 * fit_term - 0.5 * chol_->log_det() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+Vec GpRegressor::lml_gradient() const {
+  EASYBO_REQUIRE(fitted(), "lml_gradient before fit()");
+  const std::size_t n = xs_.size();
+  // W = alpha alpha^T - K^{-1}; dLML/dtheta = 0.5 tr(W dK/dtheta).
+  const Matrix kinv = chol_->inverse();
+  Matrix w(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      w(i, j) = alpha_[i] * alpha_[j] - kinv(i, j);
+    }
+  }
+  const auto dks = kernel_->gram_gradients(xs_);
+  Vec grad(kernel_->num_params() + 1, 0.0);
+  for (std::size_t p = 0; p < dks.size(); ++p) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) acc += w(i, j) * dks[p](i, j);
+    }
+    grad[p] = 0.5 * acc;
+  }
+  // Noise term: dK/dlog sn^2 = sn^2 I.
+  double tr_w = 0.0;
+  for (std::size_t i = 0; i < n; ++i) tr_w += w(i, i);
+  grad.back() = 0.5 * noise_var_ * tr_w;
+  return grad;
+}
+
+Vec GpRegressor::log_hyperparams() const {
+  Vec lp = kernel_->log_params();
+  lp.push_back(std::log(noise_var_));
+  return lp;
+}
+
+void GpRegressor::set_log_hyperparams(const Vec& lp) {
+  EASYBO_REQUIRE(lp.size() == kernel_->num_params() + 1,
+                 "set_log_hyperparams: wrong parameter count");
+  Vec kernel_lp(lp.begin(), lp.end() - 1);
+  kernel_->set_log_params(kernel_lp);
+  noise_var_ = std::exp(lp.back());
+  chol_.reset();
+}
+
+GpRegressor GpRegressor::with_hallucinated(
+    const std::vector<Vec>& pending) const {
+  EASYBO_REQUIRE(fitted(), "with_hallucinated requires a fitted model");
+  GpRegressor augmented(*this);
+  for (const auto& x : pending) {
+    const double mu = predict(x).mean;
+    augmented.add_point(x, mu);
+  }
+  augmented.fit();
+  return augmented;
+}
+
+}  // namespace easybo::gp

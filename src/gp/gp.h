@@ -1,0 +1,122 @@
+#pragma once
+/// \file gp.h
+/// \brief Gaussian process regression (paper §II-B, Eq. 2).
+///
+/// The regressor implements the standard zero/constant-mean GP posterior
+///   mu(x*)     = m + k(x*, X) K^{-1} (y - m)
+///   sigma2(x*) = k(x*, x*) - k(x*, X) K^{-1} k(X, x*)
+/// with K = k(X, X) + sn^2 I, via a jittered Cholesky factorization.
+///
+/// It also provides the hallucinated posterior used by EasyBO's
+/// penalization scheme (paper §III-C): pending query points are appended to
+/// the training set with their current predictive mean as pseudo
+/// observations; the shrunken predictive deviation of the augmented model is
+/// what Eq. 9 calls sigma-hat.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gp/kernel.h"
+#include "linalg/cholesky.h"
+
+namespace easybo::gp {
+
+/// Posterior moments at a test point.
+struct Prediction {
+  double mean = 0.0;
+  double var = 0.0;  ///< latent variance, >= 0
+
+  double stddev() const;
+};
+
+/// Exact GP regressor with owned kernel and Gaussian observation noise.
+///
+/// Usage: construct with a kernel, set_data(), fit(), then predict().
+/// Hyperparameters (kernel log-params + log noise variance) can be read and
+/// written as one flat vector for maximum-likelihood training (see
+/// gp/trainer.h). The model uses an empirical constant mean (the sample mean
+/// of y) so callers need not pre-center observations.
+class GpRegressor {
+ public:
+  /// \param kernel          covariance function (ownership transferred)
+  /// \param noise_variance  sn^2, must be positive
+  explicit GpRegressor(std::unique_ptr<Kernel> kernel,
+                       double noise_variance = 1e-6);
+
+  GpRegressor(const GpRegressor& other);
+  GpRegressor& operator=(const GpRegressor& other);
+  GpRegressor(GpRegressor&&) noexcept = default;
+  GpRegressor& operator=(GpRegressor&&) noexcept = default;
+
+  /// Replaces the training set. Invalidates any previous fit.
+  void set_data(std::vector<Vec> xs, Vec ys);
+
+  /// Appends one observation. Invalidates any previous fit.
+  void add_point(Vec x, double y);
+
+  /// Factorizes the covariance matrix with the current hyperparameters.
+  /// Must be called after data or hyperparameter changes, before predict().
+  ///
+  /// Incremental fast path: when points were only APPENDED since the last
+  /// fit and the hyperparameters are unchanged, the existing Cholesky
+  /// factor is extended one row at a time (O(n^2) per point instead of the
+  /// O(n^3) refactorization) — this is what keeps the asynchronous loop's
+  /// per-observation model refresh and the hallucinated batch posteriors
+  /// cheap. Falls back to the full factorization automatically when the
+  /// extension would lose positive definiteness.
+  void fit();
+
+  bool fitted() const {
+    return chol_.has_value() && chol_->size() == xs_.size() &&
+           alpha_.size() == xs_.size();
+  }
+  std::size_t num_points() const { return xs_.size(); }
+  std::size_t dim() const { return kernel_->dim(); }
+  const std::vector<Vec>& inputs() const { return xs_; }
+  const Vec& targets() const { return ys_; }
+  const Kernel& kernel() const { return *kernel_; }
+
+  /// Posterior mean and latent variance at x (Eq. 2). Requires fitted().
+  Prediction predict(const Vec& x) const;
+
+  /// Variance including observation noise (for posterior sampling of y).
+  double predict_observation_var(const Vec& x) const;
+
+  /// Log marginal likelihood of the training data under the current
+  /// hyperparameters. Requires fitted().
+  double log_marginal_likelihood() const;
+
+  /// Gradient of the log marginal likelihood w.r.t. the flat log
+  /// hyperparameter vector [kernel params..., log sn^2]. Requires fitted().
+  /// O(n^3) — used only during hyperparameter training.
+  Vec lml_gradient() const;
+
+  /// Flat hyperparameters: kernel log-params followed by log noise variance.
+  Vec log_hyperparams() const;
+
+  /// Sets the flat hyperparameters. Invalidates any previous fit.
+  void set_log_hyperparams(const Vec& lp);
+
+  double noise_variance() const { return noise_var_; }
+
+  /// Hallucinated model for batch penalization: returns a copy whose
+  /// training set is D ∪ {pending, mu(pending)} (pseudo observations at the
+  /// current predictive mean), already fitted. Hyperparameters are copied,
+  /// NOT re-optimized (paper §III-C / Algorithm 1 line 6).
+  GpRegressor with_hallucinated(const std::vector<Vec>& pending) const;
+
+ private:
+  std::unique_ptr<Kernel> kernel_;
+  double noise_var_;
+  std::vector<Vec> xs_;
+  Vec ys_;
+
+  // Fit state.
+  std::optional<linalg::Cholesky> chol_;
+  Vec alpha_;       // K^{-1} (y - mean)
+  double y_mean_ = 0.0;
+  Vec fitted_params_;  // hyperparameters the factor was built with
+};
+
+}  // namespace easybo::gp

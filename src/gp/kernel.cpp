@@ -1,0 +1,188 @@
+#include "gp/kernel.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace easybo::gp {
+
+Matrix Kernel::gram(const std::vector<Vec>& xs) const {
+  const std::size_t n = xs.size();
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = (*this)(xs[i], xs[j]);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+  return k;
+}
+
+Vec Kernel::cross(const Vec& x, const std::vector<Vec>& xs) const {
+  Vec out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (*this)(x, xs[i]);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SquaredExponentialArd
+// ---------------------------------------------------------------------------
+
+SquaredExponentialArd::SquaredExponentialArd(std::size_t dim)
+    : sf2_(1.0), lengthscales_(dim, 1.0) {
+  EASYBO_REQUIRE(dim > 0, "kernel dimension must be positive");
+}
+
+SquaredExponentialArd::SquaredExponentialArd(double sf2, Vec lengthscales)
+    : sf2_(sf2), lengthscales_(std::move(lengthscales)) {
+  EASYBO_REQUIRE(sf2_ > 0.0, "signal variance must be positive");
+  EASYBO_REQUIRE(!lengthscales_.empty(), "need at least one lengthscale");
+  for (double l : lengthscales_) {
+    EASYBO_REQUIRE(l > 0.0, "lengthscales must be positive");
+  }
+}
+
+Vec SquaredExponentialArd::log_params() const {
+  Vec lp(num_params());
+  lp[0] = std::log(sf2_);
+  for (std::size_t i = 0; i < dim(); ++i) lp[i + 1] = std::log(lengthscales_[i]);
+  return lp;
+}
+
+void SquaredExponentialArd::set_log_params(const Vec& lp) {
+  EASYBO_REQUIRE(lp.size() == num_params(), "wrong hyperparameter count");
+  sf2_ = std::exp(lp[0]);
+  for (std::size_t i = 0; i < dim(); ++i) lengthscales_[i] = std::exp(lp[i + 1]);
+}
+
+double SquaredExponentialArd::operator()(const Vec& a, const Vec& b) const {
+  EASYBO_REQUIRE(a.size() == dim() && b.size() == dim(),
+                 "kernel input dimension mismatch");
+  double q = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales_[i];
+    q += d * d;
+  }
+  return sf2_ * std::exp(-0.5 * q);
+}
+
+std::vector<Matrix> SquaredExponentialArd::gram_gradients(
+    const std::vector<Vec>& xs) const {
+  const std::size_t n = xs.size();
+  const std::size_t d = dim();
+  std::vector<Matrix> grads(num_params(), Matrix(n, n));
+  // dK/dlog sf2 = K; dK/dlog l_i = K .* (delta_i / l_i)^2.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double kij = (*this)(xs[i], xs[j]);
+      grads[0](i, j) = kij;
+      grads[0](j, i) = kij;
+      for (std::size_t p = 0; p < d; ++p) {
+        const double z = (xs[i][p] - xs[j][p]) / lengthscales_[p];
+        const double g = kij * z * z;
+        grads[p + 1](i, j) = g;
+        grads[p + 1](j, i) = g;
+      }
+    }
+  }
+  return grads;
+}
+
+std::unique_ptr<Kernel> SquaredExponentialArd::clone() const {
+  return std::make_unique<SquaredExponentialArd>(*this);
+}
+
+// ---------------------------------------------------------------------------
+// Matern52Ard
+// ---------------------------------------------------------------------------
+
+Matern52Ard::Matern52Ard(std::size_t dim)
+    : sf2_(1.0), lengthscales_(dim, 1.0) {
+  EASYBO_REQUIRE(dim > 0, "kernel dimension must be positive");
+}
+
+Matern52Ard::Matern52Ard(double sf2, Vec lengthscales)
+    : sf2_(sf2), lengthscales_(std::move(lengthscales)) {
+  EASYBO_REQUIRE(sf2_ > 0.0, "signal variance must be positive");
+  EASYBO_REQUIRE(!lengthscales_.empty(), "need at least one lengthscale");
+  for (double l : lengthscales_) {
+    EASYBO_REQUIRE(l > 0.0, "lengthscales must be positive");
+  }
+}
+
+Vec Matern52Ard::log_params() const {
+  Vec lp(num_params());
+  lp[0] = std::log(sf2_);
+  for (std::size_t i = 0; i < dim(); ++i) lp[i + 1] = std::log(lengthscales_[i]);
+  return lp;
+}
+
+void Matern52Ard::set_log_params(const Vec& lp) {
+  EASYBO_REQUIRE(lp.size() == num_params(), "wrong hyperparameter count");
+  sf2_ = std::exp(lp[0]);
+  for (std::size_t i = 0; i < dim(); ++i) lengthscales_[i] = std::exp(lp[i + 1]);
+}
+
+namespace {
+constexpr double kSqrt5 = 2.23606797749978969;
+}
+
+double Matern52Ard::operator()(const Vec& a, const Vec& b) const {
+  EASYBO_REQUIRE(a.size() == dim() && b.size() == dim(),
+                 "kernel input dimension mismatch");
+  double r2 = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales_[i];
+    r2 += d * d;
+  }
+  const double r = std::sqrt(r2);
+  return sf2_ * (1.0 + kSqrt5 * r + (5.0 / 3.0) * r2) * std::exp(-kSqrt5 * r);
+}
+
+std::vector<Matrix> Matern52Ard::gram_gradients(
+    const std::vector<Vec>& xs) const {
+  const std::size_t n = xs.size();
+  const std::size_t d = dim();
+  std::vector<Matrix> grads(num_params(), Matrix(n, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double r2 = 0.0;
+      for (std::size_t p = 0; p < d; ++p) {
+        const double z = (xs[i][p] - xs[j][p]) / lengthscales_[p];
+        r2 += z * z;
+      }
+      const double r = std::sqrt(r2);
+      const double e = std::exp(-kSqrt5 * r);
+      const double kij = sf2_ * (1.0 + kSqrt5 * r + (5.0 / 3.0) * r2) * e;
+      grads[0](i, j) = kij;
+      grads[0](j, i) = kij;
+      // dk/dlog l_p = sf2 * e * (5/3) * (1 + sqrt5 * r) * z_p^2
+      // (the apparent 1/r singularity cancels analytically).
+      const double common = sf2_ * e * (5.0 / 3.0) * (1.0 + kSqrt5 * r);
+      for (std::size_t p = 0; p < d; ++p) {
+        const double z = (xs[i][p] - xs[j][p]) / lengthscales_[p];
+        const double g = common * z * z;
+        grads[p + 1](i, j) = g;
+        grads[p + 1](j, i) = g;
+      }
+    }
+  }
+  return grads;
+}
+
+std::unique_ptr<Kernel> Matern52Ard::clone() const {
+  return std::make_unique<Matern52Ard>(*this);
+}
+
+std::unique_ptr<Kernel> make_kernel(const std::string& name, std::size_t dim) {
+  if (name == "se" || name == "SE" || name == "rbf") {
+    return std::make_unique<SquaredExponentialArd>(dim);
+  }
+  if (name == "matern52" || name == "matern") {
+    return std::make_unique<Matern52Ard>(dim);
+  }
+  throw InvalidArgument("unknown kernel name: " + name);
+}
+
+}  // namespace easybo::gp

@@ -1,0 +1,119 @@
+#pragma once
+/// \file kernel.h
+/// \brief Covariance kernels for Gaussian process regression.
+///
+/// The paper uses the squared-exponential ARD kernel (§II-B):
+///   k_SE(xi, xj) = sf^2 * exp(-1/2 (xi-xj)^T diag(l)^-2 (xi-xj)).
+/// A Matérn-5/2 ARD alternative is provided as an extension (selectable via
+/// easybo::Config::kernel).
+///
+/// Hyperparameters are exposed as a flat vector of LOG values
+/// [log sf^2, log l_1, ..., log l_d] so that unconstrained gradient-based
+/// maximum-likelihood training is straightforward; the observation noise
+/// log sn^2 lives in the regressor, not the kernel.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/vec.h"
+
+namespace easybo::gp {
+
+using linalg::Matrix;
+using linalg::Vec;
+
+/// Abstract stationary ARD kernel.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// Input dimensionality d.
+  virtual std::size_t dim() const = 0;
+
+  /// Number of hyperparameters (d + 1 for the ARD kernels here).
+  virtual std::size_t num_params() const = 0;
+
+  /// Current hyperparameters in log space.
+  virtual Vec log_params() const = 0;
+
+  /// Replaces hyperparameters (log space); size must equal num_params().
+  virtual void set_log_params(const Vec& lp) = 0;
+
+  /// k(a, b) for two points of dimension dim().
+  virtual double operator()(const Vec& a, const Vec& b) const = 0;
+
+  /// Gram matrix K(X, X) for rows of X (n x d).
+  virtual Matrix gram(const std::vector<Vec>& xs) const;
+
+  /// Cross-covariance vector k(x*, X).
+  virtual Vec cross(const Vec& x, const std::vector<Vec>& xs) const;
+
+  /// Partial derivatives of the Gram matrix w.r.t. each log-hyperparameter:
+  /// out[p](i, j) = d K_ij / d log_params[p]. Used by the LML gradient.
+  virtual std::vector<Matrix> gram_gradients(
+      const std::vector<Vec>& xs) const = 0;
+
+  /// Deep copy (regressors own their kernel).
+  virtual std::unique_ptr<Kernel> clone() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Squared-exponential (RBF) kernel with automatic relevance determination.
+class SquaredExponentialArd final : public Kernel {
+ public:
+  /// d-dimensional kernel with unit signal variance and lengthscales.
+  explicit SquaredExponentialArd(std::size_t dim);
+
+  /// Explicit hyperparameters: signal variance sf2 and per-dimension
+  /// lengthscales (both in linear space, must be positive).
+  SquaredExponentialArd(double sf2, Vec lengthscales);
+
+  std::size_t dim() const override { return lengthscales_.size(); }
+  std::size_t num_params() const override { return dim() + 1; }
+  Vec log_params() const override;
+  void set_log_params(const Vec& lp) override;
+  double operator()(const Vec& a, const Vec& b) const override;
+  std::vector<Matrix> gram_gradients(
+      const std::vector<Vec>& xs) const override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "SE-ARD"; }
+
+  double signal_variance() const { return sf2_; }
+  const Vec& lengthscales() const { return lengthscales_; }
+
+ private:
+  double sf2_ = 1.0;
+  Vec lengthscales_;
+};
+
+/// Matérn-5/2 kernel with ARD lengthscales (extension beyond the paper).
+class Matern52Ard final : public Kernel {
+ public:
+  explicit Matern52Ard(std::size_t dim);
+  Matern52Ard(double sf2, Vec lengthscales);
+
+  std::size_t dim() const override { return lengthscales_.size(); }
+  std::size_t num_params() const override { return dim() + 1; }
+  Vec log_params() const override;
+  void set_log_params(const Vec& lp) override;
+  double operator()(const Vec& a, const Vec& b) const override;
+  std::vector<Matrix> gram_gradients(
+      const std::vector<Vec>& xs) const override;
+  std::unique_ptr<Kernel> clone() const override;
+  std::string name() const override { return "Matern52-ARD"; }
+
+  double signal_variance() const { return sf2_; }
+  const Vec& lengthscales() const { return lengthscales_; }
+
+ private:
+  double sf2_ = 1.0;
+  Vec lengthscales_;
+};
+
+/// Factory by name ("se" | "matern52"), used by easybo::Config.
+std::unique_ptr<Kernel> make_kernel(const std::string& name, std::size_t dim);
+
+}  // namespace easybo::gp

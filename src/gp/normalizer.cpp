@@ -1,0 +1,59 @@
+#include "gp/normalizer.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace easybo::gp {
+
+BoxNormalizer::BoxNormalizer(Vec lower, Vec upper)
+    : lower_(std::move(lower)), upper_(std::move(upper)) {
+  EASYBO_REQUIRE(lower_.size() == upper_.size(),
+                 "BoxNormalizer: bound size mismatch");
+  EASYBO_REQUIRE(!lower_.empty(), "BoxNormalizer: empty bounds");
+  for (std::size_t i = 0; i < lower_.size(); ++i) {
+    EASYBO_REQUIRE(lower_[i] < upper_[i],
+                   "BoxNormalizer: requires lower < upper per dimension");
+  }
+}
+
+Vec BoxNormalizer::to_unit(const Vec& x) const {
+  EASYBO_REQUIRE(x.size() == dim(), "BoxNormalizer::to_unit dim mismatch");
+  Vec u(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    u[i] = (x[i] - lower_[i]) / (upper_[i] - lower_[i]);
+  }
+  return u;
+}
+
+Vec BoxNormalizer::from_unit(const Vec& u) const {
+  EASYBO_REQUIRE(u.size() == dim(), "BoxNormalizer::from_unit dim mismatch");
+  Vec x(dim());
+  for (std::size_t i = 0; i < dim(); ++i) {
+    x[i] = lower_[i] + u[i] * (upper_[i] - lower_[i]);
+  }
+  return x;
+}
+
+void ZScore::refit(const Vec& ys) {
+  if (ys.empty()) {
+    mean_ = 0.0;
+    scale_ = 1.0;
+    return;
+  }
+  RunningStats rs;
+  for (double y : ys) rs.add(y);
+  mean_ = rs.mean();
+  const double sd = rs.stddev();
+  // Constant samples (or a single point) would make the transform singular.
+  scale_ = (sd > 1e-12) ? sd : 1.0;
+}
+
+Vec ZScore::transform(const Vec& ys) const {
+  Vec out(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) out[i] = transform(ys[i]);
+  return out;
+}
+
+}  // namespace easybo::gp

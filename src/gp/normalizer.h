@@ -1,0 +1,66 @@
+#pragma once
+/// \file normalizer.h
+/// \brief Input box-normalization and target standardization.
+///
+/// The BO stack always models in normalized coordinates: design points are
+/// mapped into [0,1]^d (so one set of lengthscale priors fits every circuit)
+/// and observed FOM values are z-scored (so the mu/sigma balance in the UCB
+/// family of acquisitions is scale-free). These helpers are the single
+/// source of truth for those transforms.
+
+#include "linalg/vec.h"
+
+namespace easybo::gp {
+
+using linalg::Vec;
+
+/// Affine map between a design box [lo, hi] and the unit cube [0,1]^d.
+class BoxNormalizer {
+ public:
+  BoxNormalizer() = default;
+
+  /// Requires lo[i] < hi[i] for every dimension.
+  BoxNormalizer(Vec lower, Vec upper);
+
+  std::size_t dim() const { return lower_.size(); }
+  const Vec& lower() const { return lower_; }
+  const Vec& upper() const { return upper_; }
+
+  /// Design space -> unit cube.
+  Vec to_unit(const Vec& x) const;
+
+  /// Unit cube -> design space.
+  Vec from_unit(const Vec& u) const;
+
+ private:
+  Vec lower_;
+  Vec upper_;
+};
+
+/// Online z-score transform for observations.
+///
+/// refit() recomputes mean/std from the full current sample (the BO loop
+/// refits whenever the GP is refit). Degenerate samples (constant y) fall
+/// back to unit scale so the transform stays invertible.
+class ZScore {
+ public:
+  /// Recomputes the transform from the given sample (may be empty: identity).
+  void refit(const Vec& ys);
+
+  double mean() const { return mean_; }
+  double scale() const { return scale_; }
+
+  double transform(double y) const { return (y - mean_) / scale_; }
+  Vec transform(const Vec& ys) const;
+
+  double inverse(double z) const { return z * scale_ + mean_; }
+
+  /// Standard deviations transform multiplicatively (no shift).
+  double inverse_stddev(double sd) const { return sd * scale_; }
+
+ private:
+  double mean_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace easybo::gp

@@ -1,0 +1,49 @@
+#pragma once
+/// \file trainer.h
+/// \brief Maximum-likelihood hyperparameter training for GpRegressor.
+///
+/// Maximizes the log marginal likelihood over the flat log-hyperparameter
+/// vector with Adam (analytic gradients from GpRegressor::lml_gradient),
+/// multi-started from the current parameters plus random restarts. Box
+/// constraints in log space keep lengthscales/noise in sane ranges for
+/// inputs normalized to [0,1]^d and standardized targets.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gp/gp.h"
+
+namespace easybo::gp {
+
+/// Options for the MLE trainer; defaults are tuned for the experiment
+/// regime of the paper (n <= ~500, d <= ~16, normalized inputs).
+struct TrainerOptions {
+  int max_iters = 40;          ///< Adam steps per start
+  int restarts = 2;            ///< random restarts in addition to warm start
+  double learning_rate = 0.1;  ///< Adam step size in log space
+  double tol = 1e-5;           ///< stop when |grad|_inf < tol
+
+  // Box constraints (log space). Defaults assume x in [0,1]^d, y z-scored.
+  double log_sf2_min = std::log(1e-4);
+  double log_sf2_max = std::log(1e4);
+  double log_len_min = std::log(5e-3);
+  double log_len_max = std::log(1e2);
+  double log_noise_min = std::log(1e-8);
+  double log_noise_max = std::log(1e-1);
+};
+
+/// Result of one training call.
+struct TrainResult {
+  double log_marginal_likelihood = 0.0;
+  int iterations = 0;   ///< total Adam steps across all starts
+  int starts = 0;       ///< number of starts actually run
+};
+
+/// Trains \p model in place: on return the model holds the best
+/// hyperparameters found and is fitted. The warm start (current parameters)
+/// is always one of the candidates, so training can never make the stored
+/// likelihood worse.
+TrainResult train_mle(GpRegressor& model, Rng& rng,
+                      const TrainerOptions& options = {});
+
+}  // namespace easybo::gp

@@ -1,0 +1,128 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace easybo::linalg {
+
+Cholesky::Cholesky(const Matrix& a, double initial_jitter, int max_tries) {
+  EASYBO_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  EASYBO_REQUIRE(max_tries >= 1, "Cholesky needs at least one attempt");
+
+  if (try_factor(a)) return;
+
+  // Scale jitter to the matrix: mean diagonal magnitude.
+  double diag_mean = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) diag_mean += std::abs(a(i, i));
+  diag_mean = a.rows() ? diag_mean / static_cast<double>(a.rows()) : 1.0;
+  if (diag_mean == 0.0) diag_mean = 1.0;
+
+  double jitter = initial_jitter * diag_mean;
+  for (int attempt = 1; attempt < max_tries; ++attempt) {
+    Matrix jittered = a;
+    jittered.add_diagonal(jitter);
+    if (try_factor(jittered)) {
+      jitter_used_ = jitter;
+      return;
+    }
+    jitter *= 10.0;
+  }
+  std::ostringstream oss;
+  oss << "Cholesky failed: matrix of size " << a.rows()
+      << " is not positive definite even with jitter " << jitter;
+  throw NumericalError(oss.str());
+}
+
+bool Cholesky::try_factor(const Matrix& a) {
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= l_(i, k) * l_(j, k);
+      l_(i, j) = v / ljj;
+    }
+  }
+  return true;
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+  const std::size_t n = size();
+  EASYBO_REQUIRE(b.size() == n, "Cholesky::solve size mismatch");
+  // Forward substitution: L z = b.
+  Vec z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * z[k];
+    z[i] = acc / l_(i, i);
+  }
+  // Back substitution: L^T x = z.
+  Vec x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = z[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= l_(k, i) * x[k];
+    x[i] = acc / l_(i, i);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  EASYBO_REQUIRE(b.rows() == size(), "Cholesky::solve shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vec xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+Vec Cholesky::solve_lower(const Vec& b) const {
+  const std::size_t n = size();
+  EASYBO_REQUIRE(b.size() == n, "Cholesky::solve_lower size mismatch");
+  Vec z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * z[k];
+    z[i] = acc / l_(i, i);
+  }
+  return z;
+}
+
+bool Cholesky::extend(const Vec& new_column) {
+  const std::size_t n = size();
+  EASYBO_REQUIRE(new_column.size() == n + 1,
+                 "Cholesky::extend: need n cross terms plus the diagonal");
+  const Vec b(new_column.begin(), new_column.end() - 1);
+  const Vec head = solve_lower(b);
+  const double d = new_column.back() - dot(head, head);
+  if (!(d > 0.0) || !std::isfinite(d)) return false;
+
+  Matrix grown(n + 1, n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = head[j];
+  grown(n, n) = std::sqrt(d);
+  l_ = std::move(grown);
+  return true;
+}
+
+double Cholesky::log_det() const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+Matrix Cholesky::inverse() const {
+  return solve(Matrix::identity(size()));
+}
+
+}  // namespace easybo::linalg

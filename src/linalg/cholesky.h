@@ -1,0 +1,71 @@
+#pragma once
+/// \file cholesky.h
+/// \brief Cholesky (LL^T) factorization with adaptive jitter.
+///
+/// The GP posterior (paper Eq. 2) needs K^{-1} y and K^{-1} k(X, x*); both
+/// are computed through this factorization. GP covariance matrices become
+/// near-singular when query points cluster (exactly what happens late in an
+/// optimization run, and deliberately when hallucinated pseudo-points are
+/// added), so the factorization retries with exponentially growing diagonal
+/// jitter before giving up.
+
+#include "linalg/matrix.h"
+
+namespace easybo::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factors \p a (symmetric; only the lower triangle is read).
+  ///
+  /// If the factorization encounters a non-positive pivot, \p initial_jitter
+  /// (times the mean diagonal) is added to the diagonal and the factorization
+  /// restarts; the jitter grows 10x per retry up to \p max_tries attempts.
+  /// Throws NumericalError when all retries fail.
+  explicit Cholesky(const Matrix& a, double initial_jitter = 1e-10,
+                    int max_tries = 10);
+
+  std::size_t size() const { return l_.rows(); }
+
+  /// The lower-triangular factor L with A + jitter*I = L L^T.
+  const Matrix& factor() const { return l_; }
+
+  /// Total jitter that was added to the diagonal (0 when none was needed).
+  double jitter_used() const { return jitter_used_; }
+
+  /// Solves A x = b through forward/back substitution.
+  Vec solve(const Vec& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Solves L z = b (forward substitution only). Used for the GP variance
+  /// term k** - ||L^{-1} k*||^2.
+  Vec solve_lower(const Vec& b) const;
+
+  /// Extends the factorization of A (n x n) to that of the (n+1) x (n+1)
+  /// matrix [[A, b], [b^T, c]] in O(n^2): the new bottom row of L is
+  /// [L^{-1} b; sqrt(c - ||L^{-1} b||^2)].
+  ///
+  /// \param new_column  the n cross terms b followed by the diagonal c
+  ///                    (size n + 1).
+  /// \returns false (leaving the factor unchanged) when the extended
+  ///          matrix is not positive definite; the caller should fall back
+  ///          to a full, jittered factorization.
+  bool extend(const Vec& new_column);
+
+  /// log(det A) = 2 * sum_i log L_ii.
+  double log_det() const;
+
+  /// Explicit inverse (used only by tests and the LML gradient, where the
+  /// full K^{-1} is genuinely required).
+  Matrix inverse() const;
+
+ private:
+  bool try_factor(const Matrix& a);
+
+  Matrix l_;
+  double jitter_used_ = 0.0;
+};
+
+}  // namespace easybo::linalg

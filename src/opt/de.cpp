@@ -1,0 +1,78 @@
+#include "opt/de.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace easybo::opt {
+
+OptResult de_maximize(const Objective& fn, const Bounds& bounds, Rng& rng,
+                      const DeOptions& opt, const EvalObserver& observer) {
+  bounds.validate();
+  EASYBO_REQUIRE(opt.population >= 4,
+                 "DE needs a population of at least 4 for mutation");
+  EASYBO_REQUIRE(opt.max_evals >= opt.population,
+                 "DE budget must cover the initial population");
+  const std::size_t d = bounds.dim();
+  const std::size_t np = opt.population;
+
+  OptResult result;
+  auto evaluate = [&](const Vec& x) {
+    const double y = fn(x);
+    if (observer) observer(x, y, result.num_evals);
+    ++result.num_evals;
+    if (result.history.empty() || y > result.best_y) {
+      result.best_y = y;
+      result.best_x = x;
+    }
+    result.history.push_back(result.best_y);
+    return y;
+  };
+
+  // Initial population: uniform random in the box.
+  std::vector<Vec> pop(np, Vec(d));
+  Vec fitness(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      pop[i][j] = rng.uniform(bounds.lower[j], bounds.upper[j]);
+    }
+    fitness[i] = evaluate(pop[i]);
+  }
+
+  std::size_t best_idx = linalg::argmax(fitness);
+  while (result.num_evals < opt.max_evals) {
+    for (std::size_t i = 0; i < np && result.num_evals < opt.max_evals; ++i) {
+      // Pick distinct donors, all different from i.
+      std::size_t a, b, c;
+      do { a = rng.index(np); } while (a == i);
+      do { b = rng.index(np); } while (b == i || b == a);
+      do { c = rng.index(np); } while (c == i || c == a || c == b);
+
+      Vec trial = pop[i];
+      const std::size_t forced = rng.index(d);  // at least one gene crosses
+      for (std::size_t j = 0; j < d; ++j) {
+        if (j != forced && !rng.bernoulli(opt.crossover)) continue;
+        double v = 0.0;
+        switch (opt.strategy) {
+          case DeStrategy::Rand1Bin:
+            v = pop[a][j] + opt.weight * (pop[b][j] - pop[c][j]);
+            break;
+          case DeStrategy::Best1Bin:
+            v = pop[best_idx][j] + opt.weight * (pop[a][j] - pop[b][j]);
+            break;
+        }
+        trial[j] = std::clamp(v, bounds.lower[j], bounds.upper[j]);
+      }
+
+      const double trial_fitness = evaluate(trial);
+      if (trial_fitness >= fitness[i]) {
+        pop[i] = std::move(trial);
+        fitness[i] = trial_fitness;
+        if (trial_fitness > fitness[best_idx]) best_idx = i;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace easybo::opt

@@ -1,0 +1,35 @@
+#pragma once
+/// \file nelder_mead.h
+/// \brief Nelder–Mead simplex maximization inside a box.
+///
+/// Used in two roles: (a) the local refinement stage of the acquisition
+/// maximizer (src/acq/acq_optimizer.h) — acquisition surfaces are cheap but
+/// their gradients are awkward, exactly the "acquisition optimization
+/// awkward" issue the reproduction-banding calls out, and a derivative-free
+/// simplex sidesteps it; (b) a general-purpose local optimizer exposed to
+/// library users.
+
+#include "common/rng.h"
+#include "opt/objective.h"
+
+namespace easybo::opt {
+
+struct NelderMeadOptions {
+  std::size_t max_evals = 200;
+  double initial_step = 0.1;  ///< simplex edge, as a fraction of box width
+  double x_tol = 1e-7;        ///< stop when the simplex collapses
+  double f_tol = 1e-10;       ///< stop when f-spread collapses
+  // Standard coefficients (reflection/expansion/contraction/shrink).
+  double alpha = 1.0;
+  double gamma = 2.0;
+  double rho = 0.5;
+  double sigma = 0.5;
+};
+
+/// Maximizes \p fn from \p start (must lie in the box; points are clamped
+/// to the box throughout).
+OptResult nelder_mead_maximize(const Objective& fn, const Bounds& bounds,
+                               const Vec& start,
+                               const NelderMeadOptions& options = {});
+
+}  // namespace easybo::opt

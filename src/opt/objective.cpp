@@ -1,0 +1,16 @@
+#include "opt/objective.h"
+
+#include "common/error.h"
+
+namespace easybo::opt {
+
+void Bounds::validate() const {
+  EASYBO_REQUIRE(!lower.empty(), "Bounds: empty domain");
+  EASYBO_REQUIRE(lower.size() == upper.size(), "Bounds: size mismatch");
+  for (std::size_t i = 0; i < lower.size(); ++i) {
+    EASYBO_REQUIRE(lower[i] < upper[i],
+                   "Bounds: requires lower < upper in every dimension");
+  }
+}
+
+}  // namespace easybo::opt

@@ -1,0 +1,25 @@
+#pragma once
+/// \file pso.h
+/// \brief Particle swarm optimization (extension baseline, paper refs
+/// [14]-[17]).
+
+#include "common/rng.h"
+#include "opt/objective.h"
+
+namespace easybo::opt {
+
+struct PsoOptions {
+  std::size_t swarm = 40;
+  std::size_t max_evals = 4000;
+  double inertia = 0.729;       ///< Clerc constriction defaults
+  double cognitive = 1.49445;
+  double social = 1.49445;
+  double max_velocity = 0.2;    ///< per-dimension cap, fraction of box width
+};
+
+/// Maximizes \p fn over the box with a global-best topology swarm.
+OptResult pso_maximize(const Objective& fn, const Bounds& bounds, Rng& rng,
+                       const PsoOptions& options = {},
+                       const EvalObserver& observer = nullptr);
+
+}  // namespace easybo::opt

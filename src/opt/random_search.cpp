@@ -1,0 +1,32 @@
+#include "opt/random_search.h"
+
+#include "common/error.h"
+
+namespace easybo::opt {
+
+OptResult random_search_maximize(const Objective& fn, const Bounds& bounds,
+                                 Rng& rng, std::size_t max_evals,
+                                 const EvalObserver& observer) {
+  bounds.validate();
+  EASYBO_REQUIRE(max_evals >= 1, "random search needs a positive budget");
+  const std::size_t d = bounds.dim();
+
+  OptResult result;
+  for (std::size_t e = 0; e < max_evals; ++e) {
+    Vec x(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      x[j] = rng.uniform(bounds.lower[j], bounds.upper[j]);
+    }
+    const double y = fn(x);
+    if (observer) observer(x, y, result.num_evals);
+    ++result.num_evals;
+    if (result.history.empty() || y > result.best_y) {
+      result.best_y = y;
+      result.best_x = std::move(x);
+    }
+    result.history.push_back(result.best_y);
+  }
+  return result;
+}
+
+}  // namespace easybo::opt

@@ -1,0 +1,16 @@
+#pragma once
+/// \file random_search.h
+/// \brief Pure random search — the sanity-check floor every smarter
+/// optimizer must beat.
+
+#include "common/rng.h"
+#include "opt/objective.h"
+
+namespace easybo::opt {
+
+/// Maximizes \p fn with \p max_evals iid uniform samples in the box.
+OptResult random_search_maximize(const Objective& fn, const Bounds& bounds,
+                                 Rng& rng, std::size_t max_evals,
+                                 const EvalObserver& observer = nullptr);
+
+}  // namespace easybo::opt

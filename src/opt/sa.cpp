@@ -1,0 +1,63 @@
+#include "opt/sa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace easybo::opt {
+
+OptResult sa_maximize(const Objective& fn, const Bounds& bounds, Rng& rng,
+                      const SaOptions& opt, const EvalObserver& observer) {
+  bounds.validate();
+  EASYBO_REQUIRE(opt.max_evals >= 2, "SA needs at least two evaluations");
+  EASYBO_REQUIRE(opt.cooling > 0.0 && opt.cooling < 1.0,
+                 "SA cooling factor must be in (0,1)");
+  const std::size_t d = bounds.dim();
+
+  OptResult result;
+  auto evaluate = [&](const Vec& x) {
+    const double y = fn(x);
+    if (observer) observer(x, y, result.num_evals);
+    ++result.num_evals;
+    if (result.history.empty() || y > result.best_y) {
+      result.best_y = y;
+      result.best_x = x;
+    }
+    result.history.push_back(result.best_y);
+    return y;
+  };
+
+  Vec current(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    current[j] = rng.uniform(bounds.lower[j], bounds.upper[j]);
+  }
+  double current_y = evaluate(current);
+
+  double temp = opt.initial_temp;
+  // Geometric step-size schedule synced to the evaluation budget.
+  const double steps = static_cast<double>(opt.max_evals);
+  const double step_decay =
+      std::pow(opt.final_step / opt.initial_step, 1.0 / steps);
+  double step = opt.initial_step;
+
+  while (result.num_evals < opt.max_evals) {
+    Vec proposal = current;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double width = bounds.upper[j] - bounds.lower[j];
+      proposal[j] = std::clamp(proposal[j] + rng.normal(0.0, step * width),
+                               bounds.lower[j], bounds.upper[j]);
+    }
+    const double y = evaluate(proposal);
+    const double delta = y - current_y;  // maximization: positive is better
+    if (delta >= 0.0 || rng.uniform() < std::exp(delta / std::max(temp, 1e-12))) {
+      current = std::move(proposal);
+      current_y = y;
+    }
+    temp *= opt.cooling;
+    step *= step_decay;
+  }
+  return result;
+}
+
+}  // namespace easybo::opt

@@ -1,0 +1,23 @@
+#pragma once
+/// \file sa.h
+/// \brief Simulated annealing (extension baseline, paper refs [10]-[12]).
+
+#include "common/rng.h"
+#include "opt/objective.h"
+
+namespace easybo::opt {
+
+struct SaOptions {
+  std::size_t max_evals = 4000;
+  double initial_temp = 1.0;    ///< in units of the objective's scale
+  double cooling = 0.995;       ///< geometric cooling per evaluation
+  double initial_step = 0.25;   ///< proposal stddev, fraction of box width
+  double final_step = 0.01;     ///< step shrinks geometrically toward this
+};
+
+/// Maximizes \p fn with Metropolis acceptance and geometric cooling.
+OptResult sa_maximize(const Objective& fn, const Bounds& bounds, Rng& rng,
+                      const SaOptions& options = {},
+                      const EvalObserver& observer = nullptr);
+
+}  // namespace easybo::opt

@@ -1,0 +1,105 @@
+#include "sched/event_sim.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace easybo::sched {
+
+VirtualScheduler::VirtualScheduler(std::size_t num_workers)
+    : num_workers_(num_workers) {
+  EASYBO_REQUIRE(num_workers >= 1, "scheduler needs at least one worker");
+  idle_.resize(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i) idle_[i] = i;
+}
+
+std::size_t VirtualScheduler::submit(std::size_t tag, double duration) {
+  EASYBO_REQUIRE(!idle_.empty(), "submit with no idle worker");
+  EASYBO_REQUIRE(duration > 0.0, "job duration must be positive");
+  const std::size_t worker = idle_.back();
+  idle_.pop_back();
+
+  JobRecord rec;
+  rec.job_id = next_job_id_++;
+  rec.tag = tag;
+  rec.worker = worker;
+  rec.start = now_;
+  rec.finish = now_ + duration;
+  trace_.push_back(rec);
+  running_.push({rec.finish, trace_.size() - 1});
+  total_busy_ += duration;
+  return rec.job_id;
+}
+
+JobRecord VirtualScheduler::wait_next() {
+  EASYBO_REQUIRE(!running_.empty(), "wait_next with no running job");
+  const Running top = running_.top();
+  running_.pop();
+  const JobRecord rec = trace_[top.trace_index];
+  now_ = std::max(now_, rec.finish);
+  idle_.push_back(rec.worker);
+  return rec;
+}
+
+std::vector<JobRecord> VirtualScheduler::wait_all() {
+  std::vector<JobRecord> done;
+  done.reserve(running_.size());
+  while (!running_.empty()) done.push_back(wait_next());
+  return done;
+}
+
+double VirtualScheduler::utilization() const {
+  if (now_ <= 0.0) return 0.0;
+  // Count only busy time that has already elapsed.
+  double elapsed_busy = 0.0;
+  for (const auto& rec : trace_) {
+    elapsed_busy += std::min(rec.finish, now_) - std::min(rec.start, now_);
+  }
+  return elapsed_busy / (now_ * static_cast<double>(num_workers_));
+}
+
+PolicyComparison compare_policies(const std::vector<double>& durations,
+                                  std::size_t workers) {
+  EASYBO_REQUIRE(!durations.empty(), "compare_policies: no durations");
+  PolicyComparison cmp;
+
+  {
+    // Synchronous: issue in batches of `workers`, barrier between batches.
+    VirtualScheduler sync(workers);
+    std::size_t next = 0;
+    while (next < durations.size()) {
+      for (std::size_t b = 0; b < workers && next < durations.size(); ++b) {
+        sync.submit(next, durations[next]);
+        ++next;
+      }
+      sync.wait_all();
+    }
+    cmp.sync_makespan = sync.now();
+    cmp.sync_utilization =
+        sync.total_busy_time() /
+        (sync.now() * static_cast<double>(workers));
+    cmp.sync_trace = sync.trace();
+  }
+
+  {
+    // Asynchronous: keep every worker busy while jobs remain.
+    VirtualScheduler async(workers);
+    std::size_t next = 0;
+    while (next < durations.size() || async.num_running() > 0) {
+      while (async.has_idle_worker() && next < durations.size()) {
+        async.submit(next, durations[next]);
+        ++next;
+      }
+      if (async.num_running() > 0) async.wait_next();
+    }
+    cmp.async_makespan = async.now();
+    cmp.async_utilization =
+        async.total_busy_time() /
+        (async.now() * static_cast<double>(workers));
+    cmp.async_trace = async.trace();
+  }
+
+  return cmp;
+}
+
+}  // namespace easybo::sched

@@ -1,0 +1,212 @@
+#include "spice/dc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "linalg/lu.h"
+
+namespace easybo::spice {
+
+DcCircuit::DcCircuit() {
+  names_["0"] = kGround;
+  names_["gnd"] = kGround;
+}
+
+NodeId DcCircuit::node(const std::string& name) {
+  auto [it, inserted] = names_.try_emplace(name, num_nodes_);
+  if (inserted) ++num_nodes_;
+  return it->second;
+}
+
+void DcCircuit::add_resistor(NodeId a, NodeId b, double ohms) {
+  EASYBO_REQUIRE(ohms > 0.0, "DC resistor must be positive");
+  EASYBO_REQUIRE(a < num_nodes_ && b < num_nodes_, "unknown node");
+  resistors_.push_back({a, b, ohms});
+}
+
+void DcCircuit::add_vsource(NodeId p, NodeId n, double volts) {
+  EASYBO_REQUIRE(p < num_nodes_ && n < num_nodes_, "unknown node");
+  vsources_.push_back({p, n, volts});
+}
+
+void DcCircuit::add_isource(NodeId p, NodeId n, double amps) {
+  EASYBO_REQUIRE(p < num_nodes_ && n < num_nodes_, "unknown node");
+  isources_.push_back({p, n, amps});
+}
+
+void DcCircuit::add_mosfet(circuit::MosType type, NodeId d, NodeId g,
+                           NodeId s, double w_um, double l_um) {
+  EASYBO_REQUIRE(d < num_nodes_ && g < num_nodes_ && s < num_nodes_,
+                 "unknown node");
+  EASYBO_REQUIRE(w_um > 0.0 && l_um > 0.0, "MOSFET W, L must be positive");
+  mosfets_.push_back({type, d, g, s, w_um, l_um});
+}
+
+/// Friend accessor so the solver can read the private element lists
+/// without widening the public surface of DcCircuit.
+struct DcSolverAccess {
+  static const auto& resistors(const DcCircuit& c) { return c.resistors_; }
+  static const auto& vsources(const DcCircuit& c) { return c.vsources_; }
+  static const auto& isources(const DcCircuit& c) { return c.isources_; }
+};
+
+namespace {
+
+/// Drain current into the drain terminal plus its partial derivatives with
+/// respect to the three PHYSICAL terminal voltages. Handles polarity and
+/// the reverse (vds < 0) region by terminal exchange.
+struct MosEval {
+  double id = 0.0;   // current into the drain node
+  double d_vg = 0.0;
+  double d_vd = 0.0;
+  double d_vs = 0.0;
+};
+
+MosEval eval_mosfet(const DcMosfet& m, double vg, double vd, double vs,
+                    int depth = 0) {
+  const auto proc = (m.type == circuit::MosType::Nmos)
+                        ? circuit::MosProcess::nmos_180()
+                        : circuit::MosProcess::pmos_180();
+  const double sign = (m.type == circuit::MosType::Nmos) ? 1.0 : -1.0;
+  const double vgs = sign * (vg - vs);
+  const double vds = sign * (vd - vs);
+
+  if (vds < 0.0 && depth == 0) {
+    // Symmetric device: exchange drain and source and negate the current.
+    const MosEval swapped = eval_mosfet(m, vg, vs, vd, 1);
+    MosEval out;
+    out.id = -swapped.id;
+    out.d_vg = -swapped.d_vg;
+    out.d_vd = -swapped.d_vs;  // original drain is the swapped source
+    out.d_vs = -swapped.d_vd;
+    return out;
+  }
+
+  const double beta = proc.kp * (m.w_um / m.l_um);
+  const double lambda = proc.lambda0 / m.l_um;
+  const double vov = vgs - proc.vth;
+
+  // Derivatives with respect to the EFFECTIVE (polarity-folded) vgs/vds.
+  double id_eff = 0.0, gm = 0.0, gds = 0.0;
+  if (vov <= 0.0) {
+    // Cut off; gmin (added globally) keeps the Jacobian regular.
+  } else if (vds < vov) {
+    id_eff = beta * (vov * vds - 0.5 * vds * vds);
+    gm = beta * vds;
+    gds = beta * (vov - vds);
+  } else {
+    id_eff = 0.5 * beta * vov * vov * (1.0 + lambda * vds);
+    gm = beta * vov * (1.0 + lambda * vds);
+    gds = 0.5 * beta * vov * vov * lambda;
+  }
+
+  // Chain rule back to physical voltages:
+  //   id_phys = sign * id_eff(vgs, vds), vgs = sign (vg - vs), ...
+  MosEval out;
+  out.id = sign * id_eff;
+  out.d_vg = gm;                 // sign * gm * sign
+  out.d_vd = gds;
+  out.d_vs = -(gm + gds);
+  return out;
+}
+
+}  // namespace
+
+DcSolution solve_dc(const DcCircuit& circuit, const DcOptions& opt) {
+  EASYBO_REQUIRE(circuit.num_nodes() > 1, "DC circuit has no nodes");
+  EASYBO_REQUIRE(opt.max_iters >= 1 && opt.tol > 0.0 && opt.damping > 0.0,
+                 "invalid DC options");
+  const std::size_t nodes = circuit.num_nodes() - 1;  // unknown voltages
+  const std::size_t branches = DcSolverAccess::vsources(circuit).size();
+  const std::size_t n = nodes + branches;
+
+  auto row = [](NodeId k) { return static_cast<std::size_t>(k - 1); };
+
+  std::vector<double> v(circuit.num_nodes(), 0.0);  // by NodeId
+  DcSolution sol;
+
+  for (std::size_t iter = 0; iter < opt.max_iters; ++iter) {
+    std::vector<double> a(n * n, 0.0);
+    std::vector<double> rhs(n, 0.0);
+    auto add = [&](std::size_t r, std::size_t c, double val) {
+      a[r * n + c] += val;
+    };
+
+    // gmin to ground on every node.
+    for (std::size_t k = 0; k < nodes; ++k) add(k, k, opt.gmin);
+
+    for (const auto& r : DcSolverAccess::resistors(circuit)) {
+      const double g = 1.0 / r.ohms;
+      if (r.a != kGround) add(row(r.a), row(r.a), g);
+      if (r.b != kGround) add(row(r.b), row(r.b), g);
+      if (r.a != kGround && r.b != kGround) {
+        add(row(r.a), row(r.b), -g);
+        add(row(r.b), row(r.a), -g);
+      }
+    }
+    for (const auto& s : DcSolverAccess::isources(circuit)) {
+      if (s.p != kGround) rhs[row(s.p)] += s.amps;
+      if (s.n != kGround) rhs[row(s.n)] -= s.amps;
+    }
+    std::size_t branch = nodes;
+    for (const auto& src : DcSolverAccess::vsources(circuit)) {
+      if (src.p != kGround) {
+        add(row(src.p), branch, 1.0);
+        add(branch, row(src.p), 1.0);
+      }
+      if (src.n != kGround) {
+        add(row(src.n), branch, -1.0);
+        add(branch, row(src.n), -1.0);
+      }
+      rhs[branch] = src.volts;
+      ++branch;
+    }
+
+    // MOSFET companion models at the current voltage estimate.
+    for (const auto& m : circuit.mosfets()) {
+      const MosEval e =
+          eval_mosfet(m, v[m.gate], v[m.drain], v[m.source]);
+      const double ieq = e.id - e.d_vg * v[m.gate] - e.d_vd * v[m.drain] -
+                         e.d_vs * v[m.source];
+      if (m.drain != kGround) {
+        if (m.gate != kGround) add(row(m.drain), row(m.gate), e.d_vg);
+        add(row(m.drain), row(m.drain), e.d_vd);
+        if (m.source != kGround) add(row(m.drain), row(m.source), e.d_vs);
+        rhs[row(m.drain)] -= ieq;
+      }
+      if (m.source != kGround) {
+        if (m.gate != kGround) add(row(m.source), row(m.gate), -e.d_vg);
+        if (m.drain != kGround) add(row(m.source), row(m.drain), -e.d_vd);
+        add(row(m.source), row(m.source), -e.d_vs);
+        rhs[row(m.source)] += ieq;
+      }
+    }
+
+    linalg::LuReal lu(std::move(a), n);
+    const auto x = lu.solve(rhs);
+
+    // Damped update; convergence on the undamped step size.
+    double max_step = 0.0;
+    for (std::size_t k = 0; k < nodes; ++k) {
+      const double step = x[k] - v[k + 1];
+      max_step = std::max(max_step, std::abs(step));
+      v[k + 1] += std::clamp(step, -opt.damping, opt.damping);
+    }
+    ++sol.iterations;
+    if (max_step < opt.tol) {
+      sol.converged = true;
+      break;
+    }
+  }
+
+  sol.node_voltage = v;
+  sol.drain_current.reserve(circuit.mosfets().size());
+  for (const auto& m : circuit.mosfets()) {
+    sol.drain_current.push_back(
+        eval_mosfet(m, v[m.gate], v[m.drain], v[m.source]).id);
+  }
+  return sol;
+}
+
+}  // namespace easybo::spice

@@ -1,0 +1,96 @@
+#pragma once
+/// \file dc.h
+/// \brief Nonlinear DC operating-point analysis (Newton-Raphson MNA).
+///
+/// Completes the mini-SPICE substrate: the AC machinery (mna.h) analyzes a
+/// circuit LINEARIZED around a bias point; this module computes that bias
+/// point for circuits containing square-law MOSFETs, resistors and DC
+/// sources. Each Newton iteration stamps the device companion models
+/// (conductances + equivalent current sources from the first-order Taylor
+/// expansion at the present voltage estimate) into a real MNA matrix and
+/// solves with LU; voltage updates are damped for robustness from a cold
+/// start. A gmin conductance to ground on every node keeps the Jacobian
+/// nonsingular when devices are cut off.
+///
+/// Device model (same square law as circuit/mosfet.h):
+///   cutoff   vgs <= vth            id = 0
+///   triode   vds <  vgs - vth      id = kp (W/L) ((vgs-vth) vds - vds^2/2)
+///   sat.     vds >= vgs - vth      id = kp/2 (W/L) (vgs-vth)^2 (1 + lam vds)
+/// (NMOS shown; PMOS mirrors all polarities.)
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/mosfet.h"
+#include "spice/netlist.h"
+
+namespace easybo::spice {
+
+/// A MOSFET instance in the DC netlist.
+struct DcMosfet {
+  circuit::MosType type;
+  NodeId drain;
+  NodeId gate;
+  NodeId source;
+  double w_um;
+  double l_um;
+};
+
+/// A DC circuit under construction. Node ids are shared with the naming
+/// convention of Circuit (0 = ground), but this container is independent
+/// so DC and AC netlists can be built separately from one topology.
+class DcCircuit {
+ public:
+  DcCircuit();
+
+  NodeId node(const std::string& name);
+  std::size_t num_nodes() const { return num_nodes_; }
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_vsource(NodeId p, NodeId n, double volts);
+  void add_isource(NodeId p, NodeId n, double amps);  ///< injects into p
+  void add_mosfet(circuit::MosType type, NodeId d, NodeId g, NodeId s,
+                  double w_um, double l_um);
+
+  const std::vector<DcMosfet>& mosfets() const { return mosfets_; }
+
+ private:
+  friend struct DcSolverAccess;
+  std::size_t num_nodes_ = 1;
+  std::unordered_map<std::string, NodeId> names_;
+  struct R { NodeId a, b; double ohms; };
+  struct V { NodeId p, n; double volts; };
+  struct I { NodeId p, n; double amps; };
+  std::vector<R> resistors_;
+  std::vector<V> vsources_;
+  std::vector<I> isources_;
+  std::vector<DcMosfet> mosfets_;
+};
+
+/// Solver options.
+struct DcOptions {
+  std::size_t max_iters = 200;
+  double tol = 1e-9;        ///< convergence on max |delta v|
+  double damping = 0.5;     ///< max voltage change per Newton step [V]
+  double gmin = 1e-9;       ///< conductance to ground on every node [S]
+};
+
+/// Solution: node voltages and per-MOSFET drain currents.
+struct DcSolution {
+  std::vector<double> node_voltage;   ///< indexed by NodeId, [kGround] = 0
+  std::vector<double> drain_current;  ///< per mosfet, positive into drain
+                                      ///< (NMOS) / out of drain (PMOS mag)
+  std::size_t iterations = 0;
+  bool converged = false;
+
+  double v(NodeId n) const { return node_voltage[n]; }
+};
+
+/// Runs Newton-Raphson to the DC operating point. Throws NumericalError
+/// when the Jacobian becomes singular; returns converged=false when the
+/// iteration limit is reached (caller decides whether to accept).
+DcSolution solve_dc(const DcCircuit& circuit, const DcOptions& options = {});
+
+}  // namespace easybo::spice

@@ -1,0 +1,90 @@
+#include "spice/measure.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace easybo::spice {
+
+double dc_gain_db(const AcSweep& sweep) {
+  EASYBO_REQUIRE(!sweep.empty(), "dc_gain_db of empty sweep");
+  return sweep.points.front().magnitude_db();
+}
+
+std::vector<double> unwrapped_phase_deg(const AcSweep& sweep) {
+  std::vector<double> phase(sweep.size());
+  double offset = 0.0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const double raw = sweep.points[i].phase_deg();
+    if (i > 0) {
+      const double prev = phase[i - 1];
+      double candidate = raw + offset;
+      // Remove +-360 jumps relative to the previous unwrapped value.
+      while (candidate - prev > 180.0) {
+        candidate -= 360.0;
+        offset -= 360.0;
+      }
+      while (candidate - prev < -180.0) {
+        candidate += 360.0;
+        offset += 360.0;
+      }
+      phase[i] = candidate;
+    } else {
+      phase[i] = raw;
+    }
+  }
+  return phase;
+}
+
+std::optional<double> unity_gain_frequency(const AcSweep& sweep) {
+  EASYBO_REQUIRE(sweep.size() >= 2, "UGF needs at least two sweep points");
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const double m0 = sweep.points[i - 1].magnitude_db();
+    const double m1 = sweep.points[i].magnitude_db();
+    if (m0 >= 0.0 && m1 < 0.0) {
+      // Interpolate the 0 dB crossing in log-frequency.
+      const double f0 = sweep.points[i - 1].freq_hz;
+      const double f1 = sweep.points[i].freq_hz;
+      const double t = m0 / (m0 - m1);  // fraction from point i-1 to i
+      return f0 * std::pow(f1 / f0, t);
+    }
+  }
+  return std::nullopt;
+}
+
+OpenLoopMetrics measure_open_loop(const AcSweep& sweep) {
+  EASYBO_REQUIRE(sweep.size() >= 2, "measure_open_loop needs >= 2 points");
+  OpenLoopMetrics m;
+  m.dc_gain_db = dc_gain_db(sweep);
+
+  const auto ugf = unity_gain_frequency(sweep);
+  if (!ugf) return m;  // has_ugf stays false, UGF/PM stay 0
+
+  m.has_ugf = true;
+  m.ugf_hz = *ugf;
+
+  // Phase at the UGF, linearly interpolated on the unwrapped series in
+  // log-frequency, measured relative to the low-frequency phase so that
+  // inverting amplifiers (DC phase = 180 deg) are handled uniformly.
+  const auto phase = unwrapped_phase_deg(sweep);
+  double phase_at_ugf = phase.back();
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const double f0 = sweep.points[i - 1].freq_hz;
+    const double f1 = sweep.points[i].freq_hz;
+    if (*ugf >= f0 && *ugf <= f1) {
+      const double t = std::log(*ugf / f0) / std::log(f1 / f0);
+      phase_at_ugf = phase[i - 1] + t * (phase[i] - phase[i - 1]);
+      break;
+    }
+  }
+  // Reference phase: the nearest multiple of 180 deg to the low-frequency
+  // phase. This cancels the inversion of inverting amplifiers without
+  // also subtracting genuine early roll-off (the first sweep point need
+  // not be far below the dominant pole).
+  const double ref = 180.0 * std::round(phase.front() / 180.0);
+  const double phase_drop = phase_at_ugf - ref;
+  m.phase_margin_deg = 180.0 + phase_drop;
+  return m;
+}
+
+}  // namespace easybo::spice

@@ -1,0 +1,41 @@
+#pragma once
+/// \file measure.h
+/// \brief Transfer-function measurements: gain, UGF, phase margin.
+///
+/// These mirror the .measure statements an HSPICE deck would use for the
+/// op-amp benchmark: low-frequency gain in dB, unity-gain frequency (0 dB
+/// crossing, log-interpolated), and phase margin computed from the
+/// unwrapped phase *relative to the low-frequency phase* — which makes the
+/// measurement independent of whether the amplifier is inverting.
+
+#include <optional>
+
+#include "spice/mna.h"
+
+namespace easybo::spice {
+
+/// Measurement bundle for one AC sweep.
+struct OpenLoopMetrics {
+  double dc_gain_db = 0.0;   ///< |H| at the lowest swept frequency, in dB
+  double ugf_hz = 0.0;       ///< unity-gain frequency; 0 when |H| never
+                             ///< crosses 1 inside the sweep
+  double phase_margin_deg = 0.0;  ///< 180 + (phase(UGF) - phase(DC)),
+                                  ///< unwrapped; 0 when no UGF exists
+  bool has_ugf = false;
+};
+
+/// Low-frequency gain in dB (value at the first sweep point).
+double dc_gain_db(const AcSweep& sweep);
+
+/// Unwrapped phase series in degrees (no +-360 jumps between points).
+std::vector<double> unwrapped_phase_deg(const AcSweep& sweep);
+
+/// Unity-gain frequency via log-magnitude interpolation between the
+/// bracketing sweep points; std::nullopt when the magnitude never crosses
+/// 1 from above within the sweep.
+std::optional<double> unity_gain_frequency(const AcSweep& sweep);
+
+/// Full measurement bundle. Requires a sweep with at least two points.
+OpenLoopMetrics measure_open_loop(const AcSweep& sweep);
+
+}  // namespace easybo::spice

@@ -1,0 +1,262 @@
+// Tests for the acquisition functions: UCB/EI/PI values, the EasyBO
+// weight distribution (Fig. 2), the pBO weight grid, the pHCBO high-
+// coverage penalty (Eq. 6), and the hallucination-penalized weighted UCB
+// (Eq. 9).
+
+#include "acq/acquisition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace easybo::acq {
+namespace {
+
+using gp::SquaredExponentialArd;
+
+GpRegressor make_model() {
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1.0, Vec{0.25}),
+                 1e-8);
+  gp.set_data({{0.1}, {0.5}, {0.9}}, {0.0, 1.0, -0.5});
+  gp.fit();
+  return gp;
+}
+
+TEST(NormalHelpers, PdfCdfKnownValues) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(norm_cdf(1.6448536), 0.95, 1e-6);
+  EXPECT_NEAR(norm_cdf(-1.6448536), 0.05, 1e-6);
+}
+
+TEST(Ucb, CombinesMeanAndUncertainty) {
+  const auto gp = make_model();
+  Ucb ucb(&gp, 2.0);
+  const Vec x = {0.3};
+  const auto p = gp.predict(x);
+  EXPECT_NEAR(ucb(x), p.mean + 2.0 * p.stddev(), 1e-12);
+}
+
+TEST(Ucb, KappaZeroIsPureMean) {
+  const auto gp = make_model();
+  Ucb ucb(&gp, 0.0);
+  const Vec x = {0.37};
+  EXPECT_NEAR(ucb(x), gp.predict(x).mean, 1e-12);
+}
+
+TEST(Ucb, RejectsNegativeKappaAndNullModel) {
+  const auto gp = make_model();
+  EXPECT_THROW(Ucb(&gp, -1.0), InvalidArgument);
+  EXPECT_THROW(Ucb(nullptr, 1.0), InvalidArgument);
+}
+
+TEST(Ei, IsNonNegativeEverywhere) {
+  const auto gp = make_model();
+  Ei ei(&gp, /*best_y=*/1.0);
+  for (double x = -0.2; x <= 1.2; x += 0.01) {
+    EXPECT_GE(ei({x}), 0.0) << "at x=" << x;
+  }
+}
+
+TEST(Ei, ZeroAtConfidentlyWorsePoint) {
+  const auto gp = make_model();
+  Ei ei(&gp, /*best_y=*/1.0);
+  // x = 0.9 is a training point with y = -0.5 and near-zero variance.
+  EXPECT_LT(ei({0.9}), 1e-6);
+}
+
+TEST(Ei, MatchesClosedFormOnHandValues) {
+  const auto gp = make_model();
+  const Vec x = {0.31};
+  const auto p = gp.predict(x);
+  const double best = 0.4;
+  const double z = (p.mean - best) / p.stddev();
+  const double expected =
+      (p.mean - best) * norm_cdf(z) + p.stddev() * norm_pdf(z);
+  Ei ei(&gp, best);
+  EXPECT_NEAR(ei(x), expected, 1e-12);
+}
+
+TEST(Pi, IsAProbability) {
+  const auto gp = make_model();
+  Pi pi(&gp, 0.5);
+  for (double x = -0.2; x <= 1.2; x += 0.01) {
+    const double v = pi({x});
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Pi, HighWhereMeanBeatsIncumbent) {
+  const auto gp = make_model();
+  Pi pi(&gp, 0.0);
+  EXPECT_GT(pi({0.5}), 0.95);  // training point with y=1 > incumbent 0
+}
+
+TEST(WeightedUcb, EndpointsAreMeanAndSigma) {
+  const auto gp = make_model();
+  const Vec x = {0.33};
+  const auto p = gp.predict(x);
+  WeightedUcb pure_mean(&gp, &gp, 0.0);
+  WeightedUcb pure_sigma(&gp, &gp, 1.0);
+  EXPECT_NEAR(pure_mean(x), p.mean, 1e-12);
+  EXPECT_NEAR(pure_sigma(x), p.stddev(), 1e-12);
+}
+
+TEST(WeightedUcb, RejectsOutOfRangeWeight) {
+  const auto gp = make_model();
+  EXPECT_THROW(WeightedUcb(&gp, &gp, -0.1), InvalidArgument);
+  EXPECT_THROW(WeightedUcb(&gp, &gp, 1.1), InvalidArgument);
+}
+
+TEST(WeightedUcb, Eq9UsesHallucinatedSigmaButObservedMean) {
+  // The penalized acquisition (Eq. 9) must take mu from the observed-data
+  // model and sigma-hat from the augmented model.
+  const auto gp = make_model();
+  const Vec pending = {0.3};
+  const auto aug = gp.with_hallucinated({pending});
+  WeightedUcb eq9(&gp, &aug, 0.5);
+  const double expected =
+      0.5 * gp.predict(pending).mean + 0.5 * aug.predict(pending).stddev();
+  EXPECT_NEAR(eq9(pending), expected, 1e-12);
+  // And it is strictly smaller than the unpenalized value at the busy
+  // point (that is the whole point of the scheme).
+  WeightedUcb eq8(&gp, &gp, 0.5);
+  EXPECT_LT(eq9(pending), eq8(pending));
+}
+
+// ---------------------------------------------------------------------------
+// EasyBO weight sampling (Fig. 2 property)
+// ---------------------------------------------------------------------------
+
+TEST(EasyBoWeight, RangeIsZeroToLambdaOverLambdaPlusOne) {
+  Rng rng(1);
+  const double lambda = 6.0;
+  const double wmax = lambda / (lambda + 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    const double w = sample_easybo_weight(rng, lambda);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, wmax);
+  }
+}
+
+TEST(EasyBoWeight, DensityIncreasesTowardOne) {
+  // Fig. 2: the induced density of w rises toward 1. Count samples in the
+  // three thirds of [0, 6/7]: strictly increasing occupancy.
+  Rng rng(2);
+  const double wmax = 6.0 / 7.0;
+  int lo = 0, mid = 0, hi = 0;
+  for (int i = 0; i < 30000; ++i) {
+    const double w = sample_easybo_weight(rng, 6.0);
+    if (w < wmax / 3) ++lo;
+    else if (w < 2 * wmax / 3) ++mid;
+    else ++hi;
+  }
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+}
+
+TEST(EasyBoWeight, MedianMatchesTheory) {
+  // kappa ~ U[0,6] -> median kappa = 3 -> median w = 3/4.
+  Rng rng(3);
+  std::vector<double> ws;
+  for (int i = 0; i < 20000; ++i) ws.push_back(sample_easybo_weight(rng, 6.0));
+  EXPECT_NEAR(median_of(std::move(ws)), 0.75, 0.01);
+}
+
+TEST(EasyBoWeight, RejectsNonPositiveLambda) {
+  Rng rng(1);
+  EXPECT_THROW(sample_easybo_weight(rng, 0.0), InvalidArgument);
+}
+
+TEST(PboWeightGrid, MatchesPaperPattern) {
+  // Paper §IV: w_i = (i-1)/(B-1); for B=5 -> (0, .25, .5, .75, 1).
+  const Vec w5 = pbo_weight_grid(5);
+  ASSERT_EQ(w5.size(), 5u);
+  EXPECT_DOUBLE_EQ(w5[0], 0.0);
+  EXPECT_DOUBLE_EQ(w5[1], 0.25);
+  EXPECT_DOUBLE_EQ(w5[4], 1.0);
+  EXPECT_DOUBLE_EQ(pbo_weight_grid(1)[0], 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// pHCBO high-coverage penalty (Eq. 6)
+// ---------------------------------------------------------------------------
+
+TEST(HcPenalty, ZeroWithoutHistory) {
+  HighCoveragePenalty pen(0.1, 1.0);
+  EXPECT_DOUBLE_EQ(pen({0.5, 0.5}), 0.0);
+}
+
+TEST(HcPenalty, HugeInsideRadiusTinyOutside) {
+  HighCoveragePenalty pen(0.1, 1.0);
+  pen.record({0.5, 0.5});
+  // Inside the d-ball: astronomically large.
+  EXPECT_GT(pen({0.52, 0.5}), 1e10);
+  // Several radii away: essentially zero extra (exp(tiny) ~ 1 * N_HC, and
+  // the (d/dist)^10 exponent collapses fast).
+  EXPECT_LT(pen({0.9, 0.9}), 1.01);
+}
+
+TEST(HcPenalty, KeepsOnlyLastFivePoints) {
+  HighCoveragePenalty pen(0.1, 1.0);
+  for (int i = 0; i < 8; ++i) {
+    pen.record({0.1 * i, 0.0});
+  }
+  EXPECT_EQ(pen.history_size(), 5u);
+  // The first recorded point (0,0) fell out of the window: the penalty
+  // right on it is only driven by the remaining (distant) points.
+  EXPECT_LT(pen({0.0, 0.0}), 2.0);
+}
+
+TEST(HcPenalty, NoOverflowAtExactHistoryPoint) {
+  HighCoveragePenalty pen(0.1, 1.0);
+  pen.record({0.3});
+  const double v = pen({0.3});
+  EXPECT_TRUE(std::isfinite(v));
+  EXPECT_GT(v, 1e100);
+}
+
+TEST(Phcbo, PenaltySuppressesRevisits) {
+  const auto gp = make_model();
+  HighCoveragePenalty pen(0.15, 1.0);
+  PhcboAcquisition acq(&gp, 0.5, &pen);
+  WeightedUcb base(&gp, &gp, 0.5);
+  const Vec x = {0.42};
+  EXPECT_NEAR(acq(x), base(x), 1e-9);  // no history yet
+  pen.record(x);
+  EXPECT_LT(acq(x), base(x) - 1.0);  // massively penalized now
+}
+
+// ---------------------------------------------------------------------------
+// Local penalization (extension baseline)
+// ---------------------------------------------------------------------------
+
+TEST(LocalPenalization, SuppressesBusyNeighborhoodOnly) {
+  const auto gp = make_model();
+  Ei base(&gp, 0.2);
+  const Vec busy = {0.3};
+  LocalPenalization lp(&base, &gp, {busy}, /*lipschitz=*/5.0,
+                       /*best_y=*/1.0);
+  LocalPenalization lp_empty(&base, &gp, {}, 5.0, 1.0);
+  // With no busy points the hammer product is empty: positive transform of
+  // the base acquisition, same argmax ordering.
+  EXPECT_GT(lp_empty({0.45}), lp_empty({0.9}));
+  // Busy point suppressed relative to the unpenalized version.
+  EXPECT_LT(lp(busy) / std::max(lp_empty(busy), 1e-12), 0.9);
+}
+
+TEST(EstimateLipschitz, PositiveAndScalesWithFunction) {
+  Rng rng(9);
+  const auto gp = make_model();
+  const double l = estimate_lipschitz(gp, rng, 128);
+  EXPECT_GT(l, 0.0);
+  EXPECT_THROW(estimate_lipschitz(gp, rng, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace easybo::acq

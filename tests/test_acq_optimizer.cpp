@@ -1,0 +1,129 @@
+// Tests for the shared acquisition maximizer (screening + Nelder-Mead
+// refinement over the unit cube).
+
+#include "acq/acq_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace easybo::acq {
+namespace {
+
+/// Ad-hoc acquisition wrapping a plain callable.
+class LambdaAcq final : public AcquisitionFn {
+ public:
+  explicit LambdaAcq(std::function<double(const linalg::Vec&)> fn)
+      : fn_(std::move(fn)) {}
+  double operator()(const linalg::Vec& x) const override { return fn_(x); }
+
+ private:
+  std::function<double(const linalg::Vec&)> fn_;
+};
+
+TEST(AcqOptimizer, FindsInteriorPeak) {
+  // Smooth unimodal bump centered at (0.3, 0.7).
+  LambdaAcq fn([](const linalg::Vec& x) {
+    const double dx = x[0] - 0.3, dy = x[1] - 0.7;
+    return std::exp(-20.0 * (dx * dx + dy * dy));
+  });
+  Rng rng(1);
+  const auto r = maximize_acquisition(fn, 2, rng);
+  EXPECT_NEAR(r.best_x[0], 0.3, 0.02);
+  EXPECT_NEAR(r.best_x[1], 0.7, 0.02);
+  EXPECT_GT(r.best_value, 0.99);
+}
+
+TEST(AcqOptimizer, FindsBoundaryPeak) {
+  // Monotone function maximized at the corner (1, 1, 1).
+  LambdaAcq fn([](const linalg::Vec& x) { return x[0] + x[1] + x[2]; });
+  Rng rng(2);
+  const auto r = maximize_acquisition(fn, 3, rng);
+  EXPECT_GT(r.best_value, 2.9);
+}
+
+TEST(AcqOptimizer, StaysInsideUnitCube) {
+  LambdaAcq fn([](const linalg::Vec& x) { return x[0]; });
+  Rng rng(3);
+  const auto r = maximize_acquisition(fn, 4, rng);
+  for (double v : r.best_x) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(AcqOptimizer, AnchorRescuesNarrowPeak) {
+  // A needle at a known location that random screening will almost surely
+  // miss — the anchor (e.g. the incumbent in BO) must save it.
+  const linalg::Vec needle = {0.123456, 0.654321, 0.333333, 0.777777,
+                              0.111111};
+  LambdaAcq fn([&needle](const linalg::Vec& x) {
+    return std::exp(-5e4 * linalg::dist_sq(x, needle));
+  });
+  Rng rng(4);
+  AcqOptOptions opt;
+  opt.jitter_scale = 0.002;
+  const auto with_anchor =
+      maximize_acquisition(fn, 5, rng, {needle}, opt);
+  EXPECT_GT(with_anchor.best_value, 0.5);
+}
+
+TEST(AcqOptimizer, CountsEvaluations) {
+  LambdaAcq fn([](const linalg::Vec& x) { return x[0]; });
+  Rng rng(5);
+  AcqOptOptions opt;
+  opt.sobol_candidates = 32;
+  opt.random_candidates = 16;
+  opt.refine_top_k = 1;
+  opt.refine_evals = 50;
+  const auto r = maximize_acquisition(fn, 2, rng, {}, opt);
+  EXPECT_GE(r.num_evals, 48u + 10u);           // screening + some NM evals
+  EXPECT_LE(r.num_evals, 48u + 50u);
+}
+
+TEST(AcqOptimizer, RefinementBeatsScreeningOnly) {
+  LambdaAcq fn([](const linalg::Vec& x) {
+    const double dx = x[0] - 0.511111;
+    return -dx * dx;
+  });
+  AcqOptOptions no_refine;
+  no_refine.refine_evals = 0;
+  no_refine.sobol_candidates = 64;
+  no_refine.random_candidates = 0;
+  no_refine.anchor_jitter = 0;
+  AcqOptOptions with_refine = no_refine;
+  with_refine.refine_evals = 150;
+  with_refine.refine_top_k = 1;
+
+  Rng r1(6), r2(6);
+  const auto coarse = maximize_acquisition(fn, 1, r1, {}, no_refine);
+  const auto fine = maximize_acquisition(fn, 1, r2, {}, with_refine);
+  EXPECT_GE(fine.best_value, coarse.best_value);
+  EXPECT_NEAR(fine.best_x[0], 0.511111, 1e-3);
+}
+
+TEST(AcqOptimizer, HighDimensionFallsBackToRandomScreening) {
+  // dim > Sobol table limit (21) must still work.
+  LambdaAcq fn([](const linalg::Vec& x) { return x[0]; });
+  Rng rng(7);
+  const auto r = maximize_acquisition(fn, 25, rng);
+  EXPECT_EQ(r.best_x.size(), 25u);
+  EXPECT_GT(r.best_value, 0.8);
+}
+
+TEST(AcqOptimizer, RejectsBadArguments) {
+  LambdaAcq fn([](const linalg::Vec&) { return 0.0; });
+  Rng rng(8);
+  EXPECT_THROW(maximize_acquisition(fn, 0, rng), InvalidArgument);
+  AcqOptOptions opt;
+  opt.sobol_candidates = 0;
+  opt.random_candidates = 0;
+  EXPECT_THROW(maximize_acquisition(fn, 2, rng, {}, opt), InvalidArgument);
+  EXPECT_THROW(maximize_acquisition(fn, 2, rng, {{0.5}}, AcqOptOptions{}),
+               InvalidArgument);  // anchor dim mismatch
+}
+
+}  // namespace
+}  // namespace easybo::acq

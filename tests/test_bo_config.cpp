@@ -1,0 +1,105 @@
+// Tests for bo/config.h: labels in the paper's style and validation rules.
+
+#include "bo/config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace easybo::bo {
+namespace {
+
+BoConfig base() {
+  BoConfig c;
+  c.init_points = 20;
+  c.max_sims = 150;
+  return c;
+}
+
+TEST(BoConfig, PaperLabels) {
+  BoConfig c = base();
+
+  c.mode = Mode::Sequential;
+  c.acq = AcqKind::Ei;
+  EXPECT_EQ(c.label(), "EI");
+  c.acq = AcqKind::Lcb;
+  EXPECT_EQ(c.label(), "LCB");
+  c.acq = AcqKind::EasyBo;
+  EXPECT_EQ(c.label(), "EasyBO");
+
+  c.batch = 5;
+  c.mode = Mode::SyncBatch;
+  c.acq = AcqKind::Pbo;
+  EXPECT_EQ(c.label(), "pBO-5");
+  c.acq = AcqKind::Phcbo;
+  EXPECT_EQ(c.label(), "pHCBO-5");
+  c.acq = AcqKind::EasyBo;
+  c.penalize = false;
+  EXPECT_EQ(c.label(), "EasyBO-S-5");
+  c.penalize = true;
+  EXPECT_EQ(c.label(), "EasyBO-SP-5");
+
+  c.mode = Mode::AsyncBatch;
+  c.batch = 10;
+  c.penalize = false;
+  EXPECT_EQ(c.label(), "EasyBO-A-10");
+  c.penalize = true;
+  EXPECT_EQ(c.label(), "EasyBO-10");
+}
+
+TEST(BoConfig, ToStringHelpers) {
+  EXPECT_STREQ(to_string(Mode::Sequential), "sequential");
+  EXPECT_STREQ(to_string(Mode::SyncBatch), "sync");
+  EXPECT_STREQ(to_string(Mode::AsyncBatch), "async");
+  EXPECT_STREQ(to_string(AcqKind::EasyBo), "EasyBO");
+  EXPECT_STREQ(to_string(AcqKind::Pbo), "pBO");
+}
+
+TEST(BoConfig, DefaultIsValid) {
+  BoConfig c = base();
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(BoConfig, BudgetMustExceedInit) {
+  BoConfig c = base();
+  c.max_sims = 20;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(BoConfig, BatchModesNeedBatchOfTwo) {
+  BoConfig c = base();
+  c.mode = Mode::SyncBatch;
+  c.acq = AcqKind::EasyBo;
+  c.batch = 1;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(BoConfig, PboIsSyncOnly) {
+  BoConfig c = base();
+  c.acq = AcqKind::Pbo;
+  c.mode = Mode::AsyncBatch;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c.mode = Mode::Sequential;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c.mode = Mode::SyncBatch;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(BoConfig, EiLcbAreSequentialOnly) {
+  BoConfig c = base();
+  c.acq = AcqKind::Ei;
+  c.mode = Mode::SyncBatch;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c.mode = Mode::Sequential;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(BoConfig, LambdaMustBePositive) {
+  BoConfig c = base();
+  c.mode = Mode::Sequential;
+  c.lambda = 0.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace easybo::bo

@@ -1,0 +1,164 @@
+// Tests for the class-E PA benchmark: physical sanity, tuning behaviour
+// (the ZVS ridge), and whole-box robustness.
+
+#include "circuit/classe.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace easybo::circuit {
+namespace {
+
+// A deliberately decent design: moderate R transformation, shunt/reactance
+// near the Sokal optimum, 50% effective duty.
+Vec decent_design() {
+  //      w    wd   vg   vb   duty vdd  c1    l0   c0    lm   cm    lc
+  return {5.0, 0.4, 1.6, 0.9, 0.5, 2.2, 25.0, 2.0, 40.0, 1.0, 30.0, 80.0};
+}
+
+TEST(ClassE, PhysicalRanges) {
+  const auto p = evaluate_classe(decent_design());
+  EXPECT_GT(p.pout_w, 0.0);
+  EXPECT_LT(p.pout_w, 20.0);
+  EXPECT_LT(p.pae, 1.0);
+  EXPECT_GT(p.pae, -1.0);
+  EXPECT_LE(p.drain_eff, 1.0);
+  EXPECT_GE(p.drain_eff, 0.0);
+  EXPECT_GT(p.r_loaded, 0.0);
+  EXPECT_LT(p.r_loaded, kClassELoadOhm + 1.0);
+}
+
+TEST(ClassE, FomMatchesDefinition) {
+  const auto p = evaluate_classe(decent_design());
+  EXPECT_NEAR(p.fom, 3.0 * p.pae + p.pout_w, 1e-12);
+  EXPECT_NEAR(classe_fom(decent_design()), p.fom, 1e-12);
+}
+
+TEST(ClassE, PaeNeverExceedsDrainEfficiency) {
+  // PAE subtracts the drive power: it must be below drain efficiency.
+  Rng rng(1);
+  const auto b = classe_bounds();
+  for (int i = 0; i < 200; ++i) {
+    Vec x(b.dim());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] = rng.uniform(b.lower[j], b.upper[j]);
+    }
+    const auto p = evaluate_classe(x);
+    EXPECT_LE(p.pae, p.drain_eff + 1e-9);
+  }
+}
+
+TEST(ClassE, HigherSupplyMoreOutputPowerBelowBreakdown) {
+  auto x = decent_design();
+  x[5] = 1.5;
+  const auto low = evaluate_classe(x);
+  x[5] = 2.2;  // still below the soft-breakdown knee
+  const auto high = evaluate_classe(x);
+  EXPECT_GT(high.pout_w, low.pout_w);
+}
+
+TEST(ClassE, BreakdownPenaltyKicksInAtHighVdd) {
+  // Drain efficiency must fall when 3.56*Vdd crosses the knee.
+  auto x = decent_design();
+  x[5] = 2.2;
+  const auto safe = evaluate_classe(x);
+  x[5] = 3.0;
+  const auto stressed = evaluate_classe(x);
+  EXPECT_LT(stressed.drain_eff, safe.drain_eff);
+}
+
+TEST(ClassE, DutyCyclePenaltySymmetricAroundOptimum) {
+  // With vb at the neutral 0.9 V, duty 0.5 is optimal and deviations hurt.
+  auto x = decent_design();
+  x[3] = 0.9;
+  x[4] = 0.5;
+  const auto tuned = evaluate_classe(x);
+  x[4] = 0.65;
+  const auto high = evaluate_classe(x);
+  x[4] = 0.35;
+  const auto low = evaluate_classe(x);
+  EXPECT_GT(tuned.drain_eff, high.drain_eff);
+  EXPECT_GT(tuned.drain_eff, low.drain_eff);
+}
+
+TEST(ClassE, BiasShiftCompensatesDutyOffset) {
+  // duty=0.56 with vb=0.5 gives duty_eff = 0.5 — the interaction the
+  // optimizer exploits. It must beat duty=0.56 at neutral bias.
+  auto x = decent_design();
+  x[4] = 0.56;
+  x[3] = 0.5;  // duty_eff = 0.56 + 0.15*(0.5-0.9) = 0.5
+  const auto compensated = evaluate_classe(x);
+  x[3] = 0.9;  // duty_eff = 0.56
+  const auto off = evaluate_classe(x);
+  EXPECT_GT(compensated.drain_eff, off.drain_eff);
+}
+
+TEST(ClassE, ShuntCapDetuningHurts) {
+  auto x = decent_design();
+  const auto base = evaluate_classe(x);
+  x[6] = 0.1;  // way under the ZVS optimum
+  const auto detuned = evaluate_classe(x);
+  EXPECT_GT(base.drain_eff, detuned.drain_eff);
+}
+
+TEST(ClassE, BiggerChokeNeverHurts) {
+  auto x = decent_design();
+  x[11] = 10.0;
+  const auto small = evaluate_classe(x);
+  x[11] = 100.0;
+  const auto big = evaluate_classe(x);
+  EXPECT_GE(big.drain_eff, small.drain_eff);
+}
+
+TEST(ClassE, UndersizedDriverCostsEfficiency) {
+  auto x = decent_design();
+  x[1] = 0.02;  // tiny driver for a 5 mm switch
+  const auto weak = evaluate_classe(x);
+  x[1] = 0.5;
+  const auto strong = evaluate_classe(x);
+  EXPECT_GT(strong.drain_eff, weak.drain_eff);
+}
+
+TEST(ClassE, MatchingNetworkTransformsDown) {
+  // Larger Cm -> larger Q -> smaller transformed R.
+  auto x = decent_design();
+  x[10] = 10.0;
+  const auto mild = evaluate_classe(x);
+  x[10] = 45.0;
+  const auto strong = evaluate_classe(x);
+  EXPECT_LT(strong.r_loaded, mild.r_loaded);
+}
+
+TEST(ClassE, WholeBoxEvaluatesFinite) {
+  Rng rng(2);
+  const auto b = classe_bounds();
+  ASSERT_EQ(b.dim(), kClassEDim);
+  for (int i = 0; i < 500; ++i) {
+    Vec x(b.dim());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] = rng.uniform(b.lower[j], b.upper[j]);
+    }
+    const auto p = evaluate_classe(x);
+    EXPECT_TRUE(std::isfinite(p.fom));
+    EXPECT_TRUE(std::isfinite(p.pae));
+    EXPECT_TRUE(std::isfinite(p.pout_w));
+  }
+}
+
+TEST(ClassE, DeterministicEvaluation) {
+  const auto a = evaluate_classe(decent_design());
+  const auto b = evaluate_classe(decent_design());
+  EXPECT_DOUBLE_EQ(a.fom, b.fom);
+}
+
+TEST(ClassE, RejectsWrongDimension) {
+  EXPECT_THROW(evaluate_classe({1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace easybo::circuit

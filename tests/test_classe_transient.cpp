@@ -1,0 +1,150 @@
+// Tests for the transient class-E simulator: energy conservation,
+// steady-state behaviour, the ZVS sweet spot, and agreement with the
+// classic class-E design equations and the analytic benchmark model.
+
+#include "circuit/classe_transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.h"
+
+namespace easybo::circuit {
+namespace {
+
+/// Sokal-tuned parameters at 900 MHz for a given loaded R: C1 =
+/// 0.1836/(w R), series resonator tuned so its residual reactance is
+/// X = 1.1525 R above resonance.
+ClassETransientParams sokal_design(double r, double vdd, double ron) {
+  ClassETransientParams p;
+  p.vdd = vdd;
+  p.ron = ron;
+  p.r_load = r;
+  p.freq = 900e6;
+  const double w = 2.0 * std::numbers::pi * p.freq;
+  p.c1 = 0.1836 / (w * r);
+  // High-Q resonator: pick L0 for Q ~ 8, then set C0 so that
+  // w L0 - 1/(w C0) = 1.1525 R.
+  p.l0 = 8.0 * r / w;
+  const double x_l0 = w * p.l0;
+  p.c0 = 1.0 / (w * (x_l0 - 1.1525 * r));
+  p.lc = 30.0 * r / w * 10.0;  // big choke
+  p.duty = 0.5;
+  return p;
+}
+
+TEST(ClassETransient, ConvergesToSteadyState) {
+  const auto r = simulate_classe_transient(sokal_design(1.5, 2.5, 0.05));
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.cycles_run, 1u);
+  EXPECT_LT(r.cycles_run, 200u);
+}
+
+TEST(ClassETransient, NearIdealSwitchIsNearLossless) {
+  // With a tiny Ron, the only loss is conduction: drain efficiency should
+  // be well above 90% at the Sokal tuning.
+  const auto r = simulate_classe_transient(sokal_design(1.5, 2.5, 0.01));
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.drain_eff, 0.90);
+  EXPECT_LE(r.drain_eff, 1.0 + 1e-9);
+}
+
+TEST(ClassETransient, OutputPowerNearSokalPrediction) {
+  // Pout ~ 0.5768 Vdd^2 / R for the nominal design.
+  const double vdd = 2.5, r_load = 1.5;
+  const auto r = simulate_classe_transient(sokal_design(r_load, vdd, 0.01));
+  ASSERT_TRUE(r.converged);
+  const double predicted = 0.5768 * vdd * vdd / r_load;
+  EXPECT_NEAR(r.p_out, predicted, 0.35 * predicted);
+}
+
+TEST(ClassETransient, PeakSwitchVoltageNear3p56Vdd) {
+  const double vdd = 2.0;
+  const auto r = simulate_classe_transient(sokal_design(1.5, vdd, 0.01));
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.v_switch_peak, 3.56 * vdd, 0.8 * vdd);
+}
+
+TEST(ClassETransient, ZvsNearZeroAtSokalTuning) {
+  const double vdd = 2.5;
+  const auto tuned = simulate_classe_transient(sokal_design(1.5, vdd, 0.02));
+  ASSERT_TRUE(tuned.converged);
+  // Turn-on voltage small relative to the peak (~3.56 Vdd).
+  EXPECT_LT(tuned.v_switch_at_on, 0.35 * vdd);
+}
+
+TEST(ClassETransient, DetuningBreaksZvsAndEfficiency) {
+  auto detuned = sokal_design(1.5, 2.5, 0.02);
+  detuned.c1 *= 3.0;  // badly over-shunted
+  const auto bad = simulate_classe_transient(detuned);
+  const auto good = simulate_classe_transient(sokal_design(1.5, 2.5, 0.02));
+  ASSERT_TRUE(bad.converged && good.converged);
+  EXPECT_LT(bad.drain_eff, good.drain_eff);
+}
+
+TEST(ClassETransient, BiggerRonLowersEfficiency) {
+  const auto crisp = simulate_classe_transient(sokal_design(1.5, 2.5, 0.02));
+  const auto mushy = simulate_classe_transient(sokal_design(1.5, 2.5, 0.6));
+  ASSERT_TRUE(crisp.converged && mushy.converged);
+  EXPECT_GT(crisp.drain_eff, mushy.drain_eff + 0.1);
+}
+
+TEST(ClassETransient, EnergyBalanceHolds) {
+  // In steady state, everything the supply delivers goes to the load or
+  // the switch: p_out <= p_dc always (passivity).
+  for (double ron : {0.02, 0.2, 0.5}) {
+    const auto r = simulate_classe_transient(sokal_design(1.5, 2.5, ron));
+    ASSERT_TRUE(r.converged);
+    EXPECT_GT(r.p_dc, 0.0);
+    EXPECT_LE(r.p_out, r.p_dc * (1.0 + 1e-6)) << "ron=" << ron;
+  }
+}
+
+TEST(ClassETransient, StiffOnPhaseIsStable) {
+  // Ron*C1 far below the step size: the trapezoidal integrator must not
+  // blow up (an explicit RK would).
+  auto p = sokal_design(1.5, 2.5, 0.005);
+  p.c1 = 1e-12;
+  p.steps_per_cycle = 64;
+  const auto r = simulate_classe_transient(p);
+  EXPECT_TRUE(std::isfinite(r.p_out));
+  EXPECT_TRUE(std::isfinite(r.p_dc));
+  EXPECT_LE(r.p_out, r.p_dc + 1e-6);
+}
+
+TEST(ClassETransient, ResolutionConvergence) {
+  // Doubling the step resolution should barely change the measured power.
+  auto lo = sokal_design(1.5, 2.5, 0.05);
+  lo.steps_per_cycle = 256;
+  auto hi = lo;
+  hi.steps_per_cycle = 1024;
+  const auto rl = simulate_classe_transient(lo);
+  const auto rh = simulate_classe_transient(hi);
+  ASSERT_TRUE(rl.converged && rh.converged);
+  EXPECT_NEAR(rl.p_out, rh.p_out, 0.05 * rh.p_out);
+  EXPECT_NEAR(rl.drain_eff, rh.drain_eff, 0.05);
+}
+
+TEST(ClassETransient, RejectsNonPhysicalParameters) {
+  ClassETransientParams p;
+  p.vdd = 0.0;
+  EXPECT_THROW(simulate_classe_transient(p), InvalidArgument);
+  p = ClassETransientParams{};
+  p.duty = 1.0;
+  EXPECT_THROW(simulate_classe_transient(p), InvalidArgument);
+  p = ClassETransientParams{};
+  p.steps_per_cycle = 4;
+  EXPECT_THROW(simulate_classe_transient(p), InvalidArgument);
+}
+
+TEST(ClassETransient, DeterministicResults) {
+  const auto a = simulate_classe_transient(sokal_design(1.5, 2.5, 0.1));
+  const auto b = simulate_classe_transient(sokal_design(1.5, 2.5, 0.1));
+  EXPECT_DOUBLE_EQ(a.p_out, b.p_out);
+  EXPECT_DOUBLE_EQ(a.p_dc, b.p_dc);
+}
+
+}  // namespace
+}  // namespace easybo::circuit

@@ -1,0 +1,175 @@
+// Tests for constrained asynchronous EasyBO (bo/constrained.h) and the
+// BUCB / LP extension acquisitions in the engine.
+
+#include "bo/constrained.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/engine.h"
+#include "circuit/testfunc.h"
+#include "common/error.h"
+
+namespace easybo::bo {
+namespace {
+
+BoConfig quick_config(std::uint64_t seed) {
+  BoConfig c;
+  c.mode = Mode::AsyncBatch;
+  c.acq = AcqKind::EasyBo;
+  c.penalize = true;
+  c.batch = 4;
+  c.init_points = 12;
+  c.max_sims = 60;
+  c.seed = seed;
+  c.acq_opt.sobol_candidates = 128;
+  c.acq_opt.random_candidates = 64;
+  c.acq_opt.refine_evals = 60;
+  c.trainer.max_iters = 20;
+  c.trainer.restarts = 1;
+  return c;
+}
+
+// Maximize x+y on [0,1]^2 subject to x + y <= 1 (feasible optimum: the
+// x+y=1 line, value 1).
+TEST(ConstrainedBo, FindsConstrainedOptimumOnSimplex) {
+  opt::Bounds bounds{{0.0, 0.0}, {1.0, 1.0}};
+  auto objective = [](const linalg::Vec& x) { return x[0] + x[1]; };
+  std::vector<Constraint> cons = {
+      {"sum<=1", [](const linalg::Vec& x) { return 1.0 - x[0] - x[1]; }}};
+
+  const auto r = run_constrained_bo(quick_config(1), bounds, objective, cons);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_GT(r.best_y, 0.9);
+  EXPECT_LE(r.best_y, 1.0 + 1e-9);
+  EXPECT_GE(r.best_constraints[0], 0.0);
+}
+
+TEST(ConstrainedBo, BestIsActuallyFeasible) {
+  // Unconstrained optimum of the sphere is at 0, but we require x0 >= 1:
+  // the feasible optimum sits on the constraint boundary.
+  opt::Bounds bounds{{-3.0, -3.0}, {3.0, 3.0}};
+  auto objective = [](const linalg::Vec& x) {
+    return -(x[0] * x[0] + x[1] * x[1]);
+  };
+  std::vector<Constraint> cons = {
+      {"x0>=1", [](const linalg::Vec& x) { return x[0] - 1.0; }}};
+
+  const auto r = run_constrained_bo(quick_config(2), bounds, objective, cons);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_GE(r.best_x[0], 1.0 - 1e-9);
+  // Feasible optimum is -1 (at x = (1, 0)).
+  EXPECT_GT(r.best_y, -1.6);
+}
+
+TEST(ConstrainedBo, MultipleConstraintsAllRespected) {
+  opt::Bounds bounds{{0.0, 0.0}, {2.0, 2.0}};
+  auto objective = [](const linalg::Vec& x) { return x[0] * x[1]; };
+  std::vector<Constraint> cons = {
+      {"x0<=1.5", [](const linalg::Vec& x) { return 1.5 - x[0]; }},
+      {"x1<=1.0", [](const linalg::Vec& x) { return 1.0 - x[1]; }},
+  };
+  const auto r = run_constrained_bo(quick_config(3), bounds, objective, cons);
+  ASSERT_TRUE(r.found_feasible);
+  EXPECT_LE(r.best_x[0], 1.5 + 1e-9);
+  EXPECT_LE(r.best_x[1], 1.0 + 1e-9);
+  EXPECT_GT(r.best_y, 1.0);  // feasible max is 1.5
+}
+
+TEST(ConstrainedBo, ReportsInfeasibleWhenNothingSatisfies) {
+  opt::Bounds bounds{{0.0}, {1.0}};
+  auto objective = [](const linalg::Vec& x) { return x[0]; };
+  // Impossible constraint.
+  std::vector<Constraint> cons = {
+      {"impossible", [](const linalg::Vec&) { return -1.0; }}};
+  auto cfg = quick_config(4);
+  cfg.max_sims = 30;
+  const auto r = run_constrained_bo(cfg, bounds, objective, cons);
+  EXPECT_FALSE(r.found_feasible);
+  EXPECT_EQ(r.num_feasible, 0u);
+  EXPECT_EQ(r.num_evals(), 30u);
+}
+
+TEST(ConstrainedBo, SequentialModeWorks) {
+  opt::Bounds bounds{{0.0, 0.0}, {1.0, 1.0}};
+  auto objective = [](const linalg::Vec& x) { return x[0] + x[1]; };
+  std::vector<Constraint> cons = {
+      {"sum<=1", [](const linalg::Vec& x) { return 1.0 - x[0] - x[1]; }}};
+  auto cfg = quick_config(5);
+  cfg.mode = Mode::Sequential;
+  cfg.batch = 1;
+  const auto r = run_constrained_bo(cfg, bounds, objective, cons);
+  EXPECT_TRUE(r.found_feasible);
+  EXPECT_GT(r.best_y, 0.85);
+}
+
+TEST(ConstrainedBo, RejectsBadSetups) {
+  opt::Bounds bounds{{0.0}, {1.0}};
+  auto objective = [](const linalg::Vec& x) { return x[0]; };
+  std::vector<Constraint> cons = {
+      {"ok", [](const linalg::Vec&) { return 1.0; }}};
+
+  EXPECT_THROW(run_constrained_bo(quick_config(6), bounds, objective, {}),
+               InvalidArgument);
+  auto sync = quick_config(7);
+  sync.mode = Mode::SyncBatch;
+  EXPECT_THROW(run_constrained_bo(sync, bounds, objective, cons),
+               InvalidArgument);
+  std::vector<Constraint> null_con = {{"null", nullptr}};
+  EXPECT_THROW(
+      run_constrained_bo(quick_config(8), bounds, objective, null_con),
+      InvalidArgument);
+}
+
+TEST(ConstrainedBo, DeterministicForFixedSeed) {
+  opt::Bounds bounds{{0.0, 0.0}, {1.0, 1.0}};
+  auto objective = [](const linalg::Vec& x) { return x[0] + x[1]; };
+  std::vector<Constraint> cons = {
+      {"sum<=1", [](const linalg::Vec& x) { return 1.0 - x[0] - x[1]; }}};
+  const auto a = run_constrained_bo(quick_config(9), bounds, objective, cons);
+  const auto b = run_constrained_bo(quick_config(9), bounds, objective, cons);
+  EXPECT_DOUBLE_EQ(a.best_y, b.best_y);
+  EXPECT_EQ(a.num_feasible, b.num_feasible);
+}
+
+// ---------------------------------------------------------------------------
+// BUCB / LP extension acquisitions through the engine
+// ---------------------------------------------------------------------------
+
+TEST(ExtensionAcq, BucbRunsInBothBatchModes) {
+  const auto tf = easybo::circuit::sphere(2);
+  for (Mode mode : {Mode::SyncBatch, Mode::AsyncBatch}) {
+    auto cfg = quick_config(10);
+    cfg.acq = AcqKind::Bucb;
+    cfg.mode = mode;
+    const auto r = run_bo(cfg, tf.bounds, tf.fn);
+    EXPECT_EQ(r.num_evals(), cfg.max_sims);
+    EXPECT_GT(r.best_y, -1.0) << to_string(mode);
+  }
+}
+
+TEST(ExtensionAcq, LpRunsAndConverges) {
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick_config(11);
+  cfg.acq = AcqKind::Lp;
+  cfg.mode = Mode::AsyncBatch;
+  const auto r = run_bo(cfg, tf.bounds, tf.fn);
+  EXPECT_EQ(r.num_evals(), cfg.max_sims);
+  EXPECT_GT(r.best_y, -1.0);
+}
+
+TEST(ExtensionAcq, LabelsAndValidation) {
+  auto cfg = quick_config(12);
+  cfg.acq = AcqKind::Bucb;
+  cfg.mode = Mode::AsyncBatch;
+  cfg.batch = 7;
+  EXPECT_EQ(cfg.label(), "BUCB-7");
+  cfg.acq = AcqKind::Lp;
+  EXPECT_EQ(cfg.label(), "LP-7");
+  cfg.mode = Mode::Sequential;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace easybo::bo

@@ -1,0 +1,133 @@
+// Tests for the public facade: Problem, weighted FOM composition, the
+// Optimizer wrapper, and the real-threads parallel runner.
+
+#include "core/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "circuit/testfunc.h"
+#include "common/error.h"
+#include "core/problem.h"
+
+namespace easybo {
+namespace {
+
+Problem sphere_problem() {
+  const auto tf = circuit::sphere(2);
+  return Problem{"sphere", tf.bounds, tf.fn, nullptr};
+}
+
+BoConfig quick_config() {
+  BoConfig c;
+  c.mode = bo::Mode::AsyncBatch;
+  c.acq = bo::AcqKind::EasyBo;
+  c.penalize = true;
+  c.batch = 3;
+  c.init_points = 8;
+  c.max_sims = 24;
+  c.seed = 2;
+  c.acq_opt.sobol_candidates = 64;
+  c.acq_opt.random_candidates = 32;
+  c.acq_opt.refine_evals = 40;
+  c.trainer.max_iters = 15;
+  c.trainer.restarts = 1;
+  return c;
+}
+
+TEST(Problem, ValidatesEagerly) {
+  Problem p = sphere_problem();
+  EXPECT_NO_THROW(p.validate());
+  p.objective = nullptr;
+  EXPECT_THROW(p.validate(), InvalidArgument);
+  p = sphere_problem();
+  p.bounds.lower[0] = p.bounds.upper[0];
+  EXPECT_THROW(p.validate(), InvalidArgument);
+}
+
+TEST(WeightedFom, MatchesPaperEq1) {
+  // FOM = 1.2 f1 + 10 f2 (Eq. 1 style composition).
+  auto f1 = [](const linalg::Vec& x) { return x[0]; };
+  auto f2 = [](const linalg::Vec& x) { return x[1]; };
+  const auto fom = make_weighted_fom({f1, f2}, {1.2, 10.0});
+  EXPECT_NEAR(fom({2.0, 3.0}), 1.2 * 2.0 + 10.0 * 3.0, 1e-12);
+}
+
+TEST(WeightedFom, RejectsBadComposition) {
+  auto f = [](const linalg::Vec&) { return 0.0; };
+  EXPECT_THROW(make_weighted_fom({}, {}), InvalidArgument);
+  EXPECT_THROW(make_weighted_fom({f}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(make_weighted_fom({nullptr}, {1.0}), InvalidArgument);
+}
+
+TEST(Optimizer, RunsVirtualTime) {
+  Optimizer opt(sphere_problem(), quick_config());
+  const auto r = opt.optimize();
+  EXPECT_EQ(r.num_evals(), 24u);
+  EXPECT_GT(r.best_y, -3.0);
+  // Null sim_time -> every evaluation costs 1 virtual second.
+  for (const auto& e : r.evals) {
+    EXPECT_NEAR(e.finish - e.start, 1.0, 1e-12);
+  }
+}
+
+TEST(Optimizer, ConstructionValidates) {
+  auto cfg = quick_config();
+  cfg.max_sims = 4;  // below init_points
+  EXPECT_THROW(Optimizer(sphere_problem(), cfg), InvalidArgument);
+}
+
+TEST(OptimizeParallel, RunsWithRealThreads) {
+  // Objective sleeps a few ms so evaluations genuinely overlap.
+  Problem p = sphere_problem();
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  auto base = p.objective;
+  p.objective = [&, base](const linalg::Vec& x) {
+    const int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    --concurrent;
+    return base(x);
+  };
+
+  Optimizer opt(p, quick_config());
+  const auto r = opt.optimize_parallel(3);
+  EXPECT_EQ(r.num_evals(), 24u);
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GT(r.best_y, -3.0);
+  // With 3 workers and a 3 ms objective, some overlap must have occurred.
+  EXPECT_GE(peak.load(), 2);
+  // Worker slots within range; start/finish ordered.
+  for (const auto& e : r.evals) {
+    EXPECT_LT(e.worker, 3u);
+    EXPECT_LE(e.start, e.finish);
+  }
+}
+
+TEST(OptimizeParallel, RequiresAsyncEasyBo) {
+  auto cfg = quick_config();
+  cfg.mode = bo::Mode::Sequential;
+  Optimizer seq(sphere_problem(), cfg);
+  EXPECT_THROW(seq.optimize_parallel(2), InvalidArgument);
+
+  Optimizer ok(sphere_problem(), quick_config());
+  EXPECT_THROW(ok.optimize_parallel(0), InvalidArgument);
+}
+
+TEST(OptimizeParallel, FindsSameQualityAsVirtual) {
+  Optimizer opt(sphere_problem(), quick_config());
+  const auto virt = opt.optimize();
+  const auto real = opt.optimize_parallel(2);
+  // Different schedules, same machinery: both should be in the same
+  // quality regime on an easy problem.
+  EXPECT_GT(real.best_y, virt.best_y - 2.0);
+}
+
+}  // namespace
+}  // namespace easybo

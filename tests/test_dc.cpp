@@ -1,0 +1,200 @@
+// Tests for the nonlinear DC operating-point solver (spice/dc.h):
+// linear sanity, MOSFET bias points against square-law hand calculations,
+// current mirrors, and Newton robustness from a cold start.
+
+#include "spice/dc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace easybo::spice {
+namespace {
+
+using circuit::MosProcess;
+using circuit::MosType;
+
+TEST(DcSolver, ResistiveDividerLinearCheck) {
+  DcCircuit c;
+  const auto vdd = c.node("vdd");
+  const auto mid = c.node("mid");
+  c.add_vsource(vdd, kGround, 1.8);
+  c.add_resistor(vdd, mid, 30e3);
+  c.add_resistor(mid, kGround, 10e3);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.v(mid), 0.45, 1e-4);  // gmin leak ~ 3e-6 V
+  EXPECT_NEAR(sol.v(vdd), 1.8, 1e-9);
+}
+
+TEST(DcSolver, CurrentSourceIntoResistor) {
+  DcCircuit c;
+  const auto out = c.node("out");
+  c.add_isource(out, kGround, 1e-3);
+  c.add_resistor(out, kGround, 2e3);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.v(out), 2.0, 1e-4);  // gmin leak
+}
+
+TEST(DcSolver, DiodeConnectedNmosBiasPoint) {
+  // Force 100 uA into a diode-connected NMOS (W/L = 10): the square law
+  // predicts vgs = vth + sqrt(2 Id / (kp W/L)) (lambda small at vds = vgs).
+  DcCircuit c;
+  const auto d = c.node("d");
+  c.add_isource(d, kGround, 100e-6);
+  c.add_mosfet(MosType::Nmos, d, d, kGround, 10.0, 1.0);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+
+  const auto proc = MosProcess::nmos_180();
+  const double vov = std::sqrt(2.0 * 100e-6 / (proc.kp * 10.0));
+  EXPECT_NEAR(sol.v(d), proc.vth + vov, 0.03);  // lambda shifts it slightly
+  ASSERT_EQ(sol.drain_current.size(), 1u);
+  EXPECT_NEAR(sol.drain_current[0], 100e-6, 2e-6);
+}
+
+TEST(DcSolver, CommonSourceOperatingPoint) {
+  // NMOS with vgs = 0.8 V, RD = 5 kOhm from 1.8 V. Saturation current
+  // Id ~ kp/2 (W/L) vov^2 (1 + lam vds); solve consistency numerically and
+  // check KVL: v(out) = vdd - Id * RD.
+  DcCircuit c;
+  const auto vdd = c.node("vdd");
+  const auto gate = c.node("gate");
+  const auto out = c.node("out");
+  c.add_vsource(vdd, kGround, 1.8);
+  c.add_vsource(gate, kGround, 0.8);
+  c.add_resistor(vdd, out, 5e3);
+  c.add_mosfet(MosType::Nmos, out, gate, kGround, 20.0, 1.0);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+
+  const double id = sol.drain_current[0];
+  EXPECT_NEAR(sol.v(out), 1.8 - id * 5e3, 1e-4);  // KVL (gmin leak)
+  // Ballpark of the square law (vov = 0.35 V, beta = 3.4 mA/V^2).
+  const auto proc = MosProcess::nmos_180();
+  const double beta = proc.kp * 20.0;
+  const double ballpark = 0.5 * beta * 0.35 * 0.35;
+  EXPECT_NEAR(id, ballpark, 0.4 * ballpark);
+  // Device must actually be saturated at this bias.
+  EXPECT_GT(sol.v(out), 0.35);
+}
+
+TEST(DcSolver, NmosCurrentMirrorCopiesCurrent) {
+  // Classic mirror: reference branch (diode-connected M1) carries 50 uA;
+  // M2 (same geometry) drives a load held at a saturating voltage.
+  DcCircuit c;
+  const auto ref = c.node("ref");
+  const auto out = c.node("out");
+  c.add_isource(ref, kGround, 50e-6);
+  c.add_mosfet(MosType::Nmos, ref, ref, kGround, 10.0, 1.0);
+  c.add_mosfet(MosType::Nmos, out, ref, kGround, 10.0, 1.0);
+  c.add_vsource(out, kGround, 1.0);  // keeps M2 in saturation
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  // Mirror ratio 1:1 up to channel-length modulation (vds differ).
+  EXPECT_NEAR(sol.drain_current[1], 50e-6, 6e-6);
+}
+
+TEST(DcSolver, MirrorRatioScalesWithWidth) {
+  DcCircuit c;
+  const auto ref = c.node("ref");
+  const auto out = c.node("out");
+  c.add_isource(ref, kGround, 50e-6);
+  c.add_mosfet(MosType::Nmos, ref, ref, kGround, 10.0, 1.0);
+  c.add_mosfet(MosType::Nmos, out, ref, kGround, 40.0, 1.0);  // 4x wider
+  c.add_vsource(out, kGround, 1.0);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.drain_current[1] / sol.drain_current[0], 4.0, 0.5);
+}
+
+TEST(DcSolver, PmosSourceFollowerPolarity) {
+  // PMOS with source at VDD, gate at VDD-1.0, drain to ground through R:
+  // conducts with |vgs| = 1.0 > vth.
+  DcCircuit c;
+  const auto vdd = c.node("vdd");
+  const auto gate = c.node("gate");
+  const auto out = c.node("out");
+  c.add_vsource(vdd, kGround, 1.8);
+  c.add_vsource(gate, kGround, 0.8);
+  c.add_mosfet(MosType::Pmos, out, gate, vdd, 20.0, 1.0);
+  c.add_resistor(out, kGround, 5e3);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_GT(sol.v(out), 0.2);   // current flows, pulls the output up
+  EXPECT_LT(sol.v(out), 1.8);
+  // PMOS drain current flows OUT of the drain node (negative by our
+  // into-drain convention).
+  EXPECT_LT(sol.drain_current[0], 0.0);
+}
+
+TEST(DcSolver, CutoffDeviceConductsNothing) {
+  DcCircuit c;
+  const auto vdd = c.node("vdd");
+  const auto out = c.node("out");
+  c.add_vsource(vdd, kGround, 1.8);
+  c.add_resistor(vdd, out, 10e3);
+  // Gate grounded: vgs = 0 < vth -> cutoff; output pulled to VDD.
+  c.add_mosfet(MosType::Nmos, out, kGround, kGround, 10.0, 1.0);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.v(out), 1.8, 1e-3);
+  EXPECT_NEAR(sol.drain_current[0], 0.0, 1e-9);
+}
+
+TEST(DcSolver, ReversedDrainSourceHandled) {
+  // Wire the "drain" to ground and pull the "source" node high: the
+  // device operates with vds < 0 and the solver must swap terminals, not
+  // diverge. The pass device conducts, pulling vx close to ground.
+  DcCircuit c;
+  const auto vdd = c.node("vdd");
+  const auto x = c.node("x");
+  c.add_vsource(vdd, kGround, 1.8);
+  c.add_resistor(vdd, x, 10e3);
+  c.add_mosfet(MosType::Nmos, kGround, vdd, x, 10.0, 1.0);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_LT(sol.v(x), 0.3);
+}
+
+TEST(DcSolver, ConvergesFromColdStartOnStackedStages) {
+  // Two cascaded common-source stages: a multi-device nonlinear system.
+  DcCircuit c;
+  const auto vdd = c.node("vdd");
+  const auto bias = c.node("bias");
+  const auto mid = c.node("mid");
+  const auto out = c.node("out");
+  c.add_vsource(vdd, kGround, 1.8);
+  c.add_vsource(bias, kGround, 0.75);
+  c.add_resistor(vdd, mid, 8e3);
+  c.add_mosfet(MosType::Nmos, mid, bias, kGround, 15.0, 0.5);
+  c.add_resistor(vdd, out, 8e3);
+  c.add_mosfet(MosType::Nmos, out, mid, kGround, 15.0, 0.5);
+  const auto sol = solve_dc(c);
+  ASSERT_TRUE(sol.converged);
+  EXPECT_LT(sol.iterations, 150u);
+  for (NodeId k = 1; k < c.num_nodes(); ++k) {
+    EXPECT_GE(sol.v(k), -0.1);
+    EXPECT_LE(sol.v(k), 1.9);
+  }
+}
+
+TEST(DcSolver, RejectsBadInput) {
+  DcCircuit c;
+  EXPECT_THROW(solve_dc(c), InvalidArgument);  // no nodes
+  const auto a = c.node("a");
+  EXPECT_THROW(c.add_resistor(a, 99, 1e3), InvalidArgument);
+  EXPECT_THROW(c.add_mosfet(MosType::Nmos, a, a, a, 0.0, 1.0),
+               InvalidArgument);
+  DcOptions bad;
+  bad.max_iters = 0;
+  c.add_resistor(a, kGround, 1e3);
+  c.add_vsource(a, kGround, 1.0);
+  EXPECT_THROW(solve_dc(c, bad), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace easybo::spice

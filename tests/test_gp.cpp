@@ -1,0 +1,360 @@
+// Unit and property tests for the GP stack: kernels (values + analytic
+// gradients vs finite differences), posterior correctness (paper Eq. 2),
+// the hallucinated posterior (penalization scheme, §III-C), normalizers.
+
+#include "gp/gp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "gp/normalizer.h"
+#include "linalg/cholesky.h"
+
+namespace easybo::gp {
+namespace {
+
+std::vector<Vec> random_points(std::size_t n, std::size_t d, Rng& rng) {
+  std::vector<Vec> xs(n, Vec(d));
+  for (auto& x : xs) {
+    for (auto& v : x) v = rng.uniform();
+  }
+  return xs;
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+TEST(SeArd, ValueAtZeroDistanceIsSignalVariance) {
+  SquaredExponentialArd k(2.5, {0.7, 0.3});
+  EXPECT_DOUBLE_EQ(k({0.1, 0.2}, {0.1, 0.2}), 2.5);
+}
+
+TEST(SeArd, KnownValue) {
+  SquaredExponentialArd k(1.0, {1.0});
+  EXPECT_NEAR(k({0.0}, {1.0}), std::exp(-0.5), 1e-12);
+  EXPECT_NEAR(k({0.0}, {2.0}), std::exp(-2.0), 1e-12);
+}
+
+TEST(SeArd, LengthscaleAnisotropy) {
+  SquaredExponentialArd k(1.0, {0.1, 10.0});
+  // Same step is far along the short-lengthscale axis, near along the long.
+  EXPECT_LT(k({0, 0}, {0.5, 0}), k({0, 0}, {0, 0.5}));
+}
+
+TEST(SeArd, LogParamRoundTrip) {
+  SquaredExponentialArd k(3.0, {0.5, 2.0});
+  const Vec lp = k.log_params();
+  SquaredExponentialArd k2(2);
+  k2.set_log_params(lp);
+  EXPECT_NEAR(k2.signal_variance(), 3.0, 1e-12);
+  EXPECT_NEAR(k2.lengthscales()[0], 0.5, 1e-12);
+  EXPECT_NEAR(k2.lengthscales()[1], 2.0, 1e-12);
+}
+
+TEST(SeArd, RejectsBadParams) {
+  EXPECT_THROW(SquaredExponentialArd(-1.0, {1.0}), InvalidArgument);
+  EXPECT_THROW(SquaredExponentialArd(1.0, {0.0}), InvalidArgument);
+  SquaredExponentialArd k(2);
+  EXPECT_THROW(k.set_log_params({0.0}), InvalidArgument);
+}
+
+TEST(Matern52, ValueAtZeroDistanceIsSignalVariance) {
+  Matern52Ard k(1.7, {0.4, 0.9, 1.1});
+  Vec p = {0.3, 0.1, 0.8};
+  EXPECT_NEAR(k(p, p), 1.7, 1e-12);
+}
+
+TEST(Matern52, DecaysSlowerThanSeFar) {
+  SquaredExponentialArd se(1.0, {1.0});
+  Matern52Ard m(1.0, {1.0});
+  EXPECT_GT(m({0.0}, {3.0}), se({0.0}, {3.0}));
+}
+
+// Gradient check: analytic gram_gradients vs central finite differences.
+class KernelGradientCheck
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(KernelGradientCheck, MatchesFiniteDifferences) {
+  Rng rng(99);
+  auto kernel = make_kernel(GetParam(), 3);
+  Vec lp = kernel->log_params();
+  lp[0] = std::log(1.7);
+  lp[1] = std::log(0.4);
+  lp[2] = std::log(0.9);
+  lp[3] = std::log(1.3);
+  kernel->set_log_params(lp);
+
+  const auto xs = random_points(6, 3, rng);
+  const auto grads = kernel->gram_gradients(xs);
+  ASSERT_EQ(grads.size(), kernel->num_params());
+
+  const double h = 1e-6;
+  for (std::size_t p = 0; p < kernel->num_params(); ++p) {
+    Vec lp_plus = lp, lp_minus = lp;
+    lp_plus[p] += h;
+    lp_minus[p] -= h;
+    kernel->set_log_params(lp_plus);
+    const auto k_plus = kernel->gram(xs);
+    kernel->set_log_params(lp_minus);
+    const auto k_minus = kernel->gram(xs);
+    kernel->set_log_params(lp);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      for (std::size_t j = 0; j < xs.size(); ++j) {
+        const double fd = (k_plus(i, j) - k_minus(i, j)) / (2 * h);
+        EXPECT_NEAR(grads[p](i, j), fd, 1e-5)
+            << "param " << p << " entry (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, KernelGradientCheck,
+                         ::testing::Values("se", "matern52"));
+
+TEST(KernelFactory, KnownNamesAndErrors) {
+  EXPECT_EQ(make_kernel("se", 2)->name(), "SE-ARD");
+  EXPECT_EQ(make_kernel("matern52", 2)->name(), "Matern52-ARD");
+  EXPECT_THROW(make_kernel("linear", 2), InvalidArgument);
+}
+
+TEST(Kernel, GramIsSymmetricPsd) {
+  Rng rng(5);
+  for (const char* name : {"se", "matern52"}) {
+    auto kernel = make_kernel(name, 4);
+    const auto xs = random_points(20, 4, rng);
+    auto k = kernel->gram(xs);
+    // Symmetry.
+    for (std::size_t i = 0; i < 20; ++i) {
+      for (std::size_t j = 0; j < 20; ++j) {
+        EXPECT_DOUBLE_EQ(k(i, j), k(j, i));
+      }
+    }
+    // PSD: Cholesky with tiny jitter must succeed.
+    k.add_diagonal(1e-10);
+    EXPECT_NO_THROW(linalg::Cholesky{k});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GpRegressor posterior (Eq. 2)
+// ---------------------------------------------------------------------------
+
+GpRegressor make_fitted_1d() {
+  auto kernel = std::make_unique<SquaredExponentialArd>(1.0, Vec{0.3});
+  GpRegressor gp(std::move(kernel), 1e-8);
+  gp.set_data({{0.1}, {0.4}, {0.7}, {0.9}}, {0.5, -0.2, 0.3, 0.8});
+  gp.fit();
+  return gp;
+}
+
+TEST(GpRegressor, InterpolatesTrainingDataAtLowNoise) {
+  const auto gp = make_fitted_1d();
+  for (std::size_t i = 0; i < gp.num_points(); ++i) {
+    const auto p = gp.predict(gp.inputs()[i]);
+    EXPECT_NEAR(p.mean, gp.targets()[i], 1e-3);
+    EXPECT_LT(p.var, 1e-4);
+  }
+}
+
+TEST(GpRegressor, RevertsToPriorFarFromData) {
+  const auto gp = make_fitted_1d();
+  const auto p = gp.predict({100.0});
+  // Far away: mean -> empirical mean of y, var -> signal variance.
+  const double ymean = (0.5 - 0.2 + 0.3 + 0.8) / 4.0;
+  EXPECT_NEAR(p.mean, ymean, 1e-6);
+  EXPECT_NEAR(p.var, 1.0, 1e-6);
+}
+
+TEST(GpRegressor, VarianceIsNonNegativeEverywhere) {
+  const auto gp = make_fitted_1d();
+  for (double x = -1.0; x <= 2.0; x += 0.01) {
+    EXPECT_GE(gp.predict({x}).var, 0.0);
+  }
+}
+
+TEST(GpRegressor, ObservationVarAddsNoise) {
+  auto kernel = std::make_unique<SquaredExponentialArd>(1.0, Vec{0.3});
+  GpRegressor gp(std::move(kernel), 0.01);
+  gp.set_data({{0.5}}, {1.0});
+  gp.fit();
+  const auto p = gp.predict({0.5});
+  EXPECT_NEAR(gp.predict_observation_var({0.5}), p.var + 0.01, 1e-12);
+}
+
+TEST(GpRegressor, PosteriorMatchesDirectEq2) {
+  // Independent computation of Eq. 2 with explicit matrix algebra.
+  Rng rng(3);
+  const auto xs = random_points(8, 2, rng);
+  Vec ys(8);
+  for (std::size_t i = 0; i < 8; ++i) ys[i] = rng.normal();
+  const double noise = 0.01;
+
+  SquaredExponentialArd kernel(1.3, {0.4, 0.6});
+  auto gp_kernel = std::make_unique<SquaredExponentialArd>(kernel);
+  GpRegressor gp(std::move(gp_kernel), noise);
+  gp.set_data(xs, ys);
+  gp.fit();
+
+  // Direct: mu = m + k* K^{-1} (y - m), var = k** - k* K^{-1} k*^T.
+  double m = 0;
+  for (double y : ys) m += y;
+  m /= 8.0;
+  auto kmat = kernel.gram(xs);
+  kmat.add_diagonal(noise);
+  linalg::Cholesky chol(kmat);
+  Vec centered(8);
+  for (std::size_t i = 0; i < 8; ++i) centered[i] = ys[i] - m;
+  const Vec alpha = chol.solve(centered);
+
+  const Vec xstar = {0.3, 0.7};
+  const Vec kstar = kernel.cross(xstar, xs);
+  const double mu = m + linalg::dot(kstar, alpha);
+  const double var =
+      kernel(xstar, xstar) - linalg::dot(kstar, chol.solve(kstar));
+
+  const auto p = gp.predict(xstar);
+  EXPECT_NEAR(p.mean, mu, 1e-9);
+  EXPECT_NEAR(p.var, var, 1e-9);
+}
+
+TEST(GpRegressor, LmlGradientMatchesFiniteDifferences) {
+  Rng rng(17);
+  const auto xs = random_points(10, 2, rng);
+  Vec ys(10);
+  for (auto& y : ys) y = rng.normal();
+
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(2), 1e-3);
+  gp.set_data(xs, ys);
+  gp.fit();
+  const Vec lp = gp.log_hyperparams();
+  const Vec grad = gp.lml_gradient();
+  ASSERT_EQ(grad.size(), lp.size());
+
+  const double h = 1e-6;
+  for (std::size_t p = 0; p < lp.size(); ++p) {
+    Vec plus = lp, minus = lp;
+    plus[p] += h;
+    minus[p] -= h;
+    gp.set_log_hyperparams(plus);
+    gp.fit();
+    const double lml_plus = gp.log_marginal_likelihood();
+    gp.set_log_hyperparams(minus);
+    gp.fit();
+    const double lml_minus = gp.log_marginal_likelihood();
+    gp.set_log_hyperparams(lp);
+    gp.fit();
+    const double fd = (lml_plus - lml_minus) / (2 * h);
+    // Relative tolerance: gradients here are O(100).
+    EXPECT_NEAR(grad[p], fd, 1e-5 * std::max(1.0, std::abs(fd)))
+        << "hyperparameter " << p;
+  }
+}
+
+TEST(GpRegressor, AddPointInvalidatesFit) {
+  auto gp = make_fitted_1d();
+  EXPECT_TRUE(gp.fitted());
+  gp.add_point({0.5}, 0.0);
+  EXPECT_FALSE(gp.fitted());
+  EXPECT_THROW(gp.predict({0.5}), InvalidArgument);
+}
+
+TEST(GpRegressor, CopyIsDeep) {
+  auto gp = make_fitted_1d();
+  GpRegressor copy(gp);
+  copy.add_point({0.2}, 5.0);
+  copy.fit();
+  // Original unaffected.
+  EXPECT_EQ(gp.num_points(), 4u);
+  EXPECT_EQ(copy.num_points(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Hallucinated posterior — the EasyBO penalization scheme (§III-C)
+// ---------------------------------------------------------------------------
+
+TEST(Hallucination, ShrinksVarianceNearPendingPoint) {
+  const auto gp = make_fitted_1d();
+  const Vec pending_point = {0.25};
+  const auto aug = gp.with_hallucinated({pending_point});
+
+  // sigma-hat near the pending point collapses (this is what prevents
+  // redundant queries in the busy region)...
+  EXPECT_LT(aug.predict(pending_point).stddev(),
+            0.2 * gp.predict(pending_point).stddev());
+  // ...while the predictive MEAN is (nearly) unchanged there, because the
+  // pseudo-observation equals the current predictive mean.
+  EXPECT_NEAR(aug.predict(pending_point).mean,
+              gp.predict(pending_point).mean, 1e-4);
+}
+
+TEST(Hallucination, VarianceNeverIncreases) {
+  // Conditioning on more (pseudo-)data cannot increase GP variance.
+  const auto gp = make_fitted_1d();
+  const auto aug = gp.with_hallucinated({{0.25}, {0.55}});
+  for (double x = 0.0; x <= 1.0; x += 0.05) {
+    EXPECT_LE(aug.predict({x}).var, gp.predict({x}).var + 1e-9);
+  }
+}
+
+TEST(Hallucination, FarAwayUnaffected) {
+  const auto gp = make_fitted_1d();
+  const auto aug = gp.with_hallucinated({{0.25}});
+  // Several lengthscales away, the pseudo point has negligible influence.
+  EXPECT_NEAR(aug.predict({3.0}).var, gp.predict({3.0}).var, 1e-3);
+}
+
+TEST(Hallucination, RequiresFittedModel) {
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1), 1e-6);
+  gp.set_data({{0.0}}, {0.0});
+  EXPECT_THROW(gp.with_hallucinated({{0.5}}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Normalizers
+// ---------------------------------------------------------------------------
+
+TEST(BoxNormalizer, RoundTrip) {
+  BoxNormalizer box({-2.0, 10.0}, {2.0, 30.0});
+  const Vec x = {1.0, 15.0};
+  const Vec u = box.to_unit(x);
+  EXPECT_NEAR(u[0], 0.75, 1e-12);
+  EXPECT_NEAR(u[1], 0.25, 1e-12);
+  const Vec back = box.from_unit(u);
+  EXPECT_NEAR(back[0], x[0], 1e-12);
+  EXPECT_NEAR(back[1], x[1], 1e-12);
+}
+
+TEST(BoxNormalizer, RejectsDegenerateBounds) {
+  EXPECT_THROW(BoxNormalizer({0.0}, {0.0}), InvalidArgument);
+  EXPECT_THROW(BoxNormalizer({0.0, 1.0}, {1.0}), InvalidArgument);
+}
+
+TEST(ZScore, StandardizesSample) {
+  ZScore z;
+  z.refit({2.0, 4.0, 6.0});
+  EXPECT_NEAR(z.mean(), 4.0, 1e-12);
+  EXPECT_NEAR(z.transform(4.0), 0.0, 1e-12);
+  EXPECT_NEAR(z.inverse(z.transform(6.0)), 6.0, 1e-12);
+  EXPECT_NEAR(z.inverse_stddev(1.0), z.scale(), 1e-12);
+}
+
+TEST(ZScore, DegenerateSampleFallsBackToUnitScale) {
+  ZScore z;
+  z.refit({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(z.scale(), 1.0);
+  EXPECT_DOUBLE_EQ(z.transform(6.0), 1.0);
+}
+
+TEST(ZScore, EmptySampleIsIdentity) {
+  ZScore z;
+  z.refit({});
+  EXPECT_DOUBLE_EQ(z.transform(3.0), 3.0);
+}
+
+}  // namespace
+}  // namespace easybo::gp

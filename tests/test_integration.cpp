@@ -1,0 +1,129 @@
+// Integration tests: miniature versions of the paper's experiments wired
+// end-to-end through the real circuit benchmarks, checking the qualitative
+// SHAPE of the paper's findings at test-sized budgets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bo/engine.h"
+#include "circuit/benchmark.h"
+#include "common/rng.h"
+#include "opt/random_search.h"
+
+namespace easybo {
+namespace {
+
+bo::BoConfig mini(bo::Mode mode, bo::AcqKind acq, bool penalize,
+                  std::size_t batch, std::uint64_t seed) {
+  bo::BoConfig c;
+  c.mode = mode;
+  c.acq = acq;
+  c.penalize = penalize;
+  c.batch = batch;
+  c.init_points = 12;
+  c.max_sims = 50;
+  c.seed = seed;
+  c.acq_opt.sobol_candidates = 128;
+  c.acq_opt.random_candidates = 64;
+  c.acq_opt.refine_evals = 60;
+  c.trainer.max_iters = 20;
+  c.trainer.restarts = 1;
+  return c;
+}
+
+TEST(Integration, EasyBoBeatsRandomSearchOnOpamp) {
+  const auto bench = circuit::make_opamp_benchmark();
+  double bo_sum = 0.0, rs_sum = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const auto cfg = mini(bo::Mode::AsyncBatch, bo::AcqKind::EasyBo, true, 5,
+                          seed);
+    bo_sum += bo::run_bo(cfg, bench.bounds, bench.fom).best_y;
+    Rng rng(seed);
+    rs_sum += opt::random_search_maximize(bench.fom, bench.bounds, rng, 50)
+                  .best_y;
+  }
+  EXPECT_GT(bo_sum / 3.0, rs_sum / 3.0);
+}
+
+TEST(Integration, AsyncSavesWallClockOnOpamp) {
+  // Fixed #sims: the async issue policy must finish sooner than the sync
+  // barrier policy (the paper's central claim, Table I time column).
+  const auto bench = circuit::make_opamp_benchmark();
+  auto sim = [&bench](const linalg::Vec& x) { return bench.sim_time(x); };
+
+  double sync_time = 0.0, async_time = 0.0;
+  for (std::uint64_t seed : {1u, 2u}) {
+    sync_time += bo::run_bo(mini(bo::Mode::SyncBatch, bo::AcqKind::EasyBo,
+                                 true, 5, seed),
+                            bench.bounds, bench.fom, sim)
+                     .makespan;
+    async_time += bo::run_bo(mini(bo::Mode::AsyncBatch, bo::AcqKind::EasyBo,
+                                  true, 5, seed),
+                             bench.bounds, bench.fom, sim)
+                      .makespan;
+  }
+  EXPECT_LT(async_time, sync_time);
+}
+
+TEST(Integration, AsyncSavingLargerOnClasseThanOpamp) {
+  // The class-E sim-time model has a much larger CV, so the relative async
+  // saving must be larger there (paper: 9-14% op-amp vs 27-40% class-E).
+  auto relative_saving = [](const circuit::SizingBenchmark& bench,
+                            std::uint64_t seed) {
+    auto sim = [&bench](const linalg::Vec& x) { return bench.sim_time(x); };
+    const double sync =
+        bo::run_bo(mini(bo::Mode::SyncBatch, bo::AcqKind::EasyBo, true, 8,
+                        seed),
+                   bench.bounds, bench.fom, sim)
+            .makespan;
+    const double async =
+        bo::run_bo(mini(bo::Mode::AsyncBatch, bo::AcqKind::EasyBo, true, 8,
+                        seed),
+                   bench.bounds, bench.fom, sim)
+            .makespan;
+    return 1.0 - async / sync;
+  };
+
+  const double opamp_saving =
+      relative_saving(circuit::make_opamp_benchmark(), 5);
+  const double classe_saving =
+      relative_saving(circuit::make_classe_benchmark(), 5);
+  EXPECT_GT(classe_saving, opamp_saving);
+}
+
+TEST(Integration, PenalizedBatchMoreRobustThanUnpenalized) {
+  // EasyBO vs EasyBO-S on the op-amp: across seeds, the penalized
+  // asynchronous variant should have the better WORST case (the paper's
+  // Table I story: EasyBO-S worst 456 vs EasyBO worst 688).
+  const auto bench = circuit::make_opamp_benchmark();
+  double worst_pen = 1e300, worst_unpen = 1e300;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto pen = bo::run_bo(
+        mini(bo::Mode::AsyncBatch, bo::AcqKind::EasyBo, true, 6, seed),
+        bench.bounds, bench.fom);
+    const auto unpen = bo::run_bo(
+        mini(bo::Mode::SyncBatch, bo::AcqKind::EasyBo, false, 6, seed),
+        bench.bounds, bench.fom);
+    worst_pen = std::min(worst_pen, pen.best_y);
+    worst_unpen = std::min(worst_unpen, unpen.best_y);
+  }
+  // Allow a small epsilon: at mini budgets the gap can be narrow.
+  EXPECT_GT(worst_pen, worst_unpen - 10.0);
+}
+
+TEST(Integration, ClasseEndToEnd) {
+  const auto bench = circuit::make_classe_benchmark();
+  auto sim = [&bench](const linalg::Vec& x) { return bench.sim_time(x); };
+  const auto r = bo::run_bo(
+      mini(bo::Mode::AsyncBatch, bo::AcqKind::EasyBo, true, 5, 9),
+      bench.bounds, bench.fom, sim);
+  EXPECT_EQ(r.num_evals(), 50u);
+  // 50 sims on the class-E landscape should comfortably beat FOM 0
+  // (random sampling hovers near -2.8).
+  EXPECT_GT(r.best_y, 0.0);
+  EXPECT_GT(r.utilization(5), 0.5);
+}
+
+}  // namespace
+}  // namespace easybo

@@ -1,0 +1,223 @@
+// Unit and property tests for linalg: vector helpers, Matrix algebra,
+// Cholesky factorization with jitter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "linalg/cholesky.h"
+#include "linalg/matrix.h"
+#include "linalg/vec.h"
+
+namespace easybo::linalg {
+namespace {
+
+TEST(Vec, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_THROW(dot({1}, {1, 2}), InvalidArgument);
+}
+
+TEST(Vec, Distances) {
+  EXPECT_DOUBLE_EQ(dist_sq({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Vec, AxpyAndArithmetic) {
+  Vec y = {1, 1};
+  axpy(2.0, {3, 4}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  const Vec s = add({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  const Vec d = sub({1, 2}, {3, 4});
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+  const Vec sc = scale(0.5, {2, 4});
+  EXPECT_DOUBLE_EQ(sc[1], 2.0);
+  EXPECT_DOUBLE_EQ(sum({1, 2, 3}), 6.0);
+}
+
+TEST(Vec, ArgExtrema) {
+  EXPECT_EQ(argmax({1.0, 5.0, 3.0}), 1u);
+  EXPECT_EQ(argmin({1.0, 5.0, 3.0}), 0u);
+  EXPECT_THROW(argmax({}), InvalidArgument);
+}
+
+TEST(Vec, BoxHelpers) {
+  const Vec lo = {0, 0}, hi = {1, 1};
+  const Vec c = clamp_to_box({-0.5, 1.5}, lo, hi);
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 1.0);
+  EXPECT_TRUE(inside_box({0.5, 0.5}, lo, hi));
+  EXPECT_FALSE(inside_box({1.5, 0.5}, lo, hi));
+}
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_THROW(m.at(2, 0), InvalidArgument);
+  EXPECT_THROW(Matrix({{1, 2}, {3}}), InvalidArgument);
+}
+
+TEST(Matrix, IdentityAndFromRows) {
+  const auto i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 2), 0.0);
+  const auto m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 1), 4.0);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatVec) {
+  Matrix a = {{1, 2}, {3, 4}};
+  const Vec y = a * Vec{1, 1};
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const Vec bad = {1, 2, 3};
+  EXPECT_THROW(a * bad, InvalidArgument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.transposed().approx_equal(a, 0.0));
+}
+
+TEST(Matrix, TransposeTimesMatchesExplicit) {
+  Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  const Vec x = {1, -1, 2};
+  const Vec via_helper = transpose_times(a, x);
+  const Vec via_explicit = a.transposed() * x;
+  EXPECT_DOUBLE_EQ(via_helper[0], via_explicit[0]);
+  EXPECT_DOUBLE_EQ(via_helper[1], via_explicit[1]);
+}
+
+TEST(Matrix, GramMatchesExplicit) {
+  Matrix a = {{1, 2}, {3, 4}, {5, 6}};
+  const Matrix g = gram(a);
+  EXPECT_TRUE(g.approx_equal(a.transposed() * a, 1e-12));
+}
+
+TEST(Matrix, DiagonalAndNorms) {
+  Matrix a = {{1, 2}, {3, 4}};
+  a.add_diagonal(10.0);
+  EXPECT_DOUBLE_EQ(a(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 14.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 14.0);
+  EXPECT_NEAR(a.frobenius_norm(),
+              std::sqrt(11. * 11 + 2 * 2 + 3 * 3 + 14 * 14), 1e-12);
+}
+
+TEST(Matrix, Symmetrize) {
+  Matrix a = {{1, 2}, {4, 3}};
+  a.symmetrize();
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 3.0);
+}
+
+TEST(Cholesky, FactorsKnownMatrix) {
+  // A = L L^T with L = [[2,0],[1,3]] -> A = [[4,2],[2,10]].
+  Matrix a = {{4, 2}, {2, 10}};
+  Cholesky chol(a);
+  EXPECT_NEAR(chol.factor()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(chol.factor()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(chol.factor()(1, 1), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(chol.jitter_used(), 0.0);
+}
+
+TEST(Cholesky, SolveMatchesDirect) {
+  Matrix a = {{4, 2}, {2, 10}};
+  const Vec rhs = {6.0, 24.0};
+  const Vec x = Cholesky(a).solve(rhs);
+  // Verify A x = b.
+  EXPECT_NEAR(4 * x[0] + 2 * x[1], 6.0, 1e-10);
+  EXPECT_NEAR(2 * x[0] + 10 * x[1], 24.0, 1e-10);
+}
+
+TEST(Cholesky, LogDetKnown) {
+  Matrix a = {{4, 2}, {2, 10}};  // det = 36
+  EXPECT_NEAR(Cholesky(a).log_det(), std::log(36.0), 1e-10);
+}
+
+TEST(Cholesky, InverseTimesOriginalIsIdentity) {
+  Matrix a = {{5, 1, 0}, {1, 4, 1}, {0, 1, 3}};
+  const Matrix inv = Cholesky(a).inverse();
+  EXPECT_TRUE((a * inv).approx_equal(Matrix::identity(3), 1e-9));
+}
+
+TEST(Cholesky, JitterRecoversSingularMatrix) {
+  // Rank-1 PSD matrix: classic hallucination-duplicate scenario.
+  Matrix a = {{1, 1}, {1, 1}};
+  Cholesky chol(a);
+  EXPECT_GT(chol.jitter_used(), 0.0);
+  // The factor reconstructs A up to the added jitter.
+  const Matrix l = chol.factor();
+  Matrix recon(2, 2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      double v = 0;
+      for (std::size_t k = 0; k < 2; ++k) v += l(i, k) * l(j, k);
+      recon(i, j) = v;
+    }
+  }
+  EXPECT_TRUE(recon.approx_equal(a, 1e-3));
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+  Matrix a = {{1, 0}, {0, -5}};
+  EXPECT_THROW(Cholesky(a, 1e-10, 3), NumericalError);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(Cholesky{a}, InvalidArgument);
+}
+
+// Property test: random SPD matrices factor and solve accurately.
+class CholeskySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskySweep, RandomSpdRoundTrip) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n));
+  // SPD via B^T B + n*I.
+  Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.normal();
+  }
+  Matrix a = gram(b);
+  a.add_diagonal(static_cast<double>(n));
+
+  Cholesky chol(a);
+  Vec rhs(static_cast<std::size_t>(n));
+  for (auto& v : rhs) v = rng.normal();
+  const Vec x = chol.solve(rhs);
+  const Vec back = a * x;
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    EXPECT_NEAR(back[i], rhs[i], 1e-7 * a.max_abs());
+  }
+  // solve_lower consistency: ||L^{-1} r||^2 == r^T A^{-1} r.
+  const Vec z = chol.solve_lower(rhs);
+  EXPECT_NEAR(dot(z, z), dot(rhs, chol.solve(rhs)), 1e-6 * dot(rhs, rhs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskySweep,
+                         ::testing::Values(1, 2, 5, 16, 64, 128));
+
+}  // namespace
+}  // namespace easybo::linalg

@@ -1,0 +1,73 @@
+// Tests for the square-law MOSFET small-signal model.
+
+#include "circuit/mosfet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace easybo::circuit {
+namespace {
+
+TEST(Mosfet, GmMatchesSquareLaw) {
+  // gm = sqrt(2 kp (W/L) Id) with kp = 170u.
+  const auto ss = mos_small_signal(MosType::Nmos, 10.0, 1.0, 100e-6);
+  EXPECT_NEAR(ss.gm, std::sqrt(2.0 * 170e-6 * 10.0 * 100e-6), 1e-12);
+}
+
+TEST(Mosfet, GmVovIdentity) {
+  // Square law: gm = 2 Id / Vov.
+  const auto ss = mos_small_signal(MosType::Nmos, 20.0, 0.5, 200e-6);
+  EXPECT_NEAR(ss.gm, 2.0 * 200e-6 / ss.vov, 1e-9);
+}
+
+TEST(Mosfet, GmScalesWithSqrtCurrent) {
+  const auto a = mos_small_signal(MosType::Nmos, 10.0, 1.0, 100e-6);
+  const auto b = mos_small_signal(MosType::Nmos, 10.0, 1.0, 400e-6);
+  EXPECT_NEAR(b.gm / a.gm, 2.0, 1e-9);
+}
+
+TEST(Mosfet, LongerChannelHigherRo) {
+  const auto short_l = mos_small_signal(MosType::Nmos, 10.0, 0.18, 100e-6);
+  const auto long_l = mos_small_signal(MosType::Nmos, 10.0, 1.8, 100e-6);
+  EXPECT_GT(long_l.ro, 9.0 * short_l.ro);
+  EXPECT_NEAR(short_l.ro * short_l.gds, 1.0, 1e-12);
+}
+
+TEST(Mosfet, PmosSlowerThanNmos) {
+  const auto n = mos_small_signal(MosType::Nmos, 10.0, 1.0, 100e-6);
+  const auto p = mos_small_signal(MosType::Pmos, 10.0, 1.0, 100e-6);
+  EXPECT_GT(n.gm, p.gm);  // kp_n > kp_p at equal geometry and current
+}
+
+TEST(Mosfet, CapacitancesScaleWithGeometry) {
+  const auto small = mos_small_signal(MosType::Nmos, 5.0, 0.5, 50e-6);
+  const auto wide = mos_small_signal(MosType::Nmos, 50.0, 0.5, 50e-6);
+  EXPECT_NEAR(wide.cgd / small.cgd, 10.0, 1e-9);
+  EXPECT_NEAR(wide.cdb / small.cdb, 10.0, 1e-9);
+  EXPECT_GT(wide.cgs, 9.0 * small.cgs);
+  EXPECT_GT(small.cgs, small.cgd);  // Cgs dominated by the channel term
+}
+
+TEST(Mosfet, RejectsNonPhysicalInputs) {
+  EXPECT_THROW(mos_small_signal(MosType::Nmos, 0.0, 1.0, 1e-6),
+               InvalidArgument);
+  EXPECT_THROW(mos_small_signal(MosType::Nmos, 1.0, -1.0, 1e-6),
+               InvalidArgument);
+  EXPECT_THROW(mos_small_signal(MosType::Nmos, 1.0, 1.0, 0.0),
+               InvalidArgument);
+}
+
+TEST(MosProcess, ProcessConstantsSane) {
+  const auto n = MosProcess::nmos_180();
+  const auto p = MosProcess::pmos_180();
+  EXPECT_GT(n.kp, p.kp);
+  EXPECT_GT(n.vth, 0.2);
+  EXPECT_LT(n.vth, 0.8);
+  EXPECT_GT(n.cox, 0.0);
+}
+
+}  // namespace
+}  // namespace easybo::circuit

@@ -1,0 +1,127 @@
+// Tests for the op-amp benchmark: measured metrics behave like a two-stage
+// Miller op-amp should, the FOM matches its definition, and the whole box
+// evaluates without throwing.
+
+#include "circuit/opamp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/sampling.h"
+
+namespace easybo::circuit {
+namespace {
+
+Vec nominal_design() {
+  //      w12  l12  w34  l34  w6    l6   itail  i2    cc      rz
+  return {40.0, 0.5, 30.0, 0.5, 100.0, 0.3, 100e-6, 500e-6, 2e-12, 500.0};
+}
+
+TEST(OpAmp, NominalDesignIsReasonable) {
+  const auto p = evaluate_opamp(nominal_design());
+  EXPECT_TRUE(p.stable);
+  EXPECT_GT(p.gain_db, 40.0);
+  EXPECT_LT(p.gain_db, 120.0);
+  EXPECT_GT(p.ugf_hz, 1e6);
+  EXPECT_LT(p.ugf_hz, 10e9);
+}
+
+TEST(OpAmp, FomMatchesDefinition) {
+  const auto p = evaluate_opamp(nominal_design());
+  ASSERT_TRUE(p.stable);
+  EXPECT_NEAR(p.fom,
+              1.2 * p.gain_db + 10.0 * (p.ugf_hz / 1e8) +
+                  1.6 * std::min(p.pm_deg, 90.0),
+              1e-9);
+  EXPECT_NEAR(opamp_fom(nominal_design()), p.fom, 1e-12);
+}
+
+TEST(OpAmp, MoreMillerCapLowersUgf) {
+  // UGF ~ gm1 / (2 pi Cc): doubling Cc should cut UGF roughly in half.
+  auto x = nominal_design();
+  const auto base = evaluate_opamp(x);
+  x[8] *= 2.0;
+  const auto heavy = evaluate_opamp(x);
+  ASSERT_TRUE(base.stable && heavy.stable);
+  EXPECT_LT(heavy.ugf_hz, base.ugf_hz);
+  EXPECT_NEAR(heavy.ugf_hz / base.ugf_hz, 0.5, 0.15);
+}
+
+TEST(OpAmp, MoreTailCurrentRaisesUgf) {
+  auto x = nominal_design();
+  const auto base = evaluate_opamp(x);
+  x[6] *= 4.0;  // gm1 ~ sqrt(Id): UGF should roughly double
+  const auto hot = evaluate_opamp(x);
+  ASSERT_TRUE(base.stable && hot.stable);
+  EXPECT_NEAR(hot.ugf_hz / base.ugf_hz, 2.0, 0.4);
+}
+
+TEST(OpAmp, LongerChannelsRaiseGain) {
+  auto x = nominal_design();
+  const auto base = evaluate_opamp(x);
+  x[1] = 2.0;  // l12
+  x[3] = 2.0;  // l34
+  const auto longer = evaluate_opamp(x);
+  EXPECT_GT(longer.gain_db, base.gain_db + 6.0);
+}
+
+TEST(OpAmp, MillerCompensationImprovesPhaseMargin) {
+  auto x = nominal_design();
+  x[8] = 0.2e-12;  // minimal Cc
+  const auto under = evaluate_opamp(x);
+  x[8] = 4e-12;
+  const auto over = evaluate_opamp(x);
+  ASSERT_TRUE(under.stable && over.stable);
+  EXPECT_GT(over.pm_deg, under.pm_deg);
+}
+
+TEST(OpAmp, BoundsHaveDocumentedShape) {
+  const auto b = opamp_bounds();
+  ASSERT_EQ(b.dim(), kOpAmpDim);
+  b.validate();
+  EXPECT_DOUBLE_EQ(b.lower[1], 0.18);  // minimum channel length, 180 nm
+}
+
+TEST(OpAmp, WholeBoxEvaluatesFinite) {
+  // Property sweep: every in-box design returns a finite FOM, no throws.
+  Rng rng(1);
+  const auto b = opamp_bounds();
+  for (int i = 0; i < 300; ++i) {
+    Vec x(b.dim());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] = rng.uniform(b.lower[j], b.upper[j]);
+    }
+    const auto p = evaluate_opamp(x);
+    EXPECT_TRUE(std::isfinite(p.fom));
+    EXPECT_TRUE(std::isfinite(p.gain_db));
+  }
+}
+
+TEST(OpAmp, CornersEvaluateFinite) {
+  const auto b = opamp_bounds();
+  for (int corner = 0; corner < (1 << 10); corner += 73) {  // sparse sample
+    Vec x(b.dim());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] = ((corner >> j) & 1) ? b.upper[j] : b.lower[j];
+    }
+    EXPECT_TRUE(std::isfinite(evaluate_opamp(x).fom));
+  }
+}
+
+TEST(OpAmp, DeterministicEvaluation) {
+  const auto a = evaluate_opamp(nominal_design());
+  const auto b = evaluate_opamp(nominal_design());
+  EXPECT_DOUBLE_EQ(a.fom, b.fom);
+  EXPECT_DOUBLE_EQ(a.ugf_hz, b.ugf_hz);
+}
+
+TEST(OpAmp, RejectsWrongDimension) {
+  EXPECT_THROW(evaluate_opamp({1.0, 2.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace easybo::circuit

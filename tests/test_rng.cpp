@@ -1,0 +1,179 @@
+// Unit tests for common/rng.h: determinism, distribution sanity,
+// permutation/sampling correctness.
+
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace easybo {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMomentsMatch) {
+  Rng rng(11);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.uniform());
+  EXPECT_NEAR(rs.mean(), 0.5, 0.01);
+  EXPECT_NEAR(rs.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), InvalidArgument);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.normal());
+  EXPECT_NEAR(rs.mean(), 0.0, 0.02);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(19);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng(23);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.index(7)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform (expected 1000)
+}
+
+TEST(Rng, IndexZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, IntegerInclusiveBounds) {
+  Rng rng(29);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.integer(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(37);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(41);
+  const auto p = rng.permutation(100);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) fixed += (p[i] == i);
+  EXPECT_LT(fixed, 15u);  // expected ~1 fixed point
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const auto s = rng.sample_without_replacement(20, 10);
+  std::set<std::size_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 10u);
+  for (auto v : s) EXPECT_LT(v, 20u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullPopulation) {
+  Rng rng(47);
+  const auto s = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(1);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), InvalidArgument);
+}
+
+TEST(Rng, SpawnGivesIndependentStream) {
+  Rng parent(53);
+  Rng child = parent.spawn();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SpawnIsDeterministic) {
+  Rng a(59), b(59);
+  Rng ca = a.spawn(), cb = b.spawn();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, UniformVectorLength) {
+  Rng rng(61);
+  EXPECT_EQ(rng.uniform_vector(17).size(), 17u);
+}
+
+TEST(Rng, SplitMix64KnownValue) {
+  // Reference value from the splitmix64 reference implementation.
+  std::uint64_t s = 0;
+  const std::uint64_t v = splitmix64(s);
+  EXPECT_EQ(s, 0x9E3779B97F4A7C15ull);
+  EXPECT_NE(v, 0ull);
+}
+
+}  // namespace
+}  // namespace easybo

@@ -1,0 +1,187 @@
+// Tests for the virtual-time scheduler: event ordering, utilization
+// accounting, and the synchronous-vs-asynchronous policy comparison that
+// underlies the paper's Fig. 1 and all wall-clock columns.
+
+#include "sched/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace easybo::sched {
+namespace {
+
+TEST(VirtualScheduler, SingleJobLifecycle) {
+  VirtualScheduler s(2);
+  EXPECT_EQ(s.num_workers(), 2u);
+  EXPECT_TRUE(s.has_idle_worker());
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+
+  s.submit(/*tag=*/7, /*duration=*/5.0);
+  EXPECT_EQ(s.num_running(), 1u);
+  const auto job = s.wait_next();
+  EXPECT_EQ(job.tag, 7u);
+  EXPECT_DOUBLE_EQ(job.start, 0.0);
+  EXPECT_DOUBLE_EQ(job.finish, 5.0);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.num_idle(), 2u);
+}
+
+TEST(VirtualScheduler, CompletionsInFinishOrder) {
+  VirtualScheduler s(3);
+  s.submit(0, 9.0);
+  s.submit(1, 3.0);
+  s.submit(2, 6.0);
+  EXPECT_EQ(s.wait_next().tag, 1u);
+  EXPECT_EQ(s.wait_next().tag, 2u);
+  EXPECT_EQ(s.wait_next().tag, 0u);
+  EXPECT_DOUBLE_EQ(s.now(), 9.0);
+}
+
+TEST(VirtualScheduler, AsyncReuseOfFreedWorker) {
+  VirtualScheduler s(2);
+  s.submit(0, 4.0);
+  s.submit(1, 10.0);
+  const auto first = s.wait_next();  // tag 0 at t=4
+  EXPECT_EQ(first.tag, 0u);
+  s.submit(2, 2.0);  // starts at t=4 on the freed worker
+  const auto second = s.wait_next();
+  EXPECT_EQ(second.tag, 2u);
+  EXPECT_DOUBLE_EQ(second.start, 4.0);
+  EXPECT_DOUBLE_EQ(second.finish, 6.0);
+}
+
+TEST(VirtualScheduler, RejectsMisuse) {
+  VirtualScheduler s(1);
+  EXPECT_THROW(s.wait_next(), InvalidArgument);  // nothing running
+  s.submit(0, 1.0);
+  EXPECT_THROW(s.submit(1, 1.0), InvalidArgument);  // no idle worker
+  EXPECT_THROW(VirtualScheduler(0), InvalidArgument);
+  VirtualScheduler s2(1);
+  EXPECT_THROW(s2.submit(0, 0.0), InvalidArgument);  // non-positive duration
+}
+
+TEST(VirtualScheduler, WaitAllIsABarrier) {
+  VirtualScheduler s(3);
+  s.submit(0, 1.0);
+  s.submit(1, 7.0);
+  s.submit(2, 3.0);
+  const auto done = s.wait_all();
+  EXPECT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.now(), 7.0);
+  EXPECT_EQ(s.num_idle(), 3u);
+}
+
+TEST(VirtualScheduler, BusyTimeAndUtilization) {
+  VirtualScheduler s(2);
+  s.submit(0, 4.0);
+  s.submit(1, 8.0);
+  s.wait_all();
+  EXPECT_DOUBLE_EQ(s.total_busy_time(), 12.0);
+  // 12 busy seconds over 2 workers * 8s horizon.
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.75);
+}
+
+TEST(VirtualScheduler, TraceRecordsEverySubmission) {
+  VirtualScheduler s(2);
+  s.submit(10, 1.0);
+  s.submit(11, 2.0);
+  s.wait_all();
+  s.submit(12, 3.0);
+  ASSERT_EQ(s.trace().size(), 3u);
+  EXPECT_EQ(s.trace()[0].tag, 10u);
+  EXPECT_DOUBLE_EQ(s.trace()[2].start, 2.0);
+}
+
+TEST(VirtualScheduler, WorkersNeverOverlap) {
+  // Property: on each worker, job intervals are disjoint.
+  Rng rng(1);
+  VirtualScheduler s(4);
+  std::size_t issued = 0;
+  while (issued < 100 || s.num_running() > 0) {
+    while (s.has_idle_worker() && issued < 100) {
+      s.submit(issued++, rng.uniform(0.5, 10.0));
+    }
+    if (s.num_running() > 0) s.wait_next();
+  }
+  auto trace = s.trace();
+  std::sort(trace.begin(), trace.end(),
+            [](const JobRecord& a, const JobRecord& b) {
+              return a.worker == b.worker ? a.start < b.start
+                                          : a.worker < b.worker;
+            });
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace[i].worker == trace[i - 1].worker) {
+      EXPECT_GE(trace[i].start, trace[i - 1].finish - 1e-12);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// compare_policies — the Fig. 1 story
+// ---------------------------------------------------------------------------
+
+TEST(ComparePolicies, Fig1Example) {
+  // Batch of 3 workers; heterogeneous durations make the sync schedule
+  // wait for stragglers every batch.
+  const std::vector<double> durations = {5, 1, 1, 5, 1, 1, 5, 1, 1};
+  const auto cmp = compare_policies(durations, 3);
+  // Sync: 3 batches, each dominated by the 5s job -> 15s.
+  EXPECT_DOUBLE_EQ(cmp.sync_makespan, 15.0);
+  // Async: total work 21s over 3 workers; the greedy schedule packs the
+  // short jobs behind the long ones.
+  EXPECT_LT(cmp.async_makespan, cmp.sync_makespan);
+  EXPECT_GT(cmp.async_utilization, cmp.sync_utilization);
+}
+
+TEST(ComparePolicies, UniformDurationsShowNoGap) {
+  const std::vector<double> durations(12, 2.0);
+  const auto cmp = compare_policies(durations, 4);
+  EXPECT_DOUBLE_EQ(cmp.sync_makespan, cmp.async_makespan);
+  EXPECT_DOUBLE_EQ(cmp.sync_utilization, 1.0);
+  EXPECT_DOUBLE_EQ(cmp.async_utilization, 1.0);
+}
+
+TEST(ComparePolicies, AsyncNeverSlower) {
+  // Property over random workloads: async makespan <= sync makespan, and
+  // both respect the trivial lower bounds.
+  Rng rng(2);
+  for (int rep = 0; rep < 25; ++rep) {
+    const std::size_t n = 10 + rng.index(40);
+    const std::size_t workers = 2 + rng.index(6);
+    std::vector<double> durations(n);
+    double total = 0.0, longest = 0.0;
+    for (auto& d : durations) {
+      d = rng.uniform(0.1, 20.0);
+      total += d;
+      longest = std::max(longest, d);
+    }
+    const auto cmp = compare_policies(durations, workers);
+    EXPECT_LE(cmp.async_makespan, cmp.sync_makespan + 1e-9);
+    EXPECT_GE(cmp.async_makespan,
+              std::max(longest, total / static_cast<double>(workers)) -
+                  1e-9);
+    EXPECT_LE(cmp.async_utilization, 1.0 + 1e-12);
+  }
+}
+
+TEST(ComparePolicies, GapGrowsWithBatchSizeOnSkewedWork) {
+  // The paper: "the time reduction effect will deteriorate quickly" for
+  // sync as B grows. With heavy-tailed durations, the relative async
+  // saving should be larger at B=15 than at B=5.
+  Rng rng(3);
+  std::vector<double> durations(300);
+  for (auto& d : durations) d = std::exp(rng.normal(0.0, 0.6));
+  const auto b5 = compare_policies(durations, 5);
+  const auto b15 = compare_policies(durations, 15);
+  const double saving5 = 1.0 - b5.async_makespan / b5.sync_makespan;
+  const double saving15 = 1.0 - b15.async_makespan / b15.sync_makespan;
+  EXPECT_GT(saving15, saving5);
+}
+
+}  // namespace
+}  // namespace easybo::sched

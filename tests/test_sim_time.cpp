@@ -1,0 +1,166 @@
+// Tests for the deterministic simulation-time model and the calibrated
+// benchmark bundles.
+
+#include "circuit/sim_time_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/benchmark.h"
+#include "circuit/classe.h"
+#include "circuit/opamp.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace easybo::circuit {
+namespace {
+
+opt::Bounds unit_box(std::size_t d) {
+  return {Vec(d, 0.0), Vec(d, 1.0)};
+}
+
+TEST(SimTimeModel, DeterministicPerDesignPoint) {
+  SimTimeModel m(10.0, 0.5, 0.3, unit_box(3), 42);
+  const Vec x = {0.1, 0.7, 0.4};
+  EXPECT_DOUBLE_EQ(m(x), m(x));
+}
+
+TEST(SimTimeModel, DifferentPointsDifferentTimes) {
+  SimTimeModel m(10.0, 0.5, 0.3, unit_box(3), 42);
+  EXPECT_NE(m({0.1, 0.2, 0.3}), m({0.9, 0.8, 0.7}));
+}
+
+TEST(SimTimeModel, AlwaysPositive) {
+  SimTimeModel m(10.0, 0.8, 0.5, unit_box(4), 7);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(m(rng.uniform_vector(4)), 0.0);
+  }
+}
+
+TEST(SimTimeModel, MeanNearBaseWithoutSpread) {
+  SimTimeModel m(20.0, 0.0, 0.0, unit_box(2), 1);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(m(rng.uniform_vector(2)), 20.0);
+  }
+}
+
+TEST(SimTimeModel, CoordinateSpanMovesSystematically) {
+  // With pure coordinate dependence (sigma = 0), the all-lower corner must
+  // be faster than the all-upper corner by the configured span.
+  SimTimeModel m(10.0, 0.8, 0.0, unit_box(3), 5);
+  const double fast = m({0.0, 0.0, 0.0});
+  const double slow = m({1.0, 1.0, 1.0});
+  EXPECT_NEAR(slow - fast, 0.8 * 10.0, 1e-9);
+  EXPECT_NEAR(0.5 * (slow + fast), 10.0, 1e-9);
+}
+
+TEST(SimTimeModel, SigmaControlsCoefficientOfVariation) {
+  Rng rng(3);
+  auto cv_for_sigma = [&](double sigma) {
+    SimTimeModel m(10.0, 0.0, sigma, unit_box(5), 11);
+    RunningStats rs;
+    for (int i = 0; i < 3000; ++i) rs.add(m(rng.uniform_vector(5)));
+    return rs.stddev() / rs.mean();
+  };
+  const double cv_small = cv_for_sigma(0.1);
+  const double cv_large = cv_for_sigma(0.5);
+  EXPECT_NEAR(cv_small, 0.1, 0.02);
+  EXPECT_GT(cv_large, 3.0 * cv_small);
+}
+
+TEST(SimTimeModel, RejectsBadParameters) {
+  EXPECT_THROW(SimTimeModel(0.0, 0.1, 0.1, unit_box(2), 1), InvalidArgument);
+  EXPECT_THROW(SimTimeModel(1.0, -0.1, 0.1, unit_box(2), 1),
+               InvalidArgument);
+  EXPECT_THROW(SimTimeModel(1.0, 0.1, -0.1, unit_box(2), 1),
+               InvalidArgument);
+  SimTimeModel m(1.0, 0.1, 0.1, unit_box(2), 1);
+  EXPECT_THROW(m({0.5}), InvalidArgument);  // dim mismatch
+}
+
+TEST(HashNormal, DeterministicAndRoughlyStandard) {
+  const Vec x = {0.3, 0.5};
+  EXPECT_DOUBLE_EQ(hash_normal(x, 1), hash_normal(x, 1));
+  EXPECT_NE(hash_normal(x, 1), hash_normal(x, 2));
+
+  Rng rng(4);
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    rs.add(hash_normal(rng.uniform_vector(3), 9));
+  }
+  EXPECT_NEAR(rs.mean(), 0.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Calibrated benchmark bundles
+// ---------------------------------------------------------------------------
+
+TEST(Benchmarks, OpampCalibration) {
+  const auto b = make_opamp_benchmark();
+  EXPECT_EQ(b.name, "opamp");
+  EXPECT_EQ(b.bounds.dim(), kOpAmpDim);
+  EXPECT_EQ(b.max_sims, 150u);
+  EXPECT_EQ(b.de_sims, 20000u);
+
+  // Mean sequential sim time ~ paper scale (1h36m for 150 sims ~ 39 s),
+  // with a modest CV (paper reports only ~9-14% async savings here).
+  Rng rng(5);
+  RunningStats rs;
+  for (int i = 0; i < 2000; ++i) {
+    Vec x(b.bounds.dim());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] = rng.uniform(b.bounds.lower[j], b.bounds.upper[j]);
+    }
+    rs.add(b.sim_time(x));
+  }
+  EXPECT_NEAR(rs.mean(), 38.7, 8.0);
+  const double cv = rs.stddev() / rs.mean();
+  EXPECT_GT(cv, 0.05);
+  EXPECT_LT(cv, 0.25);
+}
+
+TEST(Benchmarks, ClasseCalibration) {
+  const auto b = make_classe_benchmark();
+  EXPECT_EQ(b.name, "classe");
+  EXPECT_EQ(b.bounds.dim(), kClassEDim);
+  EXPECT_EQ(b.max_sims, 450u);
+  EXPECT_EQ(b.de_sims, 15000u);
+
+  Rng rng(6);
+  RunningStats rs;
+  for (int i = 0; i < 2000; ++i) {
+    Vec x(b.bounds.dim());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      x[j] = rng.uniform(b.bounds.lower[j], b.bounds.upper[j]);
+    }
+    rs.add(b.sim_time(x));
+  }
+  EXPECT_NEAR(rs.mean(), 52.7, 12.0);
+  // Large CV: this is what produces the paper's big async savings here.
+  const double cv = rs.stddev() / rs.mean();
+  EXPECT_GT(cv, 0.3);
+}
+
+TEST(Benchmarks, ObjectivesAreCallable) {
+  const auto opamp = make_opamp_benchmark();
+  Vec mid(opamp.bounds.dim());
+  for (std::size_t j = 0; j < mid.size(); ++j) {
+    mid[j] = 0.5 * (opamp.bounds.lower[j] + opamp.bounds.upper[j]);
+  }
+  EXPECT_TRUE(std::isfinite(opamp.fom(mid)));
+
+  const auto classe = make_classe_benchmark();
+  Vec mid2(classe.bounds.dim());
+  for (std::size_t j = 0; j < mid2.size(); ++j) {
+    mid2[j] = 0.5 * (classe.bounds.lower[j] + classe.bounds.upper[j]);
+  }
+  EXPECT_TRUE(std::isfinite(classe.fom(mid2)));
+}
+
+}  // namespace
+}  // namespace easybo::circuit

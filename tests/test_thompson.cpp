@@ -1,0 +1,158 @@
+// Tests for Thompson sampling and the GP-Hedge portfolio (acq/thompson.h)
+// plus their engine integration (AcqKind::Ts / AcqKind::Hedge).
+
+#include "acq/thompson.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "bo/engine.h"
+#include "circuit/testfunc.h"
+#include "common/error.h"
+
+namespace easybo::acq {
+namespace {
+
+using gp::GpRegressor;
+using gp::SquaredExponentialArd;
+
+GpRegressor make_model() {
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1.0, Vec{0.2}),
+                 1e-6);
+  gp.set_data({{0.1}, {0.3}, {0.5}, {0.7}, {0.9}},
+              {0.0, 0.5, 1.0, 0.4, -0.2});
+  gp.fit();
+  return gp;
+}
+
+TEST(ThompsonSampling, PrefersHighMeanRegions) {
+  const auto gp = make_model();
+  Rng rng(1);
+  // Candidates at the training points: x = 0.5 (y = 1.0) should win most
+  // draws since its posterior is tight around the highest value.
+  const std::vector<Vec> candidates = {{0.1}, {0.3}, {0.5}, {0.7}, {0.9}};
+  std::map<std::size_t, int> wins;
+  for (int i = 0; i < 200; ++i) {
+    ++wins[thompson_sample_argmax(gp, candidates, rng)];
+  }
+  EXPECT_GT(wins[2], 150);  // index of x = 0.5
+}
+
+TEST(ThompsonSampling, ExploresUncertainRegions) {
+  const auto gp = make_model();
+  Rng rng(2);
+  // A far-away candidate has prior variance 1 ~ the data range: it must
+  // win a non-trivial share of draws even though its mean is only the
+  // prior mean.
+  const std::vector<Vec> candidates = {{0.5}, {5.0}};
+  int exploratory = 0;
+  for (int i = 0; i < 400; ++i) {
+    exploratory += thompson_sample_argmax(gp, candidates, rng) == 1;
+  }
+  EXPECT_GT(exploratory, 40);
+  EXPECT_LT(exploratory, 360);
+}
+
+TEST(ThompsonSampling, DrawsAreRandomized) {
+  const auto gp = make_model();
+  Rng rng(3);
+  const std::vector<Vec> candidates = {{0.45}, {0.5}, {0.55}, {2.0}};
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 100; ++i) {
+    ++counts[thompson_sample_argmax(gp, candidates, rng)];
+  }
+  EXPECT_GE(counts.size(), 2u);  // not a deterministic argmax
+}
+
+TEST(ThompsonSampling, RejectsBadInput) {
+  const auto gp = make_model();
+  Rng rng(4);
+  EXPECT_THROW(thompson_sample_argmax(gp, {}, rng), InvalidArgument);
+}
+
+TEST(HedgePortfolio, UniformBeforeAnyReward) {
+  HedgePortfolio hedge(1.0);
+  Rng rng(5);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[hedge.choose(rng)];
+  for (std::size_t m = 0; m < HedgePortfolio::kMembers; ++m) {
+    EXPECT_GT(counts[m], 800);
+  }
+}
+
+TEST(HedgePortfolio, RewardShiftsProbabilityMass) {
+  HedgePortfolio hedge(1.0);
+  Rng rng(6);
+  for (int i = 0; i < 5; ++i) hedge.reward({2.0, 0.0, 0.0});
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 2000; ++i) ++counts[hedge.choose(rng)];
+  EXPECT_GT(counts[0], counts[1] * 5);
+  EXPECT_GT(counts[0], counts[2] * 5);
+}
+
+TEST(HedgePortfolio, GainsStayBounded) {
+  HedgePortfolio hedge(1.0);
+  for (int i = 0; i < 1000; ++i) hedge.reward({1.0, 0.5, 0.2});
+  for (double g : hedge.gains()) EXPECT_LE(g, 51.0);
+}
+
+TEST(HedgePortfolio, RejectsBadInput) {
+  EXPECT_THROW(HedgePortfolio(0.0), InvalidArgument);
+  HedgePortfolio hedge(1.0);
+  EXPECT_THROW(hedge.reward({1.0}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+// ---------------------------------------------------------------------------
+
+bo::BoConfig quick(bo::AcqKind acq, bo::Mode mode, std::uint64_t seed) {
+  bo::BoConfig c;
+  c.mode = mode;
+  c.acq = acq;
+  c.penalize = true;
+  c.batch = 4;
+  c.init_points = 10;
+  c.max_sims = 40;
+  c.seed = seed;
+  c.acq_opt.sobol_candidates = 96;
+  c.acq_opt.random_candidates = 32;
+  c.acq_opt.refine_evals = 50;
+  c.ts_candidates = 96;
+  c.trainer.max_iters = 15;
+  c.trainer.restarts = 1;
+  return c;
+}
+
+TEST(EngineIntegration, ThompsonConvergesOnSphere) {
+  const auto tf = easybo::circuit::sphere(2);
+  for (bo::Mode mode :
+       {bo::Mode::Sequential, bo::Mode::SyncBatch, bo::Mode::AsyncBatch}) {
+    auto cfg = quick(bo::AcqKind::Ts, mode, 7);
+    if (mode == bo::Mode::Sequential) cfg.batch = 1;
+    const auto r = bo::run_bo(cfg, tf.bounds, tf.fn);
+    EXPECT_EQ(r.num_evals(), cfg.max_sims);
+    EXPECT_GT(r.best_y, -3.0) << bo::to_string(mode);
+  }
+}
+
+TEST(EngineIntegration, HedgeConvergesOnSphere) {
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(bo::AcqKind::Hedge, bo::Mode::AsyncBatch, 8);
+  const auto r = bo::run_bo(cfg, tf.bounds, tf.fn);
+  EXPECT_EQ(r.num_evals(), cfg.max_sims);
+  EXPECT_GT(r.best_y, -2.0);
+}
+
+TEST(EngineIntegration, LabelsForNewKinds) {
+  auto cfg = quick(bo::AcqKind::Ts, bo::Mode::AsyncBatch, 9);
+  cfg.batch = 6;
+  EXPECT_EQ(cfg.label(), "TS-6");
+  cfg.acq = bo::AcqKind::Hedge;
+  EXPECT_EQ(cfg.label(), "Hedge-6");
+}
+
+}  // namespace
+}  // namespace easybo::acq

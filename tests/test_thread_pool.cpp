@@ -1,0 +1,80 @@
+// Tests for the fixed-size thread pool backing real-threads execution.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/error.h"
+
+namespace easybo {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 21 * 2; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, RunsManyTasksExactlyOnce) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 6; ++i) {
+    pool.submit([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++finished;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(finished.load(), 6);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> finished{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&finished] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ++finished;
+      });
+    }
+  }  // destructor joins
+  EXPECT_EQ(finished.load(), 10);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+}  // namespace
+}  // namespace easybo
