@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transient.dir/ablation_transient.cpp.o"
+  "CMakeFiles/ablation_transient.dir/ablation_transient.cpp.o.d"
+  "ablation_transient"
+  "ablation_transient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

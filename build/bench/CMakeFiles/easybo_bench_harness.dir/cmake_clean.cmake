@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/easybo_bench_harness.dir/harness.cpp.o.d"
+  "libeasybo_bench_harness.a"
+  "libeasybo_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_opamp_trace.dir/fig4_opamp_trace.cpp.o"
+  "CMakeFiles/fig4_opamp_trace.dir/fig4_opamp_trace.cpp.o.d"
+  "fig4_opamp_trace"
+  "fig4_opamp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_opamp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_classe_trace.dir/fig6_classe_trace.cpp.o"
+  "CMakeFiles/fig6_classe_trace.dir/fig6_classe_trace.cpp.o.d"
+  "fig6_classe_trace"
+  "fig6_classe_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_classe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

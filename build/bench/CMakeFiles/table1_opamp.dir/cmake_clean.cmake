@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_opamp.dir/table1_opamp.cpp.o"
+  "CMakeFiles/table1_opamp.dir/table1_opamp.cpp.o.d"
+  "table1_opamp"
+  "table1_opamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_opamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_classe.dir/table2_classe.cpp.o"
+  "CMakeFiles/table2_classe.dir/table2_classe.cpp.o.d"
+  "table2_classe"
+  "table2_classe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_classe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

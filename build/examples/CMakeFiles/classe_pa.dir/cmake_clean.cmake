@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classe_pa.dir/classe_pa.cpp.o"
+  "CMakeFiles/classe_pa.dir/classe_pa.cpp.o.d"
+  "classe_pa"
+  "classe_pa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classe_pa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_sizing.dir/constrained_sizing.cpp.o"
+  "CMakeFiles/constrained_sizing.dir/constrained_sizing.cpp.o.d"
+  "constrained_sizing"
+  "constrained_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_cli.dir/easybo_cli.cpp.o"
+  "CMakeFiles/easybo_cli.dir/easybo_cli.cpp.o.d"
+  "easybo_cli"
+  "easybo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

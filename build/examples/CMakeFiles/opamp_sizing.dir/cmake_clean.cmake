@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opamp_sizing.dir/opamp_sizing.cpp.o"
+  "CMakeFiles/opamp_sizing.dir/opamp_sizing.cpp.o.d"
+  "opamp_sizing"
+  "opamp_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opamp_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

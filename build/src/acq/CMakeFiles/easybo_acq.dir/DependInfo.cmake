@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acq/acq_optimizer.cpp" "src/acq/CMakeFiles/easybo_acq.dir/acq_optimizer.cpp.o" "gcc" "src/acq/CMakeFiles/easybo_acq.dir/acq_optimizer.cpp.o.d"
+  "/root/repo/src/acq/acquisition.cpp" "src/acq/CMakeFiles/easybo_acq.dir/acquisition.cpp.o" "gcc" "src/acq/CMakeFiles/easybo_acq.dir/acquisition.cpp.o.d"
+  "/root/repo/src/acq/thompson.cpp" "src/acq/CMakeFiles/easybo_acq.dir/thompson.cpp.o" "gcc" "src/acq/CMakeFiles/easybo_acq.dir/thompson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gp/CMakeFiles/easybo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/easybo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/easybo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easybo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_acq.dir/acq_optimizer.cpp.o"
+  "CMakeFiles/easybo_acq.dir/acq_optimizer.cpp.o.d"
+  "CMakeFiles/easybo_acq.dir/acquisition.cpp.o"
+  "CMakeFiles/easybo_acq.dir/acquisition.cpp.o.d"
+  "CMakeFiles/easybo_acq.dir/thompson.cpp.o"
+  "CMakeFiles/easybo_acq.dir/thompson.cpp.o.d"
+  "libeasybo_acq.a"
+  "libeasybo_acq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_acq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

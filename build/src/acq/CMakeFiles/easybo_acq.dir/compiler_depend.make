@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for easybo_acq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bo/config.cpp" "src/bo/CMakeFiles/easybo_bo.dir/config.cpp.o" "gcc" "src/bo/CMakeFiles/easybo_bo.dir/config.cpp.o.d"
+  "/root/repo/src/bo/constrained.cpp" "src/bo/CMakeFiles/easybo_bo.dir/constrained.cpp.o" "gcc" "src/bo/CMakeFiles/easybo_bo.dir/constrained.cpp.o.d"
+  "/root/repo/src/bo/engine.cpp" "src/bo/CMakeFiles/easybo_bo.dir/engine.cpp.o" "gcc" "src/bo/CMakeFiles/easybo_bo.dir/engine.cpp.o.d"
+  "/root/repo/src/bo/result.cpp" "src/bo/CMakeFiles/easybo_bo.dir/result.cpp.o" "gcc" "src/bo/CMakeFiles/easybo_bo.dir/result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acq/CMakeFiles/easybo_acq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/easybo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/easybo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/easybo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/easybo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easybo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_bo.dir/config.cpp.o"
+  "CMakeFiles/easybo_bo.dir/config.cpp.o.d"
+  "CMakeFiles/easybo_bo.dir/constrained.cpp.o"
+  "CMakeFiles/easybo_bo.dir/constrained.cpp.o.d"
+  "CMakeFiles/easybo_bo.dir/engine.cpp.o"
+  "CMakeFiles/easybo_bo.dir/engine.cpp.o.d"
+  "CMakeFiles/easybo_bo.dir/result.cpp.o"
+  "CMakeFiles/easybo_bo.dir/result.cpp.o.d"
+  "libeasybo_bo.a"
+  "libeasybo_bo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_bo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

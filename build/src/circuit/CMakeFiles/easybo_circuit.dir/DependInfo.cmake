@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/benchmark.cpp" "src/circuit/CMakeFiles/easybo_circuit.dir/benchmark.cpp.o" "gcc" "src/circuit/CMakeFiles/easybo_circuit.dir/benchmark.cpp.o.d"
+  "/root/repo/src/circuit/classe.cpp" "src/circuit/CMakeFiles/easybo_circuit.dir/classe.cpp.o" "gcc" "src/circuit/CMakeFiles/easybo_circuit.dir/classe.cpp.o.d"
+  "/root/repo/src/circuit/classe_transient.cpp" "src/circuit/CMakeFiles/easybo_circuit.dir/classe_transient.cpp.o" "gcc" "src/circuit/CMakeFiles/easybo_circuit.dir/classe_transient.cpp.o.d"
+  "/root/repo/src/circuit/mosfet.cpp" "src/circuit/CMakeFiles/easybo_circuit.dir/mosfet.cpp.o" "gcc" "src/circuit/CMakeFiles/easybo_circuit.dir/mosfet.cpp.o.d"
+  "/root/repo/src/circuit/opamp.cpp" "src/circuit/CMakeFiles/easybo_circuit.dir/opamp.cpp.o" "gcc" "src/circuit/CMakeFiles/easybo_circuit.dir/opamp.cpp.o.d"
+  "/root/repo/src/circuit/sim_time_model.cpp" "src/circuit/CMakeFiles/easybo_circuit.dir/sim_time_model.cpp.o" "gcc" "src/circuit/CMakeFiles/easybo_circuit.dir/sim_time_model.cpp.o.d"
+  "/root/repo/src/circuit/testfunc.cpp" "src/circuit/CMakeFiles/easybo_circuit.dir/testfunc.cpp.o" "gcc" "src/circuit/CMakeFiles/easybo_circuit.dir/testfunc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/easybo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/easybo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/easybo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easybo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_circuit.dir/benchmark.cpp.o"
+  "CMakeFiles/easybo_circuit.dir/benchmark.cpp.o.d"
+  "CMakeFiles/easybo_circuit.dir/classe.cpp.o"
+  "CMakeFiles/easybo_circuit.dir/classe.cpp.o.d"
+  "CMakeFiles/easybo_circuit.dir/classe_transient.cpp.o"
+  "CMakeFiles/easybo_circuit.dir/classe_transient.cpp.o.d"
+  "CMakeFiles/easybo_circuit.dir/mosfet.cpp.o"
+  "CMakeFiles/easybo_circuit.dir/mosfet.cpp.o.d"
+  "CMakeFiles/easybo_circuit.dir/opamp.cpp.o"
+  "CMakeFiles/easybo_circuit.dir/opamp.cpp.o.d"
+  "CMakeFiles/easybo_circuit.dir/sim_time_model.cpp.o"
+  "CMakeFiles/easybo_circuit.dir/sim_time_model.cpp.o.d"
+  "CMakeFiles/easybo_circuit.dir/testfunc.cpp.o"
+  "CMakeFiles/easybo_circuit.dir/testfunc.cpp.o.d"
+  "libeasybo_circuit.a"
+  "libeasybo_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

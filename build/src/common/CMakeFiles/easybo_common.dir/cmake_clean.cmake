@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_common.dir/error.cpp.o"
+  "CMakeFiles/easybo_common.dir/error.cpp.o.d"
+  "CMakeFiles/easybo_common.dir/format.cpp.o"
+  "CMakeFiles/easybo_common.dir/format.cpp.o.d"
+  "CMakeFiles/easybo_common.dir/rng.cpp.o"
+  "CMakeFiles/easybo_common.dir/rng.cpp.o.d"
+  "CMakeFiles/easybo_common.dir/sampling.cpp.o"
+  "CMakeFiles/easybo_common.dir/sampling.cpp.o.d"
+  "CMakeFiles/easybo_common.dir/stats.cpp.o"
+  "CMakeFiles/easybo_common.dir/stats.cpp.o.d"
+  "CMakeFiles/easybo_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/easybo_common.dir/thread_pool.cpp.o.d"
+  "libeasybo_common.a"
+  "libeasybo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

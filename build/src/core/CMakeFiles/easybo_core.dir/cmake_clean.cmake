@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_core.dir/optimizer.cpp.o"
+  "CMakeFiles/easybo_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/easybo_core.dir/problem.cpp.o"
+  "CMakeFiles/easybo_core.dir/problem.cpp.o.d"
+  "libeasybo_core.a"
+  "libeasybo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

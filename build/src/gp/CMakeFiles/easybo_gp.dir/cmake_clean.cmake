@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_gp.dir/gp.cpp.o"
+  "CMakeFiles/easybo_gp.dir/gp.cpp.o.d"
+  "CMakeFiles/easybo_gp.dir/kernel.cpp.o"
+  "CMakeFiles/easybo_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/easybo_gp.dir/normalizer.cpp.o"
+  "CMakeFiles/easybo_gp.dir/normalizer.cpp.o.d"
+  "CMakeFiles/easybo_gp.dir/trainer.cpp.o"
+  "CMakeFiles/easybo_gp.dir/trainer.cpp.o.d"
+  "libeasybo_gp.a"
+  "libeasybo_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/easybo_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/easybo_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/easybo_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/easybo_linalg.dir/vec.cpp.o"
+  "CMakeFiles/easybo_linalg.dir/vec.cpp.o.d"
+  "libeasybo_linalg.a"
+  "libeasybo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

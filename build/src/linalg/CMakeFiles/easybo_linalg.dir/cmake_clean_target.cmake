@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libeasybo_linalg.a"
+)

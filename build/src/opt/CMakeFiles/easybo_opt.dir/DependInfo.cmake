@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/de.cpp" "src/opt/CMakeFiles/easybo_opt.dir/de.cpp.o" "gcc" "src/opt/CMakeFiles/easybo_opt.dir/de.cpp.o.d"
+  "/root/repo/src/opt/nelder_mead.cpp" "src/opt/CMakeFiles/easybo_opt.dir/nelder_mead.cpp.o" "gcc" "src/opt/CMakeFiles/easybo_opt.dir/nelder_mead.cpp.o.d"
+  "/root/repo/src/opt/objective.cpp" "src/opt/CMakeFiles/easybo_opt.dir/objective.cpp.o" "gcc" "src/opt/CMakeFiles/easybo_opt.dir/objective.cpp.o.d"
+  "/root/repo/src/opt/pso.cpp" "src/opt/CMakeFiles/easybo_opt.dir/pso.cpp.o" "gcc" "src/opt/CMakeFiles/easybo_opt.dir/pso.cpp.o.d"
+  "/root/repo/src/opt/random_search.cpp" "src/opt/CMakeFiles/easybo_opt.dir/random_search.cpp.o" "gcc" "src/opt/CMakeFiles/easybo_opt.dir/random_search.cpp.o.d"
+  "/root/repo/src/opt/sa.cpp" "src/opt/CMakeFiles/easybo_opt.dir/sa.cpp.o" "gcc" "src/opt/CMakeFiles/easybo_opt.dir/sa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/easybo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easybo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

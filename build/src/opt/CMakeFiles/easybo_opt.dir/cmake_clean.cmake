@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_opt.dir/de.cpp.o"
+  "CMakeFiles/easybo_opt.dir/de.cpp.o.d"
+  "CMakeFiles/easybo_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/easybo_opt.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/easybo_opt.dir/objective.cpp.o"
+  "CMakeFiles/easybo_opt.dir/objective.cpp.o.d"
+  "CMakeFiles/easybo_opt.dir/pso.cpp.o"
+  "CMakeFiles/easybo_opt.dir/pso.cpp.o.d"
+  "CMakeFiles/easybo_opt.dir/random_search.cpp.o"
+  "CMakeFiles/easybo_opt.dir/random_search.cpp.o.d"
+  "CMakeFiles/easybo_opt.dir/sa.cpp.o"
+  "CMakeFiles/easybo_opt.dir/sa.cpp.o.d"
+  "libeasybo_opt.a"
+  "libeasybo_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

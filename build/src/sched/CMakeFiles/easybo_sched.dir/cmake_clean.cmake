@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_sched.dir/event_sim.cpp.o"
+  "CMakeFiles/easybo_sched.dir/event_sim.cpp.o.d"
+  "libeasybo_sched.a"
+  "libeasybo_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

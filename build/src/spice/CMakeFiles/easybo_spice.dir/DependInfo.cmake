@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/dc.cpp" "src/spice/CMakeFiles/easybo_spice.dir/dc.cpp.o" "gcc" "src/spice/CMakeFiles/easybo_spice.dir/dc.cpp.o.d"
+  "/root/repo/src/spice/measure.cpp" "src/spice/CMakeFiles/easybo_spice.dir/measure.cpp.o" "gcc" "src/spice/CMakeFiles/easybo_spice.dir/measure.cpp.o.d"
+  "/root/repo/src/spice/mna.cpp" "src/spice/CMakeFiles/easybo_spice.dir/mna.cpp.o" "gcc" "src/spice/CMakeFiles/easybo_spice.dir/mna.cpp.o.d"
+  "/root/repo/src/spice/netlist.cpp" "src/spice/CMakeFiles/easybo_spice.dir/netlist.cpp.o" "gcc" "src/spice/CMakeFiles/easybo_spice.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/easybo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easybo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

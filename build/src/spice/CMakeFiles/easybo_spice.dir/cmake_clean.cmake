@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easybo_spice.dir/dc.cpp.o"
+  "CMakeFiles/easybo_spice.dir/dc.cpp.o.d"
+  "CMakeFiles/easybo_spice.dir/measure.cpp.o"
+  "CMakeFiles/easybo_spice.dir/measure.cpp.o.d"
+  "CMakeFiles/easybo_spice.dir/mna.cpp.o"
+  "CMakeFiles/easybo_spice.dir/mna.cpp.o.d"
+  "CMakeFiles/easybo_spice.dir/netlist.cpp.o"
+  "CMakeFiles/easybo_spice.dir/netlist.cpp.o.d"
+  "libeasybo_spice.a"
+  "libeasybo_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easybo_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

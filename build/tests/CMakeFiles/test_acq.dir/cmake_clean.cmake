@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acq.dir/test_acq.cpp.o"
+  "CMakeFiles/test_acq.dir/test_acq.cpp.o.d"
+  "test_acq"
+  "test_acq.pdb"
+  "test_acq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acq_optimizer.dir/test_acq_optimizer.cpp.o"
+  "CMakeFiles/test_acq_optimizer.dir/test_acq_optimizer.cpp.o.d"
+  "test_acq_optimizer"
+  "test_acq_optimizer.pdb"
+  "test_acq_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acq_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bo_config.cpp" "tests/CMakeFiles/test_bo_config.dir/test_bo_config.cpp.o" "gcc" "tests/CMakeFiles/test_bo_config.dir/test_bo_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/easybo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bo/CMakeFiles/easybo_bo.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/easybo_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/acq/CMakeFiles/easybo_acq.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/easybo_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/easybo_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/easybo_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/easybo_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/easybo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/easybo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

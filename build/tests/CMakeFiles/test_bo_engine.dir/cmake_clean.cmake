@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bo_engine.dir/test_bo_engine.cpp.o"
+  "CMakeFiles/test_bo_engine.dir/test_bo_engine.cpp.o.d"
+  "test_bo_engine"
+  "test_bo_engine.pdb"
+  "test_bo_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bo_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

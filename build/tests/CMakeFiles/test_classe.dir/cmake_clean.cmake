@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classe.dir/test_classe.cpp.o"
+  "CMakeFiles/test_classe.dir/test_classe.cpp.o.d"
+  "test_classe"
+  "test_classe.pdb"
+  "test_classe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classe_transient.dir/test_classe_transient.cpp.o"
+  "CMakeFiles/test_classe_transient.dir/test_classe_transient.cpp.o.d"
+  "test_classe_transient"
+  "test_classe_transient.pdb"
+  "test_classe_transient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classe_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp_incremental.dir/test_gp_incremental.cpp.o"
+  "CMakeFiles/test_gp_incremental.dir/test_gp_incremental.cpp.o.d"
+  "test_gp_incremental"
+  "test_gp_incremental.pdb"
+  "test_gp_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gp_trainer.dir/test_gp_trainer.cpp.o"
+  "CMakeFiles/test_gp_trainer.dir/test_gp_trainer.cpp.o.d"
+  "test_gp_trainer"
+  "test_gp_trainer.pdb"
+  "test_gp_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gp_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opamp.dir/test_opamp.cpp.o"
+  "CMakeFiles/test_opamp.dir/test_opamp.cpp.o.d"
+  "test_opamp"
+  "test_opamp.pdb"
+  "test_opamp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

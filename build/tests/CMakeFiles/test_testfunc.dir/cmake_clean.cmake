@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_testfunc.dir/test_testfunc.cpp.o"
+  "CMakeFiles/test_testfunc.dir/test_testfunc.cpp.o.d"
+  "test_testfunc"
+  "test_testfunc.pdb"
+  "test_testfunc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_testfunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thompson.dir/test_thompson.cpp.o"
+  "CMakeFiles/test_thompson.dir/test_thompson.cpp.o.d"
+  "test_thompson"
+  "test_thompson.pdb"
+  "test_thompson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thompson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

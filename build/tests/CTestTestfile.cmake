@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_format[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_gp[1]_include.cmake")
+include("/root/repo/build/tests/test_gp_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_gp_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_acq[1]_include.cmake")
+include("/root/repo/build/tests/test_acq_optimizer[1]_include.cmake")
+include("/root/repo/build/tests/test_thompson[1]_include.cmake")
+include("/root/repo/build/tests/test_opt[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_spice[1]_include.cmake")
+include("/root/repo/build/tests/test_dc[1]_include.cmake")
+include("/root/repo/build/tests/test_mosfet[1]_include.cmake")
+include("/root/repo/build/tests/test_opamp[1]_include.cmake")
+include("/root/repo/build/tests/test_classe[1]_include.cmake")
+include("/root/repo/build/tests/test_classe_transient[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_time[1]_include.cmake")
+include("/root/repo/build/tests/test_testfunc[1]_include.cmake")
+include("/root/repo/build/tests/test_bo_config[1]_include.cmake")
+include("/root/repo/build/tests/test_bo_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_constrained[1]_include.cmake")
