@@ -4,6 +4,11 @@
 ///   2. running with REAL threads (optimize_parallel) when the objective
 ///      is genuinely expensive — here a deliberately slow callable.
 ///
+/// optimize_parallel runs the same BoEngine as optimize(), just through
+/// sched::ThreadExecutor instead of the virtual-time executor: any batch
+/// mode/acquisition works, times are wall-clock, and an objective that
+/// throws aborts the run with that exception (no hang).
+///
 /// The toy "circuit" is an RC low-pass filter evaluated on the built-in
 /// MNA simulator: we trade bandwidth against component cost.
 

@@ -1,8 +1,19 @@
 #include "bo/config.h"
 
+#include <cmath>
+
 #include "common/error.h"
 
 namespace easybo::bo {
+
+std::unique_ptr<gp::Kernel> make_kernel(const BoConfig& config,
+                                        std::size_t dim) {
+  auto kernel = gp::make_kernel(config.kernel, dim);
+  linalg::Vec lp = kernel->log_params();
+  for (std::size_t i = 1; i < lp.size(); ++i) lp[i] = std::log(0.3);
+  kernel->set_log_params(lp);
+  return kernel;
+}
 
 const char* to_string(Mode mode) {
   switch (mode) {

@@ -20,9 +20,11 @@
 ///   Hedge(-B)    any mode + AcqKind::Hedge (GP-Hedge portfolio [31])
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "acq/acq_optimizer.h"
+#include "gp/kernel.h"
 #include "gp/trainer.h"
 
 namespace easybo::bo {
@@ -85,5 +87,12 @@ struct BoConfig {
   /// Throws InvalidArgument when the combination is inconsistent.
   void validate() const;
 };
+
+/// Builds the GP prior for a run: the configured kernel with lengthscales
+/// started at 0.3 (moderate for unit-cube inputs). Every execution mode
+/// must construct its model through this factory so the same BoConfig
+/// yields the same prior whether it runs on virtual time or real threads.
+std::unique_ptr<gp::Kernel> make_kernel(const BoConfig& config,
+                                        std::size_t dim);
 
 }  // namespace easybo::bo

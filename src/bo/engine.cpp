@@ -1,31 +1,15 @@
 #include "bo/engine.h"
 
 #include <algorithm>
-#include <cmath>
 #include <memory>
 
 #include "acq/acquisition.h"
 #include "acq/thompson.h"
 #include "common/error.h"
 #include "common/sampling.h"
-#include "gp/kernel.h"
 #include "gp/trainer.h"
 
 namespace easybo::bo {
-
-namespace {
-
-std::unique_ptr<gp::Kernel> make_engine_kernel(const BoConfig& cfg,
-                                               std::size_t dim) {
-  auto kernel = gp::make_kernel(cfg.kernel, dim);
-  // Start with moderate lengthscales for unit-cube inputs.
-  Vec lp = kernel->log_params();
-  for (std::size_t i = 1; i < lp.size(); ++i) lp[i] = std::log(0.3);
-  kernel->set_log_params(lp);
-  return kernel;
-}
-
-}  // namespace
 
 BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
                    opt::Objective objective,
@@ -36,7 +20,7 @@ BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
       sim_time_(std::move(sim_time)),
       rng_(cfg_.seed),
       box_(bounds_.lower, bounds_.upper),
-      model_(make_engine_kernel(cfg_, bounds_.lower.size()), 1e-6) {
+      model_(make_kernel(cfg_, bounds_.lower.size()), 1e-6) {
   cfg_.validate();
   bounds_.validate();
   EASYBO_REQUIRE(static_cast<bool>(objective_), "BoEngine: null objective");
@@ -51,23 +35,27 @@ BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
 }
 
 BoResult BoEngine::run() {
-  EASYBO_REQUIRE(obs_x_.empty(), "BoEngine::run() may be called only once");
   const std::size_t workers =
       (cfg_.mode == Mode::Sequential) ? 1 : cfg_.batch;
-  sched::VirtualScheduler pool(workers);
+  sched::VirtualExecutor exec(workers);
+  return run(exec);
+}
+
+BoResult BoEngine::run(sched::Executor& exec) {
+  EASYBO_REQUIRE(obs_x_.empty(), "BoEngine::run() may be called only once");
   BoResult result;
 
-  run_init_phase(pool, result);
+  run_init_phase(exec, result);
   update_model(/*force_train=*/true);
 
   switch (cfg_.mode) {
-    case Mode::Sequential: run_sequential(pool, result); break;
-    case Mode::SyncBatch: run_sync_batch(pool, result); break;
-    case Mode::AsyncBatch: run_async_batch(pool, result); break;
+    case Mode::Sequential: run_sequential(exec, result); break;
+    case Mode::SyncBatch: run_sync_batch(exec, result); break;
+    case Mode::AsyncBatch: run_async_batch(exec, result); break;
   }
 
-  result.makespan = pool.now();
-  result.total_sim_time = pool.total_busy_time();
+  result.makespan = exec.now();
+  result.total_sim_time = exec.total_busy_time();
   result.hyper_refits = hyper_refits_;
   const std::size_t inc = incumbent_index();
   result.best_x = box_.from_unit(obs_x_[inc]);
@@ -79,35 +67,35 @@ BoResult BoEngine::run() {
 // Phases
 // ---------------------------------------------------------------------------
 
-void BoEngine::run_init_phase(sched::VirtualScheduler& pool,
-                              BoResult& result) {
+void BoEngine::run_init_phase(sched::Executor& exec, BoResult& result) {
   // Random initial design (the paper samples uniformly at random). All
-  // modes push the init points through the pool greedily — identical
+  // modes push the init points through the executor greedily — identical
   // schedules keep the wall-clock comparison between algorithms fair.
   std::size_t issued = 0;
   while (obs_x_.size() < cfg_.init_points) {
-    while (pool.has_idle_worker() && issued < cfg_.init_points) {
-      submit(pool, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
+    while (exec.has_idle_worker() && issued < cfg_.init_points) {
+      submit(exec, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
       ++issued;
     }
-    absorb(pool.wait_next(), result);
+    absorb(exec.wait_next(), result);
   }
 }
 
-void BoEngine::run_sequential(sched::VirtualScheduler& pool,
-                              BoResult& result) {
+void BoEngine::run_sequential(sched::Executor& exec, BoResult& result) {
   while (obs_x_.size() < cfg_.max_sims) {
-    submit(pool, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
-    absorb(pool.wait_next(), result);
+    submit(exec, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
+    absorb(exec.wait_next(), result);
     update_model(false);
   }
 }
 
-void BoEngine::run_sync_batch(sched::VirtualScheduler& pool,
-                              BoResult& result) {
+void BoEngine::run_sync_batch(sched::Executor& exec, BoResult& result) {
   while (obs_x_.size() < cfg_.max_sims) {
     const std::size_t remaining = cfg_.max_sims - obs_x_.size();
-    const std::size_t k = std::min(cfg_.batch, remaining);
+    // A real executor may expose fewer workers than cfg_.batch; a batch
+    // larger than the pool could never be issued at once.
+    const std::size_t k =
+        std::min({cfg_.batch, remaining, exec.num_workers()});
     // Select the whole batch against the current model, then submit and
     // barrier. For EasyBO-SP, each slot hallucinates on the batch points
     // selected so far (pending grows inside the loop).
@@ -116,32 +104,31 @@ void BoEngine::run_sync_batch(sched::VirtualScheduler& pool,
     for (std::size_t slot = 0; slot < k; ++slot) {
       batch.push_back(propose(batch, slot));
     }
-    for (auto& x : batch) submit(pool, std::move(x), /*is_init=*/false);
-    for (const auto& job : pool.wait_all()) absorb(job, result);
+    for (auto& x : batch) submit(exec, std::move(x), /*is_init=*/false);
+    for (const auto& c : exec.wait_all()) absorb(c, result);
     update_model(false);
   }
 }
 
-void BoEngine::run_async_batch(sched::VirtualScheduler& pool,
-                               BoResult& result) {
+void BoEngine::run_async_batch(sched::Executor& exec, BoResult& result) {
   std::size_t issued = obs_x_.size();  // init points already went through
   std::vector<Vec> pending;            // unit points currently running
 
   // Fill the pool (Algorithm 1 bootstraps with B in-flight points).
-  while (pool.has_idle_worker() && issued < cfg_.max_sims) {
+  while (exec.has_idle_worker() && issued < cfg_.max_sims) {
     Vec x = propose(pending, /*slot=*/0);
     pending.push_back(x);
-    submit(pool, std::move(x), /*is_init=*/false);
+    submit(exec, std::move(x), /*is_init=*/false);
     ++issued;
   }
 
   // Main loop (Algorithm 1): wait for a worker, absorb its observation,
   // refine the model, propose for the idle worker with the still-running
   // points as pseudo-observations.
-  while (pool.num_running() > 0) {
-    const auto job = pool.wait_next();
-    const Vec finished_x = prop_x_[job.tag];
-    absorb(job, result);
+  while (exec.num_running() > 0) {
+    const auto c = exec.wait_next();
+    const Vec finished_x = prop_x_[c.tag];
+    absorb(c, result);
     // Remove the finished point from the pending set.
     const auto it = std::find(pending.begin(), pending.end(), finished_x);
     if (it != pending.end()) pending.erase(it);
@@ -150,7 +137,7 @@ void BoEngine::run_async_batch(sched::VirtualScheduler& pool,
     if (issued < cfg_.max_sims) {
       Vec x = propose(pending, /*slot=*/0);
       pending.push_back(x);
-      submit(pool, std::move(x), /*is_init=*/false);
+      submit(exec, std::move(x), /*is_init=*/false);
       ++issued;
     }
   }
@@ -365,38 +352,37 @@ std::size_t BoEngine::incumbent_index() const {
 }
 
 // ---------------------------------------------------------------------------
-// Scheduler plumbing
+// Executor plumbing
 // ---------------------------------------------------------------------------
 
-void BoEngine::submit(sched::VirtualScheduler& pool, Vec unit_x,
-                      bool is_init) {
-  const Vec x_design = box_.from_unit(unit_x);
-  // The objective is deterministic, so its value can be computed at submit
-  // time; the scheduler controls WHEN the value becomes visible to the
-  // model (absorb), which is all that matters for information flow.
-  const double y = objective_(x_design);
+void BoEngine::submit(sched::Executor& exec, Vec unit_x, bool is_init) {
+  Vec x_design = box_.from_unit(unit_x);
   const double duration = sim_time_(x_design);
   const std::size_t tag = prop_x_.size();
   prop_x_.push_back(std::move(unit_x));
-  prop_y_.push_back(y);
   prop_init_.push_back(is_init);
-  pool.submit(tag, duration);
+  // The executor decides where and when the objective runs (eagerly for
+  // virtual time, on a worker thread for real threads); the engine only
+  // sees the value at absorb time.
+  exec.submit(
+      tag,
+      [obj = &objective_, x = std::move(x_design)] { return (*obj)(x); },
+      duration);
 }
 
-void BoEngine::absorb(const sched::JobRecord& job, BoResult& result) {
-  const Vec& unit_x = prop_x_[job.tag];
-  const double y = prop_y_[job.tag];
+void BoEngine::absorb(const sched::Completion& c, BoResult& result) {
+  const Vec& unit_x = prop_x_[c.tag];
   obs_x_.push_back(unit_x);
-  obs_y_.push_back(y);
-  obs_is_init_.push_back(prop_init_[job.tag]);
+  obs_y_.push_back(c.value);
+  obs_is_init_.push_back(prop_init_[c.tag]);
 
   EvalRecord rec;
   rec.x = box_.from_unit(unit_x);
-  rec.y = y;
-  rec.start = job.start;
-  rec.finish = job.finish;
-  rec.worker = job.worker;
-  rec.is_init = prop_init_[job.tag];
+  rec.y = c.value;
+  rec.start = c.start;
+  rec.finish = c.finish;
+  rec.worker = c.worker;
+  rec.is_init = prop_init_[c.tag];
   result.evals.push_back(std::move(rec));
 }
 

@@ -1,13 +1,15 @@
 #pragma once
 /// \file engine.h
 /// \brief The BO engine: sequential, synchronous-batch and asynchronous-
-/// batch Bayesian optimization drivers over a virtual-time worker pool.
+/// batch Bayesian optimization drivers over a pluggable executor.
 ///
 /// This implements the paper's Algorithm 1 (EasyBO) plus every comparison
 /// algorithm of §IV, all sharing one GP stack, one acquisition maximizer
-/// and one scheduler so that measured differences come from the algorithm
-/// design (issue policy, weight distribution, penalization), not from
-/// implementation asymmetries.
+/// and one execution seam (sched::Executor) so that measured differences
+/// come from the algorithm design (issue policy, weight distribution,
+/// penalization), not from implementation asymmetries. The same code path
+/// drives the virtual-time scheduler (experiments) and a real std::thread
+/// pool (production use) — see sched/executor.h.
 ///
 /// The engine models in normalized space: inputs are mapped to [0,1]^d and
 /// observations are z-scored before GP fitting, so mu and sigma in the
@@ -25,16 +27,17 @@
 #include "gp/gp.h"
 #include "gp/normalizer.h"
 #include "opt/objective.h"
-#include "sched/event_sim.h"
+#include "sched/executor.h"
 
 namespace easybo::bo {
 
 /// One optimization run of one algorithm configuration on one problem.
 ///
-/// The objective is evaluated "inside" a virtual-time scheduler: each
-/// evaluation costs sim_time(x) virtual seconds on one of `batch` workers,
-/// and the issue policy is the configured Mode. Construct, call run(),
-/// read the BoResult.
+/// The objective is evaluated through an executor: on the default
+/// VirtualExecutor each evaluation costs sim_time(x) virtual seconds on
+/// one of `batch` workers; on a ThreadExecutor it runs for real on a
+/// worker thread. The issue policy is the configured Mode. Construct,
+/// call run(), read the BoResult.
 class BoEngine {
  public:
   /// \param config     algorithm configuration (validated here)
@@ -45,8 +48,15 @@ class BoEngine {
   BoEngine(BoConfig config, opt::Bounds bounds, opt::Objective objective,
            std::function<double(const Vec&)> sim_time = nullptr);
 
-  /// Executes the full run. Call once per engine instance.
+  /// Executes the full run on a VirtualExecutor with `batch` workers
+  /// (one in Sequential mode). Call once per engine instance.
   BoResult run();
+
+  /// Executes the full run on the given executor; its worker count is the
+  /// effective degree of parallelism (Sequential mode still issues one
+  /// point at a time). Call once per engine instance. Worker exceptions
+  /// propagate out of this call with the run aborted.
+  BoResult run(sched::Executor& exec);
 
  private:
   // --- model management -------------------------------------------------
@@ -73,18 +83,16 @@ class BoEngine {
   Vec dedup(Vec x, const std::vector<Vec>& pending);
 
   // --- run phases ---------------------------------------------------------
-  void run_init_phase(sched::VirtualScheduler& pool, BoResult& result);
-  void run_sequential(sched::VirtualScheduler& pool, BoResult& result);
-  void run_sync_batch(sched::VirtualScheduler& pool, BoResult& result);
-  void run_async_batch(sched::VirtualScheduler& pool, BoResult& result);
+  void run_init_phase(sched::Executor& exec, BoResult& result);
+  void run_sequential(sched::Executor& exec, BoResult& result);
+  void run_sync_batch(sched::Executor& exec, BoResult& result);
+  void run_async_batch(sched::Executor& exec, BoResult& result);
 
-  /// Submits proposal (unit space) to the pool, bookkeeping the tag.
-  void submit(sched::VirtualScheduler& pool, Vec unit_x, bool is_init);
+  /// Submits proposal (unit space) to the executor, bookkeeping the tag.
+  void submit(sched::Executor& exec, Vec unit_x, bool is_init);
 
-  /// Handles one completion: evaluates nothing (the objective was already
-  /// evaluated at submit time — see note in engine.cpp), records the
-  /// result, returns the observed y.
-  void absorb(const sched::JobRecord& job, BoResult& result);
+  /// Handles one completion: records the observation and the eval trace.
+  void absorb(const sched::Completion& c, BoResult& result);
 
   BoConfig cfg_;
   opt::Bounds bounds_;
@@ -100,9 +108,8 @@ class BoEngine {
   Vec obs_y_;
   std::vector<bool> obs_is_init_;
 
-  // Proposals by tag: the scheduler's job tag indexes these.
+  // Proposals by tag: the executor's completion tag indexes these.
   std::vector<Vec> prop_x_;       // unit space
-  Vec prop_y_;                    // objective value (computed at submit)
   std::vector<bool> prop_init_;
 
   // pHCBO per-weight-slot penalty history.

@@ -1,20 +1,7 @@
 #include "core/optimizer.h"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <condition_variable>
-#include <deque>
-#include <memory>
-#include <mutex>
-
-#include "acq/acq_optimizer.h"
-#include "acq/acquisition.h"
 #include "common/error.h"
-#include "common/thread_pool.h"
-#include "gp/kernel.h"
-#include "gp/normalizer.h"
-#include "gp/trainer.h"
+#include "sched/executor.h"
 
 namespace easybo {
 
@@ -29,177 +16,21 @@ BoResult Optimizer::optimize() const {
                     problem_.sim_time);
 }
 
-namespace {
-
-/// Completion message from a worker thread to the proposer loop.
-struct Completion {
-  std::size_t tag;
-  double y;
-  double start;   // seconds since run start
-  double finish;
-  std::size_t slot;
-};
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
-
 BoResult Optimizer::optimize_parallel(std::size_t threads) const {
   EASYBO_REQUIRE(threads >= 1, "optimize_parallel: threads must be >= 1");
-  EASYBO_REQUIRE(config_.mode == bo::Mode::AsyncBatch,
-                 "optimize_parallel runs the asynchronous algorithm; set "
-                 "mode = AsyncBatch");
-  EASYBO_REQUIRE(config_.acq == bo::AcqKind::EasyBo,
-                 "optimize_parallel supports the EasyBO acquisition");
-
-  const auto& bounds = problem_.bounds;
-  const std::size_t dim = bounds.dim();
-  Rng rng(config_.seed);
-  gp::BoxNormalizer box(bounds.lower, bounds.upper);
-  gp::ZScore zscore;
-  auto kernel = gp::make_kernel(config_.kernel, dim);
-  gp::GpRegressor model(std::move(kernel), 1e-6);
-
-  std::vector<linalg::Vec> obs_x;  // unit space
-  linalg::Vec obs_y;
-  std::size_t next_refit = config_.init_points;
-  std::size_t refits = 0;
-
-  auto update_model = [&](bool force) {
-    zscore.refit(obs_y);
-    model.set_data(obs_x, zscore.transform(obs_y));
-    if (force || obs_x.size() >= next_refit) {
-      gp::train_mle(model, rng, config_.trainer);
-      ++refits;
-      next_refit = std::max(
-          obs_x.size() + config_.refit_every,
-          static_cast<std::size_t>(static_cast<double>(obs_x.size()) * 1.5));
-    } else {
-      model.fit();
-    }
-  };
-
-  auto propose = [&](const std::vector<linalg::Vec>& pending) {
-    const std::size_t inc = linalg::argmax(obs_y);
-    const std::vector<linalg::Vec> anchors = {obs_x[inc]};
-    const double w = acq::sample_easybo_weight(rng, config_.lambda);
-    std::unique_ptr<gp::GpRegressor> hallucinated;
-    std::unique_ptr<acq::AcquisitionFn> fn;
-    if (config_.penalize && !pending.empty()) {
-      hallucinated =
-          std::make_unique<gp::GpRegressor>(model.with_hallucinated(pending));
-      fn = std::make_unique<acq::WeightedUcb>(&model, hallucinated.get(), w);
-    } else {
-      fn = std::make_unique<acq::WeightedUcb>(&model, &model, w);
-    }
-    return acq::maximize_acquisition(*fn, dim, rng, anchors, config_.acq_opt)
-        .best_x;
-  };
-
-  // --- Real-threads plumbing. ---
-  const auto t0 = std::chrono::steady_clock::now();
-  ThreadPool pool(threads);
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<Completion> done;
-  std::vector<std::size_t> free_slots(threads);
-  for (std::size_t i = 0; i < threads; ++i) free_slots[i] = i;
-
-  std::vector<linalg::Vec> prop_unit;  // by tag
-  BoResult result;
-
-  auto submit = [&](linalg::Vec unit_x) {
-    const std::size_t tag = prop_unit.size();
-    prop_unit.push_back(unit_x);
-    const linalg::Vec x_design = box.from_unit(prop_unit.back());
-    pool.submit([&, tag, x_design] {
-      std::size_t slot;
-      {
-        std::lock_guard lock(mutex);
-        slot = free_slots.back();
-        free_slots.pop_back();
-      }
-      const double start = seconds_since(t0);
-      const double y = problem_.objective(x_design);
-      const double finish = seconds_since(t0);
-      {
-        std::lock_guard lock(mutex);
-        free_slots.push_back(slot);
-        done.push_back({tag, y, start, finish, slot});
-      }
-      cv.notify_one();
-    });
-  };
-  auto wait_completion = [&] {
-    std::unique_lock lock(mutex);
-    cv.wait(lock, [&] { return !done.empty(); });
-    const Completion c = done.front();
-    done.pop_front();
-    return c;
-  };
-  auto absorb = [&](const Completion& c, bool is_init) {
-    obs_x.push_back(prop_unit[c.tag]);
-    obs_y.push_back(c.y);
-    bo::EvalRecord rec;
-    rec.x = box.from_unit(prop_unit[c.tag]);
-    rec.y = c.y;
-    rec.start = c.start;
-    rec.finish = c.finish;
-    rec.worker = c.slot;
-    rec.is_init = is_init;
-    result.evals.push_back(std::move(rec));
-    result.total_sim_time += c.finish - c.start;
-  };
-
-  // Initial design, streamed through the pool.
-  std::size_t issued = 0;
-  std::size_t in_flight = 0;
-  while (obs_x.size() < config_.init_points) {
-    while (in_flight < threads && issued < config_.init_points) {
-      submit(rng.uniform_vector(dim));
-      ++issued;
-      ++in_flight;
-    }
-    absorb(wait_completion(), /*is_init=*/true);
-    --in_flight;
-  }
-  update_model(/*force=*/true);
-
-  // Asynchronous main loop (Algorithm 1) on real workers.
-  std::vector<linalg::Vec> pending;
-  while (in_flight < threads && issued < config_.max_sims) {
-    auto x = propose(pending);
-    pending.push_back(x);
-    submit(std::move(x));
-    ++issued;
-    ++in_flight;
-  }
-  while (in_flight > 0) {
-    const Completion c = wait_completion();
-    --in_flight;
-    const auto it = std::find(pending.begin(), pending.end(),
-                              prop_unit[c.tag]);
-    if (it != pending.end()) pending.erase(it);
-    absorb(c, /*is_init=*/false);
-    update_model(false);
-    if (issued < config_.max_sims) {
-      auto x = propose(pending);
-      pending.push_back(x);
-      submit(std::move(x));
-      ++issued;
-      ++in_flight;
-    }
-  }
-
-  result.makespan = seconds_since(t0);
-  result.hyper_refits = refits;
-  const std::size_t inc = linalg::argmax(obs_y);
-  result.best_x = box.from_unit(obs_x[inc]);
-  result.best_y = obs_y[inc];
-  return result;
+  EASYBO_REQUIRE(config_.mode != bo::Mode::Sequential,
+                 "optimize_parallel runs the batch algorithms; set mode = "
+                 "AsyncBatch (or SyncBatch)");
+  // Same engine, same algorithm; only the executor differs from
+  // optimize(). The executor's worker count is the effective degree of
+  // parallelism, so config().batch does not limit concurrency here.
+  // The engine must outlive the executor: the executor's destructor joins
+  // workers that still reference the engine's objective when an exception
+  // aborts the run mid-flight.
+  bo::BoEngine engine(config_, problem_.bounds, problem_.objective,
+                      problem_.sim_time);
+  sched::ThreadExecutor executor(threads);
+  return engine.run(executor);
 }
 
 }  // namespace easybo

@@ -11,9 +11,10 @@
 ///   // result.best_x / result.best_y / result.evals / result.makespan
 ///
 /// For genuinely parallel evaluation of an expensive objective on this
-/// machine, use optimize_parallel(threads): the same asynchronous EasyBO
-/// algorithm drives a real std::thread pool and wall-clock times are
-/// measured with a monotonic clock.
+/// machine, use optimize_parallel(threads): the same BoEngine (any batch
+/// mode, any acquisition) drives a real std::thread pool through the
+/// sched::Executor seam and wall-clock times are measured with a
+/// monotonic clock.
 
 #include "bo/engine.h"
 #include "core/problem.h"
@@ -36,11 +37,13 @@ class Optimizer {
   /// (deterministic; reproduces the paper's experiment regime).
   BoResult optimize() const;
 
-  /// Runs asynchronous EasyBO with real threads: `threads` workers
-  /// evaluate the objective concurrently and a new proposal is issued the
-  /// moment any worker finishes. Requires config().mode == AsyncBatch;
-  /// config().batch is ignored in favor of `threads`. Times in the result
-  /// are real seconds since the run started.
+  /// Runs the configured batch algorithm with real threads: `threads`
+  /// workers evaluate the objective concurrently; in AsyncBatch mode a
+  /// new proposal is issued the moment any worker finishes. Requires a
+  /// batch mode (Sync or Async); the worker count is `threads`, not
+  /// config().batch. Times in the result are real seconds since the run
+  /// started. A throwing objective aborts the run and the exception
+  /// propagates out of this call.
   BoResult optimize_parallel(std::size_t threads) const;
 
  private:

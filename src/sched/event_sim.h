@@ -72,8 +72,12 @@ class VirtualScheduler {
   struct Running {
     double finish;
     std::size_t trace_index;
+    // Tie-break equal finish times by submission order (trace_index grows
+    // with job_id), so equal-duration jobs — the norm under a constant
+    // sim_time — complete FIFO rather than in heap order.
     bool operator>(const Running& other) const {
-      return finish > other.finish;
+      if (finish != other.finish) return finish > other.finish;
+      return trace_index > other.trace_index;
     }
   };
 

@@ -1,0 +1,113 @@
+#include "sched/executor.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace easybo::sched {
+
+std::vector<Completion> Executor::wait_all() {
+  std::vector<Completion> done;
+  while (num_running() > 0) done.push_back(wait_next());
+  return done;
+}
+
+// ---------------------------------------------------------------------------
+// VirtualExecutor
+// ---------------------------------------------------------------------------
+
+void VirtualExecutor::submit(std::size_t tag, std::function<double()> work,
+                             double duration) {
+  const std::size_t job_id = sched_.submit(tag, duration);
+  if (values_.size() <= job_id) values_.resize(job_id + 1);
+  values_[job_id] = work();
+}
+
+Completion VirtualExecutor::wait_next() {
+  const JobRecord rec = sched_.wait_next();
+  Completion c;
+  c.tag = rec.tag;
+  c.value = values_[rec.job_id];
+  c.worker = rec.worker;
+  c.start = rec.start;
+  c.finish = rec.finish;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadExecutor
+// ---------------------------------------------------------------------------
+
+ThreadExecutor::ThreadExecutor(std::size_t num_threads)
+    : t0_(std::chrono::steady_clock::now()),
+      free_slot_count_(num_threads),
+      pool_(num_threads) {
+  free_slots_.resize(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) free_slots_[i] = i;
+}
+
+double ThreadExecutor::elapsed() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0_)
+      .count();
+}
+
+std::size_t ThreadExecutor::num_running() const {
+  std::lock_guard lock(mutex_);
+  return in_flight_;
+}
+
+double ThreadExecutor::now() const { return elapsed(); }
+
+double ThreadExecutor::total_busy_time() const {
+  std::lock_guard lock(mutex_);
+  return total_busy_;
+}
+
+void ThreadExecutor::submit(std::size_t tag, std::function<double()> work,
+                            double /*duration: real executors measure*/) {
+  {
+    std::lock_guard lock(mutex_);
+    EASYBO_REQUIRE(in_flight_ < free_slot_count_,
+                   "submit with no idle worker");
+    ++in_flight_;
+  }
+  pool_.submit([this, tag, work = std::move(work)] {
+    std::size_t slot;
+    {
+      std::lock_guard lock(mutex_);
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    }
+    Outcome out;
+    out.completion.tag = tag;
+    out.completion.worker = slot;
+    out.completion.start = elapsed();
+    try {
+      out.completion.value = work();
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+    out.completion.finish = elapsed();
+    {
+      std::lock_guard lock(mutex_);
+      free_slots_.push_back(slot);
+      total_busy_ += out.completion.finish - out.completion.start;
+      done_.push_back(std::move(out));
+    }
+    cv_.notify_one();
+  });
+}
+
+Completion ThreadExecutor::wait_next() {
+  std::unique_lock lock(mutex_);
+  EASYBO_REQUIRE(in_flight_ > 0, "wait_next with no running job");
+  cv_.wait(lock, [this] { return !done_.empty(); });
+  Outcome out = std::move(done_.front());
+  done_.pop_front();
+  --in_flight_;
+  if (out.error) std::rethrow_exception(out.error);
+  return out.completion;
+}
+
+}  // namespace easybo::sched

@@ -1,0 +1,136 @@
+#pragma once
+/// \file executor.h
+/// \brief The execution seam between the BO algorithm and the machinery
+/// that actually evaluates the objective.
+///
+/// The paper's Algorithm 1 ("propose on an idle worker, hallucinate the
+/// pending points") is one algorithm; where an evaluation runs — a
+/// virtual-time discrete-event scheduler for deterministic experiments, or
+/// a real std::thread pool for genuinely expensive objectives — is an
+/// execution concern. BoEngine speaks only this interface, so every issue
+/// policy (sequential / sync batch / async batch) and every acquisition
+/// runs identically on both backends; behaviour cannot drift between them.
+///
+///   while (exec.has_idle_worker()) exec.submit(tag, work, duration);
+///   auto done = exec.wait_next();   // blocks; rethrows worker exceptions
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sched/event_sim.h"
+
+namespace easybo::sched {
+
+/// One finished evaluation as seen by the algorithm.
+struct Completion {
+  std::size_t tag = 0;     ///< caller-defined payload (proposal index)
+  double value = 0.0;      ///< result of the submitted work
+  std::size_t worker = 0;  ///< worker slot that ran it
+  double start = 0.0;      ///< seconds (virtual or wall) since run start
+  double finish = 0.0;
+};
+
+/// Fixed pool of workers, virtual or real.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  virtual std::size_t num_workers() const = 0;
+  virtual std::size_t num_running() const = 0;
+  bool has_idle_worker() const { return num_running() < num_workers(); }
+
+  /// Starts \p work on an idle worker. \p duration is the job's virtual
+  /// duration; real executors ignore it and measure wall clock instead.
+  /// Throws InvalidArgument when no worker is idle.
+  virtual void submit(std::size_t tag, std::function<double()> work,
+                      double duration) = 0;
+
+  /// Blocks until the earliest completion and returns it. When the work
+  /// threw, the exception is rethrown HERE — the waiter owns failure
+  /// handling, a worker never swallows it. Throws InvalidArgument when
+  /// nothing is running.
+  virtual Completion wait_next() = 0;
+
+  /// Barrier: drains every running job, in completion order.
+  std::vector<Completion> wait_all();
+
+  /// Seconds (virtual or wall) elapsed since the executor started.
+  virtual double now() const = 0;
+
+  /// Sum over workers of busy time accumulated so far.
+  virtual double total_busy_time() const = 0;
+};
+
+/// Virtual-time executor: wraps VirtualScheduler. Work is evaluated
+/// eagerly at submit time (the objectives in the experiment regime are
+/// deterministic); the scheduler controls WHEN the value becomes visible
+/// to the caller (wait_next), which is all that matters for the
+/// information flow of the algorithm.
+class VirtualExecutor final : public Executor {
+ public:
+  explicit VirtualExecutor(std::size_t num_workers) : sched_(num_workers) {}
+
+  std::size_t num_workers() const override { return sched_.num_workers(); }
+  std::size_t num_running() const override { return sched_.num_running(); }
+  void submit(std::size_t tag, std::function<double()> work,
+              double duration) override;
+  Completion wait_next() override;
+  double now() const override { return sched_.now(); }
+  double total_busy_time() const override {
+    return sched_.total_busy_time();
+  }
+
+  /// The underlying scheduler, for schedule-trace inspection.
+  const VirtualScheduler& scheduler() const { return sched_; }
+
+ private:
+  VirtualScheduler sched_;
+  std::vector<double> values_;  // indexed by job id
+};
+
+/// Real-threads executor on the common ThreadPool. The objective runs on
+/// the worker thread (deferred, unlike VirtualExecutor), start/finish are
+/// wall-clock seconds since construction, and a throwing objective is
+/// delivered to wait_next() instead of being dropped with its future —
+/// dropping it would leave the proposer blocked forever.
+class ThreadExecutor final : public Executor {
+ public:
+  explicit ThreadExecutor(std::size_t num_threads);
+
+  std::size_t num_workers() const override { return free_slot_count_; }
+  std::size_t num_running() const override;
+  void submit(std::size_t tag, std::function<double()> work,
+              double duration) override;
+  Completion wait_next() override;
+  double now() const override;
+  double total_busy_time() const override;
+
+ private:
+  struct Outcome {
+    Completion completion;
+    std::exception_ptr error;
+  };
+
+  double elapsed() const;
+
+  std::chrono::steady_clock::time_point t0_;
+  std::size_t free_slot_count_ = 0;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Outcome> done_;
+  std::vector<std::size_t> free_slots_;
+  std::size_t in_flight_ = 0;
+  double total_busy_ = 0.0;
+  // Last member: its destructor joins the workers while the state above
+  // (mutex, queues) is still alive — in-flight tasks touch both.
+  ThreadPool pool_;
+};
+
+}  // namespace easybo::sched

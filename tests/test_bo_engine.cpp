@@ -238,6 +238,34 @@ TEST(BoEngine, MaternKernelOptionWorks) {
   EXPECT_GT(r.best_y, -2.0);
 }
 
+TEST(BoEngine, VirtualAndRealExecutorsProposeIdentically) {
+  // The executor seam guarantees one algorithm, two backends: with a
+  // deterministic objective and serialized completions (one worker on
+  // each side), the virtual-time run and the real-threads run must make
+  // exactly the same proposals for the same seed.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 4, 21);
+  cfg.init_points = 6;
+  cfg.max_sims = 18;
+
+  BoEngine virt_engine(cfg, tf.bounds, tf.fn);
+  sched::VirtualExecutor virt_exec(1);
+  const auto virt = virt_engine.run(virt_exec);
+
+  BoEngine real_engine(cfg, tf.bounds, tf.fn);
+  sched::ThreadExecutor real_exec(1);
+  const auto real = real_engine.run(real_exec);
+
+  ASSERT_EQ(virt.num_evals(), real.num_evals());
+  for (std::size_t i = 0; i < virt.num_evals(); ++i) {
+    EXPECT_EQ(virt.evals[i].x, real.evals[i].x) << "eval " << i;
+    EXPECT_DOUBLE_EQ(virt.evals[i].y, real.evals[i].y) << "eval " << i;
+  }
+  EXPECT_DOUBLE_EQ(virt.best_y, real.best_y);
+  EXPECT_EQ(virt.best_x, real.best_x);
+  EXPECT_EQ(virt.hyper_refits, real.hyper_refits);
+}
+
 TEST(BoEngine, NoDuplicateQueryPointsUnderPenalization) {
   // The dedup guard + hallucination should prevent exact duplicates.
   const auto tf = easybo::circuit::sphere(2);

@@ -1,0 +1,130 @@
+// Tests for the execution seam: the VirtualExecutor and ThreadExecutor
+// must present the same contract to the BO engine — idle accounting,
+// FIFO-serialized completions on one worker, and (real threads only)
+// worker exceptions delivered to the waiter instead of being dropped.
+
+#include "sched/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "common/error.h"
+
+namespace easybo::sched {
+namespace {
+
+TEST(VirtualExecutor, DeliversValuesWithSchedulerTiming) {
+  VirtualExecutor exec(2);
+  EXPECT_EQ(exec.num_workers(), 2u);
+  EXPECT_TRUE(exec.has_idle_worker());
+
+  exec.submit(0, [] { return 10.0; }, 4.0);
+  exec.submit(1, [] { return 20.0; }, 2.0);
+  EXPECT_FALSE(exec.has_idle_worker());
+
+  const auto first = exec.wait_next();  // shorter job finishes first
+  EXPECT_EQ(first.tag, 1u);
+  EXPECT_DOUBLE_EQ(first.value, 20.0);
+  EXPECT_DOUBLE_EQ(first.finish, 2.0);
+  const auto second = exec.wait_next();
+  EXPECT_EQ(second.tag, 0u);
+  EXPECT_DOUBLE_EQ(second.value, 10.0);
+  EXPECT_DOUBLE_EQ(exec.now(), 4.0);
+  EXPECT_DOUBLE_EQ(exec.total_busy_time(), 6.0);
+}
+
+TEST(VirtualExecutor, WaitAllIsABarrier) {
+  VirtualExecutor exec(3);
+  exec.submit(0, [] { return 1.0; }, 1.0);
+  exec.submit(1, [] { return 2.0; }, 3.0);
+  const auto done = exec.wait_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(exec.num_running(), 0u);
+  EXPECT_DOUBLE_EQ(exec.now(), 3.0);
+}
+
+TEST(ThreadExecutor, RunsWorkOnWorkersAndRecordsWallTime) {
+  ThreadExecutor exec(2);
+  EXPECT_EQ(exec.num_workers(), 2u);
+  exec.submit(3, [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return 7.0;
+  }, 1.0);
+  exec.submit(4, [] { return 9.0; }, 1.0);
+  EXPECT_FALSE(exec.has_idle_worker());
+
+  double sum = 0.0;
+  for (int i = 0; i < 2; ++i) {
+    const auto c = exec.wait_next();
+    EXPECT_TRUE(c.tag == 3u || c.tag == 4u);
+    EXPECT_LT(c.worker, 2u);
+    EXPECT_LE(c.start, c.finish);
+    EXPECT_LE(c.finish, exec.now() + 1e-9);
+    sum += c.value;
+  }
+  EXPECT_DOUBLE_EQ(sum, 16.0);
+  EXPECT_TRUE(exec.has_idle_worker());
+  EXPECT_GT(exec.total_busy_time(), 0.0);
+}
+
+TEST(ThreadExecutor, SingleWorkerCompletesFifo) {
+  ThreadExecutor exec(1);
+  for (std::size_t round = 0; round < 8; ++round) {
+    exec.submit(round, [round] { return static_cast<double>(round); }, 1.0);
+    const auto c = exec.wait_next();
+    EXPECT_EQ(c.tag, round);
+    EXPECT_DOUBLE_EQ(c.value, static_cast<double>(round));
+  }
+}
+
+TEST(ThreadExecutor, WorkerExceptionReachesTheWaiter) {
+  // A throwing work item must not hang wait_next (the pre-seam real
+  // threads loop dropped the future and deadlocked) and must surface the
+  // original exception type.
+  ThreadExecutor exec(2);
+  exec.submit(0, []() -> double { throw std::runtime_error("boom"); }, 1.0);
+  EXPECT_THROW(exec.wait_next(), std::runtime_error);
+  EXPECT_EQ(exec.num_running(), 0u);
+
+  // The executor stays usable after a failed job.
+  exec.submit(1, [] { return 5.0; }, 1.0);
+  EXPECT_DOUBLE_EQ(exec.wait_next().value, 5.0);
+}
+
+TEST(ThreadExecutor, AbandonedWorkIsJoinedOnDestruction) {
+  std::atomic<int> finished{0};
+  {
+    ThreadExecutor exec(2);
+    exec.submit(0, [&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      ++finished;
+      return 0.0;
+    }, 1.0);
+    exec.submit(1, [&finished] {
+      ++finished;
+      return 0.0;
+    }, 1.0);
+    // Destroyed with jobs in flight (the run aborted) — must join cleanly.
+  }
+  EXPECT_EQ(finished.load(), 2);
+}
+
+TEST(Executors, RejectMisuse) {
+  VirtualExecutor v(1);
+  EXPECT_THROW(v.wait_next(), InvalidArgument);
+  v.submit(0, [] { return 0.0; }, 1.0);
+  EXPECT_THROW(v.submit(1, [] { return 0.0; }, 1.0), InvalidArgument);
+
+  ThreadExecutor t(1);
+  EXPECT_THROW(t.wait_next(), InvalidArgument);
+  t.submit(0, [] { return 0.0; }, 1.0);
+  EXPECT_THROW(t.submit(1, [] { return 0.0; }, 1.0), InvalidArgument);
+  t.wait_next();
+}
+
+}  // namespace
+}  // namespace easybo::sched

@@ -55,6 +55,22 @@ TEST(VirtualScheduler, AsyncReuseOfFreedWorker) {
   EXPECT_DOUBLE_EQ(second.finish, 6.0);
 }
 
+TEST(VirtualScheduler, EqualFinishTimesCompleteFifo) {
+  // Equal-duration jobs (the norm under a constant sim_time) tie on
+  // finish time; completion must follow submission order, not the heap's
+  // internal order.
+  VirtualScheduler s(4);
+  for (std::size_t tag = 0; tag < 4; ++tag) s.submit(tag, 2.0);
+  for (std::size_t tag = 0; tag < 4; ++tag) {
+    EXPECT_EQ(s.wait_next().tag, tag);
+  }
+  // Also across a refill: freed workers keep FIFO order within the tie.
+  for (std::size_t tag = 10; tag < 14; ++tag) s.submit(tag, 1.0);
+  for (std::size_t tag = 10; tag < 14; ++tag) {
+    EXPECT_EQ(s.wait_next().tag, tag);
+  }
+}
+
 TEST(VirtualScheduler, RejectsMisuse) {
   VirtualScheduler s(1);
   EXPECT_THROW(s.wait_next(), InvalidArgument);  // nothing running
