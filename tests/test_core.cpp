@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "circuit/testfunc.h"
@@ -110,7 +111,7 @@ TEST(OptimizeParallel, RunsWithRealThreads) {
   }
 }
 
-TEST(OptimizeParallel, RequiresAsyncEasyBo) {
+TEST(OptimizeParallel, RequiresBatchMode) {
   auto cfg = quick_config();
   cfg.mode = bo::Mode::Sequential;
   Optimizer seq(sphere_problem(), cfg);
@@ -118,6 +119,58 @@ TEST(OptimizeParallel, RequiresAsyncEasyBo) {
 
   Optimizer ok(sphere_problem(), quick_config());
   EXPECT_THROW(ok.optimize_parallel(0), InvalidArgument);
+}
+
+TEST(OptimizeParallel, RunsFullAcquisitionRoster) {
+  // Pre-seam, the hand-rolled real-threads loop supported only async
+  // EasyBO; through the shared engine every batch configuration runs on
+  // real threads too.
+  struct Case {
+    bo::Mode mode;
+    bo::AcqKind acq;
+  };
+  for (const Case& c : {Case{bo::Mode::AsyncBatch, bo::AcqKind::Ts},
+                        Case{bo::Mode::AsyncBatch, bo::AcqKind::Bucb},
+                        Case{bo::Mode::SyncBatch, bo::AcqKind::EasyBo}}) {
+    auto cfg = quick_config();
+    cfg.mode = c.mode;
+    cfg.acq = c.acq;
+    Optimizer opt(sphere_problem(), cfg);
+    const auto r = opt.optimize_parallel(2);
+    EXPECT_EQ(r.num_evals(), 24u) << bo::to_string(c.acq);
+    for (const auto& e : r.evals) EXPECT_LT(e.worker, 2u);
+  }
+}
+
+TEST(OptimizeParallel, ThrowingObjectiveAbortsRunWithThatException) {
+  // Regression: the pre-seam loop discarded the worker future, so a
+  // throwing objective never produced a completion and the proposer
+  // blocked forever. Now the exception must surface to the caller.
+  Problem p = sphere_problem();
+  std::atomic<int> calls{0};
+  auto base = p.objective;
+  p.objective = [&calls, base](const linalg::Vec& x) {
+    if (++calls == 5) throw std::runtime_error("simulator crashed");
+    return base(x);
+  };
+  Optimizer opt(p, quick_config());
+  EXPECT_THROW(opt.optimize_parallel(3), std::runtime_error);
+}
+
+TEST(OptimizeParallel, ConstantObjectiveWithTightBoundsCompletes) {
+  // Regression: the pre-seam loop skipped proposal dedup, so a constant
+  // objective (every acquisition maximizer lands on the same point in a
+  // tiny box) pushed duplicate rows into the Gram matrix until the
+  // Cholesky jitter escalation gave up. The shared engine nudges
+  // duplicates, so the run must finish without NumericalError.
+  Problem p;
+  p.name = "flat";
+  p.bounds = opt::Bounds{{0.0, 0.0}, {1e-4, 1e-4}};
+  p.objective = [](const linalg::Vec&) { return 1.0; };
+  Optimizer opt(p, quick_config());
+  const auto r = opt.optimize_parallel(2);
+  EXPECT_EQ(r.num_evals(), 24u);
+  EXPECT_DOUBLE_EQ(r.best_y, 1.0);
 }
 
 TEST(OptimizeParallel, FindsSameQualityAsVirtual) {
