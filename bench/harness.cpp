@@ -1,6 +1,7 @@
 #include "harness.h"
 
 #include <cstdlib>
+#include <fstream>
 
 #include "common/rng.h"
 
@@ -38,6 +39,9 @@ AlgoStats run_bo_repeated(const circuit::SizingBenchmark& bench,
   double util_sum = 0.0;
   const std::size_t workers =
       (config.mode == bo::Mode::Sequential) ? 1 : config.batch;
+  // Recording is behaviorally inert (same proposals either way) and cheap
+  // next to the runs themselves, so the bench always keeps the report.
+  config.collect_metrics = true;
   for (std::size_t r = 0; r < runs; ++r) {
     config.seed = base_seed + r;
     auto result = bo::run_bo(
@@ -46,6 +50,7 @@ AlgoStats run_bo_repeated(const circuit::SizingBenchmark& bench,
     bests.push_back(result.best_y);
     makespan_sum += result.makespan;
     util_sum += result.utilization(workers);
+    stats.metrics.merge(result.metrics);
     stats.runs.push_back(std::move(result));
   }
   stats.fom = summarize(bests);
@@ -137,6 +142,51 @@ void add_table_row(AsciiTable& table, const AlgoStats& stats,
                  format_double(stats.fom.mean, precision),
                  format_double(stats.fom.stddev, precision),
                  format_duration(stats.mean_makespan)});
+}
+
+namespace {
+
+// Minimal JSON string escape for algorithm labels (ASCII, as produced by
+// BoConfig::label(); mirrors the escaping in obs/metrics.cpp).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string write_bench_metrics_json(const std::string& default_path,
+                                     const std::vector<AlgoStats>& algos) {
+  const char* env = std::getenv("EASYBO_METRICS_JSON");
+  const std::string path =
+      (env != nullptr && *env != '\0') ? env : default_path;
+
+  std::string doc = "{\"schema\":\"easybo.bench-metrics.v1\",\"algos\":{";
+  bool first = true;
+  for (const auto& stats : algos) {
+    if (stats.metrics.empty()) continue;  // non-BO rows (e.g. DE)
+    if (!first) doc += ',';
+    first = false;
+    doc += '"';
+    doc += json_escape(stats.label);
+    doc += "\":";
+    doc += stats.metrics.to_json();
+  }
+  doc += "}}";
+
+  std::ofstream out(path);
+  if (!out) return {};
+  out << doc << '\n';
+  return out ? path : std::string{};
 }
 
 }  // namespace easybo::bench

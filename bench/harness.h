@@ -31,6 +31,9 @@ struct AlgoStats {
   double mean_makespan = 0.0;  ///< virtual seconds
   double mean_utilization = 0.0;
   std::vector<bo::BoResult> runs;
+  /// Observability report merged over the repeats (BO algorithms only):
+  /// per-phase timers, engine-room counters, per-worker busy/idle.
+  obs::MetricsReport metrics;
 };
 
 /// Runs `runs` repetitions of one BO configuration on a benchmark; run r
@@ -61,5 +64,14 @@ std::vector<bo::BoConfig> paper_roster(std::size_t init_points,
 /// Adds one Table-I/II-style row: label, best, worst, mean, std, time.
 void add_table_row(AsciiTable& table, const AlgoStats& stats,
                    int precision);
+
+/// Writes the per-algorithm observability reports as one JSON document:
+///   {"schema": "easybo.bench-metrics.v1",
+///    "algos": {"<label>": <easybo.metrics.v1 object>, ...}}
+/// The EASYBO_METRICS_JSON environment variable overrides \p default_path;
+/// algorithms with an empty report (e.g. DE) are skipped. Returns the
+/// path written, or an empty string when writing failed.
+std::string write_bench_metrics_json(const std::string& default_path,
+                                     const std::vector<AlgoStats>& algos);
 
 }  // namespace easybo::bench

@@ -3,11 +3,18 @@
 /// Cholesky factorization, GP fit/predict, LML gradient, acquisition
 /// maximization, MNA solves and the circuit evaluations. These quantify
 /// the modeling overhead that the paper's footnote 1 excludes from its
-/// reported times.
+/// reported times. Also measures the src/obs instrumentation itself
+/// (null-sink spans must be free, recording spans cheap).
+///
+/// Unless the caller passes its own --benchmark_out, results additionally
+/// go to BENCH_micro_gp.json in google-benchmark's JSON format.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "acq/acq_optimizer.h"
 #include "acq/acquisition.h"
@@ -16,6 +23,8 @@
 #include "common/rng.h"
 #include "gp/gp.h"
 #include "linalg/cholesky.h"
+#include "obs/recording.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -143,6 +152,63 @@ void BM_ClasseEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_ClasseEvaluation);
 
+// --- src/obs instrumentation overhead --------------------------------------
+
+// The null-sink configuration every production run uses: the span must
+// compile down to a null check, no clock reads.
+void BM_NullSinkSpanAndCounter(benchmark::State& state) {
+  easybo::obs::TraceSink* sink = nullptr;
+  for (auto _ : state) {
+    easybo::obs::ScopedTimer span(sink, easybo::obs::Phase::ModelFit);
+    easybo::obs::count(sink, "gp.chol_extend");
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_NullSinkSpanAndCounter);
+
+void BM_RecordingSpanAndCounter(benchmark::State& state) {
+  easybo::obs::RecordingSink sink;
+  for (auto _ : state) {
+    easybo::obs::ScopedTimer span(&sink, easybo::obs::Phase::ModelFit);
+    easybo::obs::count(&sink, "gp.chol_extend");
+  }
+  benchmark::DoNotOptimize(sink.counter("gp.chol_extend"));
+}
+BENCHMARK(BM_RecordingSpanAndCounter);
+
+// End-to-end check that fit() is not measurably slower when traced.
+void BM_GpFitRecorded(benchmark::State& state) {
+  Rng rng(8);
+  auto gp = fitted_gp(static_cast<std::size_t>(state.range(0)), 10, rng);
+  easybo::obs::RecordingSink sink;
+  gp.set_trace(&sink);
+  for (auto _ : state) {
+    gp.fit();
+    benchmark::DoNotOptimize(gp.log_marginal_likelihood());
+  }
+}
+BENCHMARK(BM_GpFitRecorded)->Arg(150);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): default the output to
+// BENCH_micro_gp.json (JSON format) unless the caller chose a file.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out = "--benchmark_out=BENCH_micro_gp.json";
+  std::string fmt = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out.data());
+    args.push_back(fmt.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -13,6 +13,10 @@
 ///
 /// Environment: EASYBO_RUNS (default 3; paper used 20), EASYBO_SIMS
 /// (default 150), EASYBO_DE (default 20000).
+///
+/// Also writes the per-algorithm observability reports (src/obs: phase
+/// timers, Cholesky refactor/extend counters, per-worker busy/idle) to
+/// BENCH_table1_opamp.json; EASYBO_METRICS_JSON overrides the path.
 
 #include <cstdio>
 #include <map>
@@ -41,9 +45,11 @@ int main() {
 
   // makespans per (mode-label, batch) for the async-saving summary.
   std::map<std::pair<std::string, std::size_t>, double> makespan;
+  std::vector<AlgoStats> all_stats;
+  all_stats.push_back(de);
 
   for (const auto& config : paper_roster(circuit_bench.init_points, sims)) {
-    const auto stats = run_bo_repeated(circuit_bench, config, runs);
+    auto stats = run_bo_repeated(circuit_bench, config, runs);
     add_table_row(table, stats, 2);
     if (config.acq == bo::AcqKind::EasyBo && config.penalize &&
         config.mode != bo::Mode::Sequential) {
@@ -51,6 +57,7 @@ int main() {
           config.mode == bo::Mode::SyncBatch ? "sync" : "async";
       makespan[{kind, config.batch}] = stats.mean_makespan;
     }
+    all_stats.push_back(std::move(stats));
     std::fflush(stdout);
   }
 
@@ -77,6 +84,16 @@ int main() {
         "\nSpeed-up of EasyBO-15 over DE: %.0fx (paper: up to 1935x with "
         "DE at 20000 sims)\n",
         de_time / easybo15->second);
+  }
+
+  // Engine-room observability (src/obs), merged over the repeats: where
+  // the modeling time went and how often the hot paths fired.
+  const std::string written =
+      write_bench_metrics_json("BENCH_table1_opamp.json", all_stats);
+  if (!written.empty()) {
+    std::printf("\nPer-algorithm metrics written to %s\n", written.c_str());
+  } else {
+    std::printf("\nwarning: could not write the metrics JSON\n");
   }
   return 0;
 }

@@ -8,12 +8,17 @@
 ///                      bucb|lp|ei|lcb|de|pso|sa|random]
 ///              [--batch N] [--sims N] [--init N] [--seed N]
 ///              [--lambda X] [--kernel se|matern52] [--csv]
+///              [--metrics-json FILE] [--metrics-csv FILE]
 ///
 /// Prints the best result, virtual wall-clock and (with --csv) the
 /// per-evaluation trace as CSV on stdout for external plotting.
+/// --metrics-json / --metrics-csv export the engine-room observability
+/// report (src/obs: per-phase timers, Cholesky refactor/extend counters,
+/// per-worker busy/idle); FILE "-" writes to stdout. BO algorithms only.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "common/format.h"
@@ -33,7 +38,25 @@ struct CliOptions {
   double lambda = 6.0;
   std::string kernel = "se";
   bool csv = false;
+  std::string metrics_json;  // empty: off; "-": stdout
+  std::string metrics_csv;   // empty: off; "-": stdout
 };
+
+/// Writes \p text to \p path, or to stdout when path is "-".
+bool write_text(const std::string& path, const std::string& text) {
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << text << '\n';
+  return true;
+}
 
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
@@ -42,7 +65,8 @@ struct CliOptions {
       "                  [--algo easybo|easybo-a|easybo-s|easybo-sp|pbo|\n"
       "                          phcbo|bucb|lp|ei|lcb|de|pso|sa|random]\n"
       "                  [--batch N] [--sims N] [--init N] [--seed N]\n"
-      "                  [--lambda X] [--kernel se|matern52] [--csv]\n");
+      "                  [--lambda X] [--kernel se|matern52] [--csv]\n"
+      "                  [--metrics-json FILE] [--metrics-csv FILE]\n");
   std::exit(2);
 }
 
@@ -63,6 +87,8 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--lambda") opt.lambda = std::stod(next());
     else if (arg == "--kernel") opt.kernel = next();
     else if (arg == "--csv") opt.csv = true;
+    else if (arg == "--metrics-json") opt.metrics_json = next();
+    else if (arg == "--metrics-csv") opt.metrics_csv = next();
     else if (arg == "--help" || arg == "-h") usage_and_exit();
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -192,8 +218,20 @@ int main(int argc, char** argv) {
     usage_and_exit();
   }
 
+  config.collect_metrics =
+      !cli.metrics_json.empty() || !cli.metrics_csv.empty();
+
   const auto result =
       bo::run_bo(config, problem.bounds, problem.fn, problem.sim_time);
+
+  if (!cli.metrics_json.empty() &&
+      !write_text(cli.metrics_json, result.metrics.to_json())) {
+    return 1;
+  }
+  if (!cli.metrics_csv.empty() &&
+      !write_text(cli.metrics_csv, result.metrics.to_csv())) {
+    return 1;
+  }
 
   std::printf("%s on %s: best = %.6g, %zu sims, wall-clock %s, "
               "utilization %.0f%%\n",

@@ -14,7 +14,9 @@ using linalg::Vec;
 AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
                                   easybo::Rng& rng,
                                   const std::vector<Vec>& anchors,
-                                  const AcqOptOptions& opt) {
+                                  const AcqOptOptions& opt,
+                                  obs::TraceSink* sink) {
+  obs::ScopedTimer span(sink, obs::Phase::AcqMaximize);
   EASYBO_REQUIRE(dim >= 1, "maximize_acquisition: dim must be >= 1");
   EASYBO_REQUIRE(opt.sobol_candidates + opt.random_candidates > 0,
                  "maximize_acquisition: no screening candidates configured");
@@ -98,6 +100,7 @@ AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
       }
     }
   }
+  obs::count(sink, "acq.inner_evals", result.num_evals);
   return result;
 }
 

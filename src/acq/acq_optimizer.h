@@ -15,6 +15,7 @@
 
 #include "acq/acquisition.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "opt/nelder_mead.h"
 
 namespace easybo::acq {
@@ -37,9 +38,13 @@ struct AcqOptResult {
 /// Maximizes \p fn over [0,1]^dim.
 /// \param anchors  extra screening points (unit cube), each also screened
 ///                 with `anchor_jitter` Gaussian-jittered copies.
+/// \param sink     optional trace sink: times the whole maximization as
+///                 Phase::AcqMaximize and counts "acq.inner_evals"
+///                 (acquisition evaluations spent). Null = no overhead.
 AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
                                   easybo::Rng& rng,
                                   const std::vector<linalg::Vec>& anchors = {},
-                                  const AcqOptOptions& options = {});
+                                  const AcqOptOptions& options = {},
+                                  obs::TraceSink* sink = nullptr);
 
 }  // namespace easybo::acq

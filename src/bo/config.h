@@ -76,6 +76,11 @@ struct BoConfig {
   std::size_t refit_every = 5;  ///< retrain hyperparameters every k obs
   std::string kernel = "se";    ///< "se" (paper) or "matern52" (extension)
   std::uint64_t seed = 1;
+  /// Collect the observability report (src/obs) into BoResult::metrics:
+  /// per-phase timers, Cholesky refactor/extend + dedup + refit counters,
+  /// per-worker busy/idle. Off by default — the null sink costs nothing
+  /// and collection never changes the proposal sequence either way.
+  bool collect_metrics = false;
 
   gp::TrainerOptions trainer;   ///< hyperparameter MLE options
   acq::AcqOptOptions acq_opt;   ///< acquisition maximizer options

@@ -32,6 +32,16 @@ BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
                          acq::HighCoveragePenalty(cfg_.hc_d, cfg_.hc_n));
   }
   next_hyper_refit_ = cfg_.init_points;
+  proposal_counter_ = std::string("bo.proposals.") + to_string(cfg_.acq);
+  if (cfg_.collect_metrics) {
+    owned_recorder_ = std::make_unique<obs::RecordingSink>();
+    set_trace(owned_recorder_.get());
+  }
+}
+
+void BoEngine::set_trace(obs::TraceSink* sink) {
+  trace_ = sink;
+  model_.set_trace(sink);
 }
 
 BoResult BoEngine::run() {
@@ -60,6 +70,7 @@ BoResult BoEngine::run(sched::Executor& exec) {
   const std::size_t inc = incumbent_index();
   result.best_x = box_.from_unit(obs_x_[inc]);
   result.best_y = obs_y_[inc];
+  finalize_metrics(exec, result);
   return result;
 }
 
@@ -71,20 +82,22 @@ void BoEngine::run_init_phase(sched::Executor& exec, BoResult& result) {
   // Random initial design (the paper samples uniformly at random). All
   // modes push the init points through the executor greedily — identical
   // schedules keep the wall-clock comparison between algorithms fair.
+  // The InitDesign span covers the whole phase, waits included.
+  obs::ScopedTimer span(trace_, obs::Phase::InitDesign);
   std::size_t issued = 0;
   while (obs_x_.size() < cfg_.init_points) {
     while (exec.has_idle_worker() && issued < cfg_.init_points) {
       submit(exec, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
       ++issued;
     }
-    absorb(exec.wait_next(), result);
+    absorb(timed_wait(exec), result);
   }
 }
 
 void BoEngine::run_sequential(sched::Executor& exec, BoResult& result) {
   while (obs_x_.size() < cfg_.max_sims) {
     submit(exec, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
-    absorb(exec.wait_next(), result);
+    absorb(timed_wait(exec), result);
     update_model(false);
   }
 }
@@ -105,7 +118,7 @@ void BoEngine::run_sync_batch(sched::Executor& exec, BoResult& result) {
       batch.push_back(propose(batch, slot));
     }
     for (auto& x : batch) submit(exec, std::move(x), /*is_init=*/false);
-    for (const auto& c : exec.wait_all()) absorb(c, result);
+    for (const auto& c : timed_wait_all(exec)) absorb(c, result);
     update_model(false);
   }
 }
@@ -126,7 +139,7 @@ void BoEngine::run_async_batch(sched::Executor& exec, BoResult& result) {
   // refine the model, propose for the idle worker with the still-running
   // points as pseudo-observations.
   while (exec.num_running() > 0) {
-    const auto c = exec.wait_next();
+    const auto c = timed_wait(exec);
     const Vec finished_x = prop_x_[c.tag];
     absorb(c, result);
     // Remove the finished point from the pending set.
@@ -150,6 +163,7 @@ void BoEngine::run_async_batch(sched::Executor& exec, BoResult& result) {
 Vec BoEngine::propose(const std::vector<Vec>& pending, std::size_t slot) {
   const std::size_t dim = bounds_.dim();
   const std::vector<Vec> anchors = {obs_x_[incumbent_index()]};
+  obs::count(trace_, proposal_counter_);
 
   // Thompson sampling picks from a sampled posterior path directly; it
   // never goes through the generic acquisition maximizer.
@@ -227,7 +241,7 @@ Vec BoEngine::propose(const std::vector<Vec>& pending, std::size_t slot) {
   }
 
   auto best = acq::maximize_acquisition(*fn, dim, rng_, anchors,
-                                        cfg_.acq_opt);
+                                        cfg_.acq_opt, trace_);
   Vec x = dedup(std::move(best.best_x), pending);
   if (cfg_.acq == AcqKind::Phcbo) {
     hc_penalties_[slot % hc_penalties_.size()].record(x);
@@ -238,7 +252,10 @@ Vec BoEngine::propose(const std::vector<Vec>& pending, std::size_t slot) {
 Vec BoEngine::propose_thompson(const std::vector<Vec>& pending) {
   // Candidate set: shifted Sobol + jittered incumbent copies. With
   // penalization, sample from the hallucinated posterior so pending
-  // regions carry no leftover uncertainty to exploit.
+  // regions carry no leftover uncertainty to exploit. Candidate
+  // generation through the posterior argmax is this algorithm's
+  // acquisition maximization, hence the span over the whole body.
+  obs::ScopedTimer span(trace_, obs::Phase::AcqMaximize);
   const std::size_t dim = bounds_.dim();
   std::vector<Vec> candidates;
   const std::size_t sobol_count =
@@ -298,28 +315,53 @@ Vec BoEngine::propose_hedge(const std::vector<Vec>& pending) {
 
   hedge_nominees_.clear();
   for (const auto* member : members) {
-    hedge_nominees_.push_back(
-        acq::maximize_acquisition(*member, dim, rng_, anchors, cfg_.acq_opt)
-            .best_x);
+    hedge_nominees_.push_back(acq::maximize_acquisition(
+                                  *member, dim, rng_, anchors, cfg_.acq_opt,
+                                  trace_)
+                                  .best_x);
   }
   const std::size_t choice = hedge_.choose(rng_);
   return dedup(hedge_nominees_[choice], pending);
 }
 
 Vec BoEngine::dedup(Vec x, const std::vector<Vec>& pending) {
-  auto too_close = [&](const Vec& other) {
-    return linalg::dist_sq(x, other) < 1e-12;
+  return dedup_proposal(std::move(x), obs_x_, pending, rng_, trace_);
+}
+
+Vec dedup_proposal(Vec x, const std::vector<Vec>& observed,
+                   const std::vector<Vec>& pending, Rng& rng,
+                   obs::TraceSink* trace) {
+  auto collides = [&](const Vec& candidate) {
+    auto too_close = [&](const Vec& other) {
+      return linalg::dist_sq(candidate, other) < 1e-12;
+    };
+    return std::any_of(observed.begin(), observed.end(), too_close) ||
+           std::any_of(pending.begin(), pending.end(), too_close);
   };
-  const bool collides =
-      std::any_of(obs_x_.begin(), obs_x_.end(), too_close) ||
-      std::any_of(pending.begin(), pending.end(), too_close);
-  if (!collides) return x;
+  if (!collides(x)) return x;
+
   // Nudge inside the cube; an exact duplicate adds no information and can
-  // degrade the covariance conditioning.
-  for (auto& v : x) {
-    v = std::clamp(v + rng_.normal(0.0, 0.01), 0.0, 1.0);
+  // degrade the covariance conditioning. A single nudge is not enough: on
+  // a boundary duplicate (e.g. the unit-cube corner the acquisition keeps
+  // proposing) the clamp can put the point right back onto the duplicate,
+  // so retry, then give up on locality and resample uniformly.
+  constexpr int kNudges = 4;
+  for (int attempt = 0; attempt < kNudges; ++attempt) {
+    Vec nudged = x;
+    for (auto& v : nudged) {
+      v = std::clamp(v + rng.normal(0.0, 0.01), 0.0, 1.0);
+    }
+    obs::count(trace, "bo.dedup_nudge");
+    if (!collides(nudged)) return nudged;
   }
-  return x;
+  constexpr int kResamples = 16;
+  Vec resampled = std::move(x);
+  for (int attempt = 0; attempt < kResamples; ++attempt) {
+    resampled = rng.uniform_vector(resampled.size());
+    obs::count(trace, "bo.dedup_resample");
+    if (!collides(resampled)) break;
+  }
+  return resampled;  // last candidate even if saturated: progress > purity
 }
 
 // ---------------------------------------------------------------------------
@@ -327,12 +369,17 @@ Vec BoEngine::dedup(Vec x, const std::vector<Vec>& pending) {
 // ---------------------------------------------------------------------------
 
 void BoEngine::update_model(bool force_train) {
-  zscore_.refit(obs_y_);
-  model_.set_data(obs_x_, zscore_.transform(obs_y_));
+  {
+    obs::ScopedTimer span(trace_, obs::Phase::ModelFit);
+    zscore_.refit(obs_y_);
+    model_.set_data(obs_x_, zscore_.transform(obs_y_));
+  }
 
   const bool train = force_train || obs_x_.size() >= next_hyper_refit_;
   if (train) {
+    obs::ScopedTimer span(trace_, obs::Phase::HyperRefit);
     gp::train_mle(model_, rng_, cfg_.trainer);
+    obs::count(trace_, "bo.hyper_refit");
     ++hyper_refits_;
     // Geometrically thinning schedule: early observations shift the
     // hyperparameters a lot, late ones barely; this caps total O(n^3)
@@ -342,6 +389,7 @@ void BoEngine::update_model(bool force_train) {
         n + cfg_.refit_every,
         static_cast<std::size_t>(static_cast<double>(n) * 1.5));
   } else {
+    obs::ScopedTimer span(trace_, obs::Phase::ModelFit);
     model_.fit();
   }
 }
@@ -371,6 +419,12 @@ void BoEngine::submit(sched::Executor& exec, Vec unit_x, bool is_init) {
 }
 
 void BoEngine::absorb(const sched::Completion& c, BoResult& result) {
+  if (trace_ != nullptr) {
+    // Executor-clock duration: virtual seconds on a VirtualExecutor, wall
+    // seconds on real threads. Not a ScopedTimer — the evaluation already
+    // happened inside the executor; this books its reported span.
+    trace_->add_time(obs::Phase::ObjectiveEval, c.finish - c.start);
+  }
   const Vec& unit_x = prop_x_[c.tag];
   obs_x_.push_back(unit_x);
   obs_y_.push_back(c.value);
@@ -384,6 +438,33 @@ void BoEngine::absorb(const sched::Completion& c, BoResult& result) {
   rec.worker = c.worker;
   rec.is_init = prop_init_[c.tag];
   result.evals.push_back(std::move(rec));
+}
+
+sched::Completion BoEngine::timed_wait(sched::Executor& exec) {
+  obs::ScopedTimer span(trace_, obs::Phase::ExecutorWait);
+  return exec.wait_next();
+}
+
+std::vector<sched::Completion> BoEngine::timed_wait_all(
+    sched::Executor& exec) {
+  obs::ScopedTimer span(trace_, obs::Phase::ExecutorWait);
+  return exec.wait_all();
+}
+
+void BoEngine::finalize_metrics(sched::Executor& exec, BoResult& result) {
+  auto* recorder = dynamic_cast<obs::RecordingSink*>(trace_);
+  if (recorder == nullptr) return;
+  result.metrics = recorder->report();
+  result.metrics.makespan_seconds = exec.now();
+  const std::vector<double> busy = exec.per_worker_busy();
+  result.metrics.workers.reserve(busy.size());
+  for (std::size_t w = 0; w < busy.size(); ++w) {
+    obs::WorkerStat stat;
+    stat.worker = w;
+    stat.busy_seconds = busy[w];
+    stat.idle_seconds = std::max(0.0, exec.now() - busy[w]);
+    result.metrics.workers.push_back(stat);
+  }
 }
 
 BoResult run_bo(const BoConfig& config, const opt::Bounds& bounds,

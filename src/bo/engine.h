@@ -19,6 +19,8 @@
 /// as the dataset grows), warm-started from the previous optimum.
 
 #include <functional>
+#include <memory>
+#include <string>
 
 #include "acq/thompson.h"
 #include "bo/config.h"
@@ -26,6 +28,7 @@
 #include "common/rng.h"
 #include "gp/gp.h"
 #include "gp/normalizer.h"
+#include "obs/recording.h"
 #include "opt/objective.h"
 #include "sched/executor.h"
 
@@ -57,6 +60,14 @@ class BoEngine {
   /// point at a time). Call once per engine instance. Worker exceptions
   /// propagate out of this call with the run aborted.
   BoResult run(sched::Executor& exec);
+
+  /// Installs a non-owning trace sink for the run (call before run();
+  /// nullptr restores the zero-cost null default). When the sink is an
+  /// obs::RecordingSink, run() additionally assembles its contents — plus
+  /// the executor's per-worker busy/idle — into BoResult::metrics.
+  /// BoConfig::collect_metrics is the self-contained variant: the engine
+  /// then owns a RecordingSink and installs it here itself.
+  void set_trace(obs::TraceSink* sink);
 
  private:
   // --- model management -------------------------------------------------
@@ -94,6 +105,14 @@ class BoEngine {
   /// Handles one completion: records the observation and the eval trace.
   void absorb(const sched::Completion& c, BoResult& result);
 
+  /// wait_next()/wait_all() wrapped in a Phase::ExecutorWait span.
+  sched::Completion timed_wait(sched::Executor& exec);
+  std::vector<sched::Completion> timed_wait_all(sched::Executor& exec);
+
+  /// Copies the recording sink (when one is installed) into
+  /// result.metrics, grafting on the executor's worker stats.
+  void finalize_metrics(sched::Executor& exec, BoResult& result);
+
   BoConfig cfg_;
   opt::Bounds bounds_;
   opt::Objective objective_;
@@ -122,7 +141,25 @@ class BoEngine {
 
   std::size_t next_hyper_refit_ = 0;
   std::size_t hyper_refits_ = 0;
+
+  // Observability (src/obs). trace_ is non-owning and nullptr by default
+  // (the zero-cost null sink); owned_recorder_ backs it only when
+  // cfg_.collect_metrics asked the engine to record itself.
+  obs::TraceSink* trace_ = nullptr;
+  std::unique_ptr<obs::RecordingSink> owned_recorder_;
+  std::string proposal_counter_;  // "bo.proposals.<acq>", built once
 };
+
+/// Resolves a proposal that collides (squared distance < 1e-12) with an
+/// observed or pending point: Gaussian nudges (sigma 0.01, clamped to the
+/// unit cube) retried until the point clears, with a uniform resample
+/// fallback — a nudge clamped on the cube boundary can land right back on
+/// the duplicate, which is exactly the case the retries exist for. Counts
+/// "bo.dedup_nudge" / "bo.dedup_resample" on \p trace. Exposed as a free
+/// function for direct testing; BoEngine routes every proposal through it.
+Vec dedup_proposal(Vec x, const std::vector<Vec>& observed,
+                   const std::vector<Vec>& pending, Rng& rng,
+                   obs::TraceSink* trace = nullptr);
 
 /// Convenience wrapper: configure, run, return.
 BoResult run_bo(const BoConfig& config, const opt::Bounds& bounds,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/vec.h"
+#include "obs/metrics.h"
 
 namespace easybo::bo {
 
@@ -29,6 +30,12 @@ struct BoResult {
   double makespan = 0.0;          ///< virtual wall-clock of all simulation
   double total_sim_time = 0.0;    ///< sum of evaluation durations
   std::size_t hyper_refits = 0;   ///< MLE trainings performed
+
+  /// Observability report: per-phase timers, engine-room counters and
+  /// per-worker busy/idle. Populated only when the run recorded metrics
+  /// (BoConfig::collect_metrics, or a RecordingSink installed through
+  /// BoEngine::set_trace); metrics.empty() otherwise.
+  obs::MetricsReport metrics;
 
   std::size_t num_evals() const { return evals.size(); }
 

@@ -15,6 +15,11 @@
 /// mode, any acquisition) drives a real std::thread pool through the
 /// sched::Executor seam and wall-clock times are measured with a
 /// monotonic clock.
+///
+/// Set config.collect_metrics = true to get the run's observability
+/// report (src/obs: per-phase timers, Cholesky refactor/extend counters,
+/// per-worker busy/idle) on result.metrics — works on both backends and
+/// never changes the proposal sequence.
 
 #include "bo/engine.h"
 #include "core/problem.h"

@@ -24,7 +24,8 @@ GpRegressor::GpRegressor(const GpRegressor& other)
       chol_(other.chol_),
       alpha_(other.alpha_),
       y_mean_(other.y_mean_),
-      fitted_params_(other.fitted_params_) {}
+      fitted_params_(other.fitted_params_),
+      trace_(other.trace_) {}
 
 GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   if (this == &other) return *this;
@@ -36,6 +37,7 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   alpha_ = other.alpha_;
   y_mean_ = other.y_mean_;
   fitted_params_ = other.fitted_params_;
+  trace_ = other.trace_;
   return *this;
 }
 
@@ -85,6 +87,7 @@ void GpRegressor::fit() {
         extended = false;  // lost positive definiteness: full refactor
         break;
       }
+      obs::count(trace_, "gp.chol_extend");
     }
   }
   if (!extended || chol_->size() != xs_.size()) {
@@ -92,6 +95,11 @@ void GpRegressor::fit() {
     k.add_diagonal(noise_var_);
     chol_.emplace(k);
     fitted_params_ = log_hyperparams();
+    obs::count(trace_, "gp.chol_refactor");
+    if (chol_->attempts() > 1) {
+      obs::count(trace_, "gp.jitter_escalation",
+                 static_cast<std::uint64_t>(chol_->attempts() - 1));
+    }
   }
 
   Vec centered(ys_.size());
@@ -129,7 +137,9 @@ double GpRegressor::log_marginal_likelihood() const {
 Vec GpRegressor::lml_gradient() const {
   EASYBO_REQUIRE(fitted(), "lml_gradient before fit()");
   const std::size_t n = xs_.size();
-  // W = alpha alpha^T - K^{-1}; dLML/dtheta = 0.5 tr(W dK/dtheta).
+  // W = alpha alpha^T - K^{-1}; dLML/dtheta = 0.5 tr(W dK/dtheta). The
+  // inverse reuses the Cholesky factor (triangular inverse + symmetric
+  // product) — this is the dominant cost of every trainer gradient step.
   const Matrix kinv = chol_->inverse();
   Matrix w(n, n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -140,11 +150,13 @@ Vec GpRegressor::lml_gradient() const {
   const auto dks = kernel_->gram_gradients(xs_);
   Vec grad(kernel_->num_params() + 1, 0.0);
   for (std::size_t p = 0; p < dks.size(); ++p) {
+    // Both W and dK/dtheta are symmetric: fold the off-diagonal half.
     double acc = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < n; ++j) acc += w(i, j) * dks[p](i, j);
+      acc += 0.5 * w(i, i) * dks[p](i, i);
+      for (std::size_t j = 0; j < i; ++j) acc += w(i, j) * dks[p](i, j);
     }
-    grad[p] = 0.5 * acc;
+    grad[p] = acc;
   }
   // Noise term: dK/dlog sn^2 = sn^2 I.
   double tr_w = 0.0;

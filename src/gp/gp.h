@@ -19,6 +19,7 @@
 
 #include "gp/kernel.h"
 #include "linalg/cholesky.h"
+#include "obs/trace.h"
 
 namespace easybo::gp {
 
@@ -106,6 +107,15 @@ class GpRegressor {
   /// NOT re-optimized (paper §III-C / Algorithm 1 line 6).
   GpRegressor with_hallucinated(const std::vector<Vec>& pending) const;
 
+  /// Installs a non-owning trace sink (nullptr = off, the default).
+  /// fit() then counts "gp.chol_refactor" (full O(n^3) factorizations),
+  /// "gp.chol_extend" (O(n^2) incremental rows) and
+  /// "gp.jitter_escalation" (jitter retries inside a refactorization).
+  /// Copies — including the hallucinated posteriors — inherit the sink,
+  /// so their Cholesky work is counted too.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
  private:
   std::unique_ptr<Kernel> kernel_;
   double noise_var_;
@@ -117,6 +127,8 @@ class GpRegressor {
   Vec alpha_;       // K^{-1} (y - mean)
   double y_mean_ = 0.0;
   Vec fitted_params_;  // hyperparameters the factor was built with
+
+  obs::TraceSink* trace_ = nullptr;  // non-owning; nullptr = no tracing
 };
 
 }  // namespace easybo::gp

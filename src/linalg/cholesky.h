@@ -33,6 +33,10 @@ class Cholesky {
   /// Total jitter that was added to the diagonal (0 when none was needed).
   double jitter_used() const { return jitter_used_; }
 
+  /// Factorization attempts performed (1 = clean, each jitter escalation
+  /// adds one). Observability feed for the "gp.jitter_escalation" counter.
+  int attempts() const { return attempts_; }
+
   /// Solves A x = b through forward/back substitution.
   Vec solve(const Vec& b) const;
 
@@ -58,7 +62,10 @@ class Cholesky {
   double log_det() const;
 
   /// Explicit inverse (used only by tests and the LML gradient, where the
-  /// full K^{-1} is genuinely required).
+  /// full K^{-1} is genuinely required). Computed as L^{-T} L^{-1} with
+  /// both steps exploiting the triangular structure — about 3x cheaper
+  /// than back-solving dense identity columns, and the dominant cost of
+  /// every train_mle gradient step.
   Matrix inverse() const;
 
  private:
@@ -66,6 +73,7 @@ class Cholesky {
 
   Matrix l_;
   double jitter_used_ = 0.0;
+  int attempts_ = 1;
 };
 
 }  // namespace easybo::linalg

@@ -1,0 +1,79 @@
+#pragma once
+/// \file metrics.h
+/// \brief The machine-readable metrics report assembled from a run's
+/// trace: per-phase timers, named counters, per-worker busy/idle — plus
+/// JSON and CSV exporters so benches and the CLI can emit something a
+/// plotting script (or the next perf PR) can consume without parsing
+/// ASCII tables.
+///
+/// JSON schema ("easybo.metrics.v1"):
+///   {
+///     "schema": "easybo.metrics.v1",
+///     "makespan_seconds": <double>,
+///     "phases":   { "<phase>": {"seconds": <double>, "spans": <uint>} },
+///     "counters": { "<name>": <uint> },
+///     "workers":  [ {"worker": <uint>, "busy_seconds": <double>,
+///                    "idle_seconds": <double>} ]
+///   }
+/// Phase keys are obs::to_string(Phase) values; every phase appears even
+/// when it recorded nothing, so consumers need no existence checks.
+///
+/// CSV schema: header "section,name,value", one row per datum with
+/// section in {phase_seconds, phase_spans, counter, worker_busy,
+/// worker_idle, makespan_seconds}.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easybo::obs {
+
+/// Accumulated wall time of one phase.
+struct PhaseStat {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t spans = 0;  ///< number of ScopedTimer spans recorded
+};
+
+/// One named monotonic counter.
+struct CounterStat {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Busy/idle split of one worker slot over the run.
+struct WorkerStat {
+  std::size_t worker = 0;
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;  ///< makespan - busy
+};
+
+/// Everything observed during one run (or the merge of several).
+/// Default-constructed = "nothing collected": empty() is true.
+struct MetricsReport {
+  std::vector<PhaseStat> phases;      ///< in Phase declaration order
+  std::vector<CounterStat> counters;  ///< sorted by name
+  std::vector<WorkerStat> workers;    ///< by worker slot
+  double makespan_seconds = 0.0;      ///< executor clock at run end
+
+  bool empty() const {
+    return phases.empty() && counters.empty() && workers.empty();
+  }
+
+  /// Value of the named counter, 0 when it never fired.
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Accumulated seconds of the named phase, 0 when absent.
+  double phase_seconds(std::string_view name) const;
+
+  /// Element-wise sum: phases/counters merge by name, workers by slot,
+  /// makespans add. Used to aggregate repeated bench runs.
+  void merge(const MetricsReport& other);
+
+  std::string to_json() const;
+  std::string to_csv() const;
+};
+
+}  // namespace easybo::obs

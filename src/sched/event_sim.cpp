@@ -9,6 +9,7 @@ namespace easybo::sched {
 VirtualScheduler::VirtualScheduler(std::size_t num_workers)
     : num_workers_(num_workers) {
   EASYBO_REQUIRE(num_workers >= 1, "scheduler needs at least one worker");
+  busy_.assign(num_workers, 0.0);
   idle_.resize(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i) idle_[i] = i;
 }
@@ -28,6 +29,7 @@ std::size_t VirtualScheduler::submit(std::size_t tag, double duration) {
   trace_.push_back(rec);
   running_.push({rec.finish, trace_.size() - 1});
   total_busy_ += duration;
+  busy_[worker] += duration;
   return rec.job_id;
 }
 

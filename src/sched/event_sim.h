@@ -61,6 +61,10 @@ class VirtualScheduler {
   /// Sum over workers of busy time so far.
   double total_busy_time() const { return total_busy_; }
 
+  /// Busy virtual seconds accumulated per worker slot (submitted jobs
+  /// count fully — their finish times are fixed at submission).
+  const std::vector<double>& per_worker_busy() const { return busy_; }
+
   /// Busy fraction of the pool over [0, now]; 0 when now == 0.
   double utilization() const;
 
@@ -84,6 +88,7 @@ class VirtualScheduler {
   std::size_t num_workers_;
   double now_ = 0.0;
   double total_busy_ = 0.0;
+  std::vector<double> busy_;  // per-worker share of total_busy_
   std::vector<std::size_t> idle_;
   std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
       running_;

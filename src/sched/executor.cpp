@@ -19,15 +19,25 @@ std::vector<Completion> Executor::wait_all() {
 void VirtualExecutor::submit(std::size_t tag, std::function<double()> work,
                              double duration) {
   const std::size_t job_id = sched_.submit(tag, duration);
-  if (values_.size() <= job_id) values_.resize(job_id + 1);
-  values_[job_id] = work();
+  if (outcomes_.size() <= job_id) outcomes_.resize(job_id + 1);
+  // Evaluate eagerly but deliver failures lazily: a throwing objective
+  // must surface at wait_next(), exactly where ThreadExecutor rethrows
+  // worker exceptions, so the engine sees one failure contract on both
+  // backends.
+  try {
+    outcomes_[job_id].value = work();
+  } catch (...) {
+    outcomes_[job_id].error = std::current_exception();
+  }
 }
 
 Completion VirtualExecutor::wait_next() {
   const JobRecord rec = sched_.wait_next();
+  const Outcome& out = outcomes_[rec.job_id];
+  if (out.error) std::rethrow_exception(out.error);
   Completion c;
   c.tag = rec.tag;
-  c.value = values_[rec.job_id];
+  c.value = out.value;
   c.worker = rec.worker;
   c.start = rec.start;
   c.finish = rec.finish;
@@ -44,6 +54,7 @@ ThreadExecutor::ThreadExecutor(std::size_t num_threads)
       pool_(num_threads) {
   free_slots_.resize(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) free_slots_[i] = i;
+  busy_per_slot_.assign(num_threads, 0.0);
 }
 
 double ThreadExecutor::elapsed() const {
@@ -62,6 +73,11 @@ double ThreadExecutor::now() const { return elapsed(); }
 double ThreadExecutor::total_busy_time() const {
   std::lock_guard lock(mutex_);
   return total_busy_;
+}
+
+std::vector<double> ThreadExecutor::per_worker_busy() const {
+  std::lock_guard lock(mutex_);
+  return busy_per_slot_;
 }
 
 void ThreadExecutor::submit(std::size_t tag, std::function<double()> work,
@@ -92,7 +108,9 @@ void ThreadExecutor::submit(std::size_t tag, std::function<double()> work,
     {
       std::lock_guard lock(mutex_);
       free_slots_.push_back(slot);
-      total_busy_ += out.completion.finish - out.completion.start;
+      const double busy = out.completion.finish - out.completion.start;
+      total_busy_ += busy;
+      busy_per_slot_[slot] += busy;
       done_.push_back(std::move(out));
     }
     cv_.notify_one();

@@ -66,13 +66,22 @@ class Executor {
 
   /// Sum over workers of busy time accumulated so far.
   virtual double total_busy_time() const = 0;
+
+  /// Busy seconds accumulated by each worker slot (virtual or wall),
+  /// indexed by the Completion::worker ids. Idle time of slot w over a
+  /// run is now() - per_worker_busy()[w] — the per-worker utilization
+  /// split the observability layer exports.
+  virtual std::vector<double> per_worker_busy() const = 0;
 };
 
 /// Virtual-time executor: wraps VirtualScheduler. Work is evaluated
 /// eagerly at submit time (the objectives in the experiment regime are
 /// deterministic); the scheduler controls WHEN the value becomes visible
 /// to the caller (wait_next), which is all that matters for the
-/// information flow of the algorithm.
+/// information flow of the algorithm. A throwing work item is captured at
+/// submit time and rethrown when ITS completion is waited for — the same
+/// call site where ThreadExecutor surfaces worker exceptions, preserving
+/// the backend-parity guarantee (DESIGN.md §5.0).
 class VirtualExecutor final : public Executor {
  public:
   explicit VirtualExecutor(std::size_t num_workers) : sched_(num_workers) {}
@@ -86,13 +95,21 @@ class VirtualExecutor final : public Executor {
   double total_busy_time() const override {
     return sched_.total_busy_time();
   }
+  std::vector<double> per_worker_busy() const override {
+    return sched_.per_worker_busy();
+  }
 
   /// The underlying scheduler, for schedule-trace inspection.
   const VirtualScheduler& scheduler() const { return sched_; }
 
  private:
+  struct Outcome {
+    double value = 0.0;
+    std::exception_ptr error;
+  };
+
   VirtualScheduler sched_;
-  std::vector<double> values_;  // indexed by job id
+  std::vector<Outcome> outcomes_;  // indexed by job id
 };
 
 /// Real-threads executor on the common ThreadPool. The objective runs on
@@ -111,6 +128,7 @@ class ThreadExecutor final : public Executor {
   Completion wait_next() override;
   double now() const override;
   double total_busy_time() const override;
+  std::vector<double> per_worker_busy() const override;
 
  private:
   struct Outcome {
@@ -128,6 +146,7 @@ class ThreadExecutor final : public Executor {
   std::vector<std::size_t> free_slots_;
   std::size_t in_flight_ = 0;
   double total_busy_ = 0.0;
+  std::vector<double> busy_per_slot_;
   // Last member: its destructor joins the workers while the state above
   // (mutex, queues) is still alive — in-flight tasks touch both.
   ThreadPool pool_;

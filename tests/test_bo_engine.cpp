@@ -276,5 +276,121 @@ TEST(BoEngine, NoDuplicateQueryPointsUnderPenalization) {
   EXPECT_EQ(seen.size(), r.num_evals());
 }
 
+TEST(DedupProposal, LeavesNonCollidingPointsAndTheirRngAlone) {
+  Rng rng(3);
+  const std::vector<linalg::Vec> observed = {{0.2, 0.2}};
+  const linalg::Vec x = {0.7, 0.7};
+  Rng reference(3);
+  const auto out = dedup_proposal(x, observed, {}, rng);
+  EXPECT_EQ(out, x);
+  // No collision -> no RNG draws: later proposals stay seed-identical.
+  EXPECT_DOUBLE_EQ(rng.uniform(), reference.uniform());
+}
+
+TEST(DedupProposal, ClearsBoundaryDuplicatesForEverySeed) {
+  // Regression: the old single clamped Gaussian nudge could land right
+  // back on a duplicate sitting on the unit-cube boundary — from the
+  // corner {1,1}, any nudge with two non-negative draws clamps back to
+  // {1,1} (~25% of seeds). The retry + uniform-resample fallback must
+  // clear every seed.
+  const linalg::Vec corner = {1.0, 1.0};
+  const std::vector<linalg::Vec> observed = {corner};
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng rng(seed);
+    const auto out = dedup_proposal(corner, observed, {}, rng);
+    EXPECT_GT(linalg::dist_sq(out, corner), 1e-12) << "seed " << seed;
+    for (double v : out) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(DedupProposal, ChecksPendingPointsAndCountsNudges) {
+  obs::RecordingSink sink;
+  Rng rng(4);
+  const linalg::Vec x = {0.5, 0.5};
+  const std::vector<linalg::Vec> pending = {x};
+  const auto out = dedup_proposal(x, {}, pending, rng, &sink);
+  EXPECT_GT(linalg::dist_sq(out, x), 1e-12);
+  EXPECT_GE(sink.counter("bo.dedup_nudge"), 1u);
+}
+
+TEST(BoEngine, MetricsCollectionIsBehaviorallyInert) {
+  // Flipping collect_metrics must not change a single proposal: the
+  // instrumentation draws no RNG and takes no branch that depends on it.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 4, 17);
+  cfg.collect_metrics = false;
+  const auto plain = run_bo(cfg, tf.bounds, tf.fn);
+  cfg.collect_metrics = true;
+  const auto traced = run_bo(cfg, tf.bounds, tf.fn);
+
+  EXPECT_TRUE(plain.metrics.empty());
+  EXPECT_FALSE(traced.metrics.empty());
+  ASSERT_EQ(plain.num_evals(), traced.num_evals());
+  for (std::size_t i = 0; i < plain.num_evals(); ++i) {
+    EXPECT_EQ(plain.evals[i].x, traced.evals[i].x) << "eval " << i;
+  }
+  EXPECT_DOUBLE_EQ(plain.best_y, traced.best_y);
+  EXPECT_DOUBLE_EQ(plain.makespan, traced.makespan);
+}
+
+TEST(BoEngine, MetricsReportAccountsTheRun) {
+  // Sequential run with the refit schedule pushed past the horizon: one
+  // forced MLE training after the init design, then every later update is
+  // exactly one incremental Cholesky extend. This pins the engine-level
+  // counter totals to the run structure.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::Sequential, AcqKind::EasyBo, false, 1, 23);
+  cfg.refit_every = 1000;
+  cfg.collect_metrics = true;
+  const auto r = run_bo(cfg, tf.bounds, tf.fn);
+  const auto& m = r.metrics;
+  const std::uint64_t proposals = cfg.max_sims - cfg.init_points;
+
+  EXPECT_EQ(m.counter("bo.hyper_refit"), r.hyper_refits);
+  EXPECT_EQ(r.hyper_refits, 1u);
+  EXPECT_EQ(m.counter("bo.proposals.EasyBO"), proposals);
+  EXPECT_EQ(m.counter("gp.chol_extend"), proposals);
+  EXPECT_GE(m.counter("gp.chol_refactor"), 1u);  // inside train_mle
+  EXPECT_GT(m.counter("acq.inner_evals"), 0u);
+
+  // Phase accounting: the init design ran once, the MLE training once,
+  // one acquisition maximization per proposal, and the executor clock
+  // booked every evaluation (1 virtual second each by default).
+  EXPECT_EQ(m.phases[static_cast<std::size_t>(obs::Phase::InitDesign)].spans,
+            1u);
+  EXPECT_EQ(m.phases[static_cast<std::size_t>(obs::Phase::HyperRefit)].spans,
+            1u);
+  EXPECT_EQ(
+      m.phases[static_cast<std::size_t>(obs::Phase::AcqMaximize)].spans,
+      proposals);
+  EXPECT_DOUBLE_EQ(m.phase_seconds("objective_eval"),
+                   static_cast<double>(cfg.max_sims));
+  EXPECT_GT(m.phase_seconds("model_fit"), 0.0);
+
+  // Worker stats grafted from the executor: one worker, fully busy.
+  ASSERT_EQ(m.workers.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.workers[0].busy_seconds,
+                   static_cast<double>(cfg.max_sims));
+  EXPECT_NEAR(m.workers[0].idle_seconds, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.makespan_seconds, r.makespan);
+}
+
+TEST(BoEngine, ExternalRecordingSinkPopulatesMetricsToo) {
+  // set_trace with a caller-owned RecordingSink is the composable variant
+  // of collect_metrics; the engine must fill BoResult::metrics from it.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::Sequential, AcqKind::EasyBo, false, 1, 29);
+  BoEngine engine(cfg, tf.bounds, tf.fn);
+  obs::RecordingSink sink;
+  engine.set_trace(&sink);
+  const auto r = engine.run();
+  EXPECT_FALSE(r.metrics.empty());
+  EXPECT_EQ(sink.counter("bo.hyper_refit"), r.hyper_refits);
+  EXPECT_EQ(r.metrics.counter("bo.hyper_refit"), r.hyper_refits);
+}
+
 }  // namespace
 }  // namespace easybo::bo

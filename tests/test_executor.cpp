@@ -1,7 +1,8 @@
 // Tests for the execution seam: the VirtualExecutor and ThreadExecutor
 // must present the same contract to the BO engine — idle accounting,
-// FIFO-serialized completions on one worker, and (real threads only)
-// worker exceptions delivered to the waiter instead of being dropped.
+// FIFO-serialized completions on one worker, worker exceptions delivered
+// to the SAME call site (wait_next) on both backends, and per-worker
+// busy accounting for the observability layer.
 
 #include "sched/executor.h"
 
@@ -93,6 +94,73 @@ TEST(ThreadExecutor, WorkerExceptionReachesTheWaiter) {
   // The executor stays usable after a failed job.
   exec.submit(1, [] { return 5.0; }, 1.0);
   EXPECT_DOUBLE_EQ(exec.wait_next().value, 5.0);
+}
+
+TEST(Executors, ExceptionsSurfaceAtWaitNextOnBothBackends) {
+  // Regression: VirtualExecutor used to run the work eagerly inside
+  // submit(), so a throwing objective escaped from submit() there but
+  // from wait_next() on real threads — engine error handling could not be
+  // backend-agnostic. Both backends must now deliver the exception at
+  // wait_next(), with the original type, and stay usable afterwards.
+  VirtualExecutor virt(2);
+  EXPECT_NO_THROW(virt.submit(
+      0, []() -> double { throw std::runtime_error("virtual boom"); }, 1.0));
+  EXPECT_THROW(virt.wait_next(), std::runtime_error);
+  virt.submit(1, [] { return 5.0; }, 1.0);
+  EXPECT_DOUBLE_EQ(virt.wait_next().value, 5.0);
+
+  ThreadExecutor threads(2);
+  EXPECT_NO_THROW(threads.submit(
+      0, []() -> double { throw std::runtime_error("thread boom"); }, 1.0));
+  EXPECT_THROW(threads.wait_next(), std::runtime_error);
+  threads.submit(1, [] { return 5.0; }, 1.0);
+  EXPECT_DOUBLE_EQ(threads.wait_next().value, 5.0);
+}
+
+TEST(VirtualExecutor, FailedJobStillAdvancesTheClock) {
+  // The failed evaluation occupied its worker for the full duration; the
+  // schedule (and every later completion's timing) must reflect that.
+  VirtualExecutor exec(1);
+  exec.submit(0, []() -> double { throw std::runtime_error("boom"); }, 3.0);
+  EXPECT_THROW(exec.wait_next(), std::runtime_error);
+  exec.submit(1, [] { return 1.0; }, 2.0);
+  const auto c = exec.wait_next();
+  EXPECT_DOUBLE_EQ(c.start, 3.0);
+  EXPECT_DOUBLE_EQ(c.finish, 5.0);
+}
+
+TEST(VirtualExecutor, PerWorkerBusyMatchesSubmittedDurations) {
+  VirtualExecutor exec(2);
+  exec.submit(0, [] { return 1.0; }, 4.0);  // worker 0
+  exec.submit(1, [] { return 2.0; }, 2.0);  // worker 1
+  exec.wait_all();
+  const auto busy = exec.per_worker_busy();
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_DOUBLE_EQ(busy[0] + busy[1], 6.0);
+  EXPECT_DOUBLE_EQ(exec.total_busy_time(), 6.0);
+}
+
+TEST(ThreadExecutor, PerWorkerBusySumsToTotal) {
+  ThreadExecutor exec(2);
+  for (std::size_t tag = 0; tag < 4; ++tag) {
+    exec.submit(tag, [] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return 1.0;
+    }, 1.0);
+    if (tag % 2 == 1) {
+      exec.wait_next();
+      exec.wait_next();
+    }
+  }
+  const auto busy = exec.per_worker_busy();
+  ASSERT_EQ(busy.size(), 2u);
+  double sum = 0.0;
+  for (double b : busy) {
+    EXPECT_GE(b, 0.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum, exec.total_busy_time(), 1e-9);
+  EXPECT_GT(sum, 0.0);
 }
 
 TEST(ThreadExecutor, AbandonedWorkIsJoinedOnDestruction) {
