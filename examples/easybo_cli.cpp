@@ -9,18 +9,27 @@
 ///              [--batch N] [--sims N] [--init N] [--seed N]
 ///              [--lambda X] [--kernel se|matern52] [--csv]
 ///              [--metrics-json FILE] [--metrics-csv FILE]
+///              [--on-failure abort|discard|penalize] [--eval-timeout S]
+///              [--eval-retries N] [--fail-quantile Q]
+///              [--inject-throw-every N] [--inject-nan-every N]
+///              [--inject-slow-every N]
 ///
 /// Prints the best result, virtual wall-clock and (with --csv) the
 /// per-evaluation trace as CSV on stdout for external plotting.
 /// --metrics-json / --metrics-csv export the engine-room observability
 /// report (src/obs: per-phase timers, Cholesky refactor/extend counters,
-/// per-worker busy/idle); FILE "-" writes to stdout. BO algorithms only.
+/// per-worker busy/idle, per-eval outcomes); FILE "-" writes to stdout.
+/// The --on-failure / --eval-* flags configure the fault-tolerant
+/// evaluation pipeline and the --inject-* flags add deterministic faults
+/// for studying it (docs/failure-model.md; EXPERIMENTS.md "fault
+/// injection" recipe). BO algorithms only.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "circuit/fault_injection.h"
 #include "common/format.h"
 #include "core/easybo.h"
 
@@ -40,6 +49,11 @@ struct CliOptions {
   bool csv = false;
   std::string metrics_json;  // empty: off; "-": stdout
   std::string metrics_csv;   // empty: off; "-": stdout
+  std::string on_failure = "abort";
+  double eval_timeout = 0.0;
+  std::size_t eval_retries = 0;
+  double fail_quantile = 0.0;
+  circuit::FaultPlan faults;  // --inject-*: all channels off by default
 };
 
 /// Writes \p text to \p path, or to stdout when path is "-".
@@ -66,7 +80,11 @@ bool write_text(const std::string& path, const std::string& text) {
       "                          phcbo|bucb|lp|ei|lcb|de|pso|sa|random]\n"
       "                  [--batch N] [--sims N] [--init N] [--seed N]\n"
       "                  [--lambda X] [--kernel se|matern52] [--csv]\n"
-      "                  [--metrics-json FILE] [--metrics-csv FILE]\n");
+      "                  [--metrics-json FILE] [--metrics-csv FILE]\n"
+      "                  [--on-failure abort|discard|penalize]\n"
+      "                  [--eval-timeout S] [--eval-retries N]\n"
+      "                  [--fail-quantile Q] [--inject-throw-every N]\n"
+      "                  [--inject-nan-every N] [--inject-slow-every N]\n");
   std::exit(2);
 }
 
@@ -89,6 +107,16 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--metrics-json") opt.metrics_json = next();
     else if (arg == "--metrics-csv") opt.metrics_csv = next();
+    else if (arg == "--on-failure") opt.on_failure = next();
+    else if (arg == "--eval-timeout") opt.eval_timeout = std::stod(next());
+    else if (arg == "--eval-retries") opt.eval_retries = std::stoul(next());
+    else if (arg == "--fail-quantile") opt.fail_quantile = std::stod(next());
+    else if (arg == "--inject-throw-every")
+      opt.faults.throw_every = std::stoul(next());
+    else if (arg == "--inject-nan-every")
+      opt.faults.nan_every = std::stoul(next());
+    else if (arg == "--inject-slow-every")
+      opt.faults.slow_every = std::stoul(next());
     else if (arg == "--help" || arg == "-h") usage_and_exit();
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -218,11 +246,49 @@ int main(int argc, char** argv) {
     usage_and_exit();
   }
 
-  config.collect_metrics =
-      !cli.metrics_json.empty() || !cli.metrics_csv.empty();
+  if (cli.on_failure == "abort") {
+    config.on_eval_failure = bo::EvalFailurePolicy::Abort;
+  } else if (cli.on_failure == "discard") {
+    config.on_eval_failure = bo::EvalFailurePolicy::Discard;
+  } else if (cli.on_failure == "penalize") {
+    config.on_eval_failure = bo::EvalFailurePolicy::Penalize;
+  } else {
+    std::fprintf(stderr, "unknown failure policy: %s\n",
+                 cli.on_failure.c_str());
+    usage_and_exit();
+  }
+  config.eval_timeout = cli.eval_timeout;
+  config.eval_max_retries = cli.eval_retries;
+  config.eval_failure_quantile = cli.fail_quantile;
 
-  const auto result =
-      bo::run_bo(config, problem.bounds, problem.fn, problem.sim_time);
+  const bool injecting = cli.faults.throw_every > 0 ||
+                         cli.faults.nan_every > 0 ||
+                         cli.faults.slow_every > 0;
+  // Fault studies always want the failure counters and per-eval log.
+  config.collect_metrics = !cli.metrics_json.empty() ||
+                           !cli.metrics_csv.empty() || injecting ||
+                           config.on_eval_failure !=
+                               bo::EvalFailurePolicy::Abort;
+
+  opt::Objective fn = problem.fn;
+  std::function<double(const linalg::Vec&)> sim_time = problem.sim_time;
+  circuit::FaultInjector injector(cli.faults);
+  if (injecting) {
+    fn = injector.wrap(std::move(fn));
+    if (cli.faults.slow_every > 0) {
+      if (!sim_time) sim_time = [](const linalg::Vec&) { return 1.0; };
+      sim_time = injector.wrap_sim_time(std::move(sim_time));
+    }
+  }
+
+  bo::BoResult result;
+  try {
+    result = bo::run_bo(config, problem.bounds, fn, sim_time);
+  } catch (const std::exception& e) {
+    // The Abort policy (the default) rethrows evaluation failures.
+    std::fprintf(stderr, "run aborted: %s\n", e.what());
+    return 1;
+  }
 
   if (!cli.metrics_json.empty() &&
       !write_text(cli.metrics_json, result.metrics.to_json())) {
@@ -245,14 +311,34 @@ int main(int argc, char** argv) {
   for (double v : result.best_x) std::printf(" %.6g", v);
   std::printf("\n");
 
+  const auto& m = result.metrics;
+  if (m.counter("eval.failures") > 0 || injecting) {
+    std::printf("failures: %llu (%llu exception, %llu non-finite, "
+                "%llu timeout), %llu retries; policy %s: %llu discarded, "
+                "%llu penalized\n",
+                (unsigned long long)m.counter("eval.failures"),
+                (unsigned long long)m.counter("eval.exceptions"),
+                (unsigned long long)m.counter("eval.nonfinite"),
+                (unsigned long long)m.counter("eval.timeouts"),
+                (unsigned long long)m.counter("eval.retries"),
+                bo::to_string(config.on_eval_failure),
+                (unsigned long long)m.counter("eval.discarded"),
+                (unsigned long long)m.counter("eval.penalized"));
+  }
+
   if (cli.csv) {
-    std::printf("\neval,start,finish,worker,is_init,y,best_so_far\n");
-    double best = result.evals.front().y;
+    std::printf("\neval,start,finish,worker,is_init,failed,y,best_so_far\n");
+    double best = 0.0;
+    bool have_best = false;
     for (std::size_t i = 0; i < result.evals.size(); ++i) {
       const auto& e = result.evals[i];
-      best = std::max(best, e.y);
-      std::printf("%zu,%.3f,%.3f,%zu,%d,%.6g,%.6g\n", i, e.start, e.finish,
-                  e.worker, e.is_init ? 1 : 0, e.y, best);
+      if (!e.failed) {
+        best = have_best ? std::max(best, e.y) : e.y;
+        have_best = true;
+      }
+      std::printf("%zu,%.3f,%.3f,%zu,%d,%d,%.6g,%.6g\n", i, e.start,
+                  e.finish, e.worker, e.is_init ? 1 : 0, e.failed ? 1 : 0,
+                  e.y, have_best ? best : 0.0);
     }
   }
   return 0;

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Docs-coverage gate: every field of bo::BoConfig must be mentioned, by
+# name, somewhere a user would look — README.md, DESIGN.md,
+# EXPERIMENTS.md, or docs/*.md. Adding a knob without documenting it
+# fails CI. Run from anywhere; resolves paths relative to the repo root.
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+config="$root/src/bo/config.h"
+docs="$root/README.md $root/DESIGN.md $root/EXPERIMENTS.md"
+for f in "$root"/docs/*.md; do docs="$docs $f"; done
+
+# Field names: member declarations between "struct BoConfig {" and the
+# closing "};", excluding methods (lines containing "(").
+fields=$(sed -n '/^struct BoConfig {/,/^};/p' "$config" \
+  | grep -v '(' \
+  | grep -E '^\s+[A-Za-z_][A-Za-z0-9_:<>, ]*\s+[a-z_][a-z0-9_]*\s*(=|;)' \
+  | sed -E 's/^\s+[A-Za-z_][A-Za-z0-9_:<>, ]*\s+([a-z_][a-z0-9_]*)\s*(=|;).*/\1/')
+
+[ -n "$fields" ] || { echo "check_docs: failed to extract BoConfig fields from $config" >&2; exit 1; }
+
+missing=0
+for field in $fields; do
+  # shellcheck disable=SC2086
+  if ! grep -qw -- "$field" $docs; then
+    echo "UNDOCUMENTED: BoConfig::$field is mentioned in none of: README.md, DESIGN.md, EXPERIMENTS.md, docs/*.md" >&2
+    missing=$((missing + 1))
+  fi
+done
+
+count=$(printf '%s\n' $fields | wc -l | tr -d ' ')
+if [ "$missing" -gt 0 ]; then
+  echo "check_docs: $missing of $count BoConfig fields undocumented" >&2
+  exit 1
+fi
+echo "check_docs: all $count BoConfig fields are documented"

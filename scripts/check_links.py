@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans every *.md file in the repo (skipping build trees), extracts
+[text](target) and bare reference-style targets, and verifies that each
+relative target exists on disk. External links (http/https/mailto) and
+pure in-page anchors are ignored; anchors on relative links are stripped
+before the existence check. Exits non-zero listing every broken link.
+
+Stdlib only, so the CI docs job needs no pip installs.
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "third_party", "node_modules"}
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain [x](y)-looking text; drop them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            broken.append((os.path.relpath(path, root), target))
+    return broken
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = []
+    checked = 0
+    for path in md_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        for source, target in broken:
+            print(f"BROKEN LINK: {source} -> {target}")
+        print(f"{len(broken)} broken link(s) across {checked} markdown files")
+        return 1
+    print(f"all relative links resolve across {checked} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

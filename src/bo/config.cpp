@@ -24,6 +24,15 @@ const char* to_string(Mode mode) {
   return "?";
 }
 
+const char* to_string(EvalFailurePolicy policy) {
+  switch (policy) {
+    case EvalFailurePolicy::Abort: return "abort";
+    case EvalFailurePolicy::Discard: return "discard";
+    case EvalFailurePolicy::Penalize: return "penalize";
+  }
+  return "?";
+}
+
 const char* to_string(AcqKind kind) {
   switch (kind) {
     case AcqKind::Ei: return "EI";
@@ -86,6 +95,17 @@ void BoConfig::validate() const {
                    "BUCB/LP are batch algorithms (they penalize around "
                    "pending points)");
   }
+  EASYBO_REQUIRE(eval_timeout >= 0.0, "eval_timeout must be >= 0");
+  EASYBO_REQUIRE(eval_backoff_init >= 0.0,
+                 "eval_backoff_init must be >= 0");
+  EASYBO_REQUIRE(eval_backoff_factor >= 1.0,
+                 "eval_backoff_factor must be >= 1");
+  EASYBO_REQUIRE(eval_backoff_max >= 0.0, "eval_backoff_max must be >= 0");
+  EASYBO_REQUIRE(eval_backoff_jitter >= 0.0 && eval_backoff_jitter <= 1.0,
+                 "eval_backoff_jitter must be in [0, 1]");
+  EASYBO_REQUIRE(
+      eval_failure_quantile >= 0.0 && eval_failure_quantile <= 1.0,
+      "eval_failure_quantile must be in [0, 1]");
 }
 
 }  // namespace easybo::bo

@@ -49,8 +49,31 @@ enum class AcqKind {
   Hedge,   ///< GP-Hedge portfolio of EI/PI/UCB [31] (extension)
 };
 
+/// What the engine does when a supervised evaluation ultimately fails —
+/// exception, deadline timeout, or non-finite value after every retry
+/// (sched::EvalSupervisor). See docs/failure-model.md for the taxonomy
+/// and guidance on choosing between the policies.
+enum class EvalFailurePolicy {
+  /// Rethrow out of run()/optimize_parallel() — the pre-supervision
+  /// behavior and the default. Timeouts/non-finite values (which carry no
+  /// exception) abort with an easybo::Error.
+  Abort,
+  /// Drop the point: no observation is added, but the point is remembered
+  /// for proposal dedup so the crashing location is never re-proposed
+  /// verbatim. The failed evaluation still consumes simulation budget.
+  Discard,
+  /// Absorb the point as a pseudo-observation at a low quantile of the
+  /// observed FOMs (BoConfig::eval_failure_quantile; 0 = worst observed),
+  /// so the GP's posterior mean drops around the crashing region and the
+  /// acquisition stops re-proposing it — the same mechanism as the Eq. 9
+  /// hallucination, but permanent. Falls back to Discard while no real
+  /// observation exists yet (nothing to anchor the quantile on).
+  Penalize,
+};
+
 const char* to_string(Mode mode);
 const char* to_string(AcqKind kind);
+const char* to_string(EvalFailurePolicy policy);
 
 /// Full engine configuration. Defaults follow the paper (§III-B/§IV).
 struct BoConfig {
@@ -78,9 +101,29 @@ struct BoConfig {
   std::uint64_t seed = 1;
   /// Collect the observability report (src/obs) into BoResult::metrics:
   /// per-phase timers, Cholesky refactor/extend + dedup + refit counters,
+  /// eval failure/retry/timeout counters + per-eval outcome log,
   /// per-worker busy/idle. Off by default — the null sink costs nothing
   /// and collection never changes the proposal sequence either way.
   bool collect_metrics = false;
+
+  // --- fault tolerance (sched::EvalSupervisor; docs/failure-model.md) ---
+  /// Failure policy once supervision gives up on an evaluation.
+  EvalFailurePolicy on_eval_failure = EvalFailurePolicy::Abort;
+  /// Per-attempt evaluation deadline in executor seconds (virtual time on
+  /// optimize(), wall clock on optimize_parallel()); 0 disables it.
+  double eval_timeout = 0.0;
+  /// Retries per evaluation for transient failures (exceptions and
+  /// non-finite values), with capped exponential backoff.
+  std::size_t eval_max_retries = 0;
+  double eval_backoff_init = 0.5;    ///< backoff before the 1st retry (s)
+  double eval_backoff_factor = 2.0;  ///< growth per further retry
+  double eval_backoff_max = 30.0;    ///< backoff cap (s)
+  double eval_backoff_jitter = 0.1;  ///< uniform +- fraction per delay
+  /// Retry timed-out attempts too (each retry burns another deadline).
+  bool eval_retry_timeouts = false;
+  /// Penalize policy: the pseudo-observation is this quantile of the
+  /// observed FOMs (0 = worst observed, 0.5 = median).
+  double eval_failure_quantile = 0.0;
 
   gp::TrainerOptions trainer;   ///< hyperparameter MLE options
   acq::AcqOptOptions acq_opt;   ///< acquisition maximizer options

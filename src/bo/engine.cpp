@@ -1,12 +1,14 @@
 #include "bo/engine.h"
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 
 #include "acq/acquisition.h"
 #include "acq/thompson.h"
 #include "common/error.h"
 #include "common/sampling.h"
+#include "common/stats.h"
 #include "gp/trainer.h"
 
 namespace easybo::bo {
@@ -52,16 +54,36 @@ BoResult BoEngine::run() {
 }
 
 BoResult BoEngine::run(sched::Executor& exec) {
-  EASYBO_REQUIRE(obs_x_.empty(), "BoEngine::run() may be called only once");
+  EASYBO_REQUIRE(prop_x_.empty(), "BoEngine::run() may be called only once");
+  // Every evaluation goes through the supervisor. With the default config
+  // (no timeout, no retries) it is a transparent pass-through, so the
+  // Abort policy reproduces the pre-supervision runs bit for bit.
+  sched::SupervisorConfig scfg;
+  scfg.timeout = cfg_.eval_timeout;
+  scfg.max_retries = cfg_.eval_max_retries;
+  scfg.backoff_init = cfg_.eval_backoff_init;
+  scfg.backoff_factor = cfg_.eval_backoff_factor;
+  scfg.backoff_max = cfg_.eval_backoff_max;
+  scfg.backoff_jitter = cfg_.eval_backoff_jitter;
+  scfg.retry_timeouts = cfg_.eval_retry_timeouts;
+  // Decorrelated from rng_ so supervision never perturbs the proposal
+  // stream; deterministic per seed so retried runs reproduce.
+  scfg.seed = cfg_.seed ^ 0x5AFEB0FFu;
+  sched::EvalSupervisor sup(exec, scfg, trace_);
   BoResult result;
 
-  run_init_phase(exec, result);
+  run_init_phase(sup, result);
+  if (obs_x_.empty()) {
+    throw Error(
+        "every initial evaluation failed; no observation to build a model "
+        "from (see docs/failure-model.md)");
+  }
   update_model(/*force_train=*/true);
 
   switch (cfg_.mode) {
-    case Mode::Sequential: run_sequential(exec, result); break;
-    case Mode::SyncBatch: run_sync_batch(exec, result); break;
-    case Mode::AsyncBatch: run_async_batch(exec, result); break;
+    case Mode::Sequential: run_sequential(sup, result); break;
+    case Mode::SyncBatch: run_sync_batch(sup, result); break;
+    case Mode::AsyncBatch: run_async_batch(sup, result); break;
   }
 
   result.makespan = exec.now();
@@ -78,37 +100,43 @@ BoResult BoEngine::run(sched::Executor& exec) {
 // Phases
 // ---------------------------------------------------------------------------
 
-void BoEngine::run_init_phase(sched::Executor& exec, BoResult& result) {
+void BoEngine::run_init_phase(sched::EvalSupervisor& sup, BoResult& result) {
   // Random initial design (the paper samples uniformly at random). All
   // modes push the init points through the executor greedily — identical
   // schedules keep the wall-clock comparison between algorithms fair.
-  // The InitDesign span covers the whole phase, waits included.
+  // The InitDesign span covers the whole phase, waits included. Failed
+  // evaluations are topped up (the model needs its init_points anchors)
+  // until the whole simulation budget would be burned on them.
   obs::ScopedTimer span(trace_, obs::Phase::InitDesign);
-  std::size_t issued = 0;
   while (obs_x_.size() < cfg_.init_points) {
-    while (exec.has_idle_worker() && issued < cfg_.init_points) {
-      submit(exec, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
-      ++issued;
+    while (sup.has_idle_worker() && issued_ < cfg_.max_sims &&
+           obs_x_.size() + sup.num_running() < cfg_.init_points) {
+      submit(sup, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
     }
-    absorb(timed_wait(exec), result);
+    if (sup.num_running() == 0) break;  // budget exhausted by failures
+    handle(timed_wait(sup), result);
   }
 }
 
-void BoEngine::run_sequential(sched::Executor& exec, BoResult& result) {
-  while (obs_x_.size() < cfg_.max_sims) {
-    submit(exec, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
-    absorb(timed_wait(exec), result);
-    update_model(false);
+void BoEngine::run_sequential(sched::EvalSupervisor& sup, BoResult& result) {
+  while (issued_ < cfg_.max_sims) {
+    if (!sup.has_idle_worker()) break;  // the only worker is hung
+    submit(sup, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
+    if (handle(timed_wait(sup), result)) update_model(false);
   }
 }
 
-void BoEngine::run_sync_batch(sched::Executor& exec, BoResult& result) {
-  while (obs_x_.size() < cfg_.max_sims) {
-    const std::size_t remaining = cfg_.max_sims - obs_x_.size();
+void BoEngine::run_sync_batch(sched::EvalSupervisor& sup, BoResult& result) {
+  while (issued_ < cfg_.max_sims) {
+    const std::size_t remaining = cfg_.max_sims - issued_;
     // A real executor may expose fewer workers than cfg_.batch; a batch
     // larger than the pool could never be issued at once.
+    // num_idle_workers (not num_workers): a wall-clock timeout can leave a
+    // slot occupied by an abandoned hung objective. Identical when no
+    // worker is abandoned — the barrier below drained the pool.
     const std::size_t k =
-        std::min({cfg_.batch, remaining, exec.num_workers()});
+        std::min({cfg_.batch, remaining, sup.num_idle_workers()});
+    if (k == 0) break;  // every worker is hung; cannot make progress
     // Select the whole batch against the current model, then submit and
     // barrier. For EasyBO-SP, each slot hallucinates on the batch points
     // selected so far (pending grows inside the loop).
@@ -117,41 +145,42 @@ void BoEngine::run_sync_batch(sched::Executor& exec, BoResult& result) {
     for (std::size_t slot = 0; slot < k; ++slot) {
       batch.push_back(propose(batch, slot));
     }
-    for (auto& x : batch) submit(exec, std::move(x), /*is_init=*/false);
-    for (const auto& c : timed_wait_all(exec)) absorb(c, result);
-    update_model(false);
+    for (auto& x : batch) submit(sup, std::move(x), /*is_init=*/false);
+    bool changed = false;
+    for (const auto& sc : timed_wait_all(sup)) changed |= handle(sc, result);
+    if (changed) update_model(false);
   }
 }
 
-void BoEngine::run_async_batch(sched::Executor& exec, BoResult& result) {
-  std::size_t issued = obs_x_.size();  // init points already went through
-  std::vector<Vec> pending;            // unit points currently running
+void BoEngine::run_async_batch(sched::EvalSupervisor& sup, BoResult& result) {
+  std::vector<Vec> pending;  // unit points currently running
 
   // Fill the pool (Algorithm 1 bootstraps with B in-flight points).
-  while (exec.has_idle_worker() && issued < cfg_.max_sims) {
+  while (sup.has_idle_worker() && issued_ < cfg_.max_sims) {
     Vec x = propose(pending, /*slot=*/0);
     pending.push_back(x);
-    submit(exec, std::move(x), /*is_init=*/false);
-    ++issued;
+    submit(sup, std::move(x), /*is_init=*/false);
   }
 
   // Main loop (Algorithm 1): wait for a worker, absorb its observation,
   // refine the model, propose for the idle worker with the still-running
   // points as pseudo-observations.
-  while (exec.num_running() > 0) {
-    const auto c = timed_wait(exec);
-    const Vec finished_x = prop_x_[c.tag];
-    absorb(c, result);
+  while (sup.num_running() > 0) {
+    const auto sc = timed_wait(sup);
+    const Vec finished_x = prop_x_[sc.completion.tag];
+    const bool changed = handle(sc, result);
     // Remove the finished point from the pending set.
     const auto it = std::find(pending.begin(), pending.end(), finished_x);
     if (it != pending.end()) pending.erase(it);
 
-    update_model(false);
-    if (issued < cfg_.max_sims) {
+    if (changed) update_model(false);
+    // has_idle_worker: a wall-clock timeout frees no slot (the hung
+    // objective still occupies it), so its replacement waits for the next
+    // genuinely idle worker. Always true when nothing timed out.
+    if (issued_ < cfg_.max_sims && sup.has_idle_worker()) {
       Vec x = propose(pending, /*slot=*/0);
       pending.push_back(x);
-      submit(exec, std::move(x), /*is_init=*/false);
-      ++issued;
+      submit(sup, std::move(x), /*is_init=*/false);
     }
   }
 }
@@ -325,7 +354,14 @@ Vec BoEngine::propose_hedge(const std::vector<Vec>& pending) {
 }
 
 Vec BoEngine::dedup(Vec x, const std::vector<Vec>& pending) {
-  return dedup_proposal(std::move(x), obs_x_, pending, rng_, trace_);
+  if (failed_x_.empty()) {
+    return dedup_proposal(std::move(x), obs_x_, pending, rng_, trace_);
+  }
+  // Discarded failure locations block proposals too: re-evaluating a point
+  // that just crashed verbatim would burn budget on a known failure.
+  std::vector<Vec> blocked = pending;
+  blocked.insert(blocked.end(), failed_x_.begin(), failed_x_.end());
+  return dedup_proposal(std::move(x), obs_x_, blocked, rng_, trace_);
 }
 
 Vec dedup_proposal(Vec x, const std::vector<Vec>& observed,
@@ -403,58 +439,121 @@ std::size_t BoEngine::incumbent_index() const {
 // Executor plumbing
 // ---------------------------------------------------------------------------
 
-void BoEngine::submit(sched::Executor& exec, Vec unit_x, bool is_init) {
+void BoEngine::submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init) {
   Vec x_design = box_.from_unit(unit_x);
   const double duration = sim_time_(x_design);
   const std::size_t tag = prop_x_.size();
   prop_x_.push_back(std::move(unit_x));
   prop_init_.push_back(is_init);
+  ++issued_;
   // The executor decides where and when the objective runs (eagerly for
   // virtual time, on a worker thread for real threads); the engine only
-  // sees the value at absorb time.
-  exec.submit(
+  // sees the outcome at handle time.
+  sup.submit(
       tag,
       [obj = &objective_, x = std::move(x_design)] { return (*obj)(x); },
       duration);
 }
 
-void BoEngine::absorb(const sched::Completion& c, BoResult& result) {
+bool BoEngine::handle(const sched::SupervisedCompletion& sc,
+                      BoResult& result) {
+  const sched::Completion& c = sc.completion;
   if (trace_ != nullptr) {
     // Executor-clock duration: virtual seconds on a VirtualExecutor, wall
-    // seconds on real threads. Not a ScopedTimer — the evaluation already
-    // happened inside the executor; this books its reported span.
+    // seconds on real threads; spans retries and backoff. Not a
+    // ScopedTimer — the evaluation already happened inside the executor;
+    // this books its reported span.
     trace_->add_time(obs::Phase::ObjectiveEval, c.finish - c.start);
   }
   const Vec& unit_x = prop_x_[c.tag];
-  obs_x_.push_back(unit_x);
-  obs_y_.push_back(c.value);
-  obs_is_init_.push_back(prop_init_[c.tag]);
 
   EvalRecord rec;
   rec.x = box_.from_unit(unit_x);
-  rec.y = c.value;
   rec.start = c.start;
   rec.finish = c.finish;
   rec.worker = c.worker;
   rec.is_init = prop_init_[c.tag];
+  rec.attempts = sc.attempts;
+
+  if (sc.ok()) {
+    obs_x_.push_back(unit_x);
+    obs_y_.push_back(c.value);
+    obs_is_init_.push_back(prop_init_[c.tag]);
+    rec.y = c.value;
+    result.evals.push_back(std::move(rec));
+    log_eval(sc, "observed");
+    return true;
+  }
+
+  obs::count(trace_, "eval.failures");
+  if (cfg_.on_eval_failure == EvalFailurePolicy::Abort) {
+    // Rethrow the objective's own exception so callers see exactly what
+    // they saw before supervision existed; timeouts and non-finite values
+    // never carried one, so they get a descriptive Error.
+    if (sc.exception) std::rethrow_exception(sc.exception);
+    throw Error(std::string("evaluation failed (") +
+                sched::to_string(sc.status) +
+                ") and on_eval_failure is abort" +
+                (sc.error.empty() ? "" : ": " + sc.error));
+  }
+
+  rec.failed = true;
+  rec.failure = sched::to_string(sc.status);
+
+  // Penalize needs at least one real observation to anchor the quantile;
+  // until then it degrades to Discard.
+  if (cfg_.on_eval_failure == EvalFailurePolicy::Penalize &&
+      !obs_y_.empty()) {
+    obs::count(trace_, "eval.penalized");
+    const double y_pen =
+        quantile_of(obs_y_, cfg_.eval_failure_quantile);
+    obs_x_.push_back(unit_x);
+    obs_y_.push_back(y_pen);
+    obs_is_init_.push_back(prop_init_[c.tag]);
+    rec.y = y_pen;
+    result.evals.push_back(std::move(rec));
+    log_eval(sc, "penalized");
+    return true;
+  }
+
+  obs::count(trace_, "eval.discarded");
+  failed_x_.push_back(unit_x);  // dedup must never re-propose it verbatim
+  rec.y = std::numeric_limits<double>::quiet_NaN();
   result.evals.push_back(std::move(rec));
+  log_eval(sc, "discarded");
+  return false;
 }
 
-sched::Completion BoEngine::timed_wait(sched::Executor& exec) {
-  obs::ScopedTimer span(trace_, obs::Phase::ExecutorWait);
-  return exec.wait_next();
+void BoEngine::log_eval(const sched::SupervisedCompletion& sc,
+                        const char* action) {
+  if (trace_ == nullptr) return;  // same zero-cost convention as counters
+  obs::EvalLogEntry e;
+  e.index = eval_log_.size();
+  e.status = sched::to_string(sc.status);
+  e.action = action;
+  e.attempts = sc.attempts;
+  e.worker = sc.completion.worker;
+  e.start = sc.completion.start;
+  e.finish = sc.completion.finish;
+  eval_log_.push_back(std::move(e));
 }
 
-std::vector<sched::Completion> BoEngine::timed_wait_all(
-    sched::Executor& exec) {
+sched::SupervisedCompletion BoEngine::timed_wait(sched::EvalSupervisor& sup) {
   obs::ScopedTimer span(trace_, obs::Phase::ExecutorWait);
-  return exec.wait_all();
+  return sup.wait_next();
+}
+
+std::vector<sched::SupervisedCompletion> BoEngine::timed_wait_all(
+    sched::EvalSupervisor& sup) {
+  obs::ScopedTimer span(trace_, obs::Phase::ExecutorWait);
+  return sup.wait_all();
 }
 
 void BoEngine::finalize_metrics(sched::Executor& exec, BoResult& result) {
   auto* recorder = dynamic_cast<obs::RecordingSink*>(trace_);
   if (recorder == nullptr) return;
   result.metrics = recorder->report();
+  result.metrics.evals = std::move(eval_log_);
   result.metrics.makespan_seconds = exec.now();
   const std::vector<double> busy = exec.per_worker_busy();
   result.metrics.workers.reserve(busy.size());

@@ -31,6 +31,7 @@
 #include "obs/recording.h"
 #include "opt/objective.h"
 #include "sched/executor.h"
+#include "sched/supervisor.h"
 
 namespace easybo::bo {
 
@@ -57,8 +58,12 @@ class BoEngine {
 
   /// Executes the full run on the given executor; its worker count is the
   /// effective degree of parallelism (Sequential mode still issues one
-  /// point at a time). Call once per engine instance. Worker exceptions
-  /// propagate out of this call with the run aborted.
+  /// point at a time). Call once per engine instance. Every evaluation is
+  /// supervised (sched::EvalSupervisor, configured from the BoConfig
+  /// eval_* knobs); what happens when one ultimately fails is
+  /// BoConfig::on_eval_failure — under the default Abort policy worker
+  /// exceptions propagate out of this call with the run aborted, exactly
+  /// the pre-supervision behavior.
   BoResult run(sched::Executor& exec);
 
   /// Installs a non-owning trace sink for the run (call before run();
@@ -90,24 +95,33 @@ class BoEngine {
   /// GP-Hedge portfolio proposal (AcqKind::Hedge).
   Vec propose_hedge(const std::vector<Vec>& pending);
 
-  /// Nudges a proposal that collides with an existing/pending point.
+  /// Nudges a proposal that collides with an observed, pending, or
+  /// previously-failed point.
   Vec dedup(Vec x, const std::vector<Vec>& pending);
 
   // --- run phases ---------------------------------------------------------
-  void run_init_phase(sched::Executor& exec, BoResult& result);
-  void run_sequential(sched::Executor& exec, BoResult& result);
-  void run_sync_batch(sched::Executor& exec, BoResult& result);
-  void run_async_batch(sched::Executor& exec, BoResult& result);
+  void run_init_phase(sched::EvalSupervisor& sup, BoResult& result);
+  void run_sequential(sched::EvalSupervisor& sup, BoResult& result);
+  void run_sync_batch(sched::EvalSupervisor& sup, BoResult& result);
+  void run_async_batch(sched::EvalSupervisor& sup, BoResult& result);
 
-  /// Submits proposal (unit space) to the executor, bookkeeping the tag.
-  void submit(sched::Executor& exec, Vec unit_x, bool is_init);
+  /// Submits proposal (unit space) to the supervisor, bookkeeping the tag
+  /// and counting it against the simulation budget (issued_).
+  void submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init);
 
-  /// Handles one completion: records the observation and the eval trace.
-  void absorb(const sched::Completion& c, BoResult& result);
+  /// Handles one supervised outcome: records an observation on success,
+  /// applies cfg_.on_eval_failure otherwise (Abort rethrows out of run()).
+  /// Returns whether the model's dataset changed (real or pseudo
+  /// observation added).
+  bool handle(const sched::SupervisedCompletion& sc, BoResult& result);
+
+  /// Appends one entry to the per-eval outcome log (metrics "evals").
+  void log_eval(const sched::SupervisedCompletion& sc, const char* action);
 
   /// wait_next()/wait_all() wrapped in a Phase::ExecutorWait span.
-  sched::Completion timed_wait(sched::Executor& exec);
-  std::vector<sched::Completion> timed_wait_all(sched::Executor& exec);
+  sched::SupervisedCompletion timed_wait(sched::EvalSupervisor& sup);
+  std::vector<sched::SupervisedCompletion> timed_wait_all(
+      sched::EvalSupervisor& sup);
 
   /// Copies the recording sink (when one is installed) into
   /// result.metrics, grafting on the executor's worker stats.
@@ -122,10 +136,20 @@ class BoEngine {
   gp::ZScore zscore_;
   gp::GpRegressor model_;
 
-  // Observations (unit space + raw y).
+  // Observations (unit space + raw y). Penalized failures appear here as
+  // pseudo-observations; discarded failures do not.
   std::vector<Vec> obs_x_;
   Vec obs_y_;
   std::vector<bool> obs_is_init_;
+
+  // Discarded failure locations (unit space), kept so dedup never
+  // re-proposes a crashing point verbatim.
+  std::vector<Vec> failed_x_;
+
+  // Evaluations issued so far (submissions, not observations): the
+  // simulation-budget clock. With no failures this equals the observation
+  // count, preserving the pre-supervision schedules bit for bit.
+  std::size_t issued_ = 0;
 
   // Proposals by tag: the executor's completion tag indexes these.
   std::vector<Vec> prop_x_;       // unit space
@@ -148,6 +172,7 @@ class BoEngine {
   obs::TraceSink* trace_ = nullptr;
   std::unique_ptr<obs::RecordingSink> owned_recorder_;
   std::string proposal_counter_;  // "bo.proposals.<acq>", built once
+  std::vector<obs::EvalLogEntry> eval_log_;  // built when trace_ != nullptr
 };
 
 /// Resolves a proposal that collides (squared distance < 1e-12) with an

@@ -15,7 +15,9 @@ double BoResult::utilization(std::size_t workers) const {
 std::vector<std::pair<double, double>> BoResult::best_vs_time() const {
   std::vector<const EvalRecord*> ordered;
   ordered.reserve(evals.size());
-  for (const auto& e : evals) ordered.push_back(&e);
+  for (const auto& e : evals) {
+    if (!e.failed) ordered.push_back(&e);
+  }
   std::sort(ordered.begin(), ordered.end(),
             [](const EvalRecord* a, const EvalRecord* b) {
               return a->finish < b->finish;
@@ -36,8 +38,11 @@ Vec BoResult::best_vs_evals() const {
   Vec series;
   series.reserve(evals.size());
   double best = 0.0;
-  for (std::size_t i = 0; i < evals.size(); ++i) {
-    best = (i == 0) ? evals[i].y : std::max(best, evals[i].y);
+  bool first = true;
+  for (const auto& e : evals) {
+    if (e.failed) continue;  // pseudo/NaN values are not real observations
+    best = first ? e.y : std::max(best, e.y);
+    first = false;
     series.push_back(best);
   }
   return series;

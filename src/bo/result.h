@@ -3,6 +3,8 @@
 /// \brief Run records produced by the BO engine.
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "linalg/vec.h"
@@ -12,14 +14,19 @@ namespace easybo::bo {
 
 using linalg::Vec;
 
-/// One completed simulation.
+/// One completed simulation (or one ultimately-failed evaluation when the
+/// run used a non-aborting EvalFailurePolicy — see docs/failure-model.md).
 struct EvalRecord {
   Vec x;                 ///< design-space point
-  double y = 0.0;        ///< observed FOM
+  double y = 0.0;        ///< observed FOM; NaN for discarded failures
   double start = 0.0;    ///< virtual time the simulation started
   double finish = 0.0;   ///< virtual time it finished
   std::size_t worker = 0;
   bool is_init = false;  ///< part of the random initial design
+  std::uint32_t attempts = 1;  ///< supervised attempts (1 + retries)
+  bool failed = false;   ///< evaluation failed after every retry
+  /// Empty for ok evals; otherwise "exception"|"timeout"|"non_finite".
+  std::string failure;
 };
 
 /// Full result of one optimization run.
@@ -42,12 +49,15 @@ struct BoResult {
   /// Pool utilization: total_sim_time / (makespan * workers).
   double utilization(std::size_t workers) const;
 
-  /// Best-so-far FOM sampled at the completion time of each evaluation:
-  /// pairs (finish_time, best_y_up_to_that_time), in time order. This is
-  /// the series plotted in the paper's Fig. 4 / Fig. 6.
+  /// Best-so-far FOM sampled at the completion time of each successful
+  /// evaluation: pairs (finish_time, best_y_up_to_that_time), in time
+  /// order. Failed evaluations are skipped (their y is a pseudo value or
+  /// NaN, not an observation). This is the series plotted in the paper's
+  /// Fig. 4 / Fig. 6.
   std::vector<std::pair<double, double>> best_vs_time() const;
 
-  /// Best-so-far FOM after each completed simulation (index = #sims).
+  /// Best-so-far FOM after each successful simulation (failed evaluations
+  /// skipped; index = #successful sims).
   Vec best_vs_evals() const;
 
   /// Earliest virtual time at which best-so-far reached \p target;

@@ -1,0 +1,69 @@
+#include "circuit/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace easybo::circuit {
+
+struct FaultInjector::State {
+  std::atomic<std::size_t> calls{0};
+  std::atomic<std::size_t> faults{0};
+  std::atomic<std::size_t> sim_time_calls{0};
+};
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan), state_(std::make_shared<State>()) {}
+
+Objective FaultInjector::wrap(Objective inner) const {
+  const FaultPlan plan = plan_;
+  auto state = state_;
+  return [plan, state, inner = std::move(inner)](const Vec& x) -> double {
+    const std::size_t n = state->calls.fetch_add(1) + 1;  // 1-based
+    const auto hits = [n](std::size_t every) {
+      return every > 0 && n % every == 0;
+    };
+    if (hits(plan.throw_every)) {
+      state->faults.fetch_add(1);
+      throw std::runtime_error("injected simulator crash (call " +
+                               std::to_string(n) + ")");
+    }
+    if (hits(plan.nan_every)) {
+      state->faults.fetch_add(1);
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (hits(plan.hang_every)) {
+      state->faults.fetch_add(1);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan.hang_seconds));
+    }
+    return inner(x);
+  };
+}
+
+std::function<double(const Vec&)> FaultInjector::wrap_sim_time(
+    std::function<double(const Vec&)> inner) const {
+  const FaultPlan plan = plan_;
+  auto state = state_;
+  return [plan, state, inner = std::move(inner)](const Vec& x) -> double {
+    const std::size_t n = state->sim_time_calls.fetch_add(1) + 1;
+    const double t = inner(x);
+    if (plan.slow_every > 0 && n % plan.slow_every == 0) {
+      return t * plan.slow_factor;
+    }
+    return t;
+  };
+}
+
+std::size_t FaultInjector::calls() const { return state_->calls.load(); }
+
+std::size_t FaultInjector::faults_injected() const {
+  return state_->faults.load();
+}
+
+}  // namespace easybo::circuit

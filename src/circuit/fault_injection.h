@@ -1,0 +1,70 @@
+#pragma once
+/// \file fault_injection.h
+/// \brief Deterministic fault injection for the evaluation pipeline.
+///
+/// Wraps any objective so that every Nth call misbehaves in a chosen way —
+/// throws (a crashed simulator), returns NaN (a non-physical result for an
+/// unstable sizing), or hangs/slows down (a straggling simulation). The
+/// schedule is counter-based, not random: "every 7th call throws" gives
+/// tests and experiment recipes exact expected failure counts, independent
+/// of seeds and of which worker happens to run the call. Used by the
+/// fault-tolerance test suite, bench/fault_policies and the
+/// --inject-*-every CLI flags (EXPERIMENTS.md "fault injection" recipe;
+/// docs/failure-model.md for how the supervisor reacts).
+
+#include <cstddef>
+#include <memory>
+
+#include "opt/objective.h"
+
+namespace easybo::circuit {
+
+using opt::Objective;
+using opt::Vec;
+
+/// Which calls misbehave. 0 disables a channel; the call counter is
+/// 1-based, so throw_every = 3 faults calls 3, 6, 9, ... When several
+/// channels hit the same call, precedence is throw > nan > hang.
+struct FaultPlan {
+  std::size_t throw_every = 0;  ///< throw std::runtime_error
+  std::size_t nan_every = 0;    ///< return quiet NaN
+  std::size_t hang_every = 0;   ///< sleep hang_seconds before returning
+  double hang_seconds = 0.05;   ///< wall sleep of a "hang" (keep small)
+  /// sim-time channel (wrap_sim_time, independent counter): every Nth
+  /// simulation takes slow_factor times its nominal virtual duration —
+  /// the virtual-time analogue of a straggler/hang.
+  std::size_t slow_every = 0;
+  double slow_factor = 100.0;
+};
+
+/// Wraps objectives (and sim-time models) with the faults of one plan.
+/// Thread-safe: the call counters are atomic and shared by every copy of a
+/// wrapped objective, so "every Nth call" counts across a worker pool.
+/// Copyable; copies share the counters of the injector they came from.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// The objective with faults injected per the plan. The wrapper holds
+  /// shared state only — it outlives the injector safely.
+  Objective wrap(Objective inner) const;
+
+  /// A sim-time model with the slowdown channel injected (own counter, so
+  /// virtual-duration faults do not consume objective-fault slots).
+  std::function<double(const Vec&)> wrap_sim_time(
+      std::function<double(const Vec&)> inner) const;
+
+  /// Objective calls made so far (across all copies of wrapped objectives,
+  /// retries included — each retry is a fresh call).
+  std::size_t calls() const;
+
+  /// Objective faults injected so far (throw + nan + hang channels).
+  std::size_t faults_injected() const;
+
+ private:
+  struct State;
+  FaultPlan plan_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace easybo::circuit

@@ -93,6 +93,10 @@ void MetricsReport::merge(const MetricsReport& other) {
             [](const WorkerStat& a, const WorkerStat& b) {
               return a.worker < b.worker;
             });
+  for (const auto& e : other.evals) {
+    evals.push_back(e);
+    evals.back().index = evals.size() - 1;
+  }
   makespan_seconds += other.makespan_seconds;
 }
 
@@ -119,6 +123,17 @@ std::string MetricsReport::to_json() const {
        << ",\"busy_seconds\":" << json_number(workers[i].busy_seconds)
        << ",\"idle_seconds\":" << json_number(workers[i].idle_seconds)
        << '}';
+  }
+  os << "],\"evals\":[";
+  for (std::size_t i = 0; i < evals.size(); ++i) {
+    if (i) os << ',';
+    os << "{\"index\":" << evals[i].index
+       << ",\"status\":\"" << json_escape(evals[i].status)
+       << "\",\"action\":\"" << json_escape(evals[i].action)
+       << "\",\"attempts\":" << evals[i].attempts
+       << ",\"worker\":" << evals[i].worker
+       << ",\"start\":" << json_number(evals[i].start)
+       << ",\"finish\":" << json_number(evals[i].finish) << '}';
   }
   os << "]}";
   return os.str();

@@ -6,21 +6,29 @@
 /// plotting script (or the next perf PR) can consume without parsing
 /// ASCII tables.
 ///
-/// JSON schema ("easybo.metrics.v1"):
+/// JSON schema ("easybo.metrics.v1", formally documented in
+/// docs/metrics-schema.md — keep the two in sync):
 ///   {
 ///     "schema": "easybo.metrics.v1",
 ///     "makespan_seconds": <double>,
 ///     "phases":   { "<phase>": {"seconds": <double>, "spans": <uint>} },
 ///     "counters": { "<name>": <uint> },
 ///     "workers":  [ {"worker": <uint>, "busy_seconds": <double>,
-///                    "idle_seconds": <double>} ]
+///                    "idle_seconds": <double>} ],
+///     "evals":    [ {"index": <uint>, "status": "<status>",
+///                    "action": "<action>", "attempts": <uint>,
+///                    "worker": <uint>, "start": <double>,
+///                    "finish": <double>} ]
 ///   }
 /// Phase keys are obs::to_string(Phase) values; every phase appears even
 /// when it recorded nothing, so consumers need no existence checks.
+/// "evals" is the per-evaluation outcome log of the fault-tolerant
+/// pipeline (docs/failure-model.md); empty when the producing run had no
+/// engine attached (e.g. pure micro benches).
 ///
 /// CSV schema: header "section,name,value", one row per datum with
 /// section in {phase_seconds, phase_spans, counter, worker_busy,
-/// worker_idle, makespan_seconds}.
+/// worker_idle, makespan_seconds}. The per-eval log is JSON-only.
 
 #include <cstddef>
 #include <cstdint>
@@ -50,16 +58,31 @@ struct WorkerStat {
   double idle_seconds = 0.0;  ///< makespan - busy
 };
 
+/// One supervised evaluation in completion order — the per-eval outcome
+/// log of the fault-tolerant pipeline (sched::EvalSupervisor + the
+/// engine's failure policy).
+struct EvalLogEntry {
+  std::size_t index = 0;       ///< completion order within the run
+  std::string status;          ///< "ok"|"exception"|"timeout"|"non_finite"
+  std::string action;          ///< "observed" | "discarded" | "penalized"
+  std::uint32_t attempts = 1;  ///< supervised attempts (1 + retries)
+  std::size_t worker = 0;      ///< slot; == worker count when abandoned
+  double start = 0.0;          ///< executor seconds (first attempt)
+  double finish = 0.0;         ///< executor seconds (last event)
+};
+
 /// Everything observed during one run (or the merge of several).
 /// Default-constructed = "nothing collected": empty() is true.
 struct MetricsReport {
   std::vector<PhaseStat> phases;      ///< in Phase declaration order
   std::vector<CounterStat> counters;  ///< sorted by name
   std::vector<WorkerStat> workers;    ///< by worker slot
+  std::vector<EvalLogEntry> evals;    ///< per-eval log, completion order
   double makespan_seconds = 0.0;      ///< executor clock at run end
 
   bool empty() const {
-    return phases.empty() && counters.empty() && workers.empty();
+    return phases.empty() && counters.empty() && workers.empty() &&
+           evals.empty();
   }
 
   /// Value of the named counter, 0 when it never fired.
@@ -69,7 +92,8 @@ struct MetricsReport {
   double phase_seconds(std::string_view name) const;
 
   /// Element-wise sum: phases/counters merge by name, workers by slot,
-  /// makespans add. Used to aggregate repeated bench runs.
+  /// makespans add; per-eval logs concatenate (re-indexed to stay
+  /// unique). Used to aggregate repeated bench runs.
   void merge(const MetricsReport& other);
 
   std::string to_json() const;

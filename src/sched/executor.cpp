@@ -128,4 +128,19 @@ Completion ThreadExecutor::wait_next() {
   return out.completion;
 }
 
+std::optional<Completion> ThreadExecutor::try_wait_next(
+    double timeout_seconds) {
+  std::unique_lock lock(mutex_);
+  EASYBO_REQUIRE(in_flight_ > 0, "try_wait_next with no running job");
+  const bool ready =
+      cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                   [this] { return !done_.empty(); });
+  if (!ready) return std::nullopt;
+  Outcome out = std::move(done_.front());
+  done_.pop_front();
+  --in_flight_;
+  if (out.error) std::rethrow_exception(out.error);
+  return out.completion;
+}
+
 }  // namespace easybo::sched

@@ -21,6 +21,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -58,6 +59,21 @@ class Executor {
   /// nothing is running.
   virtual Completion wait_next() = 0;
 
+  /// Bounded wait: like wait_next(), but gives up after \p timeout_seconds
+  /// of real blocking and returns nullopt. Executors whose completions
+  /// never require real waiting (virtual time: the next completion is
+  /// always computable) return wait_next() directly and never time out.
+  /// Worker exceptions are rethrown here exactly as in wait_next().
+  /// Throws InvalidArgument when nothing is running.
+  virtual std::optional<Completion> try_wait_next(double timeout_seconds) = 0;
+
+  /// Clock discipline: true when start/finish/now() are wall-clock seconds
+  /// measured by real execution, false when they are virtual seconds fixed
+  /// at submit time. EvalSupervisor keys its deadline mechanism on this —
+  /// on virtual time an over-long job is cut at submit (duration capped at
+  /// the deadline); on a wall clock it arms a watchdog around wait_next.
+  virtual bool wall_clock() const = 0;
+
   /// Barrier: drains every running job, in completion order.
   std::vector<Completion> wait_all();
 
@@ -91,6 +107,10 @@ class VirtualExecutor final : public Executor {
   void submit(std::size_t tag, std::function<double()> work,
               double duration) override;
   Completion wait_next() override;
+  std::optional<Completion> try_wait_next(double /*timeout*/) override {
+    return wait_next();  // virtual time never blocks for real
+  }
+  bool wall_clock() const override { return false; }
   double now() const override { return sched_.now(); }
   double total_busy_time() const override {
     return sched_.total_busy_time();
@@ -126,6 +146,8 @@ class ThreadExecutor final : public Executor {
   void submit(std::size_t tag, std::function<double()> work,
               double duration) override;
   Completion wait_next() override;
+  std::optional<Completion> try_wait_next(double timeout_seconds) override;
+  bool wall_clock() const override { return true; }
   double now() const override;
   double total_busy_time() const override;
   std::vector<double> per_worker_busy() const override;

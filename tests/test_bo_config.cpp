@@ -101,5 +101,35 @@ TEST(BoConfig, LambdaMustBePositive) {
   EXPECT_THROW(c.validate(), InvalidArgument);
 }
 
+TEST(BoConfig, FailurePolicyNames) {
+  EXPECT_STREQ(to_string(EvalFailurePolicy::Abort), "abort");
+  EXPECT_STREQ(to_string(EvalFailurePolicy::Discard), "discard");
+  EXPECT_STREQ(to_string(EvalFailurePolicy::Penalize), "penalize");
+}
+
+TEST(BoConfig, ValidatesFaultToleranceKnobs) {
+  BoConfig c = base();
+  c.eval_timeout = -1.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base();
+  c.eval_backoff_factor = 0.5;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base();
+  c.eval_backoff_jitter = 2.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base();
+  c.eval_failure_quantile = 1.5;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base();
+  c.on_eval_failure = EvalFailurePolicy::Penalize;
+  c.eval_timeout = 3.0;
+  c.eval_max_retries = 2;
+  EXPECT_NO_THROW(c.validate());
+}
+
 }  // namespace
 }  // namespace easybo::bo

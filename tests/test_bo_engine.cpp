@@ -10,6 +10,7 @@
 #include <cmath>
 #include <set>
 
+#include "circuit/fault_injection.h"
 #include "circuit/testfunc.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -390,6 +391,298 @@ TEST(BoEngine, ExternalRecordingSinkPopulatesMetricsToo) {
   EXPECT_FALSE(r.metrics.empty());
   EXPECT_EQ(sink.counter("bo.hyper_refit"), r.hyper_refits);
   EXPECT_EQ(r.metrics.counter("bo.hyper_refit"), r.hyper_refits);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant evaluation pipeline (docs/failure-model.md)
+// ---------------------------------------------------------------------------
+
+/// Objective that throws on the given (1-based) call numbers.
+opt::Objective throw_on_calls(opt::Objective base, std::size_t every) {
+  auto calls = std::make_shared<std::atomic<std::size_t>>(0);
+  return [base = std::move(base), calls, every](const Vec& x) -> double {
+    if (calls->fetch_add(1) % every == every - 1) {
+      throw std::runtime_error("simulator crashed");
+    }
+    return base(x);
+  };
+}
+
+TEST(FaultPolicy, AbortPreservesThrowingBehaviorOnBothBackends) {
+  // Regression for the pre-supervision contract: with the default Abort
+  // policy, the objective's own exception must still surface out of
+  // run(), on both executor backends (DESIGN.md §5.0 parity).
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 5);
+  cfg.init_points = 6;
+  cfg.max_sims = 20;
+  ASSERT_EQ(cfg.on_eval_failure, EvalFailurePolicy::Abort);
+
+  {
+    BoEngine engine(cfg, tf.bounds, throw_on_calls(tf.fn, 7));
+    sched::VirtualExecutor exec(3);
+    EXPECT_THROW(engine.run(exec), std::runtime_error);
+  }
+  {
+    BoEngine engine(cfg, tf.bounds, throw_on_calls(tf.fn, 7));
+    sched::ThreadExecutor exec(3);
+    EXPECT_THROW(engine.run(exec), std::runtime_error);
+  }
+}
+
+TEST(FaultPolicy, NonAbortPoliciesWithCleanObjectiveMatchAbortRun) {
+  // The budget clock changed from observations to issued evaluations;
+  // with no failures the two must coincide, so Discard/Penalize runs of a
+  // clean objective must reproduce the Abort run eval for eval.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 11);
+  cfg.init_points = 6;
+  cfg.max_sims = 20;
+  const auto reference = run_bo(cfg, tf.bounds, tf.fn);
+
+  for (const auto policy :
+       {EvalFailurePolicy::Discard, EvalFailurePolicy::Penalize}) {
+    auto c = cfg;
+    c.on_eval_failure = policy;
+    const auto r = run_bo(c, tf.bounds, tf.fn);
+    ASSERT_EQ(r.num_evals(), reference.num_evals());
+    for (std::size_t i = 0; i < r.num_evals(); ++i) {
+      EXPECT_EQ(r.evals[i].x, reference.evals[i].x) << "eval " << i;
+    }
+    EXPECT_DOUBLE_EQ(r.best_y, reference.best_y);
+  }
+}
+
+TEST(FaultPolicy, DiscardCompletesFullBudgetAndNeverReproposesFailures) {
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 13);
+  cfg.init_points = 8;
+  cfg.max_sims = 30;
+  cfg.on_eval_failure = EvalFailurePolicy::Discard;
+  cfg.collect_metrics = true;
+
+  easybo::circuit::FaultPlan plan;
+  plan.throw_every = 5;
+  easybo::circuit::FaultInjector injector(plan);
+  const auto r = run_bo(cfg, tf.bounds, injector.wrap(tf.fn));
+
+  // Full budget consumed despite the failures — one record per issued
+  // evaluation, failed ones flagged with NaN y and their status.
+  ASSERT_EQ(r.num_evals(), cfg.max_sims);
+  std::size_t failed = 0;
+  std::set<std::vector<double>> seen;
+  for (const auto& e : r.evals) {
+    seen.insert(e.x);
+    if (e.failed) {
+      ++failed;
+      EXPECT_TRUE(std::isnan(e.y));
+      EXPECT_EQ(e.failure, "exception");
+    }
+  }
+  EXPECT_EQ(failed, injector.faults_injected());
+  EXPECT_EQ(failed, cfg.max_sims / plan.throw_every);
+  // Failed locations must never be re-proposed verbatim.
+  EXPECT_EQ(seen.size(), r.num_evals());
+
+  // Metrics agree with the record-level view.
+  EXPECT_EQ(r.metrics.counter("eval.failures"), failed);
+  EXPECT_EQ(r.metrics.counter("eval.discarded"), failed);
+  EXPECT_EQ(r.metrics.counter("eval.exceptions"), failed);
+  EXPECT_EQ(r.metrics.counter("eval.penalized"), 0u);
+  EXPECT_EQ(r.metrics.counter("eval.retries"), 0u);
+  ASSERT_EQ(r.metrics.evals.size(), r.num_evals());
+  std::size_t log_discarded = 0;
+  for (const auto& e : r.metrics.evals) {
+    log_discarded += e.action == "discarded";
+  }
+  EXPECT_EQ(log_discarded, failed);
+
+  // The convergence series only tracks real observations.
+  EXPECT_EQ(r.best_vs_evals().size(), r.num_evals() - failed);
+  for (const auto& [t, best] : r.best_vs_time()) {
+    EXPECT_TRUE(std::isfinite(best));
+  }
+}
+
+TEST(FaultPolicy, PenalizeAbsorbsFailuresAsPseudoObservations) {
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 17);
+  cfg.init_points = 8;
+  cfg.max_sims = 30;
+  cfg.on_eval_failure = EvalFailurePolicy::Penalize;
+  cfg.eval_failure_quantile = 0.0;  // worst observed
+  cfg.collect_metrics = true;
+
+  const auto r = run_bo(cfg, tf.bounds, throw_on_calls(tf.fn, 6));
+
+  ASSERT_EQ(r.num_evals(), cfg.max_sims);
+  std::size_t penalized = 0;
+  double min_ok = std::numeric_limits<double>::infinity();
+  for (const auto& e : r.evals) {
+    if (!e.failed) min_ok = std::min(min_ok, e.y);
+  }
+  for (const auto& e : r.evals) {
+    if (e.failed) {
+      ++penalized;
+      // The pseudo-observation anchors at the worst REAL observation so
+      // far; it can never beat the incumbent.
+      EXPECT_TRUE(std::isfinite(e.y));
+      EXPECT_LE(e.y, r.best_y);
+      EXPECT_GE(e.y, min_ok);
+    }
+  }
+  EXPECT_GT(penalized, 0u);
+  EXPECT_EQ(r.metrics.counter("eval.penalized"), penalized);
+  EXPECT_EQ(r.metrics.counter("eval.failures"), penalized);
+  EXPECT_TRUE(std::isfinite(r.best_y));
+}
+
+TEST(FaultPolicy, RetriesRecoverTransientFailuresWithoutPolicyAction) {
+  // Every 5th call crashes but the crash is per-call, not per-point, so
+  // one retry always recovers. No eval may reach the failure policy.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 19);
+  cfg.init_points = 6;
+  cfg.max_sims = 20;
+  cfg.on_eval_failure = EvalFailurePolicy::Discard;
+  cfg.eval_max_retries = 2;
+  cfg.collect_metrics = true;
+
+  easybo::circuit::FaultPlan plan;
+  plan.throw_every = 5;
+  easybo::circuit::FaultInjector injector(plan);
+  const auto r = run_bo(cfg, tf.bounds, injector.wrap(tf.fn));
+
+  ASSERT_EQ(r.num_evals(), cfg.max_sims);
+  EXPECT_EQ(r.metrics.counter("eval.failures"), 0u);
+  EXPECT_GT(r.metrics.counter("eval.retries"), 0u);
+  EXPECT_EQ(r.metrics.counter("eval.retries"),
+            r.metrics.counter("eval.exceptions"));
+  std::size_t retried = 0;
+  for (const auto& e : r.evals) {
+    EXPECT_FALSE(e.failed);
+    retried += e.attempts > 1;
+  }
+  EXPECT_EQ(retried, r.metrics.counter("eval.retries"));
+}
+
+TEST(FaultPolicy, NonFiniteValuesAreFailuresNotObservations) {
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 23);
+  cfg.init_points = 6;
+  cfg.max_sims = 20;
+  cfg.on_eval_failure = EvalFailurePolicy::Discard;
+  cfg.collect_metrics = true;
+
+  easybo::circuit::FaultPlan plan;
+  plan.nan_every = 6;
+  easybo::circuit::FaultInjector injector(plan);
+  const auto r = run_bo(cfg, tf.bounds, injector.wrap(tf.fn));
+
+  ASSERT_EQ(r.num_evals(), cfg.max_sims);
+  EXPECT_GT(r.metrics.counter("eval.nonfinite"), 0u);
+  EXPECT_EQ(r.metrics.counter("eval.nonfinite"),
+            r.metrics.counter("eval.failures"));
+  for (const auto& e : r.evals) {
+    if (e.failed) EXPECT_EQ(e.failure, "non_finite");
+  }
+  EXPECT_TRUE(std::isfinite(r.best_y));
+}
+
+TEST(FaultPolicy, VirtualTimeoutsAreCutAtTheDeadline) {
+  // Every 4th simulation takes 100x its nominal (1s) virtual duration;
+  // with a 2s deadline those must come back as timeouts cut at 2s.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 27);
+  cfg.init_points = 6;
+  cfg.max_sims = 20;
+  cfg.on_eval_failure = EvalFailurePolicy::Discard;
+  cfg.eval_timeout = 2.0;
+  cfg.collect_metrics = true;
+
+  easybo::circuit::FaultPlan plan;
+  plan.slow_every = 4;
+  easybo::circuit::FaultInjector injector(plan);
+  BoEngine engine(cfg, tf.bounds, tf.fn,
+                  injector.wrap_sim_time([](const Vec&) { return 1.0; }));
+  const auto r = engine.run();
+
+  ASSERT_EQ(r.num_evals(), cfg.max_sims);
+  const std::size_t expected = cfg.max_sims / plan.slow_every;
+  EXPECT_EQ(r.metrics.counter("eval.timeouts"), expected);
+  std::size_t timed_out = 0;
+  for (const auto& e : r.evals) {
+    if (e.failed) {
+      ++timed_out;
+      EXPECT_EQ(e.failure, "timeout");
+      // Cut at the deadline: occupied the worker for exactly 2s.
+      EXPECT_DOUBLE_EQ(e.finish - e.start, cfg.eval_timeout);
+    }
+  }
+  EXPECT_EQ(timed_out, expected);
+}
+
+TEST(FaultPolicy, AllInitFailuresAbortWithDescriptiveError) {
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 3, 31);
+  cfg.init_points = 6;
+  cfg.max_sims = 20;
+  cfg.on_eval_failure = EvalFailurePolicy::Discard;
+  const auto always_throw = [](const Vec&) -> double {
+    throw std::runtime_error("dead simulator");
+  };
+  BoEngine engine(cfg, tf.bounds, always_throw);
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(FaultPolicy, FaultPipelineWorksOnRealThreadsToo) {
+  // The same discard run on a ThreadExecutor: full budget, matching
+  // counters, no exception escaping — backend parity for failures.
+  const auto tf = easybo::circuit::sphere(2);
+  auto cfg = quick(Mode::AsyncBatch, AcqKind::EasyBo, true, 2, 37);
+  cfg.init_points = 6;
+  cfg.max_sims = 20;
+  cfg.on_eval_failure = EvalFailurePolicy::Discard;
+  cfg.collect_metrics = true;
+
+  easybo::circuit::FaultPlan plan;
+  plan.throw_every = 5;
+  easybo::circuit::FaultInjector injector(plan);
+  BoEngine engine(cfg, tf.bounds, injector.wrap(tf.fn));
+  sched::ThreadExecutor exec(2);
+  const auto r = engine.run(exec);
+
+  ASSERT_EQ(r.num_evals(), cfg.max_sims);
+  EXPECT_EQ(r.metrics.counter("eval.failures"),
+            injector.faults_injected());
+  EXPECT_EQ(r.metrics.counter("eval.discarded"),
+            injector.faults_injected());
+  EXPECT_TRUE(std::isfinite(r.best_y));
+}
+
+TEST(FaultInjector, CountsAndChannelsAreDeterministic) {
+  easybo::circuit::FaultPlan plan;
+  plan.throw_every = 3;
+  plan.nan_every = 4;
+  easybo::circuit::FaultInjector injector(plan);
+  const auto fn =
+      injector.wrap([](const Vec&) { return 1.0; });
+  const Vec x{0.5};
+  std::size_t throws = 0, nans = 0, ok = 0;
+  for (int i = 1; i <= 12; ++i) {
+    try {
+      const double y = fn(x);
+      if (std::isnan(y)) ++nans;
+      else ++ok;
+    } catch (const std::runtime_error&) {
+      ++throws;
+    }
+  }
+  EXPECT_EQ(throws, 4u);  // calls 3, 6, 9, 12
+  EXPECT_EQ(nans, 2u);    // calls 4, 8 (12 hits throw first: precedence)
+  EXPECT_EQ(ok, 6u);
+  EXPECT_EQ(injector.calls(), 12u);
+  EXPECT_EQ(injector.faults_injected(), 6u);
 }
 
 }  // namespace

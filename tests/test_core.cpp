@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <thread>
 
@@ -155,6 +156,28 @@ TEST(OptimizeParallel, ThrowingObjectiveAbortsRunWithThatException) {
   };
   Optimizer opt(p, quick_config());
   EXPECT_THROW(opt.optimize_parallel(3), std::runtime_error);
+}
+
+TEST(OptimizeParallel, DiscardPolicySurvivesThrowingObjective) {
+  // Same crashing objective as above, but with the fault-tolerant policy
+  // switched on: the run must complete its full budget on real threads
+  // with the crashes recorded as failed evals instead of aborting.
+  Problem p = sphere_problem();
+  std::atomic<int> calls{0};
+  auto base = p.objective;
+  p.objective = [&calls, base](const linalg::Vec& x) {
+    if (++calls % 5 == 0) throw std::runtime_error("simulator crashed");
+    return base(x);
+  };
+  auto cfg = quick_config();
+  cfg.on_eval_failure = bo::EvalFailurePolicy::Discard;
+  Optimizer opt(p, cfg);
+  const auto r = opt.optimize_parallel(3);
+  EXPECT_EQ(r.num_evals(), cfg.max_sims);
+  std::size_t failed = 0;
+  for (const auto& e : r.evals) failed += e.failed;
+  EXPECT_EQ(failed, cfg.max_sims / 5);
+  EXPECT_TRUE(std::isfinite(r.best_y));
 }
 
 TEST(OptimizeParallel, ConstantObjectiveWithTightBoundsCompletes) {

@@ -181,6 +181,59 @@ TEST(ThreadExecutor, AbandonedWorkIsJoinedOnDestruction) {
   EXPECT_EQ(finished.load(), 2);
 }
 
+TEST(Executors, ReportTheirClockDiscipline) {
+  VirtualExecutor v(1);
+  EXPECT_FALSE(v.wall_clock());
+  ThreadExecutor t(1);
+  EXPECT_TRUE(t.wall_clock());
+}
+
+TEST(VirtualExecutor, TryWaitNextNeverTimesOut) {
+  VirtualExecutor exec(1);
+  exec.submit(7, [] { return 5.0; }, 3.0);
+  // Virtual completions are always computable: a zero budget still
+  // delivers.
+  const auto c = exec.try_wait_next(0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->tag, 7u);
+  EXPECT_DOUBLE_EQ(c->value, 5.0);
+}
+
+TEST(ThreadExecutor, TryWaitNextDeliversAndTimesOut) {
+  ThreadExecutor exec(1);
+  std::atomic<bool> release{false};
+  exec.submit(3, [&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return 8.0;
+  }, 1.0);
+
+  // Still hung: the bounded wait gives up...
+  EXPECT_FALSE(exec.try_wait_next(0.01).has_value());
+  EXPECT_EQ(exec.num_running(), 1u);
+
+  // ...and delivers once the work finishes.
+  release.store(true);
+  const auto c = exec.try_wait_next(5.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->tag, 3u);
+  EXPECT_DOUBLE_EQ(c->value, 8.0);
+  EXPECT_EQ(exec.num_running(), 0u);
+}
+
+TEST(ThreadExecutor, TryWaitNextRethrowsWorkerExceptions) {
+  ThreadExecutor exec(1);
+  exec.submit(0, []() -> double { throw std::runtime_error("worker"); },
+              1.0);
+  EXPECT_THROW(
+      {
+        while (!exec.try_wait_next(0.05).has_value()) {
+        }
+      },
+      std::runtime_error);
+}
+
 TEST(Executors, RejectMisuse) {
   VirtualExecutor v(1);
   EXPECT_THROW(v.wait_next(), InvalidArgument);

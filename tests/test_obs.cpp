@@ -162,6 +162,7 @@ TEST(MetricsReport, JsonMatchesTheDocumentedSchema) {
   report.phases.push_back({"model_fit", 1.5, 3});
   report.counters.push_back({"gp.chol_extend", 42});
   report.workers.push_back({0, 10.0, 2.5});
+  report.evals.push_back({0, "timeout", "discarded", 2, 3, 1.0, 4.5});
 
   const std::string json = report.to_json();
   EXPECT_NE(json.find("\"schema\":\"easybo.metrics.v1\""),
@@ -173,20 +174,43 @@ TEST(MetricsReport, JsonMatchesTheDocumentedSchema) {
   EXPECT_NE(json.find("\"worker\":0"), std::string::npos);
   EXPECT_NE(json.find("\"busy_seconds\":10"), std::string::npos);
   EXPECT_NE(json.find("\"idle_seconds\":2.5"), std::string::npos);
+  EXPECT_NE(
+      json.find("{\"index\":0,\"status\":\"timeout\",\"action\":"
+                "\"discarded\",\"attempts\":2,\"worker\":3,\"start\":1,"
+                "\"finish\":4.5}"),
+      std::string::npos);
   // Top-level sections present in order.
   const auto p_schema = json.find("\"schema\"");
   const auto p_phases = json.find("\"phases\"");
   const auto p_counters = json.find("\"counters\"");
   const auto p_workers = json.find("\"workers\"");
+  const auto p_evals = json.find("\"evals\"");
   ASSERT_NE(p_phases, std::string::npos);
   ASSERT_NE(p_counters, std::string::npos);
   ASSERT_NE(p_workers, std::string::npos);
+  ASSERT_NE(p_evals, std::string::npos);
   EXPECT_LT(p_schema, p_phases);
   EXPECT_LT(p_phases, p_counters);
   EXPECT_LT(p_counters, p_workers);
+  EXPECT_LT(p_workers, p_evals);
   // Balanced braces, no trailing garbage.
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsReport, MergeConcatenatesAndReindexesEvalLogs) {
+  MetricsReport a;
+  a.evals.push_back({0, "ok", "observed", 1, 0, 0.0, 1.0});
+  a.evals.push_back({1, "exception", "discarded", 3, 1, 1.0, 2.0});
+  MetricsReport b;
+  b.evals.push_back({0, "ok", "observed", 1, 0, 0.0, 1.5});
+
+  EXPECT_FALSE(b.empty());  // an eval log alone counts as content
+  a.merge(b);
+  ASSERT_EQ(a.evals.size(), 3u);
+  EXPECT_EQ(a.evals[2].index, 2u);  // re-indexed, not duplicated
+  EXPECT_EQ(a.evals[2].status, "ok");
+  EXPECT_DOUBLE_EQ(a.evals[2].finish, 1.5);
 }
 
 TEST(MetricsReport, CsvRowsCoverEveryDatum) {
