@@ -12,7 +12,9 @@
 ///              [--on-failure abort|discard|penalize] [--eval-timeout S]
 ///              [--eval-retries N] [--fail-quantile Q]
 ///              [--inject-throw-every N] [--inject-nan-every N]
-///              [--inject-slow-every N]
+///              [--inject-slow-every N] [--inject-sleep-ms MS]
+///              [--checkpoint PATH] [--checkpoint-every N]
+///              [--resume PATH]
 ///
 /// Prints the best result, virtual wall-clock and (with --csv) the
 /// per-evaluation trace as CSV on stdout for external plotting.
@@ -22,8 +24,24 @@
 /// The --on-failure / --eval-* flags configure the fault-tolerant
 /// evaluation pipeline and the --inject-* flags add deterministic faults
 /// for studying it (docs/failure-model.md; EXPERIMENTS.md "fault
-/// injection" recipe). BO algorithms only.
+/// injection" recipe). --checkpoint journals every evaluation to
+/// PATH.journal and snapshots engine state to PATH.snapshot; --resume
+/// continues a killed run from those files (docs/checkpoint-format.md).
+/// SIGINT/SIGTERM stop the run gracefully: in-flight evaluations drain,
+/// a final snapshot is written, and the process exits 5. A second signal
+/// kills immediately (the journal keeps completed work safe either way).
+/// BO algorithms only.
+///
+/// Exit codes (see README.md):
+///   0  success
+///   1  runtime or I/O error (metrics file unwritable, internal error)
+///   2  bad arguments
+///   3  an evaluation failure aborted the run (--on-failure abort)
+///   4  checkpoint/journal corrupt or mismatched on --resume
+///   5  interrupted by SIGINT/SIGTERM (checkpoint saved when journaling)
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +50,7 @@
 #include "circuit/fault_injection.h"
 #include "common/format.h"
 #include "core/easybo.h"
+#include "io/journal.h"
 
 namespace {
 
@@ -54,7 +73,22 @@ struct CliOptions {
   std::size_t eval_retries = 0;
   double fail_quantile = 0.0;
   circuit::FaultPlan faults;  // --inject-*: all channels off by default
+  std::string checkpoint;     // empty: no journaling
+  std::size_t checkpoint_every = 1;
+  std::string resume;         // empty: fresh run
 };
+
+// Set by the SIGINT/SIGTERM handler; polled by the engine at loop
+// boundaries (BoEngine::set_stop_token).
+std::atomic<bool> g_stop{false};
+
+extern "C" void on_signal(int sig) {
+  g_stop.store(true);
+  // A second signal means "now": fall back to the default disposition so
+  // it terminates the process. Completed evaluations are already fsync'd
+  // in the journal, so even the hard kill loses nothing durable.
+  std::signal(sig, SIG_DFL);
+}
 
 /// Writes \p text to \p path, or to stdout when path is "-".
 bool write_text(const std::string& path, const std::string& text) {
@@ -84,7 +118,9 @@ bool write_text(const std::string& path, const std::string& text) {
       "                  [--on-failure abort|discard|penalize]\n"
       "                  [--eval-timeout S] [--eval-retries N]\n"
       "                  [--fail-quantile Q] [--inject-throw-every N]\n"
-      "                  [--inject-nan-every N] [--inject-slow-every N]\n");
+      "                  [--inject-nan-every N] [--inject-slow-every N]\n"
+      "                  [--inject-sleep-ms MS] [--checkpoint PATH]\n"
+      "                  [--checkpoint-every N] [--resume PATH]\n");
   std::exit(2);
 }
 
@@ -96,32 +132,78 @@ CliOptions parse(int argc, char** argv) {
       if (i + 1 >= argc) usage_and_exit();
       return argv[++i];
     };
+    // A flag fed "banana" where a number belongs is a usage error (exit
+    // 2), not an uncaught std::invalid_argument.
+    auto next_size = [&]() -> std::size_t {
+      const std::string s = next();
+      try {
+        return std::stoul(s);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "%s: expected a number, got '%s'\n",
+                     arg.c_str(), s.c_str());
+        usage_and_exit();
+      }
+    };
+    auto next_u64 = [&]() -> std::uint64_t {
+      const std::string s = next();
+      try {
+        return std::stoull(s);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "%s: expected a number, got '%s'\n",
+                     arg.c_str(), s.c_str());
+        usage_and_exit();
+      }
+    };
+    auto next_double = [&]() -> double {
+      const std::string s = next();
+      try {
+        return std::stod(s);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "%s: expected a number, got '%s'\n",
+                     arg.c_str(), s.c_str());
+        usage_and_exit();
+      }
+    };
     if (arg == "--problem") opt.problem = next();
     else if (arg == "--algo") opt.algo = next();
-    else if (arg == "--batch") opt.batch = std::stoul(next());
-    else if (arg == "--sims") opt.sims = std::stoul(next());
-    else if (arg == "--init") opt.init = std::stoul(next());
-    else if (arg == "--seed") opt.seed = std::stoull(next());
-    else if (arg == "--lambda") opt.lambda = std::stod(next());
+    else if (arg == "--batch") opt.batch = next_size();
+    else if (arg == "--sims") opt.sims = next_size();
+    else if (arg == "--init") opt.init = next_size();
+    else if (arg == "--seed") opt.seed = next_u64();
+    else if (arg == "--lambda") opt.lambda = next_double();
     else if (arg == "--kernel") opt.kernel = next();
     else if (arg == "--csv") opt.csv = true;
     else if (arg == "--metrics-json") opt.metrics_json = next();
     else if (arg == "--metrics-csv") opt.metrics_csv = next();
     else if (arg == "--on-failure") opt.on_failure = next();
-    else if (arg == "--eval-timeout") opt.eval_timeout = std::stod(next());
-    else if (arg == "--eval-retries") opt.eval_retries = std::stoul(next());
-    else if (arg == "--fail-quantile") opt.fail_quantile = std::stod(next());
+    else if (arg == "--eval-timeout") opt.eval_timeout = next_double();
+    else if (arg == "--eval-retries") opt.eval_retries = next_size();
+    else if (arg == "--fail-quantile") opt.fail_quantile = next_double();
     else if (arg == "--inject-throw-every")
-      opt.faults.throw_every = std::stoul(next());
+      opt.faults.throw_every = next_size();
     else if (arg == "--inject-nan-every")
-      opt.faults.nan_every = std::stoul(next());
+      opt.faults.nan_every = next_size();
     else if (arg == "--inject-slow-every")
-      opt.faults.slow_every = std::stoul(next());
+      opt.faults.slow_every = next_size();
+    else if (arg == "--inject-sleep-ms")
+      opt.faults.sleep_seconds = next_double() / 1000.0;
+    else if (arg == "--checkpoint") opt.checkpoint = next();
+    else if (arg == "--checkpoint-every")
+      opt.checkpoint_every = next_size();
+    else if (arg == "--resume") opt.resume = next();
     else if (arg == "--help" || arg == "-h") usage_and_exit();
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage_and_exit();
     }
+  }
+  if (!opt.resume.empty() && !opt.checkpoint.empty() &&
+      opt.resume != opt.checkpoint) {
+    std::fprintf(stderr,
+                 "--resume and --checkpoint name different paths; a "
+                 "resumed run keeps journaling to the files it resumes "
+                 "from, so pass only --resume\n");
+    usage_and_exit();
   }
   return opt;
 }
@@ -261,6 +343,9 @@ int main(int argc, char** argv) {
   config.eval_max_retries = cli.eval_retries;
   config.eval_failure_quantile = cli.fail_quantile;
 
+  config.checkpoint_path = cli.resume.empty() ? cli.checkpoint : cli.resume;
+  config.checkpoint_every = cli.checkpoint_every;
+
   const bool injecting = cli.faults.throw_every > 0 ||
                          cli.faults.nan_every > 0 ||
                          cli.faults.slow_every > 0;
@@ -273,7 +358,7 @@ int main(int argc, char** argv) {
   opt::Objective fn = problem.fn;
   std::function<double(const linalg::Vec&)> sim_time = problem.sim_time;
   circuit::FaultInjector injector(cli.faults);
-  if (injecting) {
+  if (injecting || cli.faults.sleep_seconds > 0.0) {
     fn = injector.wrap(std::move(fn));
     if (cli.faults.slow_every > 0) {
       if (!sim_time) sim_time = [](const linalg::Vec&) { return 1.0; };
@@ -281,13 +366,32 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
   bo::BoResult result;
   try {
-    result = bo::run_bo(config, problem.bounds, fn, sim_time);
+    bo::BoEngine engine(config, problem.bounds, fn, sim_time);
+    engine.set_stop_token(&g_stop);
+    result = cli.resume.empty() ? engine.run() : engine.resume(cli.resume);
+  } catch (const io::CheckpointError& e) {
+    std::fprintf(stderr, "resume failed: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     // The Abort policy (the default) rethrows evaluation failures.
     std::fprintf(stderr, "run aborted: %s\n", e.what());
-    return 1;
+    return config.on_eval_failure == bo::EvalFailurePolicy::Abort ? 3 : 1;
+  }
+
+  if (!result.resume_note.empty()) {
+    std::fprintf(stderr, "%s\n", result.resume_note.c_str());
+  }
+  if (result.orphaned_workers > 0) {
+    std::fprintf(stderr,
+                 "warning: %zu worker(s) orphaned by evaluation timeouts "
+                 "still hold hung objectives (docs/failure-model.md); the "
+                 "pool ran under-strength from their first timeout on\n",
+                 result.orphaned_workers);
   }
 
   if (!cli.metrics_json.empty() &&
@@ -340,6 +444,14 @@ int main(int argc, char** argv) {
                   e.finish, e.worker, e.is_init ? 1 : 0, e.failed ? 1 : 0,
                   e.y, have_best ? best : 0.0);
     }
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr, "interrupted after %zu evaluations%s\n",
+                 result.num_evals(),
+                 config.checkpoint_path.empty()
+                     ? ""
+                     : "; state saved, continue with --resume");
+    return 5;
   }
   return 0;
 }

@@ -133,6 +133,10 @@ class HighCoveragePenalty {
 
   std::size_t history_size() const { return history_.size(); }
 
+  /// The recorded history, oldest first — checkpoint serialization reads
+  /// it here and rebuilds via record() calls in order.
+  const std::deque<Vec>& history() const { return history_; }
+
  private:
   double d_;
   double n_hc_;

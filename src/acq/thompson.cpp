@@ -89,6 +89,12 @@ std::size_t HedgePortfolio::choose(easybo::Rng& rng) const {
   return kMembers - 1;
 }
 
+void HedgePortfolio::set_gains(const Vec& gains) {
+  EASYBO_REQUIRE(gains.size() == kMembers,
+                 "HedgePortfolio::set_gains: one gain per member");
+  gains_ = gains;
+}
+
 void HedgePortfolio::reward(const Vec& nominee_means) {
   EASYBO_REQUIRE(nominee_means.size() == kMembers,
                  "HedgePortfolio::reward: one mean per member");

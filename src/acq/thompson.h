@@ -46,6 +46,10 @@ class HedgePortfolio {
 
   const Vec& gains() const { return gains_; }
 
+  /// Restores gains captured by gains() (checkpoint resume). Requires
+  /// exactly kMembers entries.
+  void set_gains(const Vec& gains);
+
  private:
   double eta_;
   Vec gains_;

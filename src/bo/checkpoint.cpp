@@ -1,0 +1,381 @@
+#include "bo/checkpoint.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "bo/config.h"
+#include "common/error.h"
+#include "io/journal.h"
+#include "io/json.h"
+
+namespace easybo::bo {
+
+namespace {
+
+using io::JsonValue;
+
+constexpr const char* kJournalSchema = "easybo.journal.v1";
+constexpr const char* kSnapshotSchema = "easybo.checkpoint.v1";
+
+// --- JSON building blocks ------------------------------------------------
+
+std::string vec_json(const Vec& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += io::json_number(v[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string vecs_json(const std::vector<Vec>& vs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += vec_json(vs[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string bools_json(const std::vector<bool>& bs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += bs[i] ? "1" : "0";
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string sizes_json(const std::vector<std::size_t>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(xs[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+std::string rng_json(const RngState& s) {
+  std::string out = "{\"s\":[";
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back(',');
+    out += io::json_quote(io::json_u64(s.s[i]));
+  }
+  out += "],\"cached\":";
+  out += io::json_number(s.cached_normal);
+  out += ",\"has_cached\":";
+  out += s.has_cached_normal ? "true" : "false";
+  out.push_back('}');
+  return out;
+}
+
+Vec vec_from(const JsonValue& j) {
+  const auto& arr = j.as_array();
+  Vec v(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) v[i] = arr[i].as_double();
+  return v;
+}
+
+std::vector<Vec> vecs_from(const JsonValue& j) {
+  const auto& arr = j.as_array();
+  std::vector<Vec> vs;
+  vs.reserve(arr.size());
+  for (const auto& item : arr) vs.push_back(vec_from(item));
+  return vs;
+}
+
+std::vector<bool> bools_from(const JsonValue& j) {
+  const auto& arr = j.as_array();
+  std::vector<bool> bs(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    bs[i] = arr[i].as_double() != 0.0;
+  }
+  return bs;
+}
+
+std::vector<std::size_t> sizes_from(const JsonValue& j) {
+  const auto& arr = j.as_array();
+  std::vector<std::size_t> xs(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    xs[i] = static_cast<std::size_t>(arr[i].as_double());
+  }
+  return xs;
+}
+
+std::vector<double> doubles_from(const JsonValue& j) {
+  const auto& arr = j.as_array();
+  std::vector<double> xs(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) xs[i] = arr[i].as_double();
+  return xs;
+}
+
+std::string doubles_json(const std::vector<double>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += io::json_number(xs[i]);
+  }
+  out.push_back(']');
+  return out;
+}
+
+RngState rng_from(const JsonValue& j) {
+  RngState s;
+  const auto& words = j.at("s").as_array();
+  EASYBO_REQUIRE(words.size() == 4, "rng state needs four words");
+  for (std::size_t i = 0; i < 4; ++i) {
+    s.s[i] = io::parse_u64(words[i].as_string());
+  }
+  const JsonValue& cached = j.at("cached");
+  s.cached_normal = cached.is_null()
+                        ? std::numeric_limits<double>::quiet_NaN()
+                        : cached.as_double();
+  s.has_cached_normal = j.at("has_cached").as_bool();
+  return s;
+}
+
+std::size_t size_from(const JsonValue& j) {
+  return static_cast<std::size_t>(j.as_double());
+}
+
+/// FNV-1a 64-bit over the canonical config string.
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void put(std::string& s, std::string_view key, double v) {
+  s.append(key);
+  s.push_back('=');
+  s += io::json_number(v);
+  s.push_back(';');
+}
+
+void put(std::string& s, std::string_view key, std::string_view v) {
+  s.append(key);
+  s.push_back('=');
+  s.append(v);
+  s.push_back(';');
+}
+
+void put_u(std::string& s, std::string_view key, std::uint64_t v) {
+  s.append(key);
+  s.push_back('=');
+  s += io::json_u64(v);
+  s.push_back(';');
+}
+
+}  // namespace
+
+// --- journal record ------------------------------------------------------
+
+std::string JournalRecord::to_payload() const {
+  std::string out = "{\"index\":" + std::to_string(index);
+  out += ",\"tag\":" + std::to_string(tag);
+  out += ",\"status\":" + io::json_quote(status);
+  out += ",\"action\":" + io::json_quote(action);
+  out += ",\"attempts\":" + std::to_string(attempts);
+  out += ",\"worker\":" + std::to_string(worker);
+  out += ",\"start\":" + io::json_number(start);
+  out += ",\"finish\":" + io::json_number(finish);
+  out += ",\"is_init\":";
+  out += is_init ? "true" : "false";
+  out += ",\"x\":" + vec_json(x);
+  out += ",\"y\":" + io::json_number(y);  // null when NaN
+  if (!error.empty()) out += ",\"error\":" + io::json_quote(error);
+  out.push_back('}');
+  return out;
+}
+
+JournalRecord JournalRecord::parse(const std::string& payload) {
+  const JsonValue j = io::parse_json(payload);
+  JournalRecord r;
+  r.index = size_from(j.at("index"));
+  r.tag = size_from(j.at("tag"));
+  r.status = j.at("status").as_string();
+  r.action = j.at("action").as_string();
+  r.attempts = static_cast<std::uint32_t>(j.at("attempts").as_double());
+  r.worker = size_from(j.at("worker"));
+  r.start = j.at("start").as_double();
+  r.finish = j.at("finish").as_double();
+  r.is_init = j.at("is_init").as_bool();
+  r.x = vec_from(j.at("x"));
+  const JsonValue& y = j.at("y");
+  r.y = y.is_null() ? std::numeric_limits<double>::quiet_NaN()
+                    : y.as_double();
+  if (const JsonValue* err = j.find("error")) r.error = err->as_string();
+  return r;
+}
+
+// --- journal header ------------------------------------------------------
+
+std::string JournalHeader::to_payload() const {
+  std::string out = "{\"schema\":";
+  out += io::json_quote(kJournalSchema);
+  out += ",\"config_hash\":" + io::json_quote(io::json_u64(config_hash));
+  out += ",\"seed\":" + io::json_quote(io::json_u64(seed));
+  out.push_back('}');
+  return out;
+}
+
+JournalHeader JournalHeader::parse(const std::string& payload) {
+  const JsonValue j = io::parse_json(payload);
+  JournalHeader h;
+  h.schema = j.at("schema").as_string();
+  if (h.schema != kJournalSchema) {
+    throw io::CheckpointError("journal schema \"" + h.schema +
+                              "\" is not the supported \"" + kJournalSchema +
+                              "\"");
+  }
+  h.config_hash = io::parse_u64(j.at("config_hash").as_string());
+  h.seed = io::parse_u64(j.at("seed").as_string());
+  return h;
+}
+
+// --- snapshot ------------------------------------------------------------
+
+std::string BoCheckpoint::to_payload() const {
+  std::string out = "{\"schema\":";
+  out += io::json_quote(kSnapshotSchema);
+  out += ",\"config_hash\":" + io::json_quote(io::json_u64(config_hash));
+  out += ",\"journal_count\":" + std::to_string(journal_count);
+  out += ",\"now\":" + io::json_number(now);
+  out += ",\"busy\":" + io::json_number(busy);
+  out += ",\"init_done\":";
+  out += init_done ? "true" : "false";
+  out += ",\"issued\":" + std::to_string(issued);
+  out += ",\"rng\":" + rng_json(rng);
+  out += ",\"sup_rng\":" + rng_json(sup_rng);
+  out += ",\"obs_x\":" + vecs_json(obs_x);
+  out += ",\"obs_y\":" + vec_json(obs_y);
+  out += ",\"obs_is_init\":" + bools_json(obs_is_init);
+  out += ",\"failed_x\":" + vecs_json(failed_x);
+  out += ",\"prop_x\":" + vecs_json(prop_x);
+  out += ",\"prop_init\":" + bools_json(prop_init);
+  out += ",\"prop_submit\":" + doubles_json(prop_submit);
+  out += ",\"prop_duration\":" + doubles_json(prop_duration);
+  out += ",\"pending\":" + sizes_json(pending);
+  out += ",\"hc\":[";
+  for (std::size_t i = 0; i < hc_histories.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += vecs_json(hc_histories[i]);
+  }
+  out += "],\"hedge_gains\":" + vec_json(hedge_gains);
+  out += ",\"hedge_nominees\":" + vecs_json(hedge_nominees);
+  out += ",\"next_hyper_refit\":" + std::to_string(next_hyper_refit);
+  out += ",\"hyper_refits\":" + std::to_string(hyper_refits);
+  out += ",\"gp_log_hyperparams\":" + vec_json(gp_log_hyperparams);
+  out.push_back('}');
+  return out;
+}
+
+BoCheckpoint BoCheckpoint::parse(const std::string& payload) {
+  const JsonValue j = io::parse_json(payload);
+  const std::string schema = j.at("schema").as_string();
+  if (schema != kSnapshotSchema) {
+    throw io::CheckpointError("snapshot schema \"" + schema +
+                              "\" is not the supported \"" + kSnapshotSchema +
+                              "\"");
+  }
+  BoCheckpoint c;
+  c.config_hash = io::parse_u64(j.at("config_hash").as_string());
+  c.journal_count = size_from(j.at("journal_count"));
+  c.now = j.at("now").as_double();
+  c.busy = j.at("busy").as_double();
+  c.init_done = j.at("init_done").as_bool();
+  c.issued = size_from(j.at("issued"));
+  c.rng = rng_from(j.at("rng"));
+  c.sup_rng = rng_from(j.at("sup_rng"));
+  c.obs_x = vecs_from(j.at("obs_x"));
+  c.obs_y = vec_from(j.at("obs_y"));
+  c.obs_is_init = bools_from(j.at("obs_is_init"));
+  c.failed_x = vecs_from(j.at("failed_x"));
+  c.prop_x = vecs_from(j.at("prop_x"));
+  c.prop_init = bools_from(j.at("prop_init"));
+  c.prop_submit = doubles_from(j.at("prop_submit"));
+  c.prop_duration = doubles_from(j.at("prop_duration"));
+  c.pending = sizes_from(j.at("pending"));
+  for (const auto& h : j.at("hc").as_array()) {
+    c.hc_histories.push_back(vecs_from(h));
+  }
+  c.hedge_gains = vec_from(j.at("hedge_gains"));
+  c.hedge_nominees = vecs_from(j.at("hedge_nominees"));
+  c.next_hyper_refit = size_from(j.at("next_hyper_refit"));
+  c.hyper_refits = size_from(j.at("hyper_refits"));
+  c.gp_log_hyperparams = vec_from(j.at("gp_log_hyperparams"));
+  return c;
+}
+
+// --- config fingerprint --------------------------------------------------
+
+std::uint64_t config_fingerprint(const BoConfig& config,
+                                 const opt::Bounds& bounds) {
+  std::string s;
+  s.reserve(768);
+  put(s, "v", kSnapshotSchema);
+  put(s, "mode", to_string(config.mode));
+  put(s, "acq", to_string(config.acq));
+  put(s, "penalize", config.penalize ? "1" : "0");
+  put_u(s, "batch", config.batch);
+  put_u(s, "init_points", config.init_points);
+  put_u(s, "max_sims", config.max_sims);
+  put(s, "lambda", config.lambda);
+  put(s, "uniform_w", config.uniform_w ? "1" : "0");
+  put(s, "lcb_kappa", config.lcb_kappa);
+  put(s, "bucb_kappa", config.bucb_kappa);
+  put_u(s, "ts_candidates", config.ts_candidates);
+  put(s, "hedge_eta", config.hedge_eta);
+  put(s, "ei_xi", config.ei_xi);
+  put(s, "hc_d", config.hc_d);
+  put(s, "hc_n", config.hc_n);
+  put_u(s, "refit_every", config.refit_every);
+  put(s, "kernel", config.kernel);
+  put_u(s, "seed", config.seed);
+  put(s, "on_eval_failure", to_string(config.on_eval_failure));
+  put(s, "eval_timeout", config.eval_timeout);
+  put_u(s, "eval_max_retries", config.eval_max_retries);
+  put(s, "eval_backoff_init", config.eval_backoff_init);
+  put(s, "eval_backoff_factor", config.eval_backoff_factor);
+  put(s, "eval_backoff_max", config.eval_backoff_max);
+  put(s, "eval_backoff_jitter", config.eval_backoff_jitter);
+  put(s, "eval_retry_timeouts", config.eval_retry_timeouts ? "1" : "0");
+  put(s, "eval_failure_quantile", config.eval_failure_quantile);
+  put(s, "trainer.max_iters", static_cast<double>(config.trainer.max_iters));
+  put(s, "trainer.restarts", static_cast<double>(config.trainer.restarts));
+  put(s, "trainer.learning_rate", config.trainer.learning_rate);
+  put(s, "trainer.tol", config.trainer.tol);
+  put(s, "trainer.log_sf2_min", config.trainer.log_sf2_min);
+  put(s, "trainer.log_sf2_max", config.trainer.log_sf2_max);
+  put(s, "trainer.log_len_min", config.trainer.log_len_min);
+  put(s, "trainer.log_len_max", config.trainer.log_len_max);
+  put(s, "trainer.log_noise_min", config.trainer.log_noise_min);
+  put(s, "trainer.log_noise_max", config.trainer.log_noise_max);
+  put_u(s, "acq_opt.sobol_candidates", config.acq_opt.sobol_candidates);
+  put_u(s, "acq_opt.random_candidates", config.acq_opt.random_candidates);
+  put_u(s, "acq_opt.anchor_jitter", config.acq_opt.anchor_jitter);
+  put(s, "acq_opt.jitter_scale", config.acq_opt.jitter_scale);
+  put_u(s, "acq_opt.refine_top_k", config.acq_opt.refine_top_k);
+  put_u(s, "acq_opt.refine_evals", config.acq_opt.refine_evals);
+  put(s, "bounds.lower", vec_json(bounds.lower));
+  put(s, "bounds.upper", vec_json(bounds.upper));
+  return fnv1a(s);
+}
+
+std::string journal_file(const std::string& base) {
+  return base + ".journal";
+}
+
+std::string snapshot_file(const std::string& base) {
+  return base + ".snapshot";
+}
+
+}  // namespace easybo::bo

@@ -106,6 +106,7 @@ void BoConfig::validate() const {
   EASYBO_REQUIRE(
       eval_failure_quantile >= 0.0 && eval_failure_quantile <= 1.0,
       "eval_failure_quantile must be in [0, 1]");
+  EASYBO_REQUIRE(checkpoint_every >= 1, "checkpoint_every must be >= 1");
 }
 
 }  // namespace easybo::bo

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "acq/acquisition.h"
 #include "acq/thompson.h"
@@ -10,8 +11,32 @@
 #include "common/sampling.h"
 #include "common/stats.h"
 #include "gp/trainer.h"
+#include "io/json.h"
 
 namespace easybo::bo {
+
+namespace {
+
+sched::EvalStatus eval_status_from(const std::string& name,
+                                   std::size_t record_index) {
+  if (name == "ok") return sched::EvalStatus::Ok;
+  if (name == "exception") return sched::EvalStatus::Exception;
+  if (name == "timeout") return sched::EvalStatus::Timeout;
+  if (name == "non_finite") return sched::EvalStatus::NonFinite;
+  throw io::CheckpointError("journal corrupted: record " +
+                            std::to_string(record_index) +
+                            " carries unknown eval status \"" + name + "\"");
+}
+
+bool same_point(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
                    opt::Objective objective,
@@ -72,28 +97,73 @@ BoResult BoEngine::run(sched::Executor& exec) {
   sched::EvalSupervisor sup(exec, scfg, trace_);
   BoResult result;
 
-  run_init_phase(sup, result);
-  if (obs_x_.empty()) {
-    throw Error(
-        "every initial evaluation failed; no observation to build a model "
-        "from (see docs/failure-model.md)");
-  }
-  update_model(/*force_train=*/true);
-
-  switch (cfg_.mode) {
-    case Mode::Sequential: run_sequential(sup, result); break;
-    case Mode::SyncBatch: run_sync_batch(sup, result); break;
-    case Mode::AsyncBatch: run_async_batch(sup, result); break;
+  if (journaling()) {
+    config_hash_ = config_fingerprint(cfg_, bounds_);
+    if (resumed_) {
+      restore(sup, result);
+    } else {
+      start_fresh_journal();
+    }
   }
 
-  result.makespan = exec.now();
-  result.total_sim_time = exec.total_busy_time();
+  if (!init_done_) {
+    run_init_phase(sup, result);
+    if (!stop_requested()) {
+      if (obs_x_.empty()) {
+        throw Error(
+            "every initial evaluation failed; no observation to build a "
+            "model from (see docs/failure-model.md)");
+      }
+      update_model(/*force_train=*/true);
+      init_done_ = true;
+    }
+  }
+
+  if (!stop_requested()) {
+    switch (cfg_.mode) {
+      case Mode::Sequential: run_sequential(sup, result); break;
+      case Mode::SyncBatch: run_sync_batch(sup, result); break;
+      case Mode::AsyncBatch: run_async_batch(sup, result); break;
+    }
+  }
+  // A stop at a phase boundary can leave init evaluations in flight:
+  // drain them so the journal is complete and the final snapshot carries
+  // no pending work it does not have to.
+  if (stop_requested()) drain_all(sup, result);
+
+  result.makespan = std::max(exec.now(), last_replay_finish_);
+  result.total_sim_time = busy_base_ + exec.total_busy_time();
   result.hyper_refits = hyper_refits_;
-  const std::size_t inc = incumbent_index();
-  result.best_x = box_.from_unit(obs_x_[inc]);
-  result.best_y = obs_y_[inc];
+  result.interrupted = stop_requested();
+  result.resume_note = resume_note_;
+  result.orphaned_workers = sup.orphans();
+  if (sup.orphans() > 0) {
+    obs::count(trace_, "sched.orphaned_workers", sup.orphans());
+  }
+  if (!obs_x_.empty()) {
+    const std::size_t inc = incumbent_index();
+    result.best_x = box_.from_unit(obs_x_[inc]);
+    result.best_y = obs_y_[inc];
+  }
+  if (journaling()) write_snapshot(sup);
   finalize_metrics(exec, result);
   return result;
+}
+
+BoResult BoEngine::resume(const std::string& path) {
+  const std::size_t workers =
+      (cfg_.mode == Mode::Sequential) ? 1 : cfg_.batch;
+  sched::VirtualExecutor exec(workers);
+  return resume(path, exec);
+}
+
+BoResult BoEngine::resume(const std::string& path, sched::Executor& exec) {
+  EASYBO_REQUIRE(prop_x_.empty(),
+                 "BoEngine::resume() must be the engine's only run");
+  EASYBO_REQUIRE(!path.empty(), "BoEngine::resume: empty checkpoint path");
+  cfg_.checkpoint_path = path;  // journaling continues on the same files
+  resumed_ = true;
+  return run(exec);
 }
 
 // ---------------------------------------------------------------------------
@@ -108,34 +178,38 @@ void BoEngine::run_init_phase(sched::EvalSupervisor& sup, BoResult& result) {
   // evaluations are topped up (the model needs its init_points anchors)
   // until the whole simulation budget would be burned on them.
   obs::ScopedTimer span(trace_, obs::Phase::InitDesign);
-  while (obs_x_.size() < cfg_.init_points) {
-    while (sup.has_idle_worker() && issued_ < cfg_.max_sims &&
-           obs_x_.size() + sup.num_running() < cfg_.init_points) {
+  while (obs_x_.size() < cfg_.init_points && !stop_requested()) {
+    maybe_checkpoint(sup);
+    while (can_submit(sup) && issued_ < cfg_.max_sims &&
+           obs_x_.size() + num_outstanding(sup) < cfg_.init_points &&
+           !stop_requested()) {
       submit(sup, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
     }
-    if (sup.num_running() == 0) break;  // budget exhausted by failures
-    handle(timed_wait(sup), result);
+    if (num_outstanding(sup) == 0) break;  // budget exhausted by failures
+    handle(await_one(sup), result);
   }
 }
 
 void BoEngine::run_sequential(sched::EvalSupervisor& sup, BoResult& result) {
-  while (issued_ < cfg_.max_sims) {
-    if (!sup.has_idle_worker()) break;  // the only worker is hung
+  while (issued_ < cfg_.max_sims && !stop_requested()) {
+    maybe_checkpoint(sup);
+    if (!can_submit(sup)) break;  // the only worker is hung
     submit(sup, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
-    if (handle(timed_wait(sup), result)) update_model(false);
+    if (handle(await_one(sup), result)) update_model(false);
   }
 }
 
 void BoEngine::run_sync_batch(sched::EvalSupervisor& sup, BoResult& result) {
-  while (issued_ < cfg_.max_sims) {
+  while (issued_ < cfg_.max_sims && !stop_requested()) {
+    maybe_checkpoint(sup);
     const std::size_t remaining = cfg_.max_sims - issued_;
     // A real executor may expose fewer workers than cfg_.batch; a batch
     // larger than the pool could never be issued at once.
-    // num_idle_workers (not num_workers): a wall-clock timeout can leave a
+    // idle_for_submit (not num_workers): a wall-clock timeout can leave a
     // slot occupied by an abandoned hung objective. Identical when no
     // worker is abandoned — the barrier below drained the pool.
     const std::size_t k =
-        std::min({cfg_.batch, remaining, sup.num_idle_workers()});
+        std::min({cfg_.batch, remaining, idle_for_submit(sup)});
     if (k == 0) break;  // every worker is hung; cannot make progress
     // Select the whole batch against the current model, then submit and
     // barrier. For EasyBO-SP, each slot hallucinates on the batch points
@@ -147,16 +221,24 @@ void BoEngine::run_sync_batch(sched::EvalSupervisor& sup, BoResult& result) {
     }
     for (auto& x : batch) submit(sup, std::move(x), /*is_init=*/false);
     bool changed = false;
-    for (const auto& sc : timed_wait_all(sup)) changed |= handle(sc, result);
+    while (num_outstanding(sup) > 0) {
+      changed |= handle(await_one(sup), result);
+    }
     if (changed) update_model(false);
   }
 }
 
 void BoEngine::run_async_batch(sched::EvalSupervisor& sup, BoResult& result) {
   std::vector<Vec> pending;  // unit points currently running
+  // On resume the in-flight set is restored from the snapshot; tag order
+  // is submission order, which is exactly the order this vector grew in
+  // during the original run.
+  for (const std::size_t tag : pending_tags_) {
+    pending.push_back(prop_x_[tag]);
+  }
 
   // Fill the pool (Algorithm 1 bootstraps with B in-flight points).
-  while (sup.has_idle_worker() && issued_ < cfg_.max_sims) {
+  while (can_submit(sup) && issued_ < cfg_.max_sims && !stop_requested()) {
     Vec x = propose(pending, /*slot=*/0);
     pending.push_back(x);
     submit(sup, std::move(x), /*is_init=*/false);
@@ -165,19 +247,20 @@ void BoEngine::run_async_batch(sched::EvalSupervisor& sup, BoResult& result) {
   // Main loop (Algorithm 1): wait for a worker, absorb its observation,
   // refine the model, propose for the idle worker with the still-running
   // points as pseudo-observations.
-  while (sup.num_running() > 0) {
-    const auto sc = timed_wait(sup);
-    const Vec finished_x = prop_x_[sc.completion.tag];
-    const bool changed = handle(sc, result);
+  while (num_outstanding(sup) > 0) {
+    maybe_checkpoint(sup);
+    const Arrived a = await_one(sup);
+    const Vec finished_x = prop_x_[a.sc.completion.tag];
+    const bool changed = handle(a, result);
     // Remove the finished point from the pending set.
     const auto it = std::find(pending.begin(), pending.end(), finished_x);
     if (it != pending.end()) pending.erase(it);
 
     if (changed) update_model(false);
-    // has_idle_worker: a wall-clock timeout frees no slot (the hung
-    // objective still occupies it), so its replacement waits for the next
-    // genuinely idle worker. Always true when nothing timed out.
-    if (issued_ < cfg_.max_sims && sup.has_idle_worker()) {
+    // can_submit: a wall-clock timeout frees no slot (the hung objective
+    // still occupies it), so its replacement waits for the next genuinely
+    // idle worker. Always true when nothing timed out.
+    if (issued_ < cfg_.max_sims && can_submit(sup) && !stop_requested()) {
       Vec x = propose(pending, /*slot=*/0);
       pending.push_back(x);
       submit(sup, std::move(x), /*is_init=*/false);
@@ -445,7 +528,27 @@ void BoEngine::submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init) {
   const std::size_t tag = prop_x_.size();
   prop_x_.push_back(std::move(unit_x));
   prop_init_.push_back(is_init);
+  prop_submit_.push_back(logical_now(sup));
+  prop_duration_.push_back(duration);
+  pending_tags_.insert(tag);
   ++issued_;
+  if (replay_tags_.count(tag) != 0) {
+    // The outcome of this evaluation is already durable in the journal:
+    // the replay queue will deliver it. The worker slot it occupied in
+    // the original timeline is accounted logically (num_outstanding), and
+    // its busy time — which the executor will never see — here.
+    replay_awaiting_.insert(tag);
+    if (!sup.executor().wall_clock()) {
+      busy_base_ += effective_duration(duration);
+    }
+    return;
+  }
+  if (resumed_) {
+    // Mid-/post-replay real submission: line the virtual clock up with
+    // the original timeline first, so this work starts — and therefore
+    // finishes — at exactly the times the uninterrupted run produced.
+    sup.advance_clock(last_replay_finish_);
+  }
   // The executor decides where and when the objective runs (eagerly for
   // virtual time, on a worker thread for real threads); the engine only
   // sees the outcome at handle time.
@@ -455,41 +558,47 @@ void BoEngine::submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init) {
       duration);
 }
 
-bool BoEngine::handle(const sched::SupervisedCompletion& sc,
-                      BoResult& result) {
+bool BoEngine::handle(const Arrived& a, BoResult& result) {
+  const sched::SupervisedCompletion& sc = a.sc;
   const sched::Completion& c = sc.completion;
-  if (trace_ != nullptr) {
+  pending_tags_.erase(c.tag);
+  if (trace_ != nullptr && !a.replayed) {
     // Executor-clock duration: virtual seconds on a VirtualExecutor, wall
     // seconds on real threads; spans retries and backoff. Not a
     // ScopedTimer — the evaluation already happened inside the executor;
-    // this books its reported span.
+    // this books its reported span. Replayed completions book nothing:
+    // this process never ran them (metrics cover the current process).
     trace_->add_time(obs::Phase::ObjectiveEval, c.finish - c.start);
   }
   const Vec& unit_x = prop_x_[c.tag];
 
   EvalRecord rec;
   rec.x = box_.from_unit(unit_x);
-  rec.start = c.start;
-  rec.finish = c.finish;
+  rec.start = a.start_abs;
+  rec.finish = a.finish_abs;
   rec.worker = c.worker;
   rec.is_init = prop_init_[c.tag];
   rec.attempts = sc.attempts;
 
   if (sc.ok()) {
+    journal_eval(a, "observed", c.value);  // durable before applied
     obs_x_.push_back(unit_x);
     obs_y_.push_back(c.value);
     obs_is_init_.push_back(prop_init_[c.tag]);
     rec.y = c.value;
     result.evals.push_back(std::move(rec));
-    log_eval(sc, "observed");
+    if (!a.replayed) log_eval(sc, "observed");
     return true;
   }
 
-  obs::count(trace_, "eval.failures");
+  if (!a.replayed) obs::count(trace_, "eval.failures");
   if (cfg_.on_eval_failure == EvalFailurePolicy::Abort) {
+    journal_eval(a, "abort", std::numeric_limits<double>::quiet_NaN());
     // Rethrow the objective's own exception so callers see exactly what
     // they saw before supervision existed; timeouts and non-finite values
-    // never carried one, so they get a descriptive Error.
+    // never carried one, so they get a descriptive Error. A replayed
+    // abort lost its exception_ptr with the original process and always
+    // takes the descriptive path.
     if (sc.exception) std::rethrow_exception(sc.exception);
     throw Error(std::string("evaluation failed (") +
                 sched::to_string(sc.status) +
@@ -504,23 +613,25 @@ bool BoEngine::handle(const sched::SupervisedCompletion& sc,
   // until then it degrades to Discard.
   if (cfg_.on_eval_failure == EvalFailurePolicy::Penalize &&
       !obs_y_.empty()) {
-    obs::count(trace_, "eval.penalized");
+    if (!a.replayed) obs::count(trace_, "eval.penalized");
     const double y_pen =
         quantile_of(obs_y_, cfg_.eval_failure_quantile);
+    journal_eval(a, "penalized", y_pen);
     obs_x_.push_back(unit_x);
     obs_y_.push_back(y_pen);
     obs_is_init_.push_back(prop_init_[c.tag]);
     rec.y = y_pen;
     result.evals.push_back(std::move(rec));
-    log_eval(sc, "penalized");
+    if (!a.replayed) log_eval(sc, "penalized");
     return true;
   }
 
-  obs::count(trace_, "eval.discarded");
+  if (!a.replayed) obs::count(trace_, "eval.discarded");
+  journal_eval(a, "discarded", std::numeric_limits<double>::quiet_NaN());
   failed_x_.push_back(unit_x);  // dedup must never re-propose it verbatim
   rec.y = std::numeric_limits<double>::quiet_NaN();
   result.evals.push_back(std::move(rec));
-  log_eval(sc, "discarded");
+  if (!a.replayed) log_eval(sc, "discarded");
   return false;
 }
 
@@ -547,6 +658,327 @@ std::vector<sched::SupervisedCompletion> BoEngine::timed_wait_all(
     sched::EvalSupervisor& sup) {
   obs::ScopedTimer span(trace_, obs::Phase::ExecutorWait);
   return sup.wait_all();
+}
+
+// ---------------------------------------------------------------------------
+// Durability: journal, snapshot, resume replay (docs/checkpoint-format.md)
+// ---------------------------------------------------------------------------
+
+double BoEngine::effective_duration(double duration) const {
+  if (cfg_.eval_timeout > 0.0 && duration > cfg_.eval_timeout) {
+    return cfg_.eval_timeout;  // the supervisor cuts it there (virtual)
+  }
+  return duration;
+}
+
+void BoEngine::start_fresh_journal() {
+  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
+  journal_.open(journal_file(cfg_.checkpoint_path), /*truncate_to=*/0);
+  JournalHeader header;
+  header.config_hash = config_hash_;
+  header.seed = cfg_.seed;
+  journal_.append(header.to_payload());
+}
+
+void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
+  const std::string jpath = journal_file(cfg_.checkpoint_path);
+  const std::string spath = snapshot_file(cfg_.checkpoint_path);
+  if (!io::file_exists(jpath)) {
+    throw io::CheckpointError("cannot resume: no journal at " + jpath);
+  }
+  const io::JournalReadResult jr = io::read_journal(jpath);
+  if (jr.payloads.empty()) {
+    throw io::CheckpointError("cannot resume: journal at " + jpath +
+                              " holds no intact header line");
+  }
+  const JournalHeader header = JournalHeader::parse(jr.payloads.front());
+  if (header.config_hash != config_hash_) {
+    throw io::CheckpointError(
+        "checkpoint config mismatch: journal " + jpath +
+        " was written with config fingerprint " +
+        io::json_u64(header.config_hash) +
+        " but this engine is configured with fingerprint " +
+        io::json_u64(config_hash_) +
+        "; resuming would splice two different proposal streams");
+  }
+  std::vector<JournalRecord> records;
+  records.reserve(jr.payloads.size() - 1);
+  for (std::size_t i = 1; i < jr.payloads.size(); ++i) {
+    JournalRecord rec = JournalRecord::parse(jr.payloads[i]);
+    if (rec.index != records.size()) {
+      throw io::CheckpointError(
+          "journal corrupted: line " + std::to_string(i + 1) + " of " +
+          jpath + " carries record index " + std::to_string(rec.index) +
+          " where " + std::to_string(records.size()) + " was expected");
+    }
+    records.push_back(std::move(rec));
+  }
+
+  BoCheckpoint snap;
+  const bool have_snap = io::file_exists(spath);
+  if (have_snap) {
+    const io::JournalReadResult sr = io::read_journal(spath);
+    if (sr.payloads.size() != 1 || sr.torn_tail) {
+      throw io::CheckpointError(
+          "snapshot " + spath +
+          " is damaged (expected exactly one intact framed line)");
+    }
+    snap = BoCheckpoint::parse(sr.payloads.front());
+    if (snap.config_hash != config_hash_) {
+      throw io::CheckpointError(
+          "checkpoint config mismatch: snapshot " + spath +
+          " was written with config fingerprint " +
+          io::json_u64(snap.config_hash) +
+          " but this engine is configured with fingerprint " +
+          io::json_u64(config_hash_));
+    }
+    if (snap.journal_count > records.size()) {
+      throw io::CheckpointError(
+          "snapshot " + spath + " absorbs " +
+          std::to_string(snap.journal_count) + " evaluations but journal " +
+          jpath + " holds only " + std::to_string(records.size()) +
+          " — the files do not belong to the same run");
+    }
+  }
+
+  // Re-open for appending, truncating any torn tail first: those bytes
+  // are a record that never became durable and will be rewritten by the
+  // replay when it reaches that evaluation again.
+  journal_.open(jpath, static_cast<long>(jr.valid_bytes));
+  journal_lines_ = records.size();
+  lines_at_snapshot_ = have_snap ? snap.journal_count : 0;
+
+  // Stage the journal tail — everything the snapshot has not absorbed —
+  // for replay through the normal loop.
+  for (std::size_t i = snap.journal_count; i < records.size(); ++i) {
+    replay_tags_.insert(records[i].tag);
+    replay_.push_back(std::move(records[i]));
+  }
+
+  // Rebuild the result prefix for the absorbed records (the replayed tail
+  // re-enters result.evals through handle()).
+  for (std::size_t i = 0; i < snap.journal_count; ++i) {
+    const JournalRecord& jrec = records[i];
+    if (jrec.action == "abort") continue;  // aborts never made an EvalRecord
+    EvalRecord rec;
+    rec.x = box_.from_unit(jrec.x);
+    rec.y = jrec.y;
+    rec.start = jrec.start;
+    rec.finish = jrec.finish;
+    rec.worker = jrec.worker;
+    rec.is_init = jrec.is_init;
+    rec.attempts = jrec.attempts;
+    rec.failed = jrec.action != "observed";
+    if (rec.failed) rec.failure = jrec.status;
+    result.evals.push_back(std::move(rec));
+  }
+
+  std::size_t resubmitted = 0;
+  if (have_snap) {
+    rng_.load(snap.rng);
+    sup.set_rng_state(snap.sup_rng);
+    obs_x_ = snap.obs_x;
+    obs_y_ = snap.obs_y;
+    obs_is_init_ = snap.obs_is_init;
+    failed_x_ = snap.failed_x;
+    prop_x_ = snap.prop_x;
+    prop_init_ = snap.prop_init;
+    prop_submit_ = snap.prop_submit;
+    prop_duration_ = snap.prop_duration;
+    issued_ = snap.issued;
+    init_done_ = snap.init_done;
+    next_hyper_refit_ = snap.next_hyper_refit;
+    hyper_refits_ = snap.hyper_refits;
+    if (cfg_.acq == AcqKind::Phcbo) {
+      if (snap.hc_histories.size() != hc_penalties_.size()) {
+        throw io::CheckpointError(
+            "snapshot " + spath + " carries " +
+            std::to_string(snap.hc_histories.size()) +
+            " pHCBO penalty histories; this configuration needs " +
+            std::to_string(hc_penalties_.size()));
+      }
+      for (std::size_t i = 0; i < hc_penalties_.size(); ++i) {
+        hc_penalties_[i] = acq::HighCoveragePenalty(cfg_.hc_d, cfg_.hc_n);
+        for (const Vec& x : snap.hc_histories[i]) hc_penalties_[i].record(x);
+      }
+    }
+    if (snap.hedge_gains.size() == acq::HedgePortfolio::kMembers) {
+      hedge_.set_gains(snap.hedge_gains);
+    }
+    hedge_nominees_ = snap.hedge_nominees;
+    if (init_done_ && !obs_x_.empty()) {
+      zscore_.refit(obs_y_);
+      model_.set_data(obs_x_, zscore_.transform(obs_y_));
+      if (!snap.gp_log_hyperparams.empty()) {
+        model_.set_log_hyperparams(snap.gp_log_hyperparams);
+      }
+      model_.fit();
+    }
+    last_replay_finish_ = snap.now;
+    sup.advance_clock(snap.now);  // continue on the original clock
+    busy_base_ = snap.busy;
+
+    // In-flight work at snapshot time: a tag whose outcome is in the
+    // journal tail is delivered by replay; anything else was genuinely in
+    // flight at the kill and is re-submitted with its REMAINING duration,
+    // so it finishes when the uninterrupted run finished it.
+    for (const std::size_t tag : snap.pending) {
+      if (tag >= prop_x_.size()) {
+        throw io::CheckpointError(
+            "snapshot " + spath + " marks evaluation " +
+            std::to_string(tag) + " in flight but records only " +
+            std::to_string(prop_x_.size()) + " proposals");
+      }
+      pending_tags_.insert(tag);
+      if (replay_tags_.count(tag) != 0) {
+        replay_awaiting_.insert(tag);
+        continue;
+      }
+      double duration = prop_duration_[tag];
+      if (!sup.executor().wall_clock()) {
+        double remaining =
+            prop_submit_[tag] + effective_duration(duration) - snap.now;
+        if (!(remaining > 0.0)) remaining = 1e-9;
+        busy_base_ -= remaining;  // the executor re-accounts exactly this
+        duration = remaining;
+      }
+      restored_real_.insert(tag);
+      Vec x_design = box_.from_unit(prop_x_[tag]);
+      sup.submit(
+          tag,
+          [obj = &objective_, x = std::move(x_design)] { return (*obj)(x); },
+          duration);
+      ++resubmitted;
+    }
+  }
+
+  resume_note_ =
+      "resumed from " + cfg_.checkpoint_path + ": " +
+      std::to_string(snap.journal_count) + " evaluations restored, " +
+      std::to_string(replay_.size()) + " replayed from the journal, " +
+      std::to_string(resubmitted) + " re-submitted" +
+      (jr.torn_tail ? "; dropped a torn final journal line" : "");
+  obs::count(trace_, "ckpt.resumes");
+}
+
+BoEngine::Arrived BoEngine::await_one(sched::EvalSupervisor& sup) {
+  Arrived a;
+  if (!replay_.empty()) {
+    JournalRecord rec = std::move(replay_.front());
+    replay_.pop_front();
+    replay_tags_.erase(rec.tag);
+    if (rec.tag >= prop_x_.size() || pending_tags_.count(rec.tag) == 0) {
+      throw io::CheckpointError(
+          "journal corrupted: record " + std::to_string(rec.index) +
+          " completes evaluation " + std::to_string(rec.tag) +
+          " which the deterministic replay never issued");
+    }
+    if (!same_point(rec.x, prop_x_[rec.tag])) {
+      throw io::CheckpointError(
+          "journal record " + std::to_string(rec.index) +
+          " does not match this configuration's proposal stream "
+          "(evaluation " + std::to_string(rec.tag) +
+          " replays to a different point) — was the journal written by a "
+          "different configuration or code version?");
+    }
+    replay_awaiting_.erase(rec.tag);
+    a.replayed = true;
+    a.start_abs = rec.start;
+    a.finish_abs = rec.finish;
+    last_replay_finish_ = rec.finish;
+    a.sc.completion.tag = rec.tag;
+    a.sc.completion.worker = rec.worker;
+    a.sc.completion.start = rec.start;
+    a.sc.completion.finish = rec.finish;
+    a.sc.status = eval_status_from(rec.status, rec.index);
+    a.sc.completion.value =
+        a.sc.ok() ? rec.y : std::numeric_limits<double>::quiet_NaN();
+    a.sc.attempts = rec.attempts;
+    a.sc.error = std::move(rec.error);
+    // The original run drew one backoff jitter per relaunch from the
+    // supervisor's stream; consume the same draws so the stream position
+    // stays aligned.
+    sup.replay_retries(a.sc.attempts);
+    obs::count(trace_, "ckpt.replayed");
+    return a;
+  }
+  a.sc = timed_wait(sup);
+  a.start_abs = a.sc.completion.start;
+  a.finish_abs = a.sc.completion.finish;
+  const auto it = restored_real_.find(a.sc.completion.tag);
+  if (it != restored_real_.end()) {
+    // Re-submitted in-flight work: the executor saw only its remainder;
+    // its true start is the original submission time.
+    a.start_abs = prop_submit_[a.sc.completion.tag];
+    restored_real_.erase(it);
+  }
+  return a;
+}
+
+void BoEngine::drain_all(sched::EvalSupervisor& sup, BoResult& result) {
+  while (num_outstanding(sup) > 0) handle(await_one(sup), result);
+}
+
+void BoEngine::journal_eval(const Arrived& a, const char* action, double y) {
+  if (!journal_.is_open() || a.replayed) return;
+  JournalRecord rec;
+  rec.index = journal_lines_;
+  rec.tag = a.sc.completion.tag;
+  rec.status = sched::to_string(a.sc.status);
+  rec.action = action;
+  rec.attempts = a.sc.attempts;
+  rec.worker = a.sc.completion.worker;
+  rec.start = a.start_abs;
+  rec.finish = a.finish_abs;
+  rec.is_init = prop_init_[rec.tag];
+  rec.x = prop_x_[rec.tag];
+  rec.y = y;
+  rec.error = a.sc.error;
+  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
+  journal_.append(rec.to_payload());
+  ++journal_lines_;
+  obs::count(trace_, "ckpt.journal_appends");
+}
+
+void BoEngine::maybe_checkpoint(sched::EvalSupervisor& sup) {
+  if (!journaling() || !replay_.empty()) return;
+  if (journal_lines_ - lines_at_snapshot_ < cfg_.checkpoint_every) return;
+  write_snapshot(sup);
+}
+
+void BoEngine::write_snapshot(sched::EvalSupervisor& sup) {
+  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
+  BoCheckpoint snap;
+  snap.config_hash = config_hash_;
+  snap.journal_count = journal_lines_;
+  snap.now = logical_now(sup);
+  snap.busy = busy_base_ + sup.executor().total_busy_time();
+  snap.init_done = init_done_;
+  snap.issued = issued_;
+  snap.rng = rng_.save();
+  snap.sup_rng = sup.rng_state();
+  snap.obs_x = obs_x_;
+  snap.obs_y = obs_y_;
+  snap.obs_is_init = obs_is_init_;
+  snap.failed_x = failed_x_;
+  snap.prop_x = prop_x_;
+  snap.prop_init = prop_init_;
+  snap.prop_submit = prop_submit_;
+  snap.prop_duration = prop_duration_;
+  snap.pending.assign(pending_tags_.begin(), pending_tags_.end());
+  snap.hc_histories.reserve(hc_penalties_.size());
+  for (const auto& hc : hc_penalties_) {
+    snap.hc_histories.emplace_back(hc.history().begin(), hc.history().end());
+  }
+  snap.hedge_gains = hedge_.gains();
+  snap.hedge_nominees = hedge_nominees_;
+  snap.next_hyper_refit = next_hyper_refit_;
+  snap.hyper_refits = hyper_refits_;
+  if (init_done_) snap.gp_log_hyperparams = model_.log_hyperparams();
+  io::atomic_write_file(snapshot_file(cfg_.checkpoint_path),
+                        io::frame_line(snap.to_payload()) + "\n");
+  lines_at_snapshot_ = journal_lines_;
+  obs::count(trace_, "ckpt.snapshots");
 }
 
 void BoEngine::finalize_metrics(sched::Executor& exec, BoResult& result) {

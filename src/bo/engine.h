@@ -18,16 +18,23 @@
 /// schedule (every refit_every observations early on, stretching by 1.5x
 /// as the dataset grows), warm-started from the previous optimum.
 
+#include <algorithm>
+#include <atomic>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_set>
 
 #include "acq/thompson.h"
+#include "bo/checkpoint.h"
 #include "bo/config.h"
 #include "bo/result.h"
 #include "common/rng.h"
 #include "gp/gp.h"
 #include "gp/normalizer.h"
+#include "io/journal.h"
 #include "obs/recording.h"
 #include "opt/objective.h"
 #include "sched/executor.h"
@@ -66,6 +73,27 @@ class BoEngine {
   /// the pre-supervision behavior.
   BoResult run(sched::Executor& exec);
 
+  /// Continues a run whose durable state lives under checkpoint base
+  /// \p path (BoConfig::checkpoint_path semantics: "<path>.journal" +
+  /// "<path>.snapshot", docs/checkpoint-format.md). The engine must be
+  /// freshly constructed with the SAME configuration and bounds as the
+  /// interrupted run — a config-fingerprint mismatch refuses to resume
+  /// (io::CheckpointError). Restores the snapshot, replays the journal
+  /// tail through the normal loop (journaled outcomes substituted for
+  /// re-evaluation), re-submits work that was in flight at the kill, and
+  /// continues — producing the same remaining proposal sequence as the
+  /// uninterrupted run. Journaling continues on the same files. Call once
+  /// per engine instance, instead of run().
+  BoResult resume(const std::string& path);
+  BoResult resume(const std::string& path, sched::Executor& exec);
+
+  /// Installs a cooperative stop flag (e.g. set from a SIGINT handler).
+  /// Checked at loop boundaries: once true, the engine stops proposing,
+  /// drains the evaluations already in flight, writes a final snapshot
+  /// (when journaling) and returns with BoResult::interrupted set. The
+  /// pointee must outlive the run; nullptr (the default) disables it.
+  void set_stop_token(const std::atomic<bool>* stop) { stop_ = stop; }
+
   /// Installs a non-owning trace sink for the run (call before run();
   /// nullptr restores the zero-cost null default). When the sink is an
   /// obs::RecordingSink, run() additionally assembles its contents — plus
@@ -75,6 +103,18 @@ class BoEngine {
   void set_trace(obs::TraceSink* sink);
 
  private:
+  /// One terminal evaluation outcome as delivered to handle(): either a
+  /// real supervised completion or a journaled one re-enacted during
+  /// resume replay. start_abs/finish_abs are on the run's logical clock —
+  /// for replayed records the exact original times from the journal, so
+  /// no floating-point round trip can perturb them.
+  struct Arrived {
+    sched::SupervisedCompletion sc;
+    bool replayed = false;
+    double start_abs = 0.0;
+    double finish_abs = 0.0;
+  };
+
   // --- model management -------------------------------------------------
   /// Re-standardizes y, re-fits the GP; trains hyperparameters when the
   /// thinning schedule says so (or when force_train).
@@ -109,11 +149,11 @@ class BoEngine {
   /// and counting it against the simulation budget (issued_).
   void submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init);
 
-  /// Handles one supervised outcome: records an observation on success,
-  /// applies cfg_.on_eval_failure otherwise (Abort rethrows out of run()).
-  /// Returns whether the model's dataset changed (real or pseudo
-  /// observation added).
-  bool handle(const sched::SupervisedCompletion& sc, BoResult& result);
+  /// Handles one outcome: journals it (durable before applied), records
+  /// an observation on success, applies cfg_.on_eval_failure otherwise
+  /// (Abort rethrows out of run()). Returns whether the model's dataset
+  /// changed (real or pseudo observation added).
+  bool handle(const Arrived& a, BoResult& result);
 
   /// Appends one entry to the per-eval outcome log (metrics "evals").
   void log_eval(const sched::SupervisedCompletion& sc, const char* action);
@@ -122,6 +162,73 @@ class BoEngine {
   sched::SupervisedCompletion timed_wait(sched::EvalSupervisor& sup);
   std::vector<sched::SupervisedCompletion> timed_wait_all(
       sched::EvalSupervisor& sup);
+
+  // --- durability (checkpoint/resume; docs/checkpoint-format.md) --------
+  bool journaling() const { return !cfg_.checkpoint_path.empty(); }
+  bool stop_requested() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
+
+  /// Evaluations logically in flight: really running on the executor plus
+  /// those whose journaled outcome is still queued for replay. Equals
+  /// sup.num_running() outside resume replay.
+  std::size_t num_outstanding(const sched::EvalSupervisor& sup) const {
+    return sup.num_running() + replay_awaiting_.size();
+  }
+
+  /// Whether a new evaluation may be issued right now: a physically idle
+  /// worker AND a logically free slot (replay-covered flights occupy
+  /// their workers in the original timeline even though the executor
+  /// never sees them). Equals sup.has_idle_worker() outside replay.
+  bool can_submit(const sched::EvalSupervisor& sup) const {
+    return sup.has_idle_worker() &&
+           sup.num_workers() > num_outstanding(sup);
+  }
+
+  /// Logically idle workers (the sync-batch sizing rule under replay).
+  std::size_t idle_for_submit(const sched::EvalSupervisor& sup) const {
+    const std::size_t outstanding = num_outstanding(sup);
+    const std::size_t logical = sup.num_workers() > outstanding
+                                    ? sup.num_workers() - outstanding
+                                    : 0;
+    return std::min(sup.num_idle_workers(), logical);
+  }
+
+  /// The run's logical clock: the executor clock, never behind the last
+  /// replayed completion.
+  double logical_now(const sched::EvalSupervisor& sup) const {
+    return std::max(sup.now(), last_replay_finish_);
+  }
+
+  /// Virtual-time occupancy of one evaluation: its duration, cut at the
+  /// per-attempt deadline exactly as the supervisor cuts it.
+  double effective_duration(double duration) const;
+
+  /// Truncates/creates the journal and writes its header line.
+  void start_fresh_journal();
+
+  /// Loads snapshot + journal, restores engine state, stages the journal
+  /// tail for replay and re-submits genuinely in-flight work.
+  void restore(sched::EvalSupervisor& sup, BoResult& result);
+
+  /// Next terminal outcome: the front of the replay queue while resume
+  /// replay is in progress, a real supervised wait otherwise.
+  Arrived await_one(sched::EvalSupervisor& sup);
+
+  /// Drains every outstanding evaluation without model updates (the init
+  /// phase / graceful-stop semantics).
+  void drain_all(sched::EvalSupervisor& sup, BoResult& result);
+
+  /// Appends one eval record to the journal (fsync'd). No-op when
+  /// journaling is off or the outcome is itself a replay.
+  void journal_eval(const Arrived& a, const char* action, double y);
+
+  /// Writes a snapshot when the cadence says so (checkpoint_every new
+  /// journal lines since the last one; never during replay).
+  void maybe_checkpoint(sched::EvalSupervisor& sup);
+
+  /// Unconditionally writes the snapshot atomically.
+  void write_snapshot(sched::EvalSupervisor& sup);
 
   /// Copies the recording sink (when one is installed) into
   /// result.metrics, grafting on the executor's worker stats.
@@ -151,9 +258,35 @@ class BoEngine {
   // count, preserving the pre-supervision schedules bit for bit.
   std::size_t issued_ = 0;
 
-  // Proposals by tag: the executor's completion tag indexes these.
+  // Proposals by tag: the executor's completion tag indexes these. Submit
+  // time (logical clock) and nominal duration ride along so a snapshot
+  // can re-anchor in-flight work on resume.
   std::vector<Vec> prop_x_;       // unit space
   std::vector<bool> prop_init_;
+  std::vector<double> prop_submit_;
+  std::vector<double> prop_duration_;
+
+  // --- durability state (checkpoint/resume) -----------------------------
+  io::JournalWriter journal_;
+  std::uint64_t config_hash_ = 0;
+  std::size_t journal_lines_ = 0;      // eval records written (no header)
+  std::size_t lines_at_snapshot_ = 0;  // journal_lines_ at last snapshot
+  // Journal tail to re-enact on resume, in original completion order,
+  // plus the tags it covers. A tag in replay_tags_ is never handed to the
+  // executor — its outcome is already durable.
+  std::deque<JournalRecord> replay_;
+  std::unordered_set<std::size_t> replay_tags_;
+  std::unordered_set<std::size_t> replay_awaiting_;  // covered AND issued
+  // In-flight-at-kill tags re-submitted with their remaining duration;
+  // their completion's start is prop_submit_, not the re-submit time.
+  std::unordered_set<std::size_t> restored_real_;
+  std::set<std::size_t> pending_tags_;  // issued, not yet handled (sorted)
+  double busy_base_ = 0.0;          // restored busy the executor never saw
+  double last_replay_finish_ = 0.0;
+  bool resumed_ = false;
+  bool init_done_ = false;  // post-init force-train already ran
+  const std::atomic<bool>* stop_ = nullptr;
+  std::string resume_note_;
 
   // pHCBO per-weight-slot penalty history.
   std::vector<acq::HighCoveragePenalty> hc_penalties_;

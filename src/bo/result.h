@@ -38,6 +38,20 @@ struct BoResult {
   double total_sim_time = 0.0;    ///< sum of evaluation durations
   std::size_t hyper_refits = 0;   ///< MLE trainings performed
 
+  /// The run stopped early on a cooperative stop token
+  /// (BoEngine::set_stop_token) after draining in-flight evaluations.
+  /// best_x/best_y are empty/0 when no evaluation had completed yet.
+  bool interrupted = false;
+
+  /// Human-readable note when the run was a resume (what was restored and
+  /// replayed); empty for ordinary runs.
+  std::string resume_note;
+
+  /// Workers abandoned after a wall-clock timeout and never reclaimed —
+  /// each one is a hung objective still occupying a pool slot (see
+  /// docs/failure-model.md). Always 0 on virtual time.
+  std::size_t orphaned_workers = 0;
+
   /// Observability report: per-phase timers, engine-room counters and
   /// per-worker busy/idle. Populated only when the run recorded metrics
   /// (BoConfig::collect_metrics, or a RecordingSink installed through

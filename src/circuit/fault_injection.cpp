@@ -25,6 +25,10 @@ Objective FaultInjector::wrap(Objective inner) const {
   auto state = state_;
   return [plan, state, inner = std::move(inner)](const Vec& x) -> double {
     const std::size_t n = state->calls.fetch_add(1) + 1;  // 1-based
+    if (plan.sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(plan.sleep_seconds));
+    }
     const auto hits = [n](std::size_t every) {
       return every > 0 && n % every == 0;
     };

@@ -35,6 +35,11 @@ struct FaultPlan {
   /// the virtual-time analogue of a straggler/hang.
   std::size_t slow_every = 0;
   double slow_factor = 100.0;
+  /// Pacing, not a fault: EVERY objective call wall-sleeps this long
+  /// before evaluating. Gives an otherwise-instant benchmark a real wall
+  /// footprint so an external kill (the CI kill-and-resume smoke test, a
+  /// human's Ctrl-C) reliably lands mid-run. Does not count as a fault.
+  double sleep_seconds = 0.0;
 };
 
 /// Wraps objectives (and sim-time models) with the faults of one plan.

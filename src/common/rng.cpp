@@ -123,6 +123,23 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
   return out;
 }
 
+RngState Rng::save() const {
+  RngState state;
+  state.s = s_;
+  state.cached_normal = cached_normal_;
+  state.has_cached_normal = has_cached_normal_;
+  return state;
+}
+
+void Rng::load(const RngState& state) {
+  EASYBO_REQUIRE(
+      state.s[0] != 0 || state.s[1] != 0 || state.s[2] != 0 || state.s[3] != 0,
+      "Rng::load: all-zero state is invalid for xoshiro256++");
+  s_ = state.s;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 Rng Rng::spawn() {
   // Child seeded from two fresh draws folded together; the parent state
   // advances, so successive spawns are independent streams.

@@ -21,6 +21,20 @@ namespace easybo {
 /// simulation-time model reuses it as a hash.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Complete serializable state of an Rng. The cached Box–Muller deviate is
+/// part of the stream position: normal() consumes two uniforms and yields
+/// two deviates, so dropping the cache would shift every draw after an odd
+/// number of normal() calls. Checkpoint/resume (docs/checkpoint-format.md)
+/// round-trips this struct; restoring it reproduces the remaining stream
+/// bit for bit.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+
+  bool operator==(const RngState&) const = default;
+};
+
 /// xoshiro256++ engine with convenience distributions.
 ///
 /// Satisfies the essentials of UniformRandomBitGenerator so it can also be
@@ -74,6 +88,14 @@ class Rng {
   /// parent state is deterministic. Used to give each repeated experiment
   /// run its own stream.
   Rng spawn();
+
+  /// Snapshot of the full generator state (engine words + normal cache).
+  RngState save() const;
+
+  /// Restores a state captured by save(); subsequent draws are
+  /// bit-identical to the generator the state came from. Rejects the
+  /// all-zero engine state (invalid for xoshiro).
+  void load(const RngState& state);
 
  private:
   std::array<std::uint64_t, 4> s_{};

@@ -10,6 +10,7 @@ const char* to_string(Phase phase) {
     case Phase::AcqMaximize: return "acq_maximize";
     case Phase::ObjectiveEval: return "objective_eval";
     case Phase::ExecutorWait: return "executor_wait";
+    case Phase::Checkpoint: return "checkpoint";
     case Phase::kCount: break;
   }
   return "unknown";

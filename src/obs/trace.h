@@ -39,6 +39,7 @@ enum class Phase : std::size_t {
   ObjectiveEval,  ///< objective run time, on the EXECUTOR clock (virtual
                   ///< seconds on VirtualExecutor, wall on ThreadExecutor)
   ExecutorWait,   ///< proposer blocked in wait_next() (wall clock)
+  Checkpoint,     ///< durability I/O: journal fsyncs + snapshot writes
   kCount
 };
 

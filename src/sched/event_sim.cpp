@@ -43,6 +43,13 @@ JobRecord VirtualScheduler::wait_next() {
   return rec;
 }
 
+void VirtualScheduler::advance_to(double t) {
+  if (!running_.empty()) {
+    t = std::min(t, running_.top().finish);
+  }
+  now_ = std::max(now_, t);
+}
+
 std::vector<JobRecord> VirtualScheduler::wait_all() {
   std::vector<JobRecord> done;
   done.reserve(running_.size());

@@ -54,6 +54,13 @@ class VirtualScheduler {
   /// running.
   JobRecord wait_next();
 
+  /// Lower-bounds the clock: advances now() to \p t without completing
+  /// anything. Never moves time backward, and never past the earliest
+  /// running completion (the request is capped there, keeping completion
+  /// order intact). Checkpoint resume uses this to re-anchor re-submitted
+  /// work at its original submission time.
+  void advance_to(double t);
+
   /// Advances past ALL currently running jobs (the synchronous barrier) and
   /// returns them in completion order.
   std::vector<JobRecord> wait_all();

@@ -80,6 +80,12 @@ class Executor {
   /// Seconds (virtual or wall) elapsed since the executor started.
   virtual double now() const = 0;
 
+  /// Lower-bounds the executor clock at \p t. Meaningful only for virtual
+  /// time (checkpoint resume re-anchors re-submitted work at its original
+  /// submission time); wall-clock executors advance on their own and
+  /// ignore it. Never moves time backward or past a running completion.
+  virtual void advance_to(double /*t*/) {}
+
   /// Sum over workers of busy time accumulated so far.
   virtual double total_busy_time() const = 0;
 
@@ -112,6 +118,7 @@ class VirtualExecutor final : public Executor {
   }
   bool wall_clock() const override { return false; }
   double now() const override { return sched_.now(); }
+  void advance_to(double t) override { sched_.advance_to(t); }
   double total_busy_time() const override {
     return sched_.total_busy_time();
   }

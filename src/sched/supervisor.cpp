@@ -231,6 +231,12 @@ SupervisedCompletion EvalSupervisor::wait_next() {
   }
 }
 
+void EvalSupervisor::replay_retries(std::uint32_t attempts) {
+  for (std::uint32_t retry = 1; retry < attempts; ++retry) {
+    (void)backoff_delay(cfg_, retry, rng_);
+  }
+}
+
 std::vector<SupervisedCompletion> EvalSupervisor::wait_all() {
   std::vector<SupervisedCompletion> done;
   while (num_running() > 0) done.push_back(wait_next());

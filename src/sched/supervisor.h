@@ -151,6 +151,32 @@ class EvalSupervisor {
 
   const Executor& executor() const { return exec_; }
 
+  /// Workers abandoned after a wall-clock timeout and never reclaimed:
+  /// each one is a hung objective still occupying its slot. Exposed so
+  /// the engine can emit the "sched.orphaned_workers" counter (and front
+  /// ends can warn) — a permanently degraded pool is otherwise invisible
+  /// outside this class.
+  std::size_t orphans() const { return orphans_; }
+
+  /// Clock passthrough for checkpoint resume (Executor::advance_to).
+  void advance_clock(double t) { exec_.advance_to(t); }
+
+  // --- retry/backoff state (checkpoint/resume) --------------------------
+  // The jitter stream position is part of a run's durable state: replays
+  // must consume the same draws the original run consumed or every delay
+  // after the resume point would shift (docs/checkpoint-format.md).
+
+  /// Snapshot of the jitter stream.
+  RngState rng_state() const { return rng_.save(); }
+
+  /// Restores a jitter stream captured by rng_state().
+  void set_rng_state(const RngState& state) { rng_.load(state); }
+
+  /// Fast-forwards the jitter stream past the retries of one journaled
+  /// evaluation that made \p attempts attempts: draws (and discards)
+  /// exactly the backoff delays its attempts-1 relaunches drew.
+  void replay_retries(std::uint32_t attempts);
+
  private:
   /// Written on the worker thread before its completion is enqueued,
   /// read by the proposer after wait_next returns it — the executor's

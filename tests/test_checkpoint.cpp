@@ -1,0 +1,630 @@
+// Tests for the crash-safe run subsystem (bo/checkpoint + io/journal +
+// the engine's resume path): CRC-framed JSONL round trips, the 50-seed
+// snapshot/RNG serialization regression, corruption handling (torn tail
+// tolerated, interior damage and config mismatches refused with the
+// documented messages), and the headline guarantee — a run killed at an
+// arbitrary evaluation and resumed produces the same proposal sequence
+// as the uninterrupted run, on both executor backends.
+
+#include "bo/checkpoint.h"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bo/engine.h"
+#include "circuit/testfunc.h"
+#include "common/rng.h"
+#include "io/journal.h"
+
+namespace easybo::bo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Small, fast engine configuration shared by the run-level tests.
+BoConfig quick(Mode mode, std::size_t batch, std::uint64_t seed) {
+  BoConfig c;
+  c.mode = mode;
+  c.acq = AcqKind::EasyBo;
+  c.penalize = true;
+  c.batch = batch;
+  c.init_points = 8;
+  c.max_sims = 24;
+  c.seed = seed;
+  c.acq_opt.sobol_candidates = 64;
+  c.acq_opt.random_candidates = 32;
+  c.acq_opt.refine_evals = 30;
+  c.trainer.max_iters = 10;
+  c.trainer.restarts = 1;
+  return c;
+}
+
+/// Varying virtual durations so async completions genuinely interleave.
+double varied_sim_time(const Vec& x) {
+  return 0.6 + 0.05 * std::abs(x[0]);
+}
+
+/// Checkpoint base under the test temp dir, with any files from a
+/// previous run of the same test removed.
+std::string fresh_base(const std::string& name) {
+  const std::string base = ::testing::TempDir() + "easybo_ckpt_" + name;
+  std::remove(journal_file(base).c_str());
+  std::remove(snapshot_file(base).c_str());
+  return base;
+}
+
+/// The equivalence the subsystem promises: identical proposal sequence,
+/// outcomes and virtual times. Worker attribution is deliberately NOT
+/// compared — a resumed run re-submits in-flight work to a fresh idle
+/// pool, which may hand out different (equally idle) worker ids without
+/// affecting any proposal (docs/checkpoint-format.md).
+void expect_same_run(const BoResult& a, const BoResult& b) {
+  ASSERT_EQ(a.num_evals(), b.num_evals());
+  for (std::size_t i = 0; i < a.num_evals(); ++i) {
+    EXPECT_EQ(a.evals[i].x, b.evals[i].x) << "eval " << i;
+    EXPECT_DOUBLE_EQ(a.evals[i].y, b.evals[i].y) << "eval " << i;
+    EXPECT_DOUBLE_EQ(a.evals[i].start, b.evals[i].start) << "eval " << i;
+    EXPECT_DOUBLE_EQ(a.evals[i].finish, b.evals[i].finish) << "eval " << i;
+    EXPECT_EQ(a.evals[i].is_init, b.evals[i].is_init) << "eval " << i;
+    EXPECT_EQ(a.evals[i].failed, b.evals[i].failed) << "eval " << i;
+  }
+  EXPECT_EQ(a.best_x, b.best_x);
+  EXPECT_DOUBLE_EQ(a.best_y, b.best_y);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_NEAR(a.total_sim_time, b.total_sim_time, 1e-9);
+}
+
+/// Runs \p cfg journaled under \p base in a forked child whose objective
+/// calls std::_Exit on its \p kill_at_call-th invocation — a SIGKILL
+/// stand-in landing at an arbitrary point mid-run, with whatever journal
+/// and snapshot exist at that instant left behind for the parent.
+void run_and_kill(const BoConfig& cfg, const circuit::TestFunction& tf,
+                  const std::string& base, int kill_at_call) {
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1) << "fork failed";
+  if (pid == 0) {
+    int calls = 0;
+    auto lethal = [&calls, &tf, kill_at_call](const Vec& x) -> double {
+      if (++calls == kill_at_call) std::_Exit(0);
+      return tf.fn(x);
+    };
+    BoConfig child_cfg = cfg;
+    child_cfg.checkpoint_path = base;
+    try {
+      BoEngine engine(child_cfg, tf.bounds, lethal, varied_sim_time);
+      engine.run();
+    } catch (...) {
+      std::_Exit(9);
+    }
+    std::_Exit(7);  // ran to completion: the kill point never hit
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0) << "child was expected to die mid-run";
+}
+
+// ---------------------------------------------------------------------------
+// CRC framing and journal file reading
+// ---------------------------------------------------------------------------
+
+TEST(JournalFraming, RoundTripAndCorruptionDetection) {
+  const std::string payload = R"({"k":"v","n":1})";
+  const std::string line = io::frame_line(payload);
+  ASSERT_GE(line.size(), 10u);
+  EXPECT_EQ(line[8], ' ');
+
+  std::string back;
+  ASSERT_TRUE(io::unframe_line(line, back));
+  EXPECT_EQ(back, payload);
+
+  // Any single flipped byte — checksum or payload — fails verification.
+  for (const std::size_t pos : {std::size_t{0}, std::size_t{11}}) {
+    std::string damaged = line;
+    damaged[pos] = damaged[pos] == 'x' ? 'y' : 'x';
+    EXPECT_FALSE(io::unframe_line(damaged, back)) << "pos " << pos;
+  }
+  EXPECT_FALSE(io::unframe_line("short", back));
+}
+
+TEST(JournalFraming, TornTailIsToleratedInteriorDamageIsNot) {
+  const std::string path = ::testing::TempDir() + "easybo_torn.journal";
+  const std::string a = io::frame_line("alpha") + "\n";
+  const std::string b = io::frame_line("beta") + "\n";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << a << b << "deadbeef {\"trunc";  // crash mid-append: no newline
+  }
+  const io::JournalReadResult r = io::read_journal(path);
+  ASSERT_EQ(r.payloads.size(), 2u);
+  EXPECT_EQ(r.payloads[0], "alpha");
+  EXPECT_EQ(r.payloads[1], "beta");
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.valid_bytes, a.size() + b.size());
+
+  // The same damage in the interior is not a torn tail: refuse loudly.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << a << "deadbeef {\"corrupt\"}\n" << b;
+  }
+  try {
+    io::read_journal(path);
+    FAIL() << "interior corruption must throw";
+  } catch (const io::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("journal corrupted: line 2"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round trips
+// ---------------------------------------------------------------------------
+
+TEST(JournalRecordJson, RoundTripsEveryField) {
+  JournalRecord rec;
+  rec.index = 17;
+  rec.tag = 23;
+  rec.status = "exception";
+  rec.action = "penalized";
+  rec.attempts = 3;
+  rec.worker = 2;
+  rec.start = 1.2500000000000004;  // not representable in few digits
+  rec.finish = 3.7000000000000011;
+  rec.is_init = true;
+  rec.x = {0.125, 0.98765432109876543, 1.0};
+  rec.y = std::numeric_limits<double>::quiet_NaN();
+  rec.error = "simulator said \"no\"\\core dumped";
+
+  const JournalRecord back = JournalRecord::parse(rec.to_payload());
+  EXPECT_EQ(back.index, rec.index);
+  EXPECT_EQ(back.tag, rec.tag);
+  EXPECT_EQ(back.status, rec.status);
+  EXPECT_EQ(back.action, rec.action);
+  EXPECT_EQ(back.attempts, rec.attempts);
+  EXPECT_EQ(back.worker, rec.worker);
+  EXPECT_EQ(back.start, rec.start);    // bit-identical, not just near
+  EXPECT_EQ(back.finish, rec.finish);
+  EXPECT_EQ(back.is_init, rec.is_init);
+  EXPECT_EQ(back.x, rec.x);
+  EXPECT_TRUE(std::isnan(back.y));     // NaN travels as JSON null
+  EXPECT_EQ(back.error, rec.error);
+
+  rec.y = -123.456789012345678;
+  rec.error.clear();
+  const JournalRecord ok = JournalRecord::parse(rec.to_payload());
+  EXPECT_EQ(ok.y, rec.y);
+  EXPECT_TRUE(ok.error.empty());
+}
+
+TEST(JournalHeaderJson, RoundTripsAndRejectsForeignSchemas) {
+  JournalHeader h;
+  h.schema = "easybo.journal.v1";
+  h.config_hash = 0xDEADBEEFCAFEF00Dull;  // needs full 64-bit fidelity
+  h.seed = 0xFFFFFFFFFFFFFFFFull;
+  const JournalHeader back = JournalHeader::parse(h.to_payload());
+  EXPECT_EQ(back.config_hash, h.config_hash);
+  EXPECT_EQ(back.seed, h.seed);
+
+  EXPECT_THROW(JournalHeader::parse(R"({"schema":"easybo.journal.v9"})"),
+               io::CheckpointError);
+  EXPECT_THROW(BoCheckpoint::parse(h.to_payload()), io::CheckpointError);
+}
+
+TEST(BoCheckpointJson, RoundTripsBitIdenticalAcross50Seeds) {
+  // The snapshot is the run's full durable state; any field that fails
+  // to round-trip bit-identically silently forks the proposal stream on
+  // resume. Fuzz the whole struct from 50 seeds.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    Rng fuzz(seed);
+    auto rvec = [&fuzz](std::size_t n) {
+      Vec v(n);
+      for (double& e : v) e = fuzz.normal() * 1e3;
+      return v;
+    };
+
+    BoCheckpoint snap;
+    snap.config_hash = fuzz();
+    snap.journal_count = seed * 3;
+    snap.now = fuzz.normal() * 100.0;
+    snap.busy = fuzz.uniform() * 500.0;
+    snap.init_done = seed % 2 == 0;
+    snap.issued = seed + 5;
+    Rng prop_stream(seed * 7 + 1);
+    for (std::uint64_t i = 0; i < seed % 5; ++i) (void)prop_stream.normal();
+    snap.rng = prop_stream.save();
+    Rng jitter_stream(seed * 13 + 2);
+    snap.sup_rng = jitter_stream.save();
+    const std::size_t n_obs = 1 + seed % 4;
+    for (std::size_t i = 0; i < n_obs; ++i) snap.obs_x.push_back(rvec(3));
+    snap.obs_y = rvec(n_obs);
+    for (std::size_t i = 0; i < n_obs; ++i) {
+      snap.obs_is_init.push_back(fuzz.uniform() < 0.5);
+    }
+    if (seed % 3 == 0) snap.failed_x.push_back(rvec(3));
+    for (std::size_t i = 0; i < n_obs + 2; ++i) {
+      snap.prop_x.push_back(rvec(3));
+      snap.prop_init.push_back(i < 2);
+      snap.prop_submit.push_back(fuzz.uniform() * 50.0);
+      snap.prop_duration.push_back(fuzz.uniform() + 0.1);
+    }
+    snap.pending = {n_obs, n_obs + 1};
+    if (seed % 4 == 0) {
+      snap.hc_histories.push_back({rvec(3), rvec(3)});
+      snap.hc_histories.push_back({});
+    }
+    if (seed % 5 == 0) {
+      snap.hedge_gains = rvec(3);
+      snap.hedge_nominees = {rvec(3), rvec(3), rvec(3)};
+    }
+    snap.next_hyper_refit = seed + 10;
+    snap.hyper_refits = seed / 3;
+    snap.gp_log_hyperparams = seed % 2 == 0 ? rvec(4) : Vec{};
+
+    const BoCheckpoint back = BoCheckpoint::parse(snap.to_payload());
+    EXPECT_EQ(back.config_hash, snap.config_hash);
+    EXPECT_EQ(back.journal_count, snap.journal_count);
+    EXPECT_EQ(back.now, snap.now);
+    EXPECT_EQ(back.busy, snap.busy);
+    EXPECT_EQ(back.init_done, snap.init_done);
+    EXPECT_EQ(back.issued, snap.issued);
+    EXPECT_EQ(back.rng, snap.rng);
+    EXPECT_EQ(back.sup_rng, snap.sup_rng);
+    EXPECT_EQ(back.obs_x, snap.obs_x);
+    EXPECT_EQ(back.obs_y, snap.obs_y);
+    EXPECT_EQ(back.obs_is_init, snap.obs_is_init);
+    EXPECT_EQ(back.failed_x, snap.failed_x);
+    EXPECT_EQ(back.prop_x, snap.prop_x);
+    EXPECT_EQ(back.prop_init, snap.prop_init);
+    EXPECT_EQ(back.prop_submit, snap.prop_submit);
+    EXPECT_EQ(back.prop_duration, snap.prop_duration);
+    EXPECT_EQ(back.pending, snap.pending);
+    EXPECT_EQ(back.hc_histories, snap.hc_histories);
+    EXPECT_EQ(back.hedge_gains, snap.hedge_gains);
+    EXPECT_EQ(back.hedge_nominees, snap.hedge_nominees);
+    EXPECT_EQ(back.next_hyper_refit, snap.next_hyper_refit);
+    EXPECT_EQ(back.hyper_refits, snap.hyper_refits);
+    EXPECT_EQ(back.gp_log_hyperparams, snap.gp_log_hyperparams);
+
+    // The restored RNG continues the stream bit for bit.
+    Rng restored(1);
+    restored.load(back.rng);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(restored(), prop_stream()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ConfigFingerprint, SeparatesStreamsIgnoresDurabilityKnobs) {
+  const auto tf = easybo::circuit::branin();
+  const BoConfig base_cfg = quick(Mode::AsyncBatch, 4, 11);
+  const std::uint64_t fp = config_fingerprint(base_cfg, tf.bounds);
+  EXPECT_EQ(fp, config_fingerprint(base_cfg, tf.bounds));  // stable
+
+  BoConfig other = base_cfg;
+  other.seed = 12;
+  EXPECT_NE(config_fingerprint(other, tf.bounds), fp);
+  other = base_cfg;
+  other.batch = 5;
+  EXPECT_NE(config_fingerprint(other, tf.bounds), fp);
+  other = base_cfg;
+  other.lambda += 0.5;
+  EXPECT_NE(config_fingerprint(other, tf.bounds), fp);
+
+  opt::Bounds shifted = tf.bounds;
+  shifted.upper[0] += 1.0;
+  EXPECT_NE(config_fingerprint(base_cfg, shifted), fp);
+
+  // Durability and observability knobs never shape proposals.
+  other = base_cfg;
+  other.checkpoint_path = "/somewhere/else";
+  other.checkpoint_every = 9;
+  other.collect_metrics = true;
+  EXPECT_EQ(config_fingerprint(other, tf.bounds), fp);
+}
+
+// ---------------------------------------------------------------------------
+// Run-level guarantees
+// ---------------------------------------------------------------------------
+
+TEST(Checkpointing, JournalingItselfChangesNothing) {
+  const auto tf = easybo::circuit::branin();
+  const BoConfig plain = quick(Mode::AsyncBatch, 4, 21);
+  const BoResult ref =
+      BoEngine(plain, tf.bounds, tf.fn, varied_sim_time).run();
+
+  BoConfig journaled = plain;
+  journaled.checkpoint_path = fresh_base("noop");
+  const BoResult r =
+      BoEngine(journaled, tf.bounds, tf.fn, varied_sim_time).run();
+  expect_same_run(ref, r);
+  // Here even worker ids must match: nothing was re-submitted.
+  for (std::size_t i = 0; i < ref.num_evals(); ++i) {
+    EXPECT_EQ(ref.evals[i].worker, r.evals[i].worker);
+  }
+  EXPECT_TRUE(io::file_exists(journal_file(journaled.checkpoint_path)));
+  EXPECT_TRUE(io::file_exists(snapshot_file(journaled.checkpoint_path)));
+}
+
+TEST(Checkpointing, KillAndResumeMatchesUninterruptedAsync) {
+  const auto tf = easybo::circuit::branin();
+  const BoConfig cfg = quick(Mode::AsyncBatch, 4, 11);
+  const BoResult ref =
+      BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+
+  for (const int kill_at : {3, 9, 17}) {
+    const std::string base =
+        fresh_base("kill_async_" + std::to_string(kill_at));
+    run_and_kill(cfg, tf, base, kill_at);
+    BoEngine engine(cfg, tf.bounds, tf.fn, varied_sim_time);
+    const BoResult r = engine.resume(base);
+    expect_same_run(ref, r);
+    EXPECT_FALSE(r.resume_note.empty());
+    EXPECT_FALSE(r.interrupted);
+  }
+}
+
+TEST(Checkpointing, KillAndResumeMatchesUninterruptedSyncAndSequential) {
+  const auto tf = easybo::circuit::branin();
+  struct Case {
+    Mode mode;
+    std::size_t batch;
+    int kill_at;
+  };
+  for (const Case c : {Case{Mode::SyncBatch, 4, 13},
+                       Case{Mode::Sequential, 1, 12}}) {
+    const BoConfig cfg = quick(c.mode, c.batch, 31);
+    const BoResult ref =
+        BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+    const std::string base =
+        fresh_base("kill_mode_" + std::to_string(int(c.mode)));
+    run_and_kill(cfg, tf, base, c.kill_at);
+    BoEngine engine(cfg, tf.bounds, tf.fn, varied_sim_time);
+    expect_same_run(ref, engine.resume(base));
+  }
+}
+
+TEST(Checkpointing, KillAndResumeWithSparseSnapshots) {
+  // checkpoint_every > 1: the kill lands several journal lines past the
+  // last snapshot, so resume must replay a real tail through the loop.
+  const auto tf = easybo::circuit::branin();
+  BoConfig cfg = quick(Mode::AsyncBatch, 4, 41);
+  cfg.checkpoint_every = 5;
+  const BoResult ref =
+      BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+  const std::string base = fresh_base("kill_sparse");
+  run_and_kill(cfg, tf, base, 14);
+  BoEngine engine(cfg, tf.bounds, tf.fn, varied_sim_time);
+  expect_same_run(ref, engine.resume(base));
+}
+
+TEST(Checkpointing, KillAndResumeOnThreadExecutorSequential) {
+  // The other executor backend. Sequential keeps the wall-clock
+  // completion order deterministic; wall times are loose on resume, so
+  // compare the proposal/outcome sequence only.
+  const auto tf = easybo::circuit::branin();
+  const BoConfig cfg = quick(Mode::Sequential, 1, 51);
+
+  sched::ThreadExecutor ref_exec(1);
+  BoEngine ref_engine(cfg, tf.bounds, tf.fn, nullptr);
+  const BoResult ref = ref_engine.run(ref_exec);
+
+  const std::string base = fresh_base("kill_threads");
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    int calls = 0;
+    auto lethal = [&calls, &tf](const Vec& x) -> double {
+      if (++calls == 10) std::_Exit(0);
+      return tf.fn(x);
+    };
+    BoConfig child_cfg = cfg;
+    child_cfg.checkpoint_path = base;
+    try {
+      sched::ThreadExecutor exec(1);
+      BoEngine engine(child_cfg, tf.bounds, lethal, nullptr);
+      engine.run(exec);
+    } catch (...) {
+      std::_Exit(9);
+    }
+    std::_Exit(7);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  sched::ThreadExecutor exec(1);
+  BoEngine engine(cfg, tf.bounds, tf.fn, nullptr);
+  const BoResult r = engine.resume(base, exec);
+  ASSERT_EQ(r.num_evals(), ref.num_evals());
+  for (std::size_t i = 0; i < ref.num_evals(); ++i) {
+    EXPECT_EQ(r.evals[i].x, ref.evals[i].x) << "eval " << i;
+    EXPECT_DOUBLE_EQ(r.evals[i].y, ref.evals[i].y) << "eval " << i;
+  }
+  EXPECT_EQ(r.best_x, ref.best_x);
+  EXPECT_DOUBLE_EQ(r.best_y, ref.best_y);
+}
+
+TEST(Checkpointing, GracefulStopDrainsSavesAndResumes) {
+  // A graceful stop is a deliberate deviation from the uninterrupted
+  // schedule: the engine stops issuing new work and drains what's in
+  // flight, so the resumed run is NOT a bit-replica of the never-stopped
+  // run (that guarantee belongs to kill -9, where the pending set is
+  // restored with its original submit times — the KillAndResume tests
+  // above). What graceful stop + resume must deliver instead: nothing
+  // drained is lost, the resumed run extends the partial run exactly,
+  // finishes the budget, and the whole stop-then-resume pipeline is
+  // deterministic end to end.
+  const auto tf = easybo::circuit::branin();
+  const BoConfig cfg = quick(Mode::AsyncBatch, 4, 61);
+
+  auto stop_then_resume = [&](const std::string& base) -> BoResult {
+    std::atomic<bool> stop{false};
+    std::atomic<int> calls{0};
+    auto counting = [&](const Vec& x) -> double {
+      if (++calls == 12) stop.store(true);
+      return tf.fn(x);
+    };
+    BoConfig journaled = cfg;
+    journaled.checkpoint_path = base;
+    BoEngine first(journaled, tf.bounds, counting, varied_sim_time);
+    first.set_stop_token(&stop);
+    const BoResult partial = first.run();
+    EXPECT_TRUE(partial.interrupted);
+    EXPECT_LT(partial.num_evals(), cfg.max_sims);
+    EXPECT_GE(partial.num_evals(), 12u);  // in-flight work was drained
+
+    BoEngine second(cfg, tf.bounds, tf.fn, varied_sim_time);
+    const BoResult full = second.resume(base);
+    EXPECT_FALSE(full.interrupted);
+    EXPECT_EQ(full.num_evals(), cfg.max_sims);
+    // Every drained eval survived, in order, bit-identical.
+    const std::size_t prefix =
+        std::min(full.num_evals(), partial.num_evals());
+    for (std::size_t i = 0; i < prefix; ++i) {
+      EXPECT_EQ(full.evals[i].x, partial.evals[i].x) << "eval " << i;
+      EXPECT_DOUBLE_EQ(full.evals[i].y, partial.evals[i].y) << "eval " << i;
+      EXPECT_DOUBLE_EQ(full.evals[i].start, partial.evals[i].start);
+      EXPECT_DOUBLE_EQ(full.evals[i].finish, partial.evals[i].finish);
+    }
+    return full;
+  };
+
+  const BoResult a = stop_then_resume(fresh_base("graceful_a"));
+  const BoResult b = stop_then_resume(fresh_base("graceful_b"));
+  expect_same_run(a, b);  // the pipeline itself is deterministic
+}
+
+TEST(Checkpointing, ResumeOfCompletedRunIsIdempotent) {
+  const auto tf = easybo::circuit::branin();
+  BoConfig cfg = quick(Mode::SyncBatch, 4, 71);
+  cfg.checkpoint_path = fresh_base("idempotent");
+  const BoResult ref =
+      BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+
+  BoEngine engine(cfg, tf.bounds, tf.fn, varied_sim_time);
+  const BoResult r = engine.resume(cfg.checkpoint_path);
+  expect_same_run(ref, r);
+  EXPECT_FALSE(r.interrupted);
+}
+
+TEST(Checkpointing, ResumeToleratesATornJournalTail) {
+  const auto tf = easybo::circuit::branin();
+  BoConfig cfg = quick(Mode::AsyncBatch, 4, 81);
+  cfg.checkpoint_path = fresh_base("torn");
+  const BoResult ref =
+      BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+
+  // A crash mid-append leaves a half-written final line; resume must
+  // truncate it away and carry on without losing any completed eval.
+  {
+    std::ofstream out(journal_file(cfg.checkpoint_path),
+                      std::ios::binary | std::ios::app);
+    out << "deadbeef {\"index\":99,\"half";
+  }
+  BoEngine engine(cfg, tf.bounds, tf.fn, varied_sim_time);
+  const BoResult r = engine.resume(cfg.checkpoint_path);
+  expect_same_run(ref, r);
+  // The reopened journal was truncated back to intact lines.
+  const auto journal = io::read_journal(journal_file(cfg.checkpoint_path));
+  EXPECT_FALSE(journal.torn_tail);
+  EXPECT_EQ(journal.payloads.size(), 1 + cfg.max_sims);  // header + evals
+}
+
+// ---------------------------------------------------------------------------
+// Refusal paths (golden messages documented in docs/checkpoint-format.md)
+// ---------------------------------------------------------------------------
+
+/// Expects resume() to throw a CheckpointError mentioning \p needle.
+void expect_resume_error(const BoConfig& cfg,
+                         const circuit::TestFunction& tf,
+                         const std::string& base,
+                         const std::string& needle) {
+  BoEngine engine(cfg, tf.bounds, tf.fn, varied_sim_time);
+  try {
+    engine.resume(base);
+    FAIL() << "resume was expected to refuse";
+  } catch (const io::CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message: " << e.what();
+  }
+}
+
+TEST(ResumeRefusal, MissingJournal) {
+  const auto tf = easybo::circuit::branin();
+  const BoConfig cfg = quick(Mode::AsyncBatch, 4, 91);
+  expect_resume_error(cfg, tf, fresh_base("missing"),
+                      "cannot resume: no journal at");
+}
+
+TEST(ResumeRefusal, ConfigMismatch) {
+  const auto tf = easybo::circuit::branin();
+  BoConfig cfg = quick(Mode::AsyncBatch, 4, 101);
+  cfg.checkpoint_path = fresh_base("mismatch");
+  (void)BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+
+  BoConfig other = cfg;
+  other.seed = 102;  // a different proposal stream
+  expect_resume_error(other, tf, cfg.checkpoint_path,
+                      "checkpoint config mismatch");
+}
+
+TEST(ResumeRefusal, InteriorJournalCorruption) {
+  const auto tf = easybo::circuit::branin();
+  BoConfig cfg = quick(Mode::AsyncBatch, 4, 111);
+  cfg.checkpoint_path = fresh_base("interior");
+  (void)BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+
+  // Flip one payload byte in an interior line: a bad disk, not a torn
+  // tail. The checksum catches it and resume refuses.
+  const std::string path = journal_file(cfg.checkpoint_path);
+  std::string content = io::read_file(path);
+  const std::size_t second_line = content.find('\n') + 1;
+  const std::size_t victim = second_line + 12;
+  ASSERT_LT(victim, content.size());
+  content[victim] = content[victim] == '0' ? '1' : '0';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  expect_resume_error(cfg, tf, cfg.checkpoint_path, "journal corrupted");
+}
+
+TEST(ResumeRefusal, SnapshotFromADifferentRun) {
+  const auto tf = easybo::circuit::branin();
+  BoConfig cfg = quick(Mode::AsyncBatch, 4, 121);
+  cfg.checkpoint_path = fresh_base("foreign_snap");
+  (void)BoEngine(cfg, tf.bounds, tf.fn, varied_sim_time).run();
+
+  // Truncate the journal to fewer records than the final snapshot has
+  // absorbed: the snapshot is now "ahead" of the journal, which can only
+  // happen when the files are not from the same run.
+  const std::string path = journal_file(cfg.checkpoint_path);
+  const std::string content = io::read_file(path);
+  std::size_t pos = 0;
+  for (int lines = 0; lines < 4; ++lines) pos = content.find('\n', pos) + 1;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content.substr(0, pos);
+  }
+  expect_resume_error(cfg, tf, cfg.checkpoint_path,
+                      "do not belong to the same run");
+}
+
+}  // namespace
+}  // namespace easybo::bo

@@ -118,7 +118,7 @@ TEST(RecordingSink, ReportListsAllPhasesAndSortedCounters) {
   // Every phase appears, declaration order, zeros included.
   ASSERT_EQ(report.phases.size(), kNumPhases);
   EXPECT_EQ(report.phases.front().name, "init_design");
-  EXPECT_EQ(report.phases.back().name, "executor_wait");
+  EXPECT_EQ(report.phases.back().name, "checkpoint");
   EXPECT_DOUBLE_EQ(report.phase_seconds("acq_maximize"), 0.5);
   EXPECT_DOUBLE_EQ(report.phase_seconds("model_fit"), 0.0);
   // Counters sorted by name.

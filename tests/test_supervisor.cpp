@@ -296,6 +296,9 @@ TEST(EvalSupervisor, WallWatchdogAbandonsHungWorker) {
   EXPECT_TRUE(good.ok());
   EXPECT_EQ(good.completion.tag, 1u);
   EXPECT_EQ(sup.num_running(), 0u);
+  // The abandoned worker is visible as an orphan (feeds the engine's
+  // "sched.orphaned_workers" counter and the CLI warning).
+  EXPECT_EQ(sup.orphans(), 1u);
 
   // Unhang the objective; the stale completion must be swallowed, the
   // slot rejoining the pool without a visible completion.
@@ -305,6 +308,18 @@ TEST(EvalSupervisor, WallWatchdogAbandonsHungWorker) {
   const auto after = sup.wait_next();
   EXPECT_TRUE(after.ok());
   EXPECT_EQ(after.completion.tag, 2u);
+  // Swallowing the stale completion reclaims the orphan.
+  EXPECT_EQ(sup.orphans(), 0u);
+}
+
+TEST(EvalSupervisor, OrphansStartAtZeroOnVirtualTime) {
+  VirtualExecutor exec(2);
+  EvalSupervisor sup(exec, SupervisorConfig{});
+  EXPECT_EQ(sup.orphans(), 0u);
+  sup.submit(0, [] { return 1.0; }, 1.0);
+  (void)sup.wait_next();
+  // Virtual-time timeouts cut the job, they never abandon a worker.
+  EXPECT_EQ(sup.orphans(), 0u);
 }
 
 // ---------------------------------------------------------------------------
