@@ -1,0 +1,188 @@
+/// \file serve_load.cpp
+/// \brief Load generator for the session host (src/serve): many
+/// interleaved named sessions through one SessionHost, verified
+/// bit-for-bit against standalone engine runs.
+///
+/// Drives EASYBO_SESSIONS (default 100) sequential-mode sessions with
+/// distinct seeds round-robin through a host whose live-object cache is
+/// deliberately too small (EASYBO_MAX_LIVE, default 32), so most turns
+/// hit a session that was LRU-evicted and must resume from its journal +
+/// snapshot. One session is additionally CLOSEd explicitly mid-run and
+/// driven on afterwards. When every session has exhausted its budget,
+/// each proposal stream is compared element-for-element against a
+/// standalone seeded BoEngine::run of the identical (wire-round-tripped)
+/// config — the acceptance check for the multi-session server.
+///
+/// Exit codes: 0 all streams bit-identical, 1 any mismatch or error.
+///
+/// Environment: EASYBO_SESSIONS, EASYBO_MAX_LIVE, EASYBO_SIMS
+/// (default 16), EASYBO_STATE_DIR (default under the system temp dir).
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bo/engine.h"
+#include "circuit/testfunc.h"
+#include "harness.h"
+#include "io/json.h"
+#include "serve/host.h"
+#include "serve/session_config.h"
+
+namespace {
+
+using easybo::linalg::Vec;
+
+std::string config_json(std::uint64_t seed, std::size_t max_sims) {
+  easybo::bo::BoConfig c;
+  c.mode = easybo::bo::Mode::Sequential;
+  c.acq = easybo::bo::AcqKind::EasyBo;
+  c.penalize = true;
+  c.batch = 1;
+  c.init_points = 6;
+  c.max_sims = max_sims;
+  c.seed = seed;
+  c.on_eval_failure = easybo::bo::EvalFailurePolicy::Discard;
+  c.acq_opt.sobol_candidates = 64;
+  c.acq_opt.random_candidates = 32;
+  c.acq_opt.refine_evals = 30;
+  c.trainer.max_iters = 10;
+  c.trainer.restarts = 1;
+  easybo::opt::Bounds b;
+  b.lower.assign(3, -2.0);
+  b.upper.assign(3, 2.0);
+  return easybo::serve::session_config_json(c, b);
+}
+
+struct Turn {
+  std::size_t tag = 0;
+  Vec x;
+};
+
+/// One SUGGEST reply → tag + point; empty x means budget exhausted.
+Turn suggest(easybo::serve::SessionHost& host, const std::string& name) {
+  const std::string reply = host.handle_line("SUGGEST " + name);
+  Turn t;
+  if (reply.rfind("ERR ", 0) == 0) {
+    if (reply.find("budget exhausted") == std::string::npos) {
+      std::fprintf(stderr, "serve_load: %s: %s\n", name.c_str(),
+                   reply.c_str());
+      std::exit(1);
+    }
+    return t;
+  }
+  const easybo::io::JsonValue j = easybo::io::parse_json(reply.substr(3));
+  t.tag = static_cast<std::size_t>(j.at("tag").as_double());
+  for (const auto& v : j.at("x").as_array()) t.x.push_back(v.as_double());
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  using namespace easybo;
+  using namespace easybo::bench;
+
+  const std::size_t sessions = env_size("EASYBO_SESSIONS", 100);
+  const std::size_t max_live = env_size("EASYBO_MAX_LIVE", 32);
+  const std::size_t sims = env_size("EASYBO_SIMS", 16);
+  std::string state_dir;
+  if (const char* dir = std::getenv("EASYBO_STATE_DIR")) {
+    state_dir = dir;
+  } else {
+    state_dir =
+        (std::filesystem::temp_directory_path() / "easybo_serve_load")
+            .string();
+  }
+  std::filesystem::remove_all(state_dir);
+
+  const auto tf = circuit::sphere(3);
+  std::printf(
+      "=== Session-host load generator (%zu sessions, max_live %zu, "
+      "%zu sims each, state under %s) ===\n",
+      sessions, max_live, sims, state_dir.c_str());
+
+  serve::SessionHost host(state_dir, max_live);
+  std::vector<std::string> configs(sessions);
+  std::vector<std::vector<Vec>> streams(sessions);
+  std::vector<bool> done(sessions, false);
+
+  for (std::size_t i = 0; i < sessions; ++i) {
+    configs[i] = config_json(1000 + i, sims);
+    const std::string name = "load" + std::to_string(i);
+    const std::string reply =
+        host.handle_line("NEW " + name + " " + configs[i]);
+    if (reply != "OK created " + name) {
+      std::fprintf(stderr, "serve_load: %s\n", reply.c_str());
+      return 1;
+    }
+  }
+
+  // Round-robin: one suggest/observe turn per session per sweep. With
+  // max_live << sessions every sweep churns the LRU cache end to end.
+  std::size_t turns = 0;
+  std::size_t remaining = sessions;
+  std::size_t sweep = 0;
+  while (remaining > 0) {
+    for (std::size_t i = 0; i < sessions; ++i) {
+      if (done[i]) continue;
+      const std::string name = "load" + std::to_string(i);
+      // Session 0 gets the harshest treatment: an explicit mid-run CLOSE
+      // every sweep, so each of its turns resumes from checkpoint.
+      if (i == 0 && sweep > 0) host.handle_line("CLOSE " + name);
+      const Turn t = suggest(host, name);
+      if (t.x.empty()) {
+        done[i] = true;
+        --remaining;
+        continue;
+      }
+      streams[i].push_back(t.x);
+      const std::string ob = host.handle_line(
+          "OBSERVE " + name + " " + std::to_string(t.tag) + " " +
+          io::json_number(tf.fn(t.x)));
+      if (ob.rfind("OK ", 0) != 0) {
+        std::fprintf(stderr, "serve_load: %s: %s\n", name.c_str(),
+                     ob.c_str());
+        return 1;
+      }
+      ++turns;
+    }
+    ++sweep;
+  }
+  std::printf("drove %zu suggest/observe turns in %zu sweeps (%zu live "
+              "of %zu sessions at the end)\n",
+              turns, sweep, host.live_count(), sessions);
+
+  // Verification: every stream must match a standalone engine run of the
+  // round-tripped config, element for element.
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const serve::SessionSpec spec =
+        serve::parse_session_config(configs[i]);
+    bo::BoEngine engine(spec.config, spec.bounds, tf.fn);
+    const bo::BoResult result = engine.run();
+    bool ok = result.evals.size() == streams[i].size();
+    for (std::size_t k = 0; ok && k < result.evals.size(); ++k) {
+      ok = result.evals[k].x == streams[i][k];
+    }
+    if (!ok) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "serve_load: session load%zu diverged from the "
+                   "standalone run (%zu vs %zu proposals)\n",
+                   i, streams[i].size(), result.evals.size());
+    }
+  }
+
+  if (mismatches > 0) {
+    std::fprintf(stderr, "serve_load: %zu of %zu sessions diverged\n",
+                 mismatches, sessions);
+    return 1;
+  }
+  std::printf("all %zu session streams bit-identical to standalone "
+              "BoEngine runs\n",
+              sessions);
+  return 0;
+}

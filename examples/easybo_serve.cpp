@@ -1,0 +1,181 @@
+/// \file easybo_serve.cpp
+/// \brief Session server: many concurrent named BO sessions, one process.
+///
+/// Usage:
+///   easybo_serve --state-dir DIR [--max-live N] [--port P]
+///
+/// Speaks the line protocol of docs/service-protocol.md — one request
+/// line in, one reply line out:
+///
+///   NEW <name> <config-json>
+///   SUGGEST <name>
+///   OBSERVE <name> <tag> <y>
+///   OBSERVE <name> <tag> fail <status> [detail...]
+///   STATUS <name>
+///   CLOSE <name>
+///
+/// By default requests are read from stdin and replies written to stdout
+/// (one process per client: run it under a supervisor, or drive it from
+/// a coprocess/FIFO). With --port it instead listens on 127.0.0.1:P and
+/// serves TCP clients one connection at a time — sessions are durable
+/// after every reply, so sequential client turns lose nothing.
+///
+/// Every session keeps its state under DIR (<name>.config, <name>.journal,
+/// <name>.snapshot) and survives eviction, CLOSE and process death: any
+/// later command naming it resumes from those files, bit-identically.
+///
+/// Exit codes:
+///   0  clean shutdown (stdin EOF, or SIGINT/SIGTERM while listening)
+///   1  runtime error (state directory unusable, socket failure)
+///   2  bad arguments
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/host.h"
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct ServeOptions {
+  std::string state_dir;
+  std::size_t max_live = 64;
+  int port = -1;  // -1: stdin/stdout
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: easybo_serve --state-dir DIR [--max-live N] "
+               "[--port P]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, ServeOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--state-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.state_dir = v;
+    } else if (arg == "--max-live") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.max_live = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--port") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.port = static_cast<int>(std::strtol(v, nullptr, 10));
+    } else {
+      return false;
+    }
+  }
+  return !opt.state_dir.empty() && opt.max_live > 0;
+}
+
+int serve_stdio(easybo::serve::SessionHost& host) {
+  std::string line;
+  while (!g_stop && std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::cout << host.handle_line(line) << "\n" << std::flush;
+  }
+  return 0;
+}
+
+#ifdef __unix__
+int serve_tcp(easybo::serve::SessionHost& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("easybo_serve: socket");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 16) < 0) {
+    std::perror("easybo_serve: bind/listen");
+    ::close(fd);
+    return 1;
+  }
+  std::fprintf(stderr, "easybo_serve: listening on 127.0.0.1:%d\n", port);
+  while (!g_stop) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;  // signal: re-check g_stop
+      std::perror("easybo_serve: accept");
+      ::close(fd);
+      return 1;
+    }
+    // One connection at a time: every session mutation is durable before
+    // its reply, so interleaving across connections adds nothing but
+    // nondeterminism.
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(client, chunk, sizeof chunk);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t eol;
+      while ((eol = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, eol);
+        buffer.erase(0, eol + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        const std::string reply = host.handle_line(line) + "\n";
+        std::size_t sent = 0;
+        while (sent < reply.size()) {
+          const ssize_t w =
+              ::write(client, reply.data() + sent, reply.size() - sent);
+          if (w <= 0) break;
+          sent += static_cast<std::size_t>(w);
+        }
+      }
+    }
+    ::close(client);
+  }
+  ::close(fd);
+  return 0;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeOptions opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  try {
+    easybo::serve::SessionHost host(opt.state_dir, opt.max_live);
+    if (opt.port < 0) return serve_stdio(host);
+#ifdef __unix__
+    return serve_tcp(host, opt.port);
+#else
+    std::fprintf(stderr, "easybo_serve: --port needs POSIX sockets\n");
+    return 2;
+#endif
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "easybo_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,627 @@
+#include "bo/ask_tell.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "acq/acquisition.h"
+#include "common/error.h"
+#include "common/sampling.h"
+#include "common/stats.h"
+#include "gp/trainer.h"
+#include "io/json.h"
+
+namespace easybo::bo {
+
+std::size_t async_proposal_slot(const BoConfig& config, std::size_t tag) {
+  if (!config.async_slot_rotation) return 0;  // historical behaviour
+  return tag % config.batch;
+}
+
+AskTellCore::AskTellCore(BoConfig config, opt::Bounds bounds,
+                         std::function<double(const Vec&)> sim_time)
+    : cfg_(std::move(config)),
+      bounds_(std::move(bounds)),
+      sim_time_(std::move(sim_time)),
+      rng_(cfg_.seed),
+      box_(bounds_.lower, bounds_.upper),
+      model_(make_kernel(cfg_, bounds_.lower.size()), 1e-6) {
+  cfg_.validate();
+  bounds_.validate();
+  if (!sim_time_) {
+    sim_time_ = [](const Vec&) { return 1.0; };
+  }
+  if (cfg_.acq == AcqKind::Phcbo) {
+    hc_penalties_.assign(cfg_.batch,
+                         acq::HighCoveragePenalty(cfg_.hc_d, cfg_.hc_n));
+  }
+  next_hyper_refit_ = cfg_.init_points;
+  proposal_counter_ = std::string("bo.proposals.") + to_string(cfg_.acq);
+  config_hash_ = config_fingerprint(cfg_, bounds_);
+}
+
+void AskTellCore::set_trace(obs::TraceSink* sink) {
+  trace_ = sink;
+  model_.set_trace(sink);
+}
+
+// ---------------------------------------------------------------------------
+// The two mutation points
+// ---------------------------------------------------------------------------
+
+Suggestion AskTellCore::suggest(double now) {
+  if (issued_ >= cfg_.max_sims) {
+    throw Error("suggest: simulation budget exhausted (" +
+                std::to_string(cfg_.max_sims) + " evaluations issued)");
+  }
+  Suggestion s;
+  s.tag = prop_x_.size();
+  if (!init_done_ &&
+      obs_x_.size() + pending_tags_.size() < cfg_.init_points) {
+    // Random initial design (the paper samples uniformly at random).
+    // Counting pending points keeps exactly init_points anchors in flight;
+    // a failed-and-discarded one frees its slot and is topped up here.
+    s.is_init = true;
+    s.unit_x = rng_.uniform_vector(bounds_.dim());
+  } else {
+    if (!init_done_) {
+      if (obs_x_.size() < cfg_.init_points) {
+        throw Error(
+            "suggest: the initial design is still in flight; observe it "
+            "before requesting a model-based proposal");
+      }
+      finish_init();  // just-in-time at the init/BO boundary
+    }
+    // Hallucinate everything in flight. Ascending tag order is suggestion
+    // order — the same order the engine's loops historically grew their
+    // pending vectors in.
+    std::vector<Vec> pending;
+    pending.reserve(pending_tags_.size());
+    for (const std::size_t tag : pending_tags_) {
+      pending.push_back(prop_x_[tag]);
+    }
+    std::size_t slot = 0;
+    switch (cfg_.mode) {
+      case Mode::Sequential:
+        slot = 0;
+        break;
+      case Mode::SyncBatch:
+        // Batches start against a drained pool, so the in-flight count IS
+        // the position within the current batch: slots 0..k-1.
+        slot = pending.size();
+        break;
+      case Mode::AsyncBatch:
+        slot = async_proposal_slot(cfg_, s.tag);
+        break;
+    }
+    s.unit_x = propose(pending, slot);
+  }
+  s.x = box_.from_unit(s.unit_x);
+  s.duration = sim_time_(s.x);
+  prop_x_.push_back(s.unit_x);
+  prop_init_.push_back(s.is_init);
+  prop_submit_.push_back(now);
+  prop_duration_.push_back(s.duration);
+  pending_tags_.insert(s.tag);
+  ++issued_;
+  return s;
+}
+
+Observed AskTellCore::observe(std::size_t tag, const Outcome& o,
+                              bool draining) {
+  if (tag >= prop_x_.size()) {
+    throw Error("observe: evaluation " + std::to_string(tag) +
+                " was never suggested (only " +
+                std::to_string(prop_x_.size()) + " proposals issued)");
+  }
+  const auto it = pending_tags_.find(tag);
+  if (it == pending_tags_.end()) {
+    throw Error("observe: evaluation " + std::to_string(tag) +
+                " is not pending (already observed, or never suggested)");
+  }
+  pending_tags_.erase(it);
+  const bool was_init_done = init_done_;
+  const Vec& unit_x = prop_x_[tag];
+
+  EvalRecord rec;
+  rec.x = box_.from_unit(unit_x);
+  rec.start = o.start;
+  rec.finish = o.finish;
+  rec.worker = o.worker;
+  rec.is_init = prop_init_[tag];
+  rec.attempts = o.attempts;
+
+  Observed ob;
+  if (o.status == sched::EvalStatus::Ok) {
+    journal_eval(tag, o, "observed", o.value);  // durable before applied
+    obs_x_.push_back(unit_x);
+    obs_y_.push_back(o.value);
+    obs_is_init_.push_back(prop_init_[tag]);
+    rec.y = o.value;
+    evals_.push_back(std::move(rec));
+    ob.changed = true;
+    ob.action = "observed";
+  } else {
+    if (!o.replayed) obs::count(trace_, "eval.failures");
+    if (cfg_.on_eval_failure == EvalFailurePolicy::Abort) {
+      journal_eval(tag, o, "abort", std::numeric_limits<double>::quiet_NaN());
+      // Rethrow the objective's own exception so callers see exactly what
+      // they saw before supervision existed; timeouts and non-finite
+      // values never carried one, so they get a descriptive Error. A
+      // replayed abort lost its exception_ptr with the original process
+      // and always takes the descriptive path.
+      if (o.exception) std::rethrow_exception(o.exception);
+      throw Error(std::string("evaluation failed (") +
+                  sched::to_string(o.status) +
+                  ") and on_eval_failure is abort" +
+                  (o.error.empty() ? "" : ": " + o.error));
+    }
+
+    rec.failed = true;
+    rec.failure = sched::to_string(o.status);
+
+    // Penalize needs at least one real observation to anchor the
+    // quantile; until then it degrades to Discard.
+    if (cfg_.on_eval_failure == EvalFailurePolicy::Penalize &&
+        !obs_y_.empty()) {
+      if (!o.replayed) obs::count(trace_, "eval.penalized");
+      const double y_pen = quantile_of(obs_y_, cfg_.eval_failure_quantile);
+      journal_eval(tag, o, "penalized", y_pen);
+      obs_x_.push_back(unit_x);
+      obs_y_.push_back(y_pen);
+      obs_is_init_.push_back(prop_init_[tag]);
+      rec.y = y_pen;
+      evals_.push_back(std::move(rec));
+      ob.changed = true;
+      ob.action = "penalized";
+    } else {
+      if (!o.replayed) obs::count(trace_, "eval.discarded");
+      journal_eval(tag, o, "discarded",
+                   std::numeric_limits<double>::quiet_NaN());
+      failed_x_.push_back(unit_x);  // dedup never re-proposes it verbatim
+      rec.y = std::numeric_limits<double>::quiet_NaN();
+      evals_.push_back(std::move(rec));
+      ob.changed = false;
+      ob.action = "discarded";
+    }
+  }
+
+  // Model refresh, exactly where the engine's loops refreshed it: never
+  // before finish_init() trained the first model, never while draining,
+  // per observation in Sequential/AsyncBatch, and at the in-flight-batch
+  // drain in SyncBatch (the old barrier's single post-drain update).
+  if (was_init_done && !draining) {
+    if (cfg_.mode == Mode::SyncBatch) {
+      sync_dirty_ |= ob.changed;
+      if (pending_tags_.empty() && sync_dirty_) {
+        update_model(/*force_train=*/false);
+        sync_dirty_ = false;
+      }
+    } else if (ob.changed) {
+      update_model(/*force_train=*/false);
+    }
+  }
+  return ob;
+}
+
+void AskTellCore::finish_init() {
+  if (init_done_) return;
+  if (obs_x_.empty()) {
+    throw Error(
+        "every initial evaluation failed; no observation to build a "
+        "model from (see docs/failure-model.md)");
+  }
+  update_model(/*force_train=*/true);
+  init_done_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Proposal
+// ---------------------------------------------------------------------------
+
+Vec AskTellCore::propose(const std::vector<Vec>& pending, std::size_t slot) {
+  const std::size_t dim = bounds_.dim();
+  const std::vector<Vec> anchors = {obs_x_[incumbent_index()]};
+  obs::count(trace_, proposal_counter_);
+
+  // Thompson sampling picks from a sampled posterior path directly; it
+  // never goes through the generic acquisition maximizer.
+  if (cfg_.acq == AcqKind::Ts) {
+    return propose_thompson(pending);
+  }
+  if (cfg_.acq == AcqKind::Hedge) {
+    return propose_hedge(pending);
+  }
+
+  // The hallucinated model / base acquisition (when used) must outlive
+  // the maximization.
+  std::unique_ptr<gp::GpRegressor> hallucinated;
+  std::unique_ptr<acq::AcquisitionFn> base_acq;
+  std::unique_ptr<acq::AcquisitionFn> fn;
+
+  switch (cfg_.acq) {
+    case AcqKind::Lcb:
+      fn = std::make_unique<acq::Ucb>(&model_, cfg_.lcb_kappa);
+      break;
+    case AcqKind::Ei: {
+      const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
+      fn = std::make_unique<acq::Ei>(&model_, best_z, cfg_.ei_xi);
+      break;
+    }
+    case AcqKind::EasyBo: {
+      const double w = cfg_.uniform_w
+                           ? rng_.uniform()
+                           : acq::sample_easybo_weight(rng_, cfg_.lambda);
+      if (cfg_.penalize && !pending.empty()) {
+        hallucinated = std::make_unique<gp::GpRegressor>(
+            model_.with_hallucinated(pending));
+        fn = std::make_unique<acq::WeightedUcb>(&model_, hallucinated.get(),
+                                                w);
+      } else {
+        fn = std::make_unique<acq::WeightedUcb>(&model_, &model_, w);
+      }
+      break;
+    }
+    case AcqKind::Pbo: {
+      const Vec grid = acq::pbo_weight_grid(cfg_.batch);
+      fn = std::make_unique<acq::WeightedUcb>(&model_, &model_,
+                                              grid[slot % grid.size()]);
+      break;
+    }
+    case AcqKind::Phcbo: {
+      const Vec grid = acq::pbo_weight_grid(cfg_.batch);
+      fn = std::make_unique<acq::PhcboAcquisition>(
+          &model_, grid[slot % grid.size()],
+          &hc_penalties_[slot % hc_penalties_.size()]);
+      break;
+    }
+    case AcqKind::Bucb: {
+      if (!pending.empty()) {
+        hallucinated = std::make_unique<gp::GpRegressor>(
+            model_.with_hallucinated(pending));
+        fn = std::make_unique<acq::Bucb>(&model_, hallucinated.get(),
+                                         cfg_.bucb_kappa);
+      } else {
+        fn = std::make_unique<acq::Bucb>(&model_, &model_, cfg_.bucb_kappa);
+      }
+      break;
+    }
+    case AcqKind::Lp: {
+      const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
+      base_acq = std::make_unique<acq::Ei>(&model_, best_z, cfg_.ei_xi);
+      const double lipschitz = acq::estimate_lipschitz(model_, rng_);
+      fn = std::make_unique<acq::LocalPenalization>(
+          base_acq.get(), &model_, pending, lipschitz, best_z);
+      break;
+    }
+    case AcqKind::Ts:
+    case AcqKind::Hedge:
+      break;  // handled above
+  }
+
+  auto best = acq::maximize_acquisition(*fn, dim, rng_, anchors,
+                                        cfg_.acq_opt, trace_);
+  Vec x = dedup(std::move(best.best_x), pending);
+  if (cfg_.acq == AcqKind::Phcbo) {
+    hc_penalties_[slot % hc_penalties_.size()].record(x);
+  }
+  return x;
+}
+
+Vec AskTellCore::propose_thompson(const std::vector<Vec>& pending) {
+  // Candidate set: shifted Sobol + jittered incumbent copies. With
+  // penalization, sample from the hallucinated posterior so pending
+  // regions carry no leftover uncertainty to exploit. Candidate
+  // generation through the posterior argmax is this algorithm's
+  // acquisition maximization, hence the span over the whole body.
+  obs::ScopedTimer span(trace_, obs::Phase::AcqMaximize);
+  const std::size_t dim = bounds_.dim();
+  std::vector<Vec> candidates;
+  const std::size_t sobol_count =
+      std::max<std::size_t>(cfg_.ts_candidates, 16);
+  if (dim <= SobolSequence::kMaxDim) {
+    SobolSequence sobol(dim);
+    Vec shift = rng_.uniform_vector(dim);
+    for (std::size_t i = 0; i < sobol_count; ++i) {
+      Vec p = sobol.next();
+      for (std::size_t j = 0; j < dim; ++j) {
+        p[j] += shift[j];
+        if (p[j] >= 1.0) p[j] -= 1.0;
+      }
+      candidates.push_back(std::move(p));
+    }
+  } else {
+    for (std::size_t i = 0; i < sobol_count; ++i) {
+      candidates.push_back(rng_.uniform_vector(dim));
+    }
+  }
+  const Vec& incumbent = obs_x_[incumbent_index()];
+  for (int k = 0; k < 8; ++k) {
+    Vec p = incumbent;
+    for (auto& v : p) v = std::clamp(v + rng_.normal(0.0, 0.05), 0.0, 1.0);
+    candidates.push_back(std::move(p));
+  }
+
+  std::size_t pick;
+  if (cfg_.penalize && !pending.empty()) {
+    const auto augmented = model_.with_hallucinated(pending);
+    pick = acq::thompson_sample_argmax(augmented, candidates, rng_);
+  } else {
+    pick = acq::thompson_sample_argmax(model_, candidates, rng_);
+  }
+  return dedup(std::move(candidates[pick]), pending);
+}
+
+Vec AskTellCore::propose_hedge(const std::vector<Vec>& pending) {
+  const std::size_t dim = bounds_.dim();
+  const std::vector<Vec> anchors = {obs_x_[incumbent_index()]};
+
+  // Reward the previous nominees under the refreshed model first.
+  if (!hedge_nominees_.empty()) {
+    Vec means(acq::HedgePortfolio::kMembers);
+    for (std::size_t i = 0; i < hedge_nominees_.size(); ++i) {
+      means[i] = model_.predict(hedge_nominees_[i]).mean;
+    }
+    hedge_.reward(means);
+  }
+
+  // Each member nominates its own maximizer.
+  const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
+  const acq::Ei ei(&model_, best_z, cfg_.ei_xi);
+  const acq::Pi pi(&model_, best_z, cfg_.ei_xi);
+  const acq::Ucb ucb(&model_, cfg_.lcb_kappa);
+  const acq::AcquisitionFn* members[] = {&ei, &pi, &ucb};
+
+  hedge_nominees_.clear();
+  for (const auto* member : members) {
+    hedge_nominees_.push_back(acq::maximize_acquisition(
+                                  *member, dim, rng_, anchors, cfg_.acq_opt,
+                                  trace_)
+                                  .best_x);
+  }
+  const std::size_t choice = hedge_.choose(rng_);
+  return dedup(hedge_nominees_[choice], pending);
+}
+
+Vec AskTellCore::dedup(Vec x, const std::vector<Vec>& pending) {
+  if (failed_x_.empty()) {
+    return dedup_proposal(std::move(x), obs_x_, pending, rng_, trace_);
+  }
+  // Discarded failure locations block proposals too: re-evaluating a point
+  // that just crashed verbatim would burn budget on a known failure.
+  std::vector<Vec> blocked = pending;
+  blocked.insert(blocked.end(), failed_x_.begin(), failed_x_.end());
+  return dedup_proposal(std::move(x), obs_x_, blocked, rng_, trace_);
+}
+
+Vec dedup_proposal(Vec x, const std::vector<Vec>& observed,
+                   const std::vector<Vec>& pending, Rng& rng,
+                   obs::TraceSink* trace) {
+  auto collides = [&](const Vec& candidate) {
+    auto too_close = [&](const Vec& other) {
+      return linalg::dist_sq(candidate, other) < 1e-12;
+    };
+    return std::any_of(observed.begin(), observed.end(), too_close) ||
+           std::any_of(pending.begin(), pending.end(), too_close);
+  };
+  if (!collides(x)) return x;
+
+  // Nudge inside the cube; an exact duplicate adds no information and can
+  // degrade the covariance conditioning. A single nudge is not enough: on
+  // a boundary duplicate (e.g. the unit-cube corner the acquisition keeps
+  // proposing) the clamp can put the point right back onto the duplicate,
+  // so retry, then give up on locality and resample uniformly.
+  constexpr int kNudges = 4;
+  for (int attempt = 0; attempt < kNudges; ++attempt) {
+    Vec nudged = x;
+    for (auto& v : nudged) {
+      v = std::clamp(v + rng.normal(0.0, 0.01), 0.0, 1.0);
+    }
+    obs::count(trace, "bo.dedup_nudge");
+    if (!collides(nudged)) return nudged;
+  }
+  constexpr int kResamples = 16;
+  Vec resampled = std::move(x);
+  for (int attempt = 0; attempt < kResamples; ++attempt) {
+    resampled = rng.uniform_vector(resampled.size());
+    obs::count(trace, "bo.dedup_resample");
+    if (!collides(resampled)) break;
+  }
+  return resampled;  // last candidate even if saturated: progress > purity
+}
+
+// ---------------------------------------------------------------------------
+// Model management
+// ---------------------------------------------------------------------------
+
+void AskTellCore::update_model(bool force_train) {
+  {
+    obs::ScopedTimer span(trace_, obs::Phase::ModelFit);
+    zscore_.refit(obs_y_);
+    model_.set_data(obs_x_, zscore_.transform(obs_y_));
+  }
+
+  const bool train = force_train || obs_x_.size() >= next_hyper_refit_;
+  if (train) {
+    obs::ScopedTimer span(trace_, obs::Phase::HyperRefit);
+    gp::train_mle(model_, rng_, cfg_.trainer);
+    obs::count(trace_, "bo.hyper_refit");
+    ++hyper_refits_;
+    // Geometrically thinning schedule: early observations shift the
+    // hyperparameters a lot, late ones barely; this caps total O(n^3)
+    // training cost without changing behaviour materially.
+    const auto n = obs_x_.size();
+    next_hyper_refit_ = std::max(
+        n + cfg_.refit_every,
+        static_cast<std::size_t>(static_cast<double>(n) * 1.5));
+  } else {
+    obs::ScopedTimer span(trace_, obs::Phase::ModelFit);
+    model_.fit();
+  }
+}
+
+std::size_t AskTellCore::incumbent_index() const {
+  EASYBO_REQUIRE(!obs_y_.empty(), "incumbent of empty dataset");
+  return linalg::argmax(obs_y_);
+}
+
+Vec AskTellCore::to_design(const Vec& unit_x) const {
+  return box_.from_unit(unit_x);
+}
+
+double AskTellCore::best_y() const { return obs_y_[incumbent_index()]; }
+
+Vec AskTellCore::best_x() const {
+  return box_.from_unit(obs_x_[incumbent_index()]);
+}
+
+// ---------------------------------------------------------------------------
+// Durability (docs/checkpoint-format.md)
+// ---------------------------------------------------------------------------
+
+void AskTellCore::set_checkpoint_path(const std::string& path) {
+  EASYBO_REQUIRE(!journal_.is_open(),
+                 "AskTellCore: checkpoint path cannot change after "
+                 "journaling started");
+  cfg_.checkpoint_path = path;
+}
+
+void AskTellCore::start_fresh_journal() {
+  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
+  journal_.open(journal_file(cfg_.checkpoint_path), /*truncate_to=*/0);
+  JournalHeader header;
+  header.config_hash = config_hash_;
+  header.seed = cfg_.seed;
+  journal_.append(header.to_payload());
+}
+
+void AskTellCore::reopen_journal(std::size_t valid_bytes, std::size_t lines,
+                                 std::size_t absorbed) {
+  // Truncating to valid_bytes drops a torn tail: a record that never
+  // became durable and will be rewritten when the caller's replay reaches
+  // that evaluation again.
+  journal_.open(journal_file(cfg_.checkpoint_path),
+                static_cast<long>(valid_bytes));
+  journal_lines_ = lines;
+  lines_at_snapshot_ = absorbed;
+}
+
+void AskTellCore::journal_eval(std::size_t tag, const Outcome& o,
+                               const char* action, double y) {
+  if (!journal_.is_open() || o.replayed) return;
+  JournalRecord rec;
+  rec.index = journal_lines_;
+  rec.tag = tag;
+  rec.status = sched::to_string(o.status);
+  rec.action = action;
+  rec.attempts = o.attempts;
+  rec.worker = o.worker;
+  rec.start = o.start;
+  rec.finish = o.finish;
+  rec.is_init = prop_init_[tag];
+  rec.x = prop_x_[tag];
+  rec.y = y;
+  rec.error = o.error;
+  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
+  journal_.append(rec.to_payload());
+  ++journal_lines_;
+  obs::count(trace_, "ckpt.journal_appends");
+}
+
+BoCheckpoint AskTellCore::make_snapshot(double now, double busy,
+                                        const RngState& sup_rng) const {
+  BoCheckpoint snap;
+  snap.config_hash = config_hash_;
+  snap.journal_count = journal_lines_;
+  snap.now = now;
+  snap.busy = busy;
+  snap.init_done = init_done_;
+  snap.sync_dirty = sync_dirty_;
+  snap.issued = issued_;
+  snap.rng = rng_.save();
+  snap.sup_rng = sup_rng;
+  snap.obs_x = obs_x_;
+  snap.obs_y = obs_y_;
+  snap.obs_is_init = obs_is_init_;
+  snap.failed_x = failed_x_;
+  snap.prop_x = prop_x_;
+  snap.prop_init = prop_init_;
+  snap.prop_submit = prop_submit_;
+  snap.prop_duration = prop_duration_;
+  snap.pending.assign(pending_tags_.begin(), pending_tags_.end());
+  snap.hc_histories.reserve(hc_penalties_.size());
+  for (const auto& hc : hc_penalties_) {
+    snap.hc_histories.emplace_back(hc.history().begin(), hc.history().end());
+  }
+  snap.hedge_gains = hedge_.gains();
+  snap.hedge_nominees = hedge_nominees_;
+  snap.next_hyper_refit = next_hyper_refit_;
+  snap.hyper_refits = hyper_refits_;
+  if (init_done_) snap.gp_log_hyperparams = model_.log_hyperparams();
+  return snap;
+}
+
+void AskTellCore::write_snapshot(double now, double busy,
+                                 const RngState& sup_rng) {
+  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
+  const BoCheckpoint snap = make_snapshot(now, busy, sup_rng);
+  io::atomic_write_file(snapshot_file(cfg_.checkpoint_path),
+                        io::frame_line(snap.to_payload()) + "\n");
+  lines_at_snapshot_ = journal_lines_;
+  obs::count(trace_, "ckpt.snapshots");
+}
+
+void AskTellCore::restore_snapshot(const BoCheckpoint& snap,
+                                   const std::string& origin) {
+  rng_.load(snap.rng);
+  obs_x_ = snap.obs_x;
+  obs_y_ = snap.obs_y;
+  obs_is_init_ = snap.obs_is_init;
+  failed_x_ = snap.failed_x;
+  prop_x_ = snap.prop_x;
+  prop_init_ = snap.prop_init;
+  prop_submit_ = snap.prop_submit;
+  prop_duration_ = snap.prop_duration;
+  issued_ = snap.issued;
+  init_done_ = snap.init_done;
+  next_hyper_refit_ = snap.next_hyper_refit;
+  hyper_refits_ = snap.hyper_refits;
+  if (cfg_.acq == AcqKind::Phcbo) {
+    if (snap.hc_histories.size() != hc_penalties_.size()) {
+      throw io::CheckpointError(
+          "snapshot " + origin + " carries " +
+          std::to_string(snap.hc_histories.size()) +
+          " pHCBO penalty histories; this configuration needs " +
+          std::to_string(hc_penalties_.size()));
+    }
+    for (std::size_t i = 0; i < hc_penalties_.size(); ++i) {
+      hc_penalties_[i] = acq::HighCoveragePenalty(cfg_.hc_d, cfg_.hc_n);
+      for (const Vec& x : snap.hc_histories[i]) hc_penalties_[i].record(x);
+    }
+  }
+  if (snap.hedge_gains.size() == acq::HedgePortfolio::kMembers) {
+    hedge_.set_gains(snap.hedge_gains);
+  }
+  hedge_nominees_ = snap.hedge_nominees;
+  if (init_done_ && !obs_x_.empty()) {
+    zscore_.refit(obs_y_);
+    model_.set_data(obs_x_, zscore_.transform(obs_y_));
+    if (!snap.gp_log_hyperparams.empty()) {
+      model_.set_log_hyperparams(snap.gp_log_hyperparams);
+    }
+    model_.fit();
+  }
+  pending_tags_.clear();
+  for (const std::size_t tag : snap.pending) {
+    if (tag >= prop_x_.size()) {
+      throw io::CheckpointError(
+          "snapshot " + origin + " marks evaluation " + std::to_string(tag) +
+          " in flight but records only " + std::to_string(prop_x_.size()) +
+          " proposals");
+    }
+    pending_tags_.insert(tag);
+  }
+  sync_dirty_ = snap.sync_dirty;
+}
+
+}  // namespace easybo::bo

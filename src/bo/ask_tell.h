@@ -1,0 +1,335 @@
+#pragma once
+/// \file ask_tell.h
+/// \brief The ask/tell (suggest/observe) core of the BO engine.
+///
+/// AskTellCore is the proposal/observation state machine extracted from
+/// BoEngine: it owns everything that shapes the proposal stream — the GP
+/// model, normalizers, the proposal RNG stream, the dedup blocklists, the
+/// pHCBO penalty slots, the GP-Hedge portfolio, the hyper-refit schedule,
+/// the failure policies and the durability hooks (journal + snapshot) —
+/// and exposes exactly two mutation points:
+///
+///   suggest()            -> {tag, x}   the next point to evaluate
+///   observe(tag, outcome)              the terminal result of one tag
+///
+/// Nothing about *execution* lives here: no executor, no supervisor, no
+/// clock, no objective. The core never evaluates anything — it hands out
+/// proposals keyed by tag and absorbs outcomes keyed by tag, in whatever
+/// order the caller delivers them. That inversion is what lets one engine
+/// drive it over a virtual-time or thread executor (BoEngine::run is now a
+/// thin driver) and what lets a long-lived server host many concurrent
+/// cores across a process boundary (src/serve), per Nomura 2020's
+/// suggest/observe scaling argument.
+///
+/// Pending-point bookkeeping follows Alvi et al. 2019: every suggestion is
+/// pending (hallucinated by the penalizing acquisitions) from suggest()
+/// until its observe(tag, ...). The pending set is keyed by tag — never by
+/// point value — so two coincidentally equal pending points (a saturated
+/// dedup resample, a replayed checkpoint) stay distinct, and observing a
+/// tag twice is a loud error instead of silently erasing a neighbour.
+///
+/// Determinism contract: given the same BoConfig/Bounds and the same
+/// interleaving of suggest/observe calls (same tags, same outcomes), the
+/// core produces a bit-identical proposal sequence — including across a
+/// snapshot/restore cut at any point between calls. BoEngine's drivers
+/// call suggest/observe in exactly the order the old self-owned loops
+/// proposed and handled, which keeps every pre-refactor run bit-identical
+/// (tests/test_ask_tell.cpp pins this parity).
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "acq/thompson.h"
+#include "bo/checkpoint.h"
+#include "bo/config.h"
+#include "bo/result.h"
+#include "common/rng.h"
+#include "gp/gp.h"
+#include "gp/normalizer.h"
+#include "io/journal.h"
+#include "obs/trace.h"
+#include "opt/objective.h"
+#include "sched/supervisor.h"
+
+namespace easybo::bo {
+
+/// One proposal handed out by AskTellCore::suggest().
+struct Suggestion {
+  std::size_t tag = 0;   ///< identity: pass it back to observe()
+  Vec unit_x;            ///< the proposal in normalized [0,1]^d space
+  Vec x;                 ///< the same point in design space
+  bool is_init = false;  ///< part of the random initial design
+  /// Nominal duration from the sim-time model (1.0 when none was given):
+  /// what a virtual-time executor should charge for the evaluation.
+  double duration = 1.0;
+};
+
+/// The terminal result of one suggested evaluation, as told to observe().
+struct Outcome {
+  sched::EvalStatus status = sched::EvalStatus::Ok;
+  double value = 0.0;            ///< observed FOM (ok outcomes only)
+  std::uint32_t attempts = 1;    ///< supervised attempts (1 + retries)
+  std::size_t worker = 0;        ///< worker slot attribution (bookkeeping)
+  double start = 0.0;            ///< logical start time of the evaluation
+  double finish = 0.0;           ///< logical finish time
+  std::string error;             ///< what() of the failure, when any
+  std::exception_ptr exception;  ///< original exception (Abort rethrow)
+  /// A journaled outcome re-enacted during resume replay: already durable,
+  /// so observe() must not journal it again nor count it in live metrics.
+  bool replayed = false;
+};
+
+/// What observe() did with an outcome.
+struct Observed {
+  bool changed = false;  ///< the model's dataset gained a (pseudo) point
+  /// "observed" | "penalized" | "discarded" — the journal action applied.
+  const char* action = "";
+};
+
+/// Selects the pHCBO/pBO weight slot for an asynchronous proposal: slot 0
+/// always (the historical behaviour, the default), or — with
+/// BoConfig::async_slot_rotation — the proposal tag modulo the batch size,
+/// which spreads async proposals across the per-slot weight grid and
+/// penalty histories exactly as synchronous batch mode does (the paper's
+/// per-slot scheme). Exposed as a free function so the rotation semantics
+/// are directly testable.
+std::size_t async_proposal_slot(const BoConfig& config, std::size_t tag);
+
+/// The suggest/observe core. Construct with the same arguments BoEngine
+/// takes minus the objective (evaluating is the caller's job), then
+/// alternate suggest() and observe() in any order that respects the
+/// pending-set semantics documented above. See engine.h for the
+/// loop-driver counterpart and src/serve for the multi-session host.
+class AskTellCore {
+ public:
+  /// \param config    algorithm configuration (validated here)
+  /// \param bounds    design box (the core normalizes internally)
+  /// \param sim_time  nominal duration model for Suggestion::duration;
+  ///                  defaults to a constant 1s when null
+  AskTellCore(BoConfig config, opt::Bounds bounds,
+              std::function<double(const Vec&)> sim_time = nullptr);
+
+  /// Installs a non-owning trace sink (nullptr restores the zero-cost
+  /// null default). Unlike BoEngine, the core never owns a recorder —
+  /// BoConfig::collect_metrics is the engine's convenience, not the
+  /// core's.
+  void set_trace(obs::TraceSink* sink);
+  obs::TraceSink* trace() const { return trace_; }
+
+  // --- the two mutation points ------------------------------------------
+
+  /// Proposes the next evaluation. While the initial design is incomplete
+  /// (observed + pending < init_points) this returns a uniform random
+  /// init point; afterwards it proposes through the configured
+  /// acquisition, hallucinating every pending point, with the weight slot
+  /// chosen by the mode (sync: position within the in-flight batch;
+  /// async: async_proposal_slot()). The first post-init call trains the
+  /// model (finish_init()) if the caller has not already.
+  ///
+  /// \param now  the caller's logical clock, recorded as the proposal's
+  ///             submit time (snapshot re-anchoring); pass 0 when there
+  ///             is no meaningful clock.
+  /// Throws easybo::Error when the simulation budget is exhausted, or
+  /// when the initial design is fully in flight but not yet observed
+  /// (a BO proposal needs a trained model; observe first).
+  Suggestion suggest(double now = 0.0);
+
+  /// Absorbs the terminal outcome of suggestion \p tag: journals it
+  /// (durable before applied), then records an observation (ok), or
+  /// applies BoConfig::on_eval_failure — Abort rethrows the objective's
+  /// failure out of this call. Removes \p tag from the pending set (by
+  /// tag — see the header comment) and refreshes the model exactly when
+  /// the engine's loops did: immediately in Sequential/AsyncBatch mode,
+  /// at the in-flight-batch drain in SyncBatch mode, never while the
+  /// initial design is still incomplete.
+  ///
+  /// \param draining  suppress model refreshes (the graceful-stop drain:
+  ///                  outcomes are journaled and recorded but no longer
+  ///                  steer proposals).
+  /// Throws easybo::Error when \p tag is not pending (already observed,
+  /// or never suggested).
+  Observed observe(std::size_t tag, const Outcome& outcome,
+                   bool draining = false);
+
+  /// Ends the initial-design phase: z-scores the observations, fits the
+  /// GP and force-trains hyperparameters. Idempotent. Called implicitly
+  /// by the first post-init suggest(); BoEngine calls it explicitly at
+  /// the init/BO phase boundary (also covering the budget-exhausted-
+  /// during-init corner). Throws easybo::Error when there is not a
+  /// single observation to build a model from.
+  void finish_init();
+
+  // --- read-only state ---------------------------------------------------
+
+  const BoConfig& config() const { return cfg_; }
+  const opt::Bounds& bounds() const { return bounds_; }
+  std::size_t issued() const { return issued_; }
+  bool init_done() const { return init_done_; }
+  std::size_t num_observations() const { return obs_x_.size(); }
+  std::size_t num_proposals() const { return prop_x_.size(); }
+  std::size_t hyper_refits() const { return hyper_refits_; }
+
+  /// Suggested-but-unobserved tags, ascending (= suggestion order).
+  const std::set<std::size_t>& pending_tags() const { return pending_tags_; }
+
+  /// Proposal table by tag.
+  const Vec& proposal(std::size_t tag) const { return prop_x_[tag]; }
+  bool proposal_is_init(std::size_t tag) const { return prop_init_[tag]; }
+  double proposal_submit_time(std::size_t tag) const {
+    return prop_submit_[tag];
+  }
+  double proposal_duration(std::size_t tag) const {
+    return prop_duration_[tag];
+  }
+
+  /// Unit -> design space mapping for this core's bounds.
+  Vec to_design(const Vec& unit_x) const;
+
+  bool has_observations() const { return !obs_x_.empty(); }
+  double best_y() const;  ///< incumbent FOM; requires has_observations()
+  Vec best_x() const;     ///< incumbent point, design space
+
+  /// Completed/failed evaluation records in observation order. Mutable so
+  /// the engine's resume path can prepend the snapshot-absorbed prefix
+  /// and the run driver can move them into BoResult at the end.
+  std::vector<EvalRecord>& evals() { return evals_; }
+  const std::vector<EvalRecord>& evals() const { return evals_; }
+
+  // --- durability (docs/checkpoint-format.md) ---------------------------
+
+  /// Fingerprint of everything that shapes this core's proposal stream.
+  std::uint64_t config_hash() const { return config_hash_; }
+  bool journaling() const { return !cfg_.checkpoint_path.empty(); }
+
+  /// Re-bases the checkpoint files (BoEngine::resume semantics). Only
+  /// valid before any journaling started.
+  void set_checkpoint_path(const std::string& path);
+
+  /// Truncates/creates the journal and writes its header line.
+  void start_fresh_journal();
+
+  /// Re-opens an existing journal for appending, truncating a torn tail
+  /// to \p valid_bytes first. \p lines is the number of intact eval
+  /// records it already holds, \p absorbed how many of those the restored
+  /// snapshot has absorbed (the snapshot cadence baseline).
+  void reopen_journal(std::size_t valid_bytes, std::size_t lines,
+                      std::size_t absorbed);
+
+  std::size_t journal_lines() const { return journal_lines_; }
+  std::size_t lines_at_snapshot() const { return lines_at_snapshot_; }
+
+  /// Assembles the full core state into a snapshot. The three execution-
+  /// side fields the core cannot know — the logical clock, the total busy
+  /// time, and the supervisor's jitter-stream state — are injected by the
+  /// caller (the engine reads them off its executor; a server session
+  /// passes its own bookkeeping).
+  BoCheckpoint make_snapshot(double now, double busy,
+                             const RngState& sup_rng) const;
+
+  /// make_snapshot + atomic write to the snapshot file; re-bases the
+  /// snapshot cadence.
+  void write_snapshot(double now, double busy, const RngState& sup_rng);
+
+  /// Restores every core-owned field from \p snap (the complement of
+  /// make_snapshot): RNG, observations, proposal table, pending tags,
+  /// penalty histories, hedge state, refit schedule, and the fitted model
+  /// when the snapshot is post-init. \p origin names the snapshot in
+  /// error messages. Throws io::CheckpointError on internal
+  /// inconsistencies (e.g. a pending tag beyond the proposal table).
+  void restore_snapshot(const BoCheckpoint& snap, const std::string& origin);
+
+ private:
+  // --- proposal (the pre-refactor BoEngine internals, verbatim) ---------
+  Vec propose(const std::vector<Vec>& pending, std::size_t slot);
+  Vec propose_thompson(const std::vector<Vec>& pending);
+  Vec propose_hedge(const std::vector<Vec>& pending);
+  Vec dedup(Vec x, const std::vector<Vec>& pending);
+
+  void update_model(bool force_train);
+  std::size_t incumbent_index() const;
+
+  /// Appends one eval record to the journal (fsync'd). No-op when
+  /// journaling is off or the outcome is itself a replay.
+  void journal_eval(std::size_t tag, const Outcome& outcome,
+                    const char* action, double y);
+
+  BoConfig cfg_;
+  opt::Bounds bounds_;
+  std::function<double(const Vec&)> sim_time_;
+  Rng rng_;
+  gp::BoxNormalizer box_;
+  gp::ZScore zscore_;
+  gp::GpRegressor model_;
+
+  // Observations (unit space + raw y). Penalized failures appear here as
+  // pseudo-observations; discarded failures do not.
+  std::vector<Vec> obs_x_;
+  Vec obs_y_;
+  std::vector<bool> obs_is_init_;
+
+  // Discarded failure locations (unit space), kept so dedup never
+  // re-proposes a crashing point verbatim.
+  std::vector<Vec> failed_x_;
+
+  // Suggestions issued so far: the simulation-budget clock.
+  std::size_t issued_ = 0;
+
+  // Proposals by tag. Submit time (caller's logical clock) and nominal
+  // duration ride along so a snapshot can re-anchor in-flight work.
+  std::vector<Vec> prop_x_;  // unit space
+  std::vector<bool> prop_init_;
+  std::vector<double> prop_submit_;
+  std::vector<double> prop_duration_;
+
+  // Suggested, not yet observed — keyed by tag (sorted = suggestion
+  // order), the hallucination set and the snapshot pending set.
+  std::set<std::size_t> pending_tags_;
+
+  // SyncBatch mode defers the model refresh to the in-flight-batch drain
+  // (the engine's old batch barrier); this accumulates "changed" until
+  // the pending set empties. Always false at snapshot boundaries.
+  bool sync_dirty_ = false;
+
+  bool init_done_ = false;  // post-init force-train already ran
+
+  // pHCBO per-weight-slot penalty history.
+  std::vector<acq::HighCoveragePenalty> hc_penalties_;
+
+  // GP-Hedge state (AcqKind::Hedge).
+  acq::HedgePortfolio hedge_;
+  std::vector<Vec> hedge_nominees_;
+
+  std::size_t next_hyper_refit_ = 0;
+  std::size_t hyper_refits_ = 0;
+
+  // Evaluation records in observation order (BoResult::evals).
+  std::vector<EvalRecord> evals_;
+
+  // Durability.
+  io::JournalWriter journal_;
+  std::uint64_t config_hash_ = 0;
+  std::size_t journal_lines_ = 0;      // eval records written (no header)
+  std::size_t lines_at_snapshot_ = 0;  // journal_lines_ at last snapshot
+
+  obs::TraceSink* trace_ = nullptr;
+  std::string proposal_counter_;  // "bo.proposals.<acq>", built once
+};
+
+/// Resolves a proposal that collides (squared distance < 1e-12) with an
+/// observed, pending, or blocked point: Gaussian nudges (sigma 0.01,
+/// clamped to the unit cube) retried until the point clears, with a
+/// uniform resample fallback — a nudge clamped on the cube boundary can
+/// land right back on the duplicate, which is exactly the case the
+/// retries exist for. Counts "bo.dedup_nudge" / "bo.dedup_resample" on
+/// \p trace. Exposed as a free function for direct testing; AskTellCore
+/// routes every proposal through it.
+Vec dedup_proposal(Vec x, const std::vector<Vec>& observed,
+                   const std::vector<Vec>& pending, Rng& rng,
+                   obs::TraceSink* trace = nullptr);
+
+}  // namespace easybo::bo

@@ -252,6 +252,8 @@ std::string BoCheckpoint::to_payload() const {
   out += ",\"busy\":" + io::json_number(busy);
   out += ",\"init_done\":";
   out += init_done ? "true" : "false";
+  out += ",\"sync_dirty\":";
+  out += sync_dirty ? "true" : "false";
   out += ",\"issued\":" + std::to_string(issued);
   out += ",\"rng\":" + rng_json(rng);
   out += ",\"sup_rng\":" + rng_json(sup_rng);
@@ -292,6 +294,11 @@ BoCheckpoint BoCheckpoint::parse(const std::string& payload) {
   c.now = j.at("now").as_double();
   c.busy = j.at("busy").as_double();
   c.init_done = j.at("init_done").as_bool();
+  // Absent in files written before the field existed: those snapshots
+  // were all taken at batch barriers, where the flag is false.
+  if (const JsonValue* sd = j.find("sync_dirty")) {
+    c.sync_dirty = sd->as_bool();
+  }
   c.issued = size_from(j.at("issued"));
   c.rng = rng_from(j.at("rng"));
   c.sup_rng = rng_from(j.at("sup_rng"));
@@ -338,6 +345,7 @@ std::uint64_t config_fingerprint(const BoConfig& config,
   put(s, "hc_d", config.hc_d);
   put(s, "hc_n", config.hc_n);
   put_u(s, "refit_every", config.refit_every);
+  put(s, "async_slot_rotation", config.async_slot_rotation ? "1" : "0");
   put(s, "kernel", config.kernel);
   put_u(s, "seed", config.seed);
   put(s, "on_eval_failure", to_string(config.on_eval_failure));

@@ -78,6 +78,11 @@ struct BoCheckpoint {
   double now = 0.0;               ///< executor clock (original run)
   double busy = 0.0;              ///< executor total busy time (original)
   bool init_done = false;         ///< post-init force-train already ran
+  /// SyncBatch's deferred-model-refresh flag: an in-flight batch already
+  /// produced observations the barrier update has not absorbed. Engine
+  /// snapshots always write false (they sit at batch barriers); session
+  /// snapshots (src/serve) are taken after every mutation and need it.
+  bool sync_dirty = false;
   std::size_t issued = 0;
 
   RngState rng;      ///< proposal stream

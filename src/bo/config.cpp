@@ -83,8 +83,9 @@ void BoConfig::validate() const {
     EASYBO_REQUIRE(batch >= 2, "batch modes need batch >= 2");
   }
   if (acq == AcqKind::Pbo || acq == AcqKind::Phcbo) {
-    EASYBO_REQUIRE(mode == Mode::SyncBatch,
-                   "pBO/pHCBO are synchronous batch algorithms");
+    EASYBO_REQUIRE(mode != Mode::Sequential,
+                   "pBO/pHCBO are batch algorithms (their weight grid "
+                   "spans the batch slots)");
   }
   if (acq == AcqKind::Ei || acq == AcqKind::Lcb) {
     EASYBO_REQUIRE(mode == Mode::Sequential,

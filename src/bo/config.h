@@ -97,6 +97,15 @@ struct BoConfig {
   double hc_d = 0.1;            ///< pHCBO penalization radius (normalized)
   double hc_n = 1.0;            ///< pHCBO penalty magnitude N_HC
   std::size_t refit_every = 5;  ///< retrain hyperparameters every k obs
+  /// AsyncBatch slot rotation for the per-slot weight schemes (pBO grid,
+  /// pHCBO penalty histories): when true, an asynchronous proposal with
+  /// tag t uses slot t % batch — the same spread synchronous batch mode
+  /// gets from its position within the batch — instead of the historical
+  /// behavior of always using slot 0 (every async pHCBO penalty landing
+  /// in one shared history). Off by default: turning it on shifts the
+  /// proposal stream of AsyncBatch + Pbo/Phcbo runs, so existing journals
+  /// and golden sequences keep reproducing. Fingerprinted.
+  bool async_slot_rotation = false;
   std::string kernel = "se";    ///< "se" (paper) or "matern52" (extension)
   std::uint64_t seed = 1;
   /// Collect the observability report (src/obs) into BoResult::metrics:

@@ -5,12 +5,7 @@
 #include <memory>
 #include <utility>
 
-#include "acq/acquisition.h"
-#include "acq/thompson.h"
 #include "common/error.h"
-#include "common/sampling.h"
-#include "common/stats.h"
-#include "gp/trainer.h"
 #include "io/json.h"
 
 namespace easybo::bo {
@@ -41,26 +36,10 @@ bool same_point(const Vec& a, const Vec& b) {
 BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
                    opt::Objective objective,
                    std::function<double(const Vec&)> sim_time)
-    : cfg_(std::move(config)),
-      bounds_(std::move(bounds)),
-      objective_(std::move(objective)),
-      sim_time_(std::move(sim_time)),
-      rng_(cfg_.seed),
-      box_(bounds_.lower, bounds_.upper),
-      model_(make_kernel(cfg_, bounds_.lower.size()), 1e-6) {
-  cfg_.validate();
-  bounds_.validate();
+    : core_(std::move(config), std::move(bounds), std::move(sim_time)),
+      objective_(std::move(objective)) {
   EASYBO_REQUIRE(static_cast<bool>(objective_), "BoEngine: null objective");
-  if (!sim_time_) {
-    sim_time_ = [](const Vec&) { return 1.0; };
-  }
-  if (cfg_.acq == AcqKind::Phcbo) {
-    hc_penalties_.assign(cfg_.batch,
-                         acq::HighCoveragePenalty(cfg_.hc_d, cfg_.hc_n));
-  }
-  next_hyper_refit_ = cfg_.init_points;
-  proposal_counter_ = std::string("bo.proposals.") + to_string(cfg_.acq);
-  if (cfg_.collect_metrics) {
+  if (cfg().collect_metrics) {
     owned_recorder_ = std::make_unique<obs::RecordingSink>();
     set_trace(owned_recorder_.get());
   }
@@ -68,59 +47,55 @@ BoEngine::BoEngine(BoConfig config, opt::Bounds bounds,
 
 void BoEngine::set_trace(obs::TraceSink* sink) {
   trace_ = sink;
-  model_.set_trace(sink);
+  core_.set_trace(sink);
 }
 
 BoResult BoEngine::run() {
   const std::size_t workers =
-      (cfg_.mode == Mode::Sequential) ? 1 : cfg_.batch;
+      (cfg().mode == Mode::Sequential) ? 1 : cfg().batch;
   sched::VirtualExecutor exec(workers);
   return run(exec);
 }
 
 BoResult BoEngine::run(sched::Executor& exec) {
-  EASYBO_REQUIRE(prop_x_.empty(), "BoEngine::run() may be called only once");
+  EASYBO_REQUIRE(core_.num_proposals() == 0,
+                 "BoEngine::run() may be called only once");
   // Every evaluation goes through the supervisor. With the default config
   // (no timeout, no retries) it is a transparent pass-through, so the
   // Abort policy reproduces the pre-supervision runs bit for bit.
   sched::SupervisorConfig scfg;
-  scfg.timeout = cfg_.eval_timeout;
-  scfg.max_retries = cfg_.eval_max_retries;
-  scfg.backoff_init = cfg_.eval_backoff_init;
-  scfg.backoff_factor = cfg_.eval_backoff_factor;
-  scfg.backoff_max = cfg_.eval_backoff_max;
-  scfg.backoff_jitter = cfg_.eval_backoff_jitter;
-  scfg.retry_timeouts = cfg_.eval_retry_timeouts;
-  // Decorrelated from rng_ so supervision never perturbs the proposal
-  // stream; deterministic per seed so retried runs reproduce.
-  scfg.seed = cfg_.seed ^ 0x5AFEB0FFu;
+  scfg.timeout = cfg().eval_timeout;
+  scfg.max_retries = cfg().eval_max_retries;
+  scfg.backoff_init = cfg().eval_backoff_init;
+  scfg.backoff_factor = cfg().eval_backoff_factor;
+  scfg.backoff_max = cfg().eval_backoff_max;
+  scfg.backoff_jitter = cfg().eval_backoff_jitter;
+  scfg.retry_timeouts = cfg().eval_retry_timeouts;
+  // Decorrelated from the proposal stream's RNG so supervision never
+  // perturbs it; deterministic per seed so retried runs reproduce.
+  scfg.seed = cfg().seed ^ 0x5AFEB0FFu;
   sched::EvalSupervisor sup(exec, scfg, trace_);
   BoResult result;
 
-  if (journaling()) {
-    config_hash_ = config_fingerprint(cfg_, bounds_);
+  if (core_.journaling()) {
     if (resumed_) {
       restore(sup, result);
     } else {
-      start_fresh_journal();
+      core_.start_fresh_journal();
     }
   }
 
-  if (!init_done_) {
+  if (!core_.init_done()) {
     run_init_phase(sup, result);
     if (!stop_requested()) {
-      if (obs_x_.empty()) {
-        throw Error(
-            "every initial evaluation failed; no observation to build a "
-            "model from (see docs/failure-model.md)");
-      }
-      update_model(/*force_train=*/true);
-      init_done_ = true;
+      // Throws the all-initial-evaluations-failed error when there is
+      // nothing to build a model from.
+      core_.finish_init();
     }
   }
 
   if (!stop_requested()) {
-    switch (cfg_.mode) {
+    switch (cfg().mode) {
       case Mode::Sequential: run_sequential(sup, result); break;
       case Mode::SyncBatch: run_sync_batch(sup, result); break;
       case Mode::AsyncBatch: run_async_batch(sup, result); break;
@@ -131,415 +106,135 @@ BoResult BoEngine::run(sched::Executor& exec) {
   // no pending work it does not have to.
   if (stop_requested()) drain_all(sup, result);
 
+  result.evals = std::move(core_.evals());
   result.makespan = std::max(exec.now(), last_replay_finish_);
   result.total_sim_time = busy_base_ + exec.total_busy_time();
-  result.hyper_refits = hyper_refits_;
+  result.hyper_refits = core_.hyper_refits();
   result.interrupted = stop_requested();
   result.resume_note = resume_note_;
   result.orphaned_workers = sup.orphans();
   if (sup.orphans() > 0) {
     obs::count(trace_, "sched.orphaned_workers", sup.orphans());
   }
-  if (!obs_x_.empty()) {
-    const std::size_t inc = incumbent_index();
-    result.best_x = box_.from_unit(obs_x_[inc]);
-    result.best_y = obs_y_[inc];
+  if (core_.has_observations()) {
+    result.best_x = core_.best_x();
+    result.best_y = core_.best_y();
   }
-  if (journaling()) write_snapshot(sup);
+  if (core_.journaling()) write_snapshot(sup);
   finalize_metrics(exec, result);
   return result;
 }
 
 BoResult BoEngine::resume(const std::string& path) {
   const std::size_t workers =
-      (cfg_.mode == Mode::Sequential) ? 1 : cfg_.batch;
+      (cfg().mode == Mode::Sequential) ? 1 : cfg().batch;
   sched::VirtualExecutor exec(workers);
   return resume(path, exec);
 }
 
 BoResult BoEngine::resume(const std::string& path, sched::Executor& exec) {
-  EASYBO_REQUIRE(prop_x_.empty(),
+  EASYBO_REQUIRE(core_.num_proposals() == 0,
                  "BoEngine::resume() must be the engine's only run");
   EASYBO_REQUIRE(!path.empty(), "BoEngine::resume: empty checkpoint path");
-  cfg_.checkpoint_path = path;  // journaling continues on the same files
+  core_.set_checkpoint_path(path);  // journaling continues on these files
   resumed_ = true;
   return run(exec);
 }
 
 // ---------------------------------------------------------------------------
-// Phases
+// Phases: each is one pump schedule over the core's suggest/observe.
 // ---------------------------------------------------------------------------
 
 void BoEngine::run_init_phase(sched::EvalSupervisor& sup, BoResult& result) {
-  // Random initial design (the paper samples uniformly at random). All
-  // modes push the init points through the executor greedily — identical
-  // schedules keep the wall-clock comparison between algorithms fair.
-  // The InitDesign span covers the whole phase, waits included. Failed
-  // evaluations are topped up (the model needs its init_points anchors)
-  // until the whole simulation budget would be burned on them.
+  // All modes push the init points through the executor greedily —
+  // identical schedules keep the wall-clock comparison between algorithms
+  // fair. The InitDesign span covers the whole phase, waits included.
+  // Failed evaluations are topped up (the model needs its init_points
+  // anchors) until the whole simulation budget would be burned on them.
   obs::ScopedTimer span(trace_, obs::Phase::InitDesign);
-  while (obs_x_.size() < cfg_.init_points && !stop_requested()) {
+  while (core_.num_observations() < cfg().init_points && !stop_requested()) {
     maybe_checkpoint(sup);
-    while (can_submit(sup) && issued_ < cfg_.max_sims &&
-           obs_x_.size() + num_outstanding(sup) < cfg_.init_points &&
+    while (can_submit(sup) && core_.issued() < cfg().max_sims &&
+           core_.num_observations() + num_outstanding(sup) <
+               cfg().init_points &&
            !stop_requested()) {
-      submit(sup, rng_.uniform_vector(bounds_.dim()), /*is_init=*/true);
+      submit(sup);
     }
     if (num_outstanding(sup) == 0) break;  // budget exhausted by failures
-    handle(await_one(sup), result);
+    observe_arrival(await_one(sup), result);
   }
 }
 
 void BoEngine::run_sequential(sched::EvalSupervisor& sup, BoResult& result) {
-  while (issued_ < cfg_.max_sims && !stop_requested()) {
+  while (core_.issued() < cfg().max_sims && !stop_requested()) {
     maybe_checkpoint(sup);
     if (!can_submit(sup)) break;  // the only worker is hung
-    submit(sup, propose(/*pending=*/{}, /*slot=*/0), /*is_init=*/false);
-    if (handle(await_one(sup), result)) update_model(false);
+    submit(sup);
+    observe_arrival(await_one(sup), result);
   }
 }
 
 void BoEngine::run_sync_batch(sched::EvalSupervisor& sup, BoResult& result) {
-  while (issued_ < cfg_.max_sims && !stop_requested()) {
+  while (core_.issued() < cfg().max_sims && !stop_requested()) {
     maybe_checkpoint(sup);
-    const std::size_t remaining = cfg_.max_sims - issued_;
-    // A real executor may expose fewer workers than cfg_.batch; a batch
+    const std::size_t remaining = cfg().max_sims - core_.issued();
+    // A real executor may expose fewer workers than cfg().batch; a batch
     // larger than the pool could never be issued at once.
     // idle_for_submit (not num_workers): a wall-clock timeout can leave a
     // slot occupied by an abandoned hung objective. Identical when no
     // worker is abandoned — the barrier below drained the pool.
     const std::size_t k =
-        std::min({cfg_.batch, remaining, idle_for_submit(sup)});
+        std::min({cfg().batch, remaining, idle_for_submit(sup)});
     if (k == 0) break;  // every worker is hung; cannot make progress
-    // Select the whole batch against the current model, then submit and
-    // barrier. For EasyBO-SP, each slot hallucinates on the batch points
-    // selected so far (pending grows inside the loop).
-    std::vector<Vec> batch;
-    batch.reserve(k);
-    for (std::size_t slot = 0; slot < k; ++slot) {
-      batch.push_back(propose(batch, slot));
-    }
-    for (auto& x : batch) submit(sup, std::move(x), /*is_init=*/false);
-    bool changed = false;
+    // The core selects each batch point against the pre-batch model,
+    // hallucinating the slots selected so far (its pending set grows with
+    // every suggestion), and defers the model refresh to the barrier.
+    for (std::size_t slot = 0; slot < k; ++slot) submit(sup);
     while (num_outstanding(sup) > 0) {
-      changed |= handle(await_one(sup), result);
+      observe_arrival(await_one(sup), result);
     }
-    if (changed) update_model(false);
   }
 }
 
 void BoEngine::run_async_batch(sched::EvalSupervisor& sup, BoResult& result) {
-  std::vector<Vec> pending;  // unit points currently running
-  // On resume the in-flight set is restored from the snapshot; tag order
-  // is submission order, which is exactly the order this vector grew in
-  // during the original run.
-  for (const std::size_t tag : pending_tags_) {
-    pending.push_back(prop_x_[tag]);
+  // Fill the pool (Algorithm 1 bootstraps with B in-flight points). On
+  // resume the in-flight set restored from the snapshot already occupies
+  // its logical worker slots.
+  while (can_submit(sup) && core_.issued() < cfg().max_sims &&
+         !stop_requested()) {
+    submit(sup);
   }
 
-  // Fill the pool (Algorithm 1 bootstraps with B in-flight points).
-  while (can_submit(sup) && issued_ < cfg_.max_sims && !stop_requested()) {
-    Vec x = propose(pending, /*slot=*/0);
-    pending.push_back(x);
-    submit(sup, std::move(x), /*is_init=*/false);
-  }
-
-  // Main loop (Algorithm 1): wait for a worker, absorb its observation,
-  // refine the model, propose for the idle worker with the still-running
-  // points as pseudo-observations.
+  // Main loop (Algorithm 1): wait for a worker, absorb its observation
+  // (the core refines the model inside observe), propose for the idle
+  // worker with the still-running points as pseudo-observations.
   while (num_outstanding(sup) > 0) {
     maybe_checkpoint(sup);
-    const Arrived a = await_one(sup);
-    const Vec finished_x = prop_x_[a.sc.completion.tag];
-    const bool changed = handle(a, result);
-    // Remove the finished point from the pending set.
-    const auto it = std::find(pending.begin(), pending.end(), finished_x);
-    if (it != pending.end()) pending.erase(it);
-
-    if (changed) update_model(false);
+    observe_arrival(await_one(sup), result);
     // can_submit: a wall-clock timeout frees no slot (the hung objective
     // still occupies it), so its replacement waits for the next genuinely
     // idle worker. Always true when nothing timed out.
-    if (issued_ < cfg_.max_sims && can_submit(sup) && !stop_requested()) {
-      Vec x = propose(pending, /*slot=*/0);
-      pending.push_back(x);
-      submit(sup, std::move(x), /*is_init=*/false);
+    if (core_.issued() < cfg().max_sims && can_submit(sup) &&
+        !stop_requested()) {
+      submit(sup);
     }
   }
-}
-
-// ---------------------------------------------------------------------------
-// Proposal
-// ---------------------------------------------------------------------------
-
-Vec BoEngine::propose(const std::vector<Vec>& pending, std::size_t slot) {
-  const std::size_t dim = bounds_.dim();
-  const std::vector<Vec> anchors = {obs_x_[incumbent_index()]};
-  obs::count(trace_, proposal_counter_);
-
-  // Thompson sampling picks from a sampled posterior path directly; it
-  // never goes through the generic acquisition maximizer.
-  if (cfg_.acq == AcqKind::Ts) {
-    return propose_thompson(pending);
-  }
-  if (cfg_.acq == AcqKind::Hedge) {
-    return propose_hedge(pending);
-  }
-
-  // The hallucinated model / base acquisition (when used) must outlive
-  // the maximization.
-  std::unique_ptr<gp::GpRegressor> hallucinated;
-  std::unique_ptr<acq::AcquisitionFn> base_acq;
-  std::unique_ptr<acq::AcquisitionFn> fn;
-
-  switch (cfg_.acq) {
-    case AcqKind::Lcb:
-      fn = std::make_unique<acq::Ucb>(&model_, cfg_.lcb_kappa);
-      break;
-    case AcqKind::Ei: {
-      const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
-      fn = std::make_unique<acq::Ei>(&model_, best_z, cfg_.ei_xi);
-      break;
-    }
-    case AcqKind::EasyBo: {
-      const double w = cfg_.uniform_w
-                           ? rng_.uniform()
-                           : acq::sample_easybo_weight(rng_, cfg_.lambda);
-      if (cfg_.penalize && !pending.empty()) {
-        hallucinated = std::make_unique<gp::GpRegressor>(
-            model_.with_hallucinated(pending));
-        fn = std::make_unique<acq::WeightedUcb>(&model_, hallucinated.get(),
-                                                w);
-      } else {
-        fn = std::make_unique<acq::WeightedUcb>(&model_, &model_, w);
-      }
-      break;
-    }
-    case AcqKind::Pbo: {
-      const Vec grid = acq::pbo_weight_grid(cfg_.batch);
-      fn = std::make_unique<acq::WeightedUcb>(&model_, &model_,
-                                              grid[slot % grid.size()]);
-      break;
-    }
-    case AcqKind::Phcbo: {
-      const Vec grid = acq::pbo_weight_grid(cfg_.batch);
-      fn = std::make_unique<acq::PhcboAcquisition>(
-          &model_, grid[slot % grid.size()],
-          &hc_penalties_[slot % hc_penalties_.size()]);
-      break;
-    }
-    case AcqKind::Bucb: {
-      if (!pending.empty()) {
-        hallucinated = std::make_unique<gp::GpRegressor>(
-            model_.with_hallucinated(pending));
-        fn = std::make_unique<acq::Bucb>(&model_, hallucinated.get(),
-                                         cfg_.bucb_kappa);
-      } else {
-        fn = std::make_unique<acq::Bucb>(&model_, &model_, cfg_.bucb_kappa);
-      }
-      break;
-    }
-    case AcqKind::Lp: {
-      const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
-      base_acq = std::make_unique<acq::Ei>(&model_, best_z, cfg_.ei_xi);
-      const double lipschitz = acq::estimate_lipschitz(model_, rng_);
-      fn = std::make_unique<acq::LocalPenalization>(
-          base_acq.get(), &model_, pending, lipschitz, best_z);
-      break;
-    }
-    case AcqKind::Ts:
-    case AcqKind::Hedge:
-      break;  // handled above
-  }
-
-  auto best = acq::maximize_acquisition(*fn, dim, rng_, anchors,
-                                        cfg_.acq_opt, trace_);
-  Vec x = dedup(std::move(best.best_x), pending);
-  if (cfg_.acq == AcqKind::Phcbo) {
-    hc_penalties_[slot % hc_penalties_.size()].record(x);
-  }
-  return x;
-}
-
-Vec BoEngine::propose_thompson(const std::vector<Vec>& pending) {
-  // Candidate set: shifted Sobol + jittered incumbent copies. With
-  // penalization, sample from the hallucinated posterior so pending
-  // regions carry no leftover uncertainty to exploit. Candidate
-  // generation through the posterior argmax is this algorithm's
-  // acquisition maximization, hence the span over the whole body.
-  obs::ScopedTimer span(trace_, obs::Phase::AcqMaximize);
-  const std::size_t dim = bounds_.dim();
-  std::vector<Vec> candidates;
-  const std::size_t sobol_count =
-      std::max<std::size_t>(cfg_.ts_candidates, 16);
-  if (dim <= SobolSequence::kMaxDim) {
-    SobolSequence sobol(dim);
-    Vec shift = rng_.uniform_vector(dim);
-    for (std::size_t i = 0; i < sobol_count; ++i) {
-      Vec p = sobol.next();
-      for (std::size_t j = 0; j < dim; ++j) {
-        p[j] += shift[j];
-        if (p[j] >= 1.0) p[j] -= 1.0;
-      }
-      candidates.push_back(std::move(p));
-    }
-  } else {
-    for (std::size_t i = 0; i < sobol_count; ++i) {
-      candidates.push_back(rng_.uniform_vector(dim));
-    }
-  }
-  const Vec& incumbent = obs_x_[incumbent_index()];
-  for (int k = 0; k < 8; ++k) {
-    Vec p = incumbent;
-    for (auto& v : p) v = std::clamp(v + rng_.normal(0.0, 0.05), 0.0, 1.0);
-    candidates.push_back(std::move(p));
-  }
-
-  std::size_t pick;
-  if (cfg_.penalize && !pending.empty()) {
-    const auto augmented = model_.with_hallucinated(pending);
-    pick = acq::thompson_sample_argmax(augmented, candidates, rng_);
-  } else {
-    pick = acq::thompson_sample_argmax(model_, candidates, rng_);
-  }
-  return dedup(std::move(candidates[pick]), pending);
-}
-
-Vec BoEngine::propose_hedge(const std::vector<Vec>& pending) {
-  const std::size_t dim = bounds_.dim();
-  const std::vector<Vec> anchors = {obs_x_[incumbent_index()]};
-
-  // Reward the previous nominees under the refreshed model first.
-  if (!hedge_nominees_.empty()) {
-    Vec means(acq::HedgePortfolio::kMembers);
-    for (std::size_t i = 0; i < hedge_nominees_.size(); ++i) {
-      means[i] = model_.predict(hedge_nominees_[i]).mean;
-    }
-    hedge_.reward(means);
-  }
-
-  // Each member nominates its own maximizer.
-  const double best_z = zscore_.transform(obs_y_[incumbent_index()]);
-  const acq::Ei ei(&model_, best_z, cfg_.ei_xi);
-  const acq::Pi pi(&model_, best_z, cfg_.ei_xi);
-  const acq::Ucb ucb(&model_, cfg_.lcb_kappa);
-  const acq::AcquisitionFn* members[] = {&ei, &pi, &ucb};
-
-  hedge_nominees_.clear();
-  for (const auto* member : members) {
-    hedge_nominees_.push_back(acq::maximize_acquisition(
-                                  *member, dim, rng_, anchors, cfg_.acq_opt,
-                                  trace_)
-                                  .best_x);
-  }
-  const std::size_t choice = hedge_.choose(rng_);
-  return dedup(hedge_nominees_[choice], pending);
-}
-
-Vec BoEngine::dedup(Vec x, const std::vector<Vec>& pending) {
-  if (failed_x_.empty()) {
-    return dedup_proposal(std::move(x), obs_x_, pending, rng_, trace_);
-  }
-  // Discarded failure locations block proposals too: re-evaluating a point
-  // that just crashed verbatim would burn budget on a known failure.
-  std::vector<Vec> blocked = pending;
-  blocked.insert(blocked.end(), failed_x_.begin(), failed_x_.end());
-  return dedup_proposal(std::move(x), obs_x_, blocked, rng_, trace_);
-}
-
-Vec dedup_proposal(Vec x, const std::vector<Vec>& observed,
-                   const std::vector<Vec>& pending, Rng& rng,
-                   obs::TraceSink* trace) {
-  auto collides = [&](const Vec& candidate) {
-    auto too_close = [&](const Vec& other) {
-      return linalg::dist_sq(candidate, other) < 1e-12;
-    };
-    return std::any_of(observed.begin(), observed.end(), too_close) ||
-           std::any_of(pending.begin(), pending.end(), too_close);
-  };
-  if (!collides(x)) return x;
-
-  // Nudge inside the cube; an exact duplicate adds no information and can
-  // degrade the covariance conditioning. A single nudge is not enough: on
-  // a boundary duplicate (e.g. the unit-cube corner the acquisition keeps
-  // proposing) the clamp can put the point right back onto the duplicate,
-  // so retry, then give up on locality and resample uniformly.
-  constexpr int kNudges = 4;
-  for (int attempt = 0; attempt < kNudges; ++attempt) {
-    Vec nudged = x;
-    for (auto& v : nudged) {
-      v = std::clamp(v + rng.normal(0.0, 0.01), 0.0, 1.0);
-    }
-    obs::count(trace, "bo.dedup_nudge");
-    if (!collides(nudged)) return nudged;
-  }
-  constexpr int kResamples = 16;
-  Vec resampled = std::move(x);
-  for (int attempt = 0; attempt < kResamples; ++attempt) {
-    resampled = rng.uniform_vector(resampled.size());
-    obs::count(trace, "bo.dedup_resample");
-    if (!collides(resampled)) break;
-  }
-  return resampled;  // last candidate even if saturated: progress > purity
-}
-
-// ---------------------------------------------------------------------------
-// Model management
-// ---------------------------------------------------------------------------
-
-void BoEngine::update_model(bool force_train) {
-  {
-    obs::ScopedTimer span(trace_, obs::Phase::ModelFit);
-    zscore_.refit(obs_y_);
-    model_.set_data(obs_x_, zscore_.transform(obs_y_));
-  }
-
-  const bool train = force_train || obs_x_.size() >= next_hyper_refit_;
-  if (train) {
-    obs::ScopedTimer span(trace_, obs::Phase::HyperRefit);
-    gp::train_mle(model_, rng_, cfg_.trainer);
-    obs::count(trace_, "bo.hyper_refit");
-    ++hyper_refits_;
-    // Geometrically thinning schedule: early observations shift the
-    // hyperparameters a lot, late ones barely; this caps total O(n^3)
-    // training cost without changing behaviour materially.
-    const auto n = obs_x_.size();
-    next_hyper_refit_ = std::max(
-        n + cfg_.refit_every,
-        static_cast<std::size_t>(static_cast<double>(n) * 1.5));
-  } else {
-    obs::ScopedTimer span(trace_, obs::Phase::ModelFit);
-    model_.fit();
-  }
-}
-
-std::size_t BoEngine::incumbent_index() const {
-  EASYBO_REQUIRE(!obs_y_.empty(), "incumbent of empty dataset");
-  return linalg::argmax(obs_y_);
 }
 
 // ---------------------------------------------------------------------------
 // Executor plumbing
 // ---------------------------------------------------------------------------
 
-void BoEngine::submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init) {
-  Vec x_design = box_.from_unit(unit_x);
-  const double duration = sim_time_(x_design);
-  const std::size_t tag = prop_x_.size();
-  prop_x_.push_back(std::move(unit_x));
-  prop_init_.push_back(is_init);
-  prop_submit_.push_back(logical_now(sup));
-  prop_duration_.push_back(duration);
-  pending_tags_.insert(tag);
-  ++issued_;
-  if (replay_tags_.count(tag) != 0) {
+void BoEngine::submit(sched::EvalSupervisor& sup) {
+  Suggestion s = core_.suggest(logical_now(sup));
+  if (replay_tags_.count(s.tag) != 0) {
     // The outcome of this evaluation is already durable in the journal:
     // the replay queue will deliver it. The worker slot it occupied in
     // the original timeline is accounted logically (num_outstanding), and
     // its busy time — which the executor will never see — here.
-    replay_awaiting_.insert(tag);
+    replay_awaiting_.insert(s.tag);
     if (!sup.executor().wall_clock()) {
-      busy_base_ += effective_duration(duration);
+      busy_base_ += effective_duration(s.duration);
     }
     return;
   }
@@ -551,17 +246,17 @@ void BoEngine::submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init) {
   }
   // The executor decides where and when the objective runs (eagerly for
   // virtual time, on a worker thread for real threads); the engine only
-  // sees the outcome at handle time.
+  // sees the outcome at observe time.
   sup.submit(
-      tag,
-      [obj = &objective_, x = std::move(x_design)] { return (*obj)(x); },
-      duration);
+      s.tag, [obj = &objective_, x = std::move(s.x)] { return (*obj)(x); },
+      s.duration);
 }
 
-bool BoEngine::handle(const Arrived& a, BoResult& result) {
+void BoEngine::observe_arrival(const Arrived& a, BoResult& result,
+                               bool draining) {
+  (void)result;  // records accumulate in the core; moved out at run() end
   const sched::SupervisedCompletion& sc = a.sc;
   const sched::Completion& c = sc.completion;
-  pending_tags_.erase(c.tag);
   if (trace_ != nullptr && !a.replayed) {
     // Executor-clock duration: virtual seconds on a VirtualExecutor, wall
     // seconds on real threads; spans retries and backoff. Not a
@@ -570,69 +265,18 @@ bool BoEngine::handle(const Arrived& a, BoResult& result) {
     // this process never ran them (metrics cover the current process).
     trace_->add_time(obs::Phase::ObjectiveEval, c.finish - c.start);
   }
-  const Vec& unit_x = prop_x_[c.tag];
-
-  EvalRecord rec;
-  rec.x = box_.from_unit(unit_x);
-  rec.start = a.start_abs;
-  rec.finish = a.finish_abs;
-  rec.worker = c.worker;
-  rec.is_init = prop_init_[c.tag];
-  rec.attempts = sc.attempts;
-
-  if (sc.ok()) {
-    journal_eval(a, "observed", c.value);  // durable before applied
-    obs_x_.push_back(unit_x);
-    obs_y_.push_back(c.value);
-    obs_is_init_.push_back(prop_init_[c.tag]);
-    rec.y = c.value;
-    result.evals.push_back(std::move(rec));
-    if (!a.replayed) log_eval(sc, "observed");
-    return true;
-  }
-
-  if (!a.replayed) obs::count(trace_, "eval.failures");
-  if (cfg_.on_eval_failure == EvalFailurePolicy::Abort) {
-    journal_eval(a, "abort", std::numeric_limits<double>::quiet_NaN());
-    // Rethrow the objective's own exception so callers see exactly what
-    // they saw before supervision existed; timeouts and non-finite values
-    // never carried one, so they get a descriptive Error. A replayed
-    // abort lost its exception_ptr with the original process and always
-    // takes the descriptive path.
-    if (sc.exception) std::rethrow_exception(sc.exception);
-    throw Error(std::string("evaluation failed (") +
-                sched::to_string(sc.status) +
-                ") and on_eval_failure is abort" +
-                (sc.error.empty() ? "" : ": " + sc.error));
-  }
-
-  rec.failed = true;
-  rec.failure = sched::to_string(sc.status);
-
-  // Penalize needs at least one real observation to anchor the quantile;
-  // until then it degrades to Discard.
-  if (cfg_.on_eval_failure == EvalFailurePolicy::Penalize &&
-      !obs_y_.empty()) {
-    if (!a.replayed) obs::count(trace_, "eval.penalized");
-    const double y_pen =
-        quantile_of(obs_y_, cfg_.eval_failure_quantile);
-    journal_eval(a, "penalized", y_pen);
-    obs_x_.push_back(unit_x);
-    obs_y_.push_back(y_pen);
-    obs_is_init_.push_back(prop_init_[c.tag]);
-    rec.y = y_pen;
-    result.evals.push_back(std::move(rec));
-    if (!a.replayed) log_eval(sc, "penalized");
-    return true;
-  }
-
-  if (!a.replayed) obs::count(trace_, "eval.discarded");
-  journal_eval(a, "discarded", std::numeric_limits<double>::quiet_NaN());
-  failed_x_.push_back(unit_x);  // dedup must never re-propose it verbatim
-  rec.y = std::numeric_limits<double>::quiet_NaN();
-  result.evals.push_back(std::move(rec));
-  if (!a.replayed) log_eval(sc, "discarded");
-  return false;
+  Outcome o;
+  o.status = sc.status;
+  o.value = c.value;
+  o.attempts = sc.attempts;
+  o.worker = c.worker;
+  o.start = a.start_abs;
+  o.finish = a.finish_abs;
+  o.error = sc.error;
+  o.exception = sc.exception;
+  o.replayed = a.replayed;
+  const Observed ob = core_.observe(c.tag, o, draining);
+  if (!a.replayed) log_eval(sc, ob.action);
 }
 
 void BoEngine::log_eval(const sched::SupervisedCompletion& sc,
@@ -665,24 +309,16 @@ std::vector<sched::SupervisedCompletion> BoEngine::timed_wait_all(
 // ---------------------------------------------------------------------------
 
 double BoEngine::effective_duration(double duration) const {
-  if (cfg_.eval_timeout > 0.0 && duration > cfg_.eval_timeout) {
-    return cfg_.eval_timeout;  // the supervisor cuts it there (virtual)
+  if (cfg().eval_timeout > 0.0 && duration > cfg().eval_timeout) {
+    return cfg().eval_timeout;  // the supervisor cuts it there (virtual)
   }
   return duration;
 }
 
-void BoEngine::start_fresh_journal() {
-  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
-  journal_.open(journal_file(cfg_.checkpoint_path), /*truncate_to=*/0);
-  JournalHeader header;
-  header.config_hash = config_hash_;
-  header.seed = cfg_.seed;
-  journal_.append(header.to_payload());
-}
-
 void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
-  const std::string jpath = journal_file(cfg_.checkpoint_path);
-  const std::string spath = snapshot_file(cfg_.checkpoint_path);
+  (void)result;  // the eval prefix is rebuilt into the core's records
+  const std::string jpath = journal_file(cfg().checkpoint_path);
+  const std::string spath = snapshot_file(cfg().checkpoint_path);
   if (!io::file_exists(jpath)) {
     throw io::CheckpointError("cannot resume: no journal at " + jpath);
   }
@@ -692,13 +328,13 @@ void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
                               " holds no intact header line");
   }
   const JournalHeader header = JournalHeader::parse(jr.payloads.front());
-  if (header.config_hash != config_hash_) {
+  if (header.config_hash != core_.config_hash()) {
     throw io::CheckpointError(
         "checkpoint config mismatch: journal " + jpath +
         " was written with config fingerprint " +
         io::json_u64(header.config_hash) +
         " but this engine is configured with fingerprint " +
-        io::json_u64(config_hash_) +
+        io::json_u64(core_.config_hash()) +
         "; resuming would splice two different proposal streams");
   }
   std::vector<JournalRecord> records;
@@ -724,13 +360,13 @@ void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
           " is damaged (expected exactly one intact framed line)");
     }
     snap = BoCheckpoint::parse(sr.payloads.front());
-    if (snap.config_hash != config_hash_) {
+    if (snap.config_hash != core_.config_hash()) {
       throw io::CheckpointError(
           "checkpoint config mismatch: snapshot " + spath +
           " was written with config fingerprint " +
           io::json_u64(snap.config_hash) +
           " but this engine is configured with fingerprint " +
-          io::json_u64(config_hash_));
+          io::json_u64(core_.config_hash()));
     }
     if (snap.journal_count > records.size()) {
       throw io::CheckpointError(
@@ -744,9 +380,8 @@ void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
   // Re-open for appending, truncating any torn tail first: those bytes
   // are a record that never became durable and will be rewritten by the
   // replay when it reaches that evaluation again.
-  journal_.open(jpath, static_cast<long>(jr.valid_bytes));
-  journal_lines_ = records.size();
-  lines_at_snapshot_ = have_snap ? snap.journal_count : 0;
+  core_.reopen_journal(jr.valid_bytes, records.size(),
+                       have_snap ? snap.journal_count : 0);
 
   // Stage the journal tail — everything the snapshot has not absorbed —
   // for replay through the normal loop.
@@ -755,13 +390,13 @@ void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
     replay_.push_back(std::move(records[i]));
   }
 
-  // Rebuild the result prefix for the absorbed records (the replayed tail
-  // re-enters result.evals through handle()).
+  // Rebuild the eval-record prefix for the absorbed records (the replayed
+  // tail re-enters the core's records through observe).
   for (std::size_t i = 0; i < snap.journal_count; ++i) {
     const JournalRecord& jrec = records[i];
     if (jrec.action == "abort") continue;  // aborts never made an EvalRecord
     EvalRecord rec;
-    rec.x = box_.from_unit(jrec.x);
+    rec.x = core_.to_design(jrec.x);
     rec.y = jrec.y;
     rec.start = jrec.start;
     rec.finish = jrec.finish;
@@ -770,50 +405,13 @@ void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
     rec.attempts = jrec.attempts;
     rec.failed = jrec.action != "observed";
     if (rec.failed) rec.failure = jrec.status;
-    result.evals.push_back(std::move(rec));
+    core_.evals().push_back(std::move(rec));
   }
 
   std::size_t resubmitted = 0;
   if (have_snap) {
-    rng_.load(snap.rng);
     sup.set_rng_state(snap.sup_rng);
-    obs_x_ = snap.obs_x;
-    obs_y_ = snap.obs_y;
-    obs_is_init_ = snap.obs_is_init;
-    failed_x_ = snap.failed_x;
-    prop_x_ = snap.prop_x;
-    prop_init_ = snap.prop_init;
-    prop_submit_ = snap.prop_submit;
-    prop_duration_ = snap.prop_duration;
-    issued_ = snap.issued;
-    init_done_ = snap.init_done;
-    next_hyper_refit_ = snap.next_hyper_refit;
-    hyper_refits_ = snap.hyper_refits;
-    if (cfg_.acq == AcqKind::Phcbo) {
-      if (snap.hc_histories.size() != hc_penalties_.size()) {
-        throw io::CheckpointError(
-            "snapshot " + spath + " carries " +
-            std::to_string(snap.hc_histories.size()) +
-            " pHCBO penalty histories; this configuration needs " +
-            std::to_string(hc_penalties_.size()));
-      }
-      for (std::size_t i = 0; i < hc_penalties_.size(); ++i) {
-        hc_penalties_[i] = acq::HighCoveragePenalty(cfg_.hc_d, cfg_.hc_n);
-        for (const Vec& x : snap.hc_histories[i]) hc_penalties_[i].record(x);
-      }
-    }
-    if (snap.hedge_gains.size() == acq::HedgePortfolio::kMembers) {
-      hedge_.set_gains(snap.hedge_gains);
-    }
-    hedge_nominees_ = snap.hedge_nominees;
-    if (init_done_ && !obs_x_.empty()) {
-      zscore_.refit(obs_y_);
-      model_.set_data(obs_x_, zscore_.transform(obs_y_));
-      if (!snap.gp_log_hyperparams.empty()) {
-        model_.set_log_hyperparams(snap.gp_log_hyperparams);
-      }
-      model_.fit();
-    }
+    core_.restore_snapshot(snap, spath);
     last_replay_finish_ = snap.now;
     sup.advance_clock(snap.now);  // continue on the original clock
     busy_base_ = snap.busy;
@@ -823,27 +421,20 @@ void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
     // flight at the kill and is re-submitted with its REMAINING duration,
     // so it finishes when the uninterrupted run finished it.
     for (const std::size_t tag : snap.pending) {
-      if (tag >= prop_x_.size()) {
-        throw io::CheckpointError(
-            "snapshot " + spath + " marks evaluation " +
-            std::to_string(tag) + " in flight but records only " +
-            std::to_string(prop_x_.size()) + " proposals");
-      }
-      pending_tags_.insert(tag);
       if (replay_tags_.count(tag) != 0) {
         replay_awaiting_.insert(tag);
         continue;
       }
-      double duration = prop_duration_[tag];
+      double duration = core_.proposal_duration(tag);
       if (!sup.executor().wall_clock()) {
-        double remaining =
-            prop_submit_[tag] + effective_duration(duration) - snap.now;
+        double remaining = core_.proposal_submit_time(tag) +
+                           effective_duration(duration) - snap.now;
         if (!(remaining > 0.0)) remaining = 1e-9;
         busy_base_ -= remaining;  // the executor re-accounts exactly this
         duration = remaining;
       }
       restored_real_.insert(tag);
-      Vec x_design = box_.from_unit(prop_x_[tag]);
+      Vec x_design = core_.to_design(core_.proposal(tag));
       sup.submit(
           tag,
           [obj = &objective_, x = std::move(x_design)] { return (*obj)(x); },
@@ -853,7 +444,7 @@ void BoEngine::restore(sched::EvalSupervisor& sup, BoResult& result) {
   }
 
   resume_note_ =
-      "resumed from " + cfg_.checkpoint_path + ": " +
+      "resumed from " + cfg().checkpoint_path + ": " +
       std::to_string(snap.journal_count) + " evaluations restored, " +
       std::to_string(replay_.size()) + " replayed from the journal, " +
       std::to_string(resubmitted) + " re-submitted" +
@@ -867,13 +458,14 @@ BoEngine::Arrived BoEngine::await_one(sched::EvalSupervisor& sup) {
     JournalRecord rec = std::move(replay_.front());
     replay_.pop_front();
     replay_tags_.erase(rec.tag);
-    if (rec.tag >= prop_x_.size() || pending_tags_.count(rec.tag) == 0) {
+    if (rec.tag >= core_.num_proposals() ||
+        core_.pending_tags().count(rec.tag) == 0) {
       throw io::CheckpointError(
           "journal corrupted: record " + std::to_string(rec.index) +
           " completes evaluation " + std::to_string(rec.tag) +
           " which the deterministic replay never issued");
     }
-    if (!same_point(rec.x, prop_x_[rec.tag])) {
+    if (!same_point(rec.x, core_.proposal(rec.tag))) {
       throw io::CheckpointError(
           "journal record " + std::to_string(rec.index) +
           " does not match this configuration's proposal stream "
@@ -909,76 +501,31 @@ BoEngine::Arrived BoEngine::await_one(sched::EvalSupervisor& sup) {
   if (it != restored_real_.end()) {
     // Re-submitted in-flight work: the executor saw only its remainder;
     // its true start is the original submission time.
-    a.start_abs = prop_submit_[a.sc.completion.tag];
+    a.start_abs = core_.proposal_submit_time(a.sc.completion.tag);
     restored_real_.erase(it);
   }
   return a;
 }
 
 void BoEngine::drain_all(sched::EvalSupervisor& sup, BoResult& result) {
-  while (num_outstanding(sup) > 0) handle(await_one(sup), result);
-}
-
-void BoEngine::journal_eval(const Arrived& a, const char* action, double y) {
-  if (!journal_.is_open() || a.replayed) return;
-  JournalRecord rec;
-  rec.index = journal_lines_;
-  rec.tag = a.sc.completion.tag;
-  rec.status = sched::to_string(a.sc.status);
-  rec.action = action;
-  rec.attempts = a.sc.attempts;
-  rec.worker = a.sc.completion.worker;
-  rec.start = a.start_abs;
-  rec.finish = a.finish_abs;
-  rec.is_init = prop_init_[rec.tag];
-  rec.x = prop_x_[rec.tag];
-  rec.y = y;
-  rec.error = a.sc.error;
-  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
-  journal_.append(rec.to_payload());
-  ++journal_lines_;
-  obs::count(trace_, "ckpt.journal_appends");
+  while (num_outstanding(sup) > 0) {
+    observe_arrival(await_one(sup), result, /*draining=*/true);
+  }
 }
 
 void BoEngine::maybe_checkpoint(sched::EvalSupervisor& sup) {
-  if (!journaling() || !replay_.empty()) return;
-  if (journal_lines_ - lines_at_snapshot_ < cfg_.checkpoint_every) return;
+  if (!core_.journaling() || !replay_.empty()) return;
+  if (core_.journal_lines() - core_.lines_at_snapshot() <
+      cfg().checkpoint_every) {
+    return;
+  }
   write_snapshot(sup);
 }
 
 void BoEngine::write_snapshot(sched::EvalSupervisor& sup) {
-  obs::ScopedTimer span(trace_, obs::Phase::Checkpoint);
-  BoCheckpoint snap;
-  snap.config_hash = config_hash_;
-  snap.journal_count = journal_lines_;
-  snap.now = logical_now(sup);
-  snap.busy = busy_base_ + sup.executor().total_busy_time();
-  snap.init_done = init_done_;
-  snap.issued = issued_;
-  snap.rng = rng_.save();
-  snap.sup_rng = sup.rng_state();
-  snap.obs_x = obs_x_;
-  snap.obs_y = obs_y_;
-  snap.obs_is_init = obs_is_init_;
-  snap.failed_x = failed_x_;
-  snap.prop_x = prop_x_;
-  snap.prop_init = prop_init_;
-  snap.prop_submit = prop_submit_;
-  snap.prop_duration = prop_duration_;
-  snap.pending.assign(pending_tags_.begin(), pending_tags_.end());
-  snap.hc_histories.reserve(hc_penalties_.size());
-  for (const auto& hc : hc_penalties_) {
-    snap.hc_histories.emplace_back(hc.history().begin(), hc.history().end());
-  }
-  snap.hedge_gains = hedge_.gains();
-  snap.hedge_nominees = hedge_nominees_;
-  snap.next_hyper_refit = next_hyper_refit_;
-  snap.hyper_refits = hyper_refits_;
-  if (init_done_) snap.gp_log_hyperparams = model_.log_hyperparams();
-  io::atomic_write_file(snapshot_file(cfg_.checkpoint_path),
-                        io::frame_line(snap.to_payload()) + "\n");
-  lines_at_snapshot_ = journal_lines_;
-  obs::count(trace_, "ckpt.snapshots");
+  core_.write_snapshot(logical_now(sup),
+                       busy_base_ + sup.executor().total_busy_time(),
+                       sup.rng_state());
 }
 
 void BoEngine::finalize_metrics(sched::Executor& exec, BoResult& result) {

@@ -4,14 +4,17 @@
 /// batch Bayesian optimization drivers over a pluggable executor.
 ///
 /// This implements the paper's Algorithm 1 (EasyBO) plus every comparison
-/// algorithm of §IV, all sharing one GP stack, one acquisition maximizer
-/// and one execution seam (sched::Executor) so that measured differences
-/// come from the algorithm design (issue policy, weight distribution,
-/// penalization), not from implementation asymmetries. The same code path
-/// drives the virtual-time scheduler (experiments) and a real std::thread
-/// pool (production use) — see sched/executor.h.
+/// algorithm of §IV. The algorithm itself — model state, pending-point
+/// bookkeeping, proposal RNG, dedup, failure policies, checkpoint hooks —
+/// lives in AskTellCore (bo/ask_tell.h) behind its suggest()/observe()
+/// interface; BoEngine is the loop driver that pumps the core against an
+/// executor. Each issue policy (sequential / sync batch / async batch) is
+/// one pump schedule, and the same schedules drive the virtual-time
+/// scheduler (experiments) and a real std::thread pool (production use) —
+/// see sched/executor.h — so measured differences come from the algorithm
+/// design, not from implementation asymmetries.
 ///
-/// The engine models in normalized space: inputs are mapped to [0,1]^d and
+/// The core models in normalized space: inputs are mapped to [0,1]^d and
 /// observations are z-scored before GP fitting, so mu and sigma in the
 /// weighted acquisitions are commensurate regardless of the circuit's FOM
 /// scale. Hyperparameters are re-trained on a geometrically thinning
@@ -27,14 +30,11 @@
 #include <string>
 #include <unordered_set>
 
-#include "acq/thompson.h"
+#include "bo/ask_tell.h"
 #include "bo/checkpoint.h"
 #include "bo/config.h"
 #include "bo/result.h"
 #include "common/rng.h"
-#include "gp/gp.h"
-#include "gp/normalizer.h"
-#include "io/journal.h"
 #include "obs/recording.h"
 #include "opt/objective.h"
 #include "sched/executor.h"
@@ -103,11 +103,11 @@ class BoEngine {
   void set_trace(obs::TraceSink* sink);
 
  private:
-  /// One terminal evaluation outcome as delivered to handle(): either a
-  /// real supervised completion or a journaled one re-enacted during
-  /// resume replay. start_abs/finish_abs are on the run's logical clock —
-  /// for replayed records the exact original times from the journal, so
-  /// no floating-point round trip can perturb them.
+  /// One terminal evaluation outcome as delivered to observe_arrival():
+  /// either a real supervised completion or a journaled one re-enacted
+  /// during resume replay. start_abs/finish_abs are on the run's logical
+  /// clock — for replayed records the exact original times from the
+  /// journal, so no floating-point round trip can perturb them.
   struct Arrived {
     sched::SupervisedCompletion sc;
     bool replayed = false;
@@ -115,29 +115,7 @@ class BoEngine {
     double finish_abs = 0.0;
   };
 
-  // --- model management -------------------------------------------------
-  /// Re-standardizes y, re-fits the GP; trains hyperparameters when the
-  /// thinning schedule says so (or when force_train).
-  void update_model(bool force_train);
-
-  /// Index of the incumbent (max observed y).
-  std::size_t incumbent_index() const;
-
-  // --- proposal ---------------------------------------------------------
-  /// Proposes the next query point (unit space). \p pending holds the
-  /// unit-space points currently under evaluation (for hallucination);
-  /// \p slot is the batch slot index (selects the pBO/pHCBO weight).
-  Vec propose(const std::vector<Vec>& pending, std::size_t slot);
-
-  /// Thompson-sampling proposal (AcqKind::Ts).
-  Vec propose_thompson(const std::vector<Vec>& pending);
-
-  /// GP-Hedge portfolio proposal (AcqKind::Hedge).
-  Vec propose_hedge(const std::vector<Vec>& pending);
-
-  /// Nudges a proposal that collides with an observed, pending, or
-  /// previously-failed point.
-  Vec dedup(Vec x, const std::vector<Vec>& pending);
+  const BoConfig& cfg() const { return core_.config(); }
 
   // --- run phases ---------------------------------------------------------
   void run_init_phase(sched::EvalSupervisor& sup, BoResult& result);
@@ -145,15 +123,16 @@ class BoEngine {
   void run_sync_batch(sched::EvalSupervisor& sup, BoResult& result);
   void run_async_batch(sched::EvalSupervisor& sup, BoResult& result);
 
-  /// Submits proposal (unit space) to the supervisor, bookkeeping the tag
-  /// and counting it against the simulation budget (issued_).
-  void submit(sched::EvalSupervisor& sup, Vec unit_x, bool is_init);
+  /// Pulls the next suggestion out of the core and hands it to the
+  /// supervisor — unless its tag is covered by resume replay, in which
+  /// case the already-durable outcome will be delivered by await_one()
+  /// and only the logical worker-slot accounting happens here.
+  void submit(sched::EvalSupervisor& sup);
 
-  /// Handles one outcome: journals it (durable before applied), records
-  /// an observation on success, applies cfg_.on_eval_failure otherwise
-  /// (Abort rethrows out of run()). Returns whether the model's dataset
-  /// changed (real or pseudo observation added).
-  bool handle(const Arrived& a, BoResult& result);
+  /// Feeds one arrival into the core (books the ObjectiveEval span and
+  /// the per-eval log around it). Abort policy rethrows out of here.
+  void observe_arrival(const Arrived& a, BoResult& result,
+                       bool draining = false);
 
   /// Appends one entry to the per-eval outcome log (metrics "evals").
   void log_eval(const sched::SupervisedCompletion& sc, const char* action);
@@ -164,14 +143,14 @@ class BoEngine {
       sched::EvalSupervisor& sup);
 
   // --- durability (checkpoint/resume; docs/checkpoint-format.md) --------
-  bool journaling() const { return !cfg_.checkpoint_path.empty(); }
   bool stop_requested() const {
     return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
   }
 
   /// Evaluations logically in flight: really running on the executor plus
   /// those whose journaled outcome is still queued for replay. Equals
-  /// sup.num_running() outside resume replay.
+  /// sup.num_running() outside resume replay — and always equals the
+  /// core's pending-tag count.
   std::size_t num_outstanding(const sched::EvalSupervisor& sup) const {
     return sup.num_running() + replay_awaiting_.size();
   }
@@ -204,10 +183,7 @@ class BoEngine {
   /// per-attempt deadline exactly as the supervisor cuts it.
   double effective_duration(double duration) const;
 
-  /// Truncates/creates the journal and writes its header line.
-  void start_fresh_journal();
-
-  /// Loads snapshot + journal, restores engine state, stages the journal
+  /// Loads snapshot + journal, restores core state, stages the journal
   /// tail for replay and re-submits genuinely in-flight work.
   void restore(sched::EvalSupervisor& sup, BoResult& result);
 
@@ -218,10 +194,6 @@ class BoEngine {
   /// Drains every outstanding evaluation without model updates (the init
   /// phase / graceful-stop semantics).
   void drain_all(sched::EvalSupervisor& sup, BoResult& result);
-
-  /// Appends one eval record to the journal (fsync'd). No-op when
-  /// journaling is off or the outcome is itself a replay.
-  void journal_eval(const Arrived& a, const char* action, double y);
 
   /// Writes a snapshot when the cadence says so (checkpoint_every new
   /// journal lines since the last one; never during replay).
@@ -234,43 +206,10 @@ class BoEngine {
   /// result.metrics, grafting on the executor's worker stats.
   void finalize_metrics(sched::Executor& exec, BoResult& result);
 
-  BoConfig cfg_;
-  opt::Bounds bounds_;
+  AskTellCore core_;
   opt::Objective objective_;
-  std::function<double(const Vec&)> sim_time_;
-  Rng rng_;
-  gp::BoxNormalizer box_;
-  gp::ZScore zscore_;
-  gp::GpRegressor model_;
 
-  // Observations (unit space + raw y). Penalized failures appear here as
-  // pseudo-observations; discarded failures do not.
-  std::vector<Vec> obs_x_;
-  Vec obs_y_;
-  std::vector<bool> obs_is_init_;
-
-  // Discarded failure locations (unit space), kept so dedup never
-  // re-proposes a crashing point verbatim.
-  std::vector<Vec> failed_x_;
-
-  // Evaluations issued so far (submissions, not observations): the
-  // simulation-budget clock. With no failures this equals the observation
-  // count, preserving the pre-supervision schedules bit for bit.
-  std::size_t issued_ = 0;
-
-  // Proposals by tag: the executor's completion tag indexes these. Submit
-  // time (logical clock) and nominal duration ride along so a snapshot
-  // can re-anchor in-flight work on resume.
-  std::vector<Vec> prop_x_;       // unit space
-  std::vector<bool> prop_init_;
-  std::vector<double> prop_submit_;
-  std::vector<double> prop_duration_;
-
-  // --- durability state (checkpoint/resume) -----------------------------
-  io::JournalWriter journal_;
-  std::uint64_t config_hash_ = 0;
-  std::size_t journal_lines_ = 0;      // eval records written (no header)
-  std::size_t lines_at_snapshot_ = 0;  // journal_lines_ at last snapshot
+  // --- resume replay (engine-side: it shadows the EXECUTION timeline) ---
   // Journal tail to re-enact on resume, in original completion order,
   // plus the tags it covers. A tag in replay_tags_ is never handed to the
   // executor — its outcome is already durable.
@@ -278,46 +217,22 @@ class BoEngine {
   std::unordered_set<std::size_t> replay_tags_;
   std::unordered_set<std::size_t> replay_awaiting_;  // covered AND issued
   // In-flight-at-kill tags re-submitted with their remaining duration;
-  // their completion's start is prop_submit_, not the re-submit time.
+  // their completion's start is the original submit time, not the
+  // re-submit time.
   std::unordered_set<std::size_t> restored_real_;
-  std::set<std::size_t> pending_tags_;  // issued, not yet handled (sorted)
   double busy_base_ = 0.0;          // restored busy the executor never saw
   double last_replay_finish_ = 0.0;
   bool resumed_ = false;
-  bool init_done_ = false;  // post-init force-train already ran
   const std::atomic<bool>* stop_ = nullptr;
   std::string resume_note_;
-
-  // pHCBO per-weight-slot penalty history.
-  std::vector<acq::HighCoveragePenalty> hc_penalties_;
-
-  // GP-Hedge state (AcqKind::Hedge): portfolio gains and the members'
-  // last nominees awaiting their reward.
-  acq::HedgePortfolio hedge_;
-  std::vector<Vec> hedge_nominees_;
-
-  std::size_t next_hyper_refit_ = 0;
-  std::size_t hyper_refits_ = 0;
 
   // Observability (src/obs). trace_ is non-owning and nullptr by default
   // (the zero-cost null sink); owned_recorder_ backs it only when
   // cfg_.collect_metrics asked the engine to record itself.
   obs::TraceSink* trace_ = nullptr;
   std::unique_ptr<obs::RecordingSink> owned_recorder_;
-  std::string proposal_counter_;  // "bo.proposals.<acq>", built once
   std::vector<obs::EvalLogEntry> eval_log_;  // built when trace_ != nullptr
 };
-
-/// Resolves a proposal that collides (squared distance < 1e-12) with an
-/// observed or pending point: Gaussian nudges (sigma 0.01, clamped to the
-/// unit cube) retried until the point clears, with a uniform resample
-/// fallback — a nudge clamped on the cube boundary can land right back on
-/// the duplicate, which is exactly the case the retries exist for. Counts
-/// "bo.dedup_nudge" / "bo.dedup_resample" on \p trace. Exposed as a free
-/// function for direct testing; BoEngine routes every proposal through it.
-Vec dedup_proposal(Vec x, const std::vector<Vec>& observed,
-                   const std::vector<Vec>& pending, Rng& rng,
-                   obs::TraceSink* trace = nullptr);
 
 /// Convenience wrapper: configure, run, return.
 BoResult run_bo(const BoConfig& config, const opt::Bounds& bounds,

@@ -30,6 +30,12 @@ const std::vector<JsonValue>& JsonValue::as_array() const {
   return arr_;
 }
 
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::as_members()
+    const {
+  EASYBO_REQUIRE(kind_ == Kind::Object, "json: expected an object");
+  return obj_;
+}
+
 const JsonValue* JsonValue::find(std::string_view key) const {
   EASYBO_REQUIRE(kind_ == Kind::Object, "json: expected an object");
   for (const auto& [k, v] : obj_) {

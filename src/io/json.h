@@ -38,6 +38,9 @@ class JsonValue {
   double as_double() const;
   const std::string& as_string() const;
   const std::vector<JsonValue>& as_array() const;
+  /// Object members in file order (strict readers enumerate these to
+  /// reject unknown keys). Throws easybo::Error on a kind mismatch.
+  const std::vector<std::pair<std::string, JsonValue>>& as_members() const;
 
   /// Object member lookup; nullptr when absent (for optional fields).
   const JsonValue* find(std::string_view key) const;

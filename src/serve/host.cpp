@@ -1,0 +1,246 @@
+#include "serve/host.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "common/error.h"
+#include "io/journal.h"
+#include "io/json.h"
+
+namespace easybo::serve {
+
+namespace {
+
+/// Splits off the first space-delimited token; advances \p rest past the
+/// separating spaces. Empty token at end of line.
+std::string next_token(std::string_view& rest) {
+  std::size_t start = 0;
+  while (start < rest.size() && rest[start] == ' ') ++start;
+  std::size_t end = start;
+  while (end < rest.size() && rest[end] != ' ') ++end;
+  std::string token(rest.substr(start, end - start));
+  rest.remove_prefix(end);
+  return token;
+}
+
+std::string_view trim_leading(std::string_view s) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  return s;
+}
+
+/// Replies must be exactly one line; error messages are arbitrary what()
+/// strings, so fold any newline into a space.
+std::string one_line(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+double parse_double_token(const std::string& token, const char* what) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(token.c_str(), &end);
+  if (token.empty() || end != token.c_str() + token.size()) {
+    throw Error(std::string("expected a number for ") + what + ", got \"" +
+                token + "\"");
+  }
+  return v;
+}
+
+std::size_t parse_tag_token(const std::string& token) {
+  if (token.empty() ||
+      token.find_first_not_of("0123456789") != std::string::npos) {
+    throw Error("expected a non-negative integer tag, got \"" + token +
+                "\"");
+  }
+  return static_cast<std::size_t>(io::parse_u64(token));
+}
+
+std::string suggestion_json(const bo::Suggestion& s) {
+  std::string out = "{\"tag\":" + std::to_string(s.tag) + ",\"x\":[";
+  for (std::size_t i = 0; i < s.x.size(); ++i) {
+    if (i != 0) out += ",";
+    out += io::json_number(s.x[i]);
+  }
+  out += "],\"is_init\":";
+  out += s.is_init ? "true" : "false";
+  return out + "}";
+}
+
+}  // namespace
+
+bool valid_session_name(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  if (name.front() == '.' || name.front() == '-') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+SessionHost::SessionHost(std::string state_dir, std::size_t max_live)
+    : state_dir_(std::move(state_dir)), max_live_(max_live) {
+  EASYBO_REQUIRE(!state_dir_.empty(), "SessionHost: empty state directory");
+  EASYBO_REQUIRE(max_live_ > 0, "SessionHost: max_live must be positive");
+  std::error_code ec;
+  std::filesystem::create_directories(state_dir_, ec);
+  if (ec) {
+    throw Error("SessionHost: cannot create state directory " + state_dir_ +
+                ": " + ec.message());
+  }
+}
+
+std::string SessionHost::config_path(const std::string& name) const {
+  return state_dir_ + "/" + name + ".config";
+}
+
+std::string SessionHost::checkpoint_base(const std::string& name) const {
+  return state_dir_ + "/" + name;
+}
+
+void SessionHost::touch(const std::string& name) {
+  auto it = live_.find(name);
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+}
+
+Session& SessionHost::adopt(std::unique_ptr<Session> session) {
+  const std::string name = session->name();
+  lru_.push_front(name);
+  Live entry{std::move(session), lru_.begin()};
+  Session& ref = *entry.session;
+  live_.insert_or_assign(name, std::move(entry));
+  // Evict beyond the cap, least-recently-used first. Sessions snapshot
+  // after every mutation, so dropping the object loses nothing.
+  while (live_.size() > max_live_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    live_.erase(victim);
+  }
+  return ref;
+}
+
+Session& SessionHost::acquire(const std::string& name) {
+  if (!valid_session_name(name)) {
+    throw Error("invalid session name \"" + name + "\"");
+  }
+  auto it = live_.find(name);
+  if (it != live_.end()) {
+    touch(name);
+    return *it->second.session;
+  }
+  // Resume-on-demand: the session was evicted or the host restarted. Its
+  // persisted config re-parses to the same fingerprint the checkpoint
+  // files carry, so the resume is exact.
+  const std::string cpath = config_path(name);
+  if (!io::file_exists(cpath)) {
+    throw Error("unknown session \"" + name + "\" (no state under " +
+                state_dir_ + ")");
+  }
+  SessionSpec spec = parse_session_config(io::read_file(cpath));
+  return adopt(Session::resume(name, std::move(spec),
+                               checkpoint_base(name)));
+}
+
+std::string SessionHost::handle_line(const std::string& line) {
+  try {
+    std::string_view rest = line;
+    const std::string cmd = next_token(rest);
+    if (cmd.empty()) throw Error("empty request");
+
+    if (cmd == "NEW") {
+      const std::string name = next_token(rest);
+      if (!valid_session_name(name)) {
+        throw Error("invalid session name \"" + name + "\"");
+      }
+      if (live_.count(name) != 0) {
+        // Already live: NEW is idempotent (a reconnecting client need not
+        // track whether its earlier NEW arrived); the provided config is
+        // ignored in favour of the one the session runs with.
+        touch(name);
+        return "OK resumed " + name;
+      }
+      if (io::file_exists(config_path(name))) {
+        // Known but not live: re-open from the persisted config. The
+        // provided config is ignored — honouring a different one would
+        // splice proposal streams, which resume refuses anyway.
+        acquire(name);
+        return "OK resumed " + name;
+      }
+      const std::string config_json{trim_leading(rest)};
+      if (config_json.empty()) {
+        throw Error("NEW " + name + ": missing config JSON");
+      }
+      // Parse first: nothing is persisted for a config that does not
+      // validate.
+      SessionSpec spec = parse_session_config(config_json);
+      io::atomic_write_file(config_path(name), config_json);
+      adopt(Session::create(name, std::move(spec), checkpoint_base(name)));
+      return "OK created " + name;
+    }
+
+    if (cmd == "SUGGEST") {
+      const std::string name = next_token(rest);
+      if (!trim_leading(rest).empty()) {
+        throw Error("SUGGEST takes only a session name");
+      }
+      Session& s = acquire(name);
+      return "OK " + suggestion_json(s.suggest());
+    }
+
+    if (cmd == "OBSERVE") {
+      const std::string name = next_token(rest);
+      const std::size_t tag = parse_tag_token(next_token(rest));
+      const std::string value = next_token(rest);
+      Session& s = acquire(name);
+      SessionObserved ob;
+      if (value == "fail") {
+        const std::string status = next_token(rest);
+        const std::string detail{trim_leading(rest)};
+        ob = s.observe_failure(tag, status, detail);
+      } else {
+        if (!trim_leading(rest).empty()) {
+          throw Error("OBSERVE: trailing input after the observed value");
+        }
+        ob = s.observe_ok(tag, parse_double_token(value, "the observation"));
+      }
+      return std::string("OK {\"action\":\"") + ob.action + "\"}";
+    }
+
+    if (cmd == "STATUS") {
+      const std::string name = next_token(rest);
+      if (!trim_leading(rest).empty()) {
+        throw Error("STATUS takes only a session name");
+      }
+      return "OK " + acquire(name).status_json();
+    }
+
+    if (cmd == "CLOSE") {
+      const std::string name = next_token(rest);
+      if (!valid_session_name(name)) {
+        throw Error("invalid session name \"" + name + "\"");
+      }
+      auto it = live_.find(name);
+      if (it != live_.end()) {
+        lru_.erase(it->second.lru_pos);
+        live_.erase(it);
+        return "OK closed " + name;
+      }
+      if (io::file_exists(config_path(name))) return "OK closed " + name;
+      throw Error("unknown session \"" + name + "\"");
+    }
+
+    throw Error("unknown command \"" + cmd +
+                "\" (expected NEW|SUGGEST|OBSERVE|STATUS|CLOSE)");
+  } catch (const std::exception& e) {
+    return one_line(std::string("ERR ") + e.what());
+  }
+}
+
+}  // namespace easybo::serve

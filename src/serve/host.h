@@ -1,0 +1,99 @@
+#pragma once
+/// \file host.h
+/// \brief Multi-session host: many named AskTellCore sessions, one process.
+///
+/// SessionHost owns a bounded set of live Session objects and the state
+/// directory their durability files live in. It speaks a line protocol
+/// (one request line in, one reply line out — docs/service-protocol.md):
+///
+///   NEW <name> <config-json>      create (or re-open) a session
+///   SUGGEST <name>                next point to evaluate
+///   OBSERVE <name> <tag> <y>      successful evaluation result
+///   OBSERVE <name> <tag> fail <status> [detail...]   failed evaluation
+///   STATUS <name>                 one-line JSON session status
+///   CLOSE <name>                  drop the live object (files remain)
+///
+/// Every reply is a single line: "OK[ <payload>]" or "ERR <message>".
+///
+/// Sessions are durable by construction (Session snapshots after every
+/// mutation), which makes the live set a pure cache: when it exceeds
+/// max_live the least-recently-used session is simply dropped — nothing
+/// to flush — and any command naming a non-live session whose state files
+/// exist transparently resumes it first. CLOSE is the same drop,
+/// requested explicitly. A session is gone for good only when its files
+/// are deleted from the state directory, which the host never does.
+///
+/// The host is deliberately transport-agnostic and single-threaded:
+/// handle_line() is the entire surface, and the CLI (examples/
+/// easybo_serve.cpp) pumps it from stdin or a socket. One request at a
+/// time keeps every session's suggest/observe ordering — and therefore
+/// its proposal stream — deterministic without locks.
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "serve/session.h"
+
+namespace easybo::serve {
+
+/// True when \p name is a valid session name: nonempty, at most 128
+/// characters, drawn from [A-Za-z0-9._-], not starting with '.' or '-'
+/// (names become file names inside the state directory and wire tokens;
+/// this set can never escape either role).
+bool valid_session_name(const std::string& name);
+
+class SessionHost {
+ public:
+  /// \param state_dir  directory for per-session state files (created if
+  ///                   absent): "<name>.config" (the NEW command's JSON),
+  ///                   "<name>.journal" and "<name>.snapshot"
+  /// \param max_live   cap on concurrently live Session objects; the
+  ///                   least-recently-used beyond it is dropped (its
+  ///                   files stay resumable)
+  SessionHost(std::string state_dir, std::size_t max_live);
+
+  /// Handles one protocol line and returns the one-line reply. Never
+  /// throws for malformed input or session errors — those become "ERR "
+  /// replies (the host serves many clients; one bad request must not
+  /// take the process down).
+  std::string handle_line(const std::string& line);
+
+  std::size_t live_count() const { return live_.size(); }
+  bool is_live(const std::string& name) const {
+    return live_.count(name) != 0;
+  }
+
+  const std::string& state_dir() const { return state_dir_; }
+  std::size_t max_live() const { return max_live_; }
+
+ private:
+  std::string config_path(const std::string& name) const;
+  std::string checkpoint_base(const std::string& name) const;
+
+  /// The live session for \p name, resuming it from the state directory
+  /// when necessary. Throws easybo::Error when the name is invalid or
+  /// the session does not exist (no config file).
+  Session& acquire(const std::string& name);
+
+  /// Marks \p name most-recently-used.
+  void touch(const std::string& name);
+
+  /// Inserts a live session and evicts LRU entries beyond max_live.
+  Session& adopt(std::unique_ptr<Session> session);
+
+  struct Live {
+    std::unique_ptr<Session> session;
+    /// Position in lru_ (most recent at the front).
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  std::string state_dir_;
+  std::size_t max_live_;
+  std::map<std::string, Live> live_;
+  std::list<std::string> lru_;  ///< most-recently-used first
+};
+
+}  // namespace easybo::serve

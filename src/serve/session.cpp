@@ -1,0 +1,267 @@
+#include "serve/session.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "io/json.h"
+
+namespace easybo::serve {
+
+using linalg::Vec;
+
+namespace {
+
+sched::EvalStatus failure_status_from(const std::string& name) {
+  if (name == "exception") return sched::EvalStatus::Exception;
+  if (name == "timeout") return sched::EvalStatus::Timeout;
+  if (name == "non_finite") return sched::EvalStatus::NonFinite;
+  throw Error("observe: unknown failure status \"" + name +
+              "\" (expected exception|timeout|non_finite)");
+}
+
+sched::EvalStatus replay_status_from(const std::string& name,
+                                     std::size_t record_index) {
+  if (name == "ok") return sched::EvalStatus::Ok;
+  if (name == "exception") return sched::EvalStatus::Exception;
+  if (name == "timeout") return sched::EvalStatus::Timeout;
+  if (name == "non_finite") return sched::EvalStatus::NonFinite;
+  throw io::CheckpointError("journal corrupted: record " +
+                            std::to_string(record_index) +
+                            " carries unknown eval status \"" + name + "\"");
+}
+
+bool same_point(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Session::Session(std::string name, SessionSpec spec)
+    : name_(std::move(name)),
+      core_(std::move(spec.config), std::move(spec.bounds)) {
+  // The session's snapshot files reuse the engine's schema, which carries
+  // the supervisor jitter stream. A hosted session never retries (the
+  // client reports one terminal outcome per tag), so the stream stays at
+  // the state the engine would have seeded it with.
+  Rng sup(core_.config().seed ^ 0x5AFEB0FFu);
+  sup_rng_ = sup.save();
+}
+
+std::unique_ptr<Session> Session::create(std::string name, SessionSpec spec,
+                                         const std::string& checkpoint_base) {
+  auto s = std::unique_ptr<Session>(
+      new Session(std::move(name), std::move(spec)));
+  s->core_.set_checkpoint_path(checkpoint_base);
+  s->core_.start_fresh_journal();
+  // Durable before the first reply: a host crash between NEW and the
+  // first SUGGEST must still resume to a pristine session.
+  s->snapshot();
+  return s;
+}
+
+std::unique_ptr<Session> Session::resume(std::string name, SessionSpec spec,
+                                         const std::string& checkpoint_base) {
+  auto s = std::unique_ptr<Session>(
+      new Session(std::move(name), std::move(spec)));
+  bo::AskTellCore& core = s->core_;
+  core.set_checkpoint_path(checkpoint_base);
+
+  const std::string jpath = bo::journal_file(checkpoint_base);
+  const std::string spath = bo::snapshot_file(checkpoint_base);
+  if (!io::file_exists(jpath)) {
+    throw io::CheckpointError("cannot resume: no journal at " + jpath);
+  }
+  const io::JournalReadResult jr = io::read_journal(jpath);
+  if (jr.payloads.empty()) {
+    throw io::CheckpointError("cannot resume: journal at " + jpath +
+                              " holds no intact header line");
+  }
+  const bo::JournalHeader header = bo::JournalHeader::parse(jr.payloads.front());
+  if (header.config_hash != core.config_hash()) {
+    throw io::CheckpointError(
+        "checkpoint config mismatch: journal " + jpath +
+        " was written with config fingerprint " +
+        io::json_u64(header.config_hash) +
+        " but this session is configured with fingerprint " +
+        io::json_u64(core.config_hash()) +
+        "; resuming would splice two different proposal streams");
+  }
+  std::vector<bo::JournalRecord> records;
+  records.reserve(jr.payloads.size() - 1);
+  for (std::size_t i = 1; i < jr.payloads.size(); ++i) {
+    bo::JournalRecord rec = bo::JournalRecord::parse(jr.payloads[i]);
+    if (rec.index != records.size()) {
+      throw io::CheckpointError(
+          "journal corrupted: line " + std::to_string(i + 1) + " of " +
+          jpath + " carries record index " + std::to_string(rec.index) +
+          " where " + std::to_string(records.size()) + " was expected");
+    }
+    records.push_back(std::move(rec));
+  }
+
+  // Sessions write a snapshot inside create(), so a resumable session
+  // always has one (unlike an engine run killed before its first
+  // checkpoint interval).
+  if (!io::file_exists(spath)) {
+    throw io::CheckpointError("cannot resume session: no snapshot at " +
+                              spath);
+  }
+  const io::JournalReadResult sr = io::read_journal(spath);
+  if (sr.payloads.size() != 1 || sr.torn_tail) {
+    throw io::CheckpointError(
+        "snapshot " + spath +
+        " is damaged (expected exactly one intact framed line)");
+  }
+  const bo::BoCheckpoint snap = bo::BoCheckpoint::parse(sr.payloads.front());
+  if (snap.config_hash != core.config_hash()) {
+    throw io::CheckpointError(
+        "checkpoint config mismatch: snapshot " + spath +
+        " was written with config fingerprint " +
+        io::json_u64(snap.config_hash) +
+        " but this session is configured with fingerprint " +
+        io::json_u64(core.config_hash()));
+  }
+  if (snap.journal_count > records.size()) {
+    throw io::CheckpointError(
+        "snapshot " + spath + " absorbs " +
+        std::to_string(snap.journal_count) + " evaluations but journal " +
+        jpath + " holds only " + std::to_string(records.size()) +
+        " — the files do not belong to the same run");
+  }
+
+  core.reopen_journal(jr.valid_bytes, records.size(), snap.journal_count);
+  core.restore_snapshot(snap, spath);
+  s->now_ = snap.now;
+
+  // Because the session snapshots after every mutation, the tail is at
+  // most the one record of a crash between journal append and snapshot
+  // rename — but re-applying a longer tail is the same loop, so handle
+  // the general case. Replayed outcomes are already durable: observe()
+  // must not journal them again.
+  for (std::size_t i = snap.journal_count; i < records.size(); ++i) {
+    const bo::JournalRecord& rec = records[i];
+    if (rec.tag >= core.num_proposals() ||
+        core.pending_tags().count(rec.tag) == 0) {
+      throw io::CheckpointError(
+          "journal corrupted: record " + std::to_string(rec.index) +
+          " completes evaluation " + std::to_string(rec.tag) +
+          " which the restored session never had in flight");
+    }
+    if (!same_point(rec.x, core.proposal(rec.tag))) {
+      throw io::CheckpointError(
+          "journal record " + std::to_string(rec.index) +
+          " does not match this configuration's proposal stream "
+          "(evaluation " + std::to_string(rec.tag) +
+          " replays to a different point) — was the journal written by a "
+          "different configuration or code version?");
+    }
+    bo::Outcome o;
+    o.status = replay_status_from(rec.status, rec.index);
+    o.value = o.status == sched::EvalStatus::Ok
+                  ? rec.y
+                  : std::numeric_limits<double>::quiet_NaN();
+    o.attempts = rec.attempts;
+    o.worker = rec.worker;
+    o.start = rec.start;
+    o.finish = rec.finish;
+    o.error = rec.error;
+    o.replayed = true;
+    const bo::Observed ob = core.observe(rec.tag, o);
+    if (rec.action != ob.action) {
+      throw io::CheckpointError(
+          "journal record " + std::to_string(rec.index) +
+          " was applied as \"" + rec.action + "\" by the original session "
+          "but replays as \"" + ob.action +
+          "\" — the files and this build disagree on failure policy");
+    }
+    s->now_ = rec.finish;  // live observes tick the clock to their finish
+  }
+  if (records.size() > snap.journal_count) s->snapshot();
+  return s;
+}
+
+bo::Suggestion Session::suggest() {
+  bo::Suggestion s = core_.suggest(now_);
+  // Durable before the reply leaves the process: the tag in this
+  // suggestion must survive eviction and crash — the client holds it and
+  // will OBSERVE it against whatever object resumes from these files.
+  snapshot();
+  return s;
+}
+
+SessionObserved Session::observe_ok(std::size_t tag, double y) {
+  bo::Outcome o;
+  o.status = sched::EvalStatus::Ok;
+  o.value = y;
+  o.start = tag < core_.num_proposals() ? core_.proposal_submit_time(tag)
+                                        : 0.0;
+  o.finish = now_ + 1.0;
+  const bo::Observed ob = core_.observe(tag, o);
+  now_ += 1.0;
+  snapshot();
+  return SessionObserved{ob.action};
+}
+
+SessionObserved Session::observe_failure(std::size_t tag,
+                                         const std::string& status,
+                                         const std::string& error) {
+  bo::Outcome o;
+  o.status = failure_status_from(status);
+  o.value = std::numeric_limits<double>::quiet_NaN();
+  o.start = tag < core_.num_proposals() ? core_.proposal_submit_time(tag)
+                                        : 0.0;
+  o.finish = now_ + 1.0;
+  o.error = error;
+  const bo::Observed ob = core_.observe(tag, o);
+  now_ += 1.0;
+  snapshot();
+  return SessionObserved{ob.action};
+}
+
+std::string Session::status_json() const {
+  std::string s = "{";
+  auto put = [&s](const std::string& key, const std::string& value) {
+    if (s.size() > 1) s += ",";
+    s += io::json_quote(key) + ":" + value;
+  };
+  put("name", io::json_quote(name_));
+  put("mode", io::json_quote(to_string(core_.config().mode)));
+  put("acq", io::json_quote(to_string(core_.config().acq)));
+  // Counts go through std::to_string, not json_number: the shortest
+  // round-trip double for 10 is "1e+01", which is silly for a count.
+  put("dim", std::to_string(core_.bounds().dim()));
+  put("issued", std::to_string(core_.issued()));
+  put("observed", std::to_string(core_.num_observations()));
+  put("max_sims", std::to_string(core_.config().max_sims));
+  put("init_done", core_.init_done() ? "true" : "false");
+  std::string pending = "[";
+  for (const std::size_t tag : core_.pending_tags()) {
+    if (pending.size() > 1) pending += ",";
+    pending += std::to_string(tag);
+  }
+  put("pending", pending + "]");
+  if (core_.has_observations()) {
+    put("best_y", io::json_number(core_.best_y()));
+    std::string bx = "[";
+    const Vec best = core_.best_x();
+    for (std::size_t i = 0; i < best.size(); ++i) {
+      if (i != 0) bx += ",";
+      bx += io::json_number(best[i]);
+    }
+    put("best_x", bx + "]");
+  } else {
+    put("best_y", "null");
+    put("best_x", "null");
+  }
+  return s + "}";
+}
+
+void Session::snapshot() { core_.write_snapshot(now_, 0.0, sup_rng_); }
+
+}  // namespace easybo::serve

@@ -1,0 +1,97 @@
+#pragma once
+/// \file session.h
+/// \brief One named, durable ask/tell session hosted by the server.
+///
+/// A Session is an AskTellCore plus the persistence discipline a
+/// multi-tenant host needs: every mutation (suggest AND observe) is made
+/// durable before its reply leaves the process — observes append to the
+/// session's journal inside the core, and a snapshot is rewritten
+/// atomically after each mutation. That cadence is deliberately tighter
+/// than BoEngine's (which snapshots on a journal-line cadence): a hosted
+/// session can be evicted between any two protocol commands, and a
+/// suggestion whose tag has been handed to a remote client MUST survive
+/// eviction — the client will come back with `OBSERVE <tag>` long after
+/// the in-memory object is gone. With a snapshot per mutation, resume is
+/// exactly restore-the-snapshot; the only journal tail that can exist is
+/// the single observe record of a crash between journal append and
+/// snapshot rename, and that record is re-applied on resume.
+///
+/// Durability shares PR 4's format (docs/checkpoint-format.md): the same
+/// CRC-framed journal, the same BoCheckpoint snapshot, the same config
+/// fingerprint refusal on mismatch. The executor-side snapshot fields a
+/// BoEngine run would fill (clock, busy time, supervisor RNG) are stood
+/// in by the session's logical clock (one tick per observation), zero
+/// busy time, and the supervisor stream's seed-derived initial state —
+/// so the files stay schema-complete.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "bo/ask_tell.h"
+#include "serve/session_config.h"
+
+namespace easybo::serve {
+
+/// What one observe did, as reported on the wire.
+struct SessionObserved {
+  const char* action = "";  ///< "observed" | "penalized" | "discarded"
+};
+
+/// A durable, named AskTellCore. Construct through create() or resume();
+/// both take the checkpoint base path ("<base>.journal"/"<base>.snapshot")
+/// the host chose for this session.
+class Session {
+ public:
+  /// Starts a fresh session: truncates the journal, writes the header
+  /// line and the pristine snapshot (so the session is resumable before
+  /// its first command completes).
+  static std::unique_ptr<Session> create(std::string name, SessionSpec spec,
+                                         const std::string& checkpoint_base);
+
+  /// Rebuilds a session from its checkpoint files. \p spec must parse to
+  /// the same configuration the files were written with — the config
+  /// fingerprint is checked exactly as BoEngine::resume checks it
+  /// (io::CheckpointError on mismatch). Re-applies the at-most-one
+  /// journal record the snapshot has not absorbed.
+  static std::unique_ptr<Session> resume(std::string name, SessionSpec spec,
+                                         const std::string& checkpoint_base);
+
+  /// suggest + snapshot. Throws easybo::Error when the budget is
+  /// exhausted or the initial design is fully in flight.
+  bo::Suggestion suggest();
+
+  /// Successful evaluation result for \p tag: observe + snapshot.
+  SessionObserved observe_ok(std::size_t tag, double y);
+
+  /// Failed evaluation for \p tag; \p status names the failure
+  /// ("exception" | "timeout" | "non_finite"). The session's failure
+  /// policy (discard/penalize) decides what happens; there is no abort
+  /// over the protocol. \p error is an optional human-readable detail
+  /// recorded in the journal.
+  SessionObserved observe_failure(std::size_t tag, const std::string& status,
+                                  const std::string& error = "");
+
+  /// One-line JSON status object (docs/service-protocol.md).
+  std::string status_json() const;
+
+  const std::string& name() const { return name_; }
+  const bo::AskTellCore& core() const { return core_; }
+
+ private:
+  Session(std::string name, SessionSpec spec);
+
+  void snapshot();
+
+  std::string name_;
+  bo::AskTellCore core_;
+  /// Stand-in for the supervisor jitter stream a BoEngine run would
+  /// snapshot: the stream's initial state for this seed. The host never
+  /// retries evaluations, so the stream never advances.
+  RngState sup_rng_;
+  /// Logical clock: one tick per absorbed observation. Recorded as each
+  /// proposal's submit time and as the snapshot clock.
+  double now_ = 0.0;
+};
+
+}  // namespace easybo::serve

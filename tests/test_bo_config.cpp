@@ -74,14 +74,16 @@ TEST(BoConfig, BatchModesNeedBatchOfTwo) {
   EXPECT_THROW(c.validate(), InvalidArgument);
 }
 
-TEST(BoConfig, PboIsSyncOnly) {
+TEST(BoConfig, PboIsBatchOnly) {
   BoConfig c = base();
   c.acq = AcqKind::Pbo;
-  c.mode = Mode::AsyncBatch;
-  EXPECT_THROW(c.validate(), InvalidArgument);
   c.mode = Mode::Sequential;
   EXPECT_THROW(c.validate(), InvalidArgument);
+  // Sync or async: the weight grid spans the batch slots either way
+  // (async uses slot 0 unless async_slot_rotation spreads it by tag).
   c.mode = Mode::SyncBatch;
+  EXPECT_NO_THROW(c.validate());
+  c.mode = Mode::AsyncBatch;
   EXPECT_NO_THROW(c.validate());
 }
 
