@@ -13,15 +13,30 @@
 /// standalone seeded BoEngine::run of the identical (wire-round-tripped)
 /// config — the acceptance check for the multi-session server.
 ///
+/// A second phase re-runs the exercise over real sockets: an in-process
+/// TcpServer with EASYBO_CLIENTS (default 8) concurrent client threads,
+/// each owning a disjoint partition of EASYBO_TCP_SESSIONS (default 56)
+/// sessions and driving them round-robin over its own connection. Every
+/// stream is again verified bit-for-bit against a standalone engine run
+/// — concurrency and the transport must not perturb a single proposal.
+///
 /// Exit codes: 0 all streams bit-identical, 1 any mismatch or error.
 ///
 /// Environment: EASYBO_SESSIONS, EASYBO_MAX_LIVE, EASYBO_SIMS
-/// (default 16), EASYBO_STATE_DIR (default under the system temp dir).
+/// (default 16), EASYBO_CLIENTS, EASYBO_TCP_SESSIONS, EASYBO_STATE_DIR
+/// (default under the system temp dir).
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bo/engine.h"
@@ -30,6 +45,7 @@
 #include "io/json.h"
 #include "serve/host.h"
 #include "serve/session_config.h"
+#include "serve/tcp_server.h"
 
 namespace {
 
@@ -61,9 +77,9 @@ struct Turn {
   Vec x;
 };
 
-/// One SUGGEST reply → tag + point; empty x means budget exhausted.
-Turn suggest(easybo::serve::SessionHost& host, const std::string& name) {
-  const std::string reply = host.handle_line("SUGGEST " + name);
+/// Parses one SUGGEST reply into tag + point; empty x means budget
+/// exhausted; any other ERR aborts the run.
+Turn parse_suggest(const std::string& name, const std::string& reply) {
   Turn t;
   if (reply.rfind("ERR ", 0) == 0) {
     if (reply.find("budget exhausted") == std::string::npos) {
@@ -78,6 +94,69 @@ Turn suggest(easybo::serve::SessionHost& host, const std::string& name) {
   for (const auto& v : j.at("x").as_array()) t.x.push_back(v.as_double());
   return t;
 }
+
+Turn suggest(easybo::serve::SessionHost& host, const std::string& name) {
+  return parse_suggest(name, host.handle_line("SUGGEST " + name));
+}
+
+/// Minimal blocking TCP line client for the concurrent phase.
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      std::perror("serve_load: socket");
+      std::exit(1);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      std::perror("serve_load: connect");
+      std::exit(1);
+    }
+  }
+  ~LineClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  std::string request(const std::string& line) {
+    const std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n = ::send(fd_, framed.data() + off,
+                               framed.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        std::fprintf(stderr, "serve_load: send failed\n");
+        std::exit(1);
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string reply = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return reply;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) {
+        std::fprintf(stderr, "serve_load: connection lost mid-reply\n");
+        std::exit(1);
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
 
 }  // namespace
 
@@ -157,32 +236,113 @@ int main() {
 
   // Verification: every stream must match a standalone engine run of the
   // round-tripped config, element for element.
-  std::size_t mismatches = 0;
-  for (std::size_t i = 0; i < sessions; ++i) {
-    const serve::SessionSpec spec =
-        serve::parse_session_config(configs[i]);
-    bo::BoEngine engine(spec.config, spec.bounds, tf.fn);
-    const bo::BoResult result = engine.run();
-    bool ok = result.evals.size() == streams[i].size();
-    for (std::size_t k = 0; ok && k < result.evals.size(); ++k) {
-      ok = result.evals[k].x == streams[i][k];
+  auto verify_streams = [&tf](const char* phase,
+                              const std::vector<std::string>& cfgs,
+                              const std::vector<std::vector<Vec>>& got) {
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      const serve::SessionSpec spec = serve::parse_session_config(cfgs[i]);
+      bo::BoEngine engine(spec.config, spec.bounds, tf.fn);
+      const bo::BoResult result = engine.run();
+      bool ok = result.evals.size() == got[i].size();
+      for (std::size_t k = 0; ok && k < result.evals.size(); ++k) {
+        ok = result.evals[k].x == got[i][k];
+      }
+      if (!ok) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "serve_load: %s session %zu diverged from the "
+                     "standalone run (%zu vs %zu proposals)\n",
+                     phase, i, got[i].size(), result.evals.size());
+      }
     }
-    if (!ok) {
-      ++mismatches;
-      std::fprintf(stderr,
-                   "serve_load: session load%zu diverged from the "
-                   "standalone run (%zu vs %zu proposals)\n",
-                   i, streams[i].size(), result.evals.size());
+    if (mismatches > 0) {
+      std::fprintf(stderr, "serve_load: %s: %zu of %zu sessions diverged\n",
+                   phase, mismatches, cfgs.size());
+      return false;
     }
-  }
+    std::printf("%s: all %zu session streams bit-identical to standalone "
+                "BoEngine runs\n",
+                phase, cfgs.size());
+    return true;
+  };
 
-  if (mismatches > 0) {
-    std::fprintf(stderr, "serve_load: %zu of %zu sessions diverged\n",
-                 mismatches, sessions);
-    return 1;
+  if (!verify_streams("sequential", configs, streams)) return 1;
+
+  // === Phase 2: the same exercise over real sockets, concurrently. ===
+  const std::size_t clients = env_size("EASYBO_CLIENTS", 8);
+  const std::size_t tcp_sessions = env_size("EASYBO_TCP_SESSIONS", 56);
+  const std::string tcp_dir = state_dir + "_tcp";
+  std::filesystem::remove_all(tcp_dir);
+  std::printf(
+      "=== Concurrent TCP phase (%zu clients, %zu sessions, max_live %zu) "
+      "===\n",
+      clients, tcp_sessions, max_live);
+
+  serve::SessionHost tcp_host(tcp_dir, max_live);
+  serve::TcpServer server(tcp_host, serve::TcpOptions{});
+  server.start();
+
+  std::vector<std::string> tcp_configs(tcp_sessions);
+  for (std::size_t i = 0; i < tcp_sessions; ++i) {
+    tcp_configs[i] = config_json(5000 + i, sims);
   }
-  std::printf("all %zu session streams bit-identical to standalone "
-              "BoEngine runs\n",
-              sessions);
+  std::vector<std::vector<Vec>> tcp_streams(tcp_sessions);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LineClient client(server.port());
+      // This client's partition: sessions c, c+clients, c+2*clients, ...
+      std::vector<std::size_t> mine;
+      for (std::size_t i = c; i < tcp_sessions; i += clients) {
+        mine.push_back(i);
+        const std::string name = "tcp" + std::to_string(i);
+        const std::string reply =
+            client.request("NEW " + name + " " + tcp_configs[i]);
+        if (reply != "OK created " + name) {
+          std::fprintf(stderr, "serve_load: %s\n", reply.c_str());
+          failed.store(true);
+          return;
+        }
+      }
+      // Round-robin within the partition, one turn per session, until
+      // every one is exhausted — maximal LRU churn under contention.
+      std::vector<bool> exhausted(mine.size(), false);
+      std::size_t remaining = mine.size();
+      while (remaining > 0) {
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          if (exhausted[k]) continue;
+          const std::size_t i = mine[k];
+          const std::string name = "tcp" + std::to_string(i);
+          const Turn t =
+              parse_suggest(name, client.request("SUGGEST " + name));
+          if (t.x.empty()) {
+            exhausted[k] = true;
+            --remaining;
+            continue;
+          }
+          tcp_streams[i].push_back(t.x);
+          const std::string ob = client.request(
+              "OBSERVE " + name + " " + std::to_string(t.tag) + " " +
+              io::json_number(tf.fn(t.x)));
+          if (ob.rfind("OK ", 0) != 0) {
+            std::fprintf(stderr, "serve_load: %s: %s\n", name.c_str(),
+                         ob.c_str());
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.stop();
+  if (failed.load()) return 1;
+  std::printf("tcp phase done (%zu live of %zu sessions at the end, "
+              "%zu connections accepted)\n",
+              tcp_host.live_count(), tcp_sessions,
+              server.stats().accepted);
+  if (!verify_streams("tcp", tcp_configs, tcp_streams)) return 1;
   return 0;
 }

@@ -3,6 +3,10 @@
 ///
 /// Usage:
 ///   easybo_serve --state-dir DIR [--max-live N] [--port P]
+///                [--max-clients N] [--max-inflight N] [--idle-timeout S]
+///                [--inject-enospc-every N] [--inject-eio-every N]
+///                [--inject-short-write-every N]
+///                [--inject-torn-rename-every N] [--inject-fs-max N]
 ///
 /// Speaks the line protocol of docs/service-protocol.md — one request
 /// line in, one reply line out:
@@ -12,55 +16,151 @@
 ///   OBSERVE <name> <tag> <y>
 ///   OBSERVE <name> <tag> fail <status> [detail...]
 ///   STATUS <name>
+///   STATUS
 ///   CLOSE <name>
 ///
 /// By default requests are read from stdin and replies written to stdout
 /// (one process per client: run it under a supervisor, or drive it from
-/// a coprocess/FIFO). With --port it instead listens on 127.0.0.1:P and
-/// serves TCP clients one connection at a time — sessions are durable
-/// after every reply, so sequential client turns lose nothing.
+/// a coprocess/FIFO). With --port it listens on 127.0.0.1:P and serves
+/// many TCP clients at once, one thread per connection — the host
+/// serializes commands per session and runs different sessions in
+/// parallel (src/serve/host.h). Connections idle past --idle-timeout
+/// seconds are dropped; connections beyond --max-clients and requests
+/// beyond --max-inflight get an immediate "ERR busy".
+///
+/// The --inject-* flags arm the io/fs_fault.h seam so that operators and
+/// the chaos harness (scripts/serve_chaos.sh) can rehearse storage
+/// failure: every Nth eligible filesystem operation inside the
+/// checkpoint layer fails with the named fault. They exist for testing;
+/// see docs/failure-model.md for what each failure does to a session.
 ///
 /// Every session keeps its state under DIR (<name>.config, <name>.journal,
-/// <name>.snapshot) and survives eviction, CLOSE and process death: any
-/// later command naming it resumes from those files, bit-identically.
+/// <name>.snapshot and the rotated <name>.snapshot.old) and survives
+/// eviction, CLOSE and process death: any later command naming it
+/// resumes from those files, bit-identically.
 ///
 /// Exit codes:
-///   0  clean shutdown (stdin EOF, or SIGINT/SIGTERM while listening)
+///   0  clean shutdown (stdin EOF, or SIGINT/SIGTERM)
 ///   1  runtime error (state directory unusable, socket failure)
-///   2  bad arguments
+///   2  bad arguments (the offending flag is named on stderr)
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <string>
 
+#include "io/fs_fault.h"
 #include "serve/host.h"
+#include "serve/tcp_server.h"
 
 #ifdef __unix__
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
+#include <poll.h>
 #include <unistd.h>
+#else
+#include <iostream>
 #endif
+
+#include <chrono>
+#include <thread>
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void on_signal(int) { g_stop = 1; }
 
+/// SIGINT/SIGTERM must interrupt blocking reads, not just flip a flag
+/// nobody looks at: std::signal on glibc installs SA_RESTART, which
+/// makes the kernel transparently restart blocked read/accept calls, so
+/// a server waiting on a quiet socket would never notice the signal.
+/// sigaction without SA_RESTART makes those calls fail with EINTR, and
+/// every blocking point here re-checks g_stop on EINTR.
+void install_signal_handlers() {
+#ifdef __unix__
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately not SA_RESTART
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#else
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+#endif
+}
+
 struct ServeOptions {
   std::string state_dir;
   std::size_t max_live = 64;
   int port = -1;  // -1: stdin/stdout
+  std::size_t max_clients = 64;
+  std::size_t max_inflight = 256;
+  double idle_timeout_s = 300.0;
+  easybo::io::FsFaultPlan fault_plan;
+  bool inject_faults = false;
 };
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: easybo_serve --state-dir DIR [--max-live N] "
-               "[--port P]\n");
+  std::fprintf(
+      stderr,
+      "usage: easybo_serve --state-dir DIR [--max-live N] [--port P]\n"
+      "                    [--max-clients N] [--max-inflight N]\n"
+      "                    [--idle-timeout SECONDS]\n"
+      "                    [--inject-enospc-every N] [--inject-eio-every N]\n"
+      "                    [--inject-short-write-every N]\n"
+      "                    [--inject-torn-rename-every N] "
+      "[--inject-fs-max N]\n");
   return 2;
+}
+
+[[noreturn]] void bad_flag(const std::string& flag, const char* value,
+                           const char* expected) {
+  std::fprintf(stderr, "easybo_serve: %s: expected %s, got \"%s\"\n",
+               flag.c_str(), expected, value == nullptr ? "" : value);
+  std::exit(2);
+}
+
+/// Strict unsigned parse: the whole token must be digits (no trailing
+/// garbage, no sign, no empty string). Exits 2 naming \p flag otherwise.
+std::size_t parse_count(const std::string& flag, const char* value,
+                        std::size_t min_value) {
+  if (value == nullptr || *value == '\0') {
+    bad_flag(flag, value, "a positive integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (*end != '\0' || errno == ERANGE || value[0] == '-' ||
+      v < min_value) {
+    bad_flag(flag, value, "a positive integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+int parse_port(const std::string& flag, const char* value) {
+  if (value == nullptr || *value == '\0') {
+    bad_flag(flag, value, "a port in 1..65535");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (*end != '\0' || errno == ERANGE || v < 1 || v > 65535) {
+    bad_flag(flag, value, "a port in 1..65535");
+  }
+  return static_cast<int>(v);
+}
+
+double parse_seconds(const std::string& flag, const char* value) {
+  if (value == nullptr || *value == '\0') {
+    bad_flag(flag, value, "a non-negative number of seconds");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (*end != '\0' || errno == ERANGE || !(v >= 0.0)) {
+    bad_flag(flag, value, "a non-negative number of seconds");
+  }
+  return v;
 }
 
 bool parse_args(int argc, char** argv, ServeOptions& opt) {
@@ -71,23 +171,83 @@ bool parse_args(int argc, char** argv, ServeOptions& opt) {
     };
     if (arg == "--state-dir") {
       const char* v = value();
-      if (v == nullptr) return false;
+      if (v == nullptr || *v == '\0') {
+        bad_flag(arg, v, "a directory path");
+      }
       opt.state_dir = v;
     } else if (arg == "--max-live") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt.max_live = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+      opt.max_live = parse_count(arg, value(), 1);
     } else if (arg == "--port") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      opt.port = static_cast<int>(std::strtol(v, nullptr, 10));
+      opt.port = parse_port(arg, value());
+    } else if (arg == "--max-clients") {
+      opt.max_clients = parse_count(arg, value(), 1);
+    } else if (arg == "--max-inflight") {
+      opt.max_inflight = parse_count(arg, value(), 1);
+    } else if (arg == "--idle-timeout") {
+      opt.idle_timeout_s = parse_seconds(arg, value());
+    } else if (arg == "--inject-enospc-every") {
+      opt.fault_plan.enospc_every = parse_count(arg, value(), 1);
+      opt.inject_faults = true;
+    } else if (arg == "--inject-eio-every") {
+      opt.fault_plan.eio_every = parse_count(arg, value(), 1);
+      opt.inject_faults = true;
+    } else if (arg == "--inject-short-write-every") {
+      opt.fault_plan.short_write_every = parse_count(arg, value(), 1);
+      opt.inject_faults = true;
+    } else if (arg == "--inject-torn-rename-every") {
+      opt.fault_plan.torn_rename_every = parse_count(arg, value(), 1);
+      opt.inject_faults = true;
+    } else if (arg == "--inject-fs-max") {
+      opt.fault_plan.max_faults = parse_count(arg, value(), 0);
     } else {
+      std::fprintf(stderr, "easybo_serve: unknown flag \"%s\"\n",
+                   arg.c_str());
       return false;
     }
   }
-  return !opt.state_dir.empty() && opt.max_live > 0;
+  if (opt.state_dir.empty()) {
+    std::fprintf(stderr, "easybo_serve: --state-dir is required\n");
+    return false;
+  }
+  return true;
 }
 
+#ifdef __unix__
+/// stdin loop that stays interruptible: poll + read with a 200 ms tick,
+/// so SIGTERM (EINTR or the next tick) ends the loop promptly instead of
+/// waiting for the next complete line. std::getline would block in a
+/// restarted read with the signal flag set and no one checking it.
+int serve_stdio(easybo::serve::SessionHost& host) {
+  std::string buffer;
+  char chunk[4096];
+  while (!g_stop) {
+    pollfd pfd{STDIN_FILENO, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: re-check g_stop
+      return 1;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof chunk);
+    if (n == 0) break;  // EOF: clean shutdown
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return 1;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol = 0;
+    while (!g_stop && (eol = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, eol);
+      buffer.erase(0, eol + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::fputs((host.handle_line(line) + "\n").c_str(), stdout);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+#else
 int serve_stdio(easybo::serve::SessionHost& host) {
   std::string line;
   while (!g_stop && std::getline(std::cin, line)) {
@@ -97,65 +257,6 @@ int serve_stdio(easybo::serve::SessionHost& host) {
   }
   return 0;
 }
-
-#ifdef __unix__
-int serve_tcp(easybo::serve::SessionHost& host, int port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("easybo_serve: socket");
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      ::listen(fd, 16) < 0) {
-    std::perror("easybo_serve: bind/listen");
-    ::close(fd);
-    return 1;
-  }
-  std::fprintf(stderr, "easybo_serve: listening on 127.0.0.1:%d\n", port);
-  while (!g_stop) {
-    const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;  // signal: re-check g_stop
-      std::perror("easybo_serve: accept");
-      ::close(fd);
-      return 1;
-    }
-    // One connection at a time: every session mutation is durable before
-    // its reply, so interleaving across connections adds nothing but
-    // nondeterminism.
-    std::string buffer;
-    char chunk[4096];
-    for (;;) {
-      const ssize_t n = ::read(client, chunk, sizeof chunk);
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t eol;
-      while ((eol = buffer.find('\n')) != std::string::npos) {
-        std::string line = buffer.substr(0, eol);
-        buffer.erase(0, eol + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        if (line.empty()) continue;
-        const std::string reply = host.handle_line(line) + "\n";
-        std::size_t sent = 0;
-        while (sent < reply.size()) {
-          const ssize_t w =
-              ::write(client, reply.data() + sent, reply.size() - sent);
-          if (w <= 0) break;
-          sent += static_cast<std::size_t>(w);
-        }
-      }
-    }
-    ::close(client);
-  }
-  ::close(fd);
-  return 0;
-}
 #endif
 
 }  // namespace
@@ -163,17 +264,35 @@ int serve_tcp(easybo::serve::SessionHost& host, int port) {
 int main(int argc, char** argv) {
   ServeOptions opt;
   if (!parse_args(argc, argv, opt)) return usage();
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
+  install_signal_handlers();
+  // Installed for the whole process lifetime — function-local static so
+  // the injector outlives every thread that might consult it.
+  if (opt.inject_faults) {
+    static easybo::io::FsFaultInjector injector(opt.fault_plan);
+    easybo::io::install_fs_faults(&injector);
+    std::fprintf(stderr, "easybo_serve: storage fault injection armed\n");
+  }
   try {
-    easybo::serve::SessionHost host(opt.state_dir, opt.max_live);
+    easybo::serve::HostLimits limits;
+    limits.max_inflight = opt.max_inflight;
+    easybo::serve::SessionHost host(opt.state_dir, opt.max_live, limits);
     if (opt.port < 0) return serve_stdio(host);
-#ifdef __unix__
-    return serve_tcp(host, opt.port);
-#else
-    std::fprintf(stderr, "easybo_serve: --port needs POSIX sockets\n");
-    return 2;
-#endif
+    easybo::serve::TcpOptions tcp;
+    tcp.port = opt.port;
+    tcp.max_clients = opt.max_clients;
+    tcp.idle_timeout_s = opt.idle_timeout_s;
+    tcp.max_line_bytes = host.limits().max_line_bytes;
+    easybo::serve::TcpServer server(host, tcp);
+    server.start();
+    std::fprintf(stderr, "easybo_serve: listening on 127.0.0.1:%d\n",
+                 server.port());
+    while (!g_stop) {
+      // sleep_for returns early on EINTR (no SA_RESTART), so shutdown is
+      // prompt; the tick only bounds the quiet-system latency.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop();
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "easybo_serve: %s\n", e.what());
     return 1;

@@ -1,0 +1,111 @@
+#include "io/fs_fault.h"
+
+#include <cerrno>
+
+namespace easybo::io {
+
+namespace {
+
+std::atomic<FsFaultInjector*> g_injector{nullptr};
+
+/// 1-based counter bump; true when this tick is a firing one.
+bool fires(std::atomic<std::size_t>& counter, std::size_t every) {
+  // The counter advances even while the channel is disabled, so enabling
+  // a channel mid-run keeps the "every Nth since the beginning" reading.
+  const std::size_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return every != 0 && n % every == 0;
+}
+
+}  // namespace
+
+const char* to_string(FsOp op) {
+  switch (op) {
+    case FsOp::Open: return "open";
+    case FsOp::Read: return "read";
+    case FsOp::Write: return "write";
+    case FsOp::Fsync: return "fsync";
+    case FsOp::Rename: return "rename";
+    case FsOp::Truncate: return "truncate";
+  }
+  return "?";
+}
+
+FsFaultInjector::FsFaultInjector(FsFaultPlan plan) : plan_(std::move(plan)) {}
+
+FsFaultAction FsFaultInjector::check(FsOp op, const std::string& path) {
+  FsFaultAction action;
+  if (!plan_.path_contains.empty() &&
+      path.find(plan_.path_contains) == std::string::npos) {
+    return action;
+  }
+  const std::size_t n = ops_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool any = plan_.eio_every != 0 && n % plan_.eio_every == 0;
+  if (plan_.stall_every != 0 && n % plan_.stall_every == 0) {
+    action.stall_seconds = plan_.stall_seconds;
+  }
+
+  // Channel precedence: torn-rename > short-write > enospc > eio.
+  int err = 0;
+  bool short_write = false;
+  bool torn_rename = false;
+  if (op == FsOp::Rename && fires(renames_, plan_.torn_rename_every)) {
+    torn_rename = true;
+    err = EIO;
+  }
+  if (op == FsOp::Write && fires(writes_, plan_.short_write_every) &&
+      !torn_rename) {
+    short_write = true;
+    err = EIO;
+  }
+  if (op == FsOp::Fsync && fires(fsyncs_, plan_.enospc_every) && err == 0) {
+    err = ENOSPC;
+  }
+  if (any && err == 0) err = EIO;
+
+  if (err != 0) {
+    // Respect the fault budget; a capped-out channel lets the op proceed.
+    std::size_t injected = faults_.load(std::memory_order_relaxed);
+    while (true) {
+      if (injected >= plan_.max_faults) return action;
+      if (faults_.compare_exchange_weak(injected, injected + 1,
+                                        std::memory_order_relaxed)) {
+        break;
+      }
+    }
+    action.err = err;
+    action.short_write = short_write;
+    action.torn_rename = torn_rename;
+  }
+  return action;
+}
+
+std::size_t FsFaultInjector::ops() const {
+  return ops_.load(std::memory_order_relaxed);
+}
+
+std::size_t FsFaultInjector::faults() const {
+  return faults_.load(std::memory_order_relaxed);
+}
+
+void install_fs_faults(FsFaultInjector* injector) {
+  g_injector.store(injector, std::memory_order_release);
+}
+
+FsFaultInjector* installed_fs_faults() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+FsFaultAction fs_fault_check(FsOp op, const std::string& path) {
+  FsFaultInjector* injector = g_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return FsFaultAction{};
+  return injector->check(op, path);
+}
+
+ScopedFsFaults::ScopedFsFaults(FsFaultPlan plan)
+    : injector_(std::move(plan)), previous_(installed_fs_faults()) {
+  install_fs_faults(&injector_);
+}
+
+ScopedFsFaults::~ScopedFsFaults() { install_fs_faults(previous_); }
+
+}  // namespace easybo::io

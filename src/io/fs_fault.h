@@ -1,0 +1,117 @@
+#pragma once
+/// \file fs_fault.h
+/// \brief Deterministic fault injection for the storage layer.
+///
+/// The journal/snapshot primitives in io/journal.cpp consult this seam
+/// before every storage operation they perform (open, read, write,
+/// fsync, rename, truncate). With no injector installed — the default —
+/// the check is one relaxed atomic load; with one installed, every Nth
+/// eligible operation misbehaves in a chosen way: ENOSPC on fsync (a
+/// full disk), EIO anywhere (a dying disk), a short write (half the
+/// payload persisted, then failure — the on-disk signature of a torn
+/// journal line), or a torn rename (the destination left as a truncated
+/// prefix of the new content — a non-atomic filesystem replacing a
+/// snapshot). Schedules are counter-based, not random, mirroring
+/// circuit/fault_injection: "every 3rd fsync fails" gives tests exact
+/// expected fault counts regardless of threads or timing.
+///
+/// Used by the storage-fault test matrix (tests/test_serve_faults.cpp),
+/// the chaos smoke script (scripts/serve_chaos.sh via easybo_serve's
+/// --inject-* flags), and the overlap tests that need a storage op to
+/// dwell (the stall channel). See docs/failure-model.md § Storage
+/// faults for how the session host reacts to each channel.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace easybo::io {
+
+/// The storage operations the journal layer performs.
+enum class FsOp { Open, Read, Write, Fsync, Rename, Truncate };
+
+const char* to_string(FsOp op);
+
+/// Which operations misbehave. 0 disables a channel. Each channel keeps
+/// its own 1-based counter over the operations it is eligible for, so
+/// enospc_every = 3 faults the 3rd, 6th, 9th... *fsync*, independent of
+/// how many writes happened in between. When several channels hit the
+/// same operation, precedence is torn-rename > short-write > enospc >
+/// eio. The stall channel is pacing, not a fault: it sleeps, then lets
+/// the operation proceed (and other channels still apply to it).
+struct FsFaultPlan {
+  std::size_t enospc_every = 0;       ///< Nth Fsync fails with ENOSPC
+  std::size_t eio_every = 0;          ///< Nth op (any kind) fails with EIO
+  std::size_t short_write_every = 0;  ///< Nth Write: half persisted, EIO
+  std::size_t torn_rename_every = 0;  ///< Nth Rename: torn dest, then EIO
+  std::size_t stall_every = 0;        ///< Nth op (any kind) sleeps first
+  double stall_seconds = 0.2;         ///< dwell of a stalled operation
+  /// Stop injecting error-channel faults after this many (stalls are not
+  /// faults and are never capped). SIZE_MAX = unlimited. Lets a test arm
+  /// "exactly the Nth operation" (every = N, max_faults = 1).
+  std::size_t max_faults = static_cast<std::size_t>(-1);
+  /// When nonempty, only operations whose path contains this substring
+  /// are eligible (and counted) — targets one session's files.
+  std::string path_contains;
+};
+
+/// What the storage layer should do for one operation.
+struct FsFaultAction {
+  int err = 0;               ///< 0: proceed; else fail with this errno
+  bool short_write = false;  ///< persist only half the payload first
+  bool torn_rename = false;  ///< leave dest a truncated prefix first
+  double stall_seconds = 0;  ///< sleep this long before anything else
+};
+
+/// Deterministic every-Nth storage-fault scheduler. Thread-safe: the
+/// per-channel counters are atomic, so "every Nth fsync" counts across
+/// however many connection threads share the process.
+class FsFaultInjector {
+ public:
+  explicit FsFaultInjector(FsFaultPlan plan);
+
+  /// Consulted by the storage layer before performing \p op on \p path.
+  FsFaultAction check(FsOp op, const std::string& path);
+
+  std::size_t ops() const;     ///< eligible operations seen so far
+  std::size_t faults() const;  ///< error-channel faults injected so far
+
+  const FsFaultPlan& plan() const { return plan_; }
+
+ private:
+  FsFaultPlan plan_;
+  std::atomic<std::size_t> ops_{0};
+  std::atomic<std::size_t> faults_{0};
+  std::atomic<std::size_t> fsyncs_{0};
+  std::atomic<std::size_t> writes_{0};
+  std::atomic<std::size_t> renames_{0};
+};
+
+/// Installs \p injector as the process-global storage-fault seam
+/// (nullptr uninstalls). The injector must outlive its installation.
+/// Not for production use — tests and the chaos harness only.
+void install_fs_faults(FsFaultInjector* injector);
+FsFaultInjector* installed_fs_faults();
+
+/// Consulted by every fallible operation in io/journal.cpp. One relaxed
+/// atomic load when no injector is installed.
+FsFaultAction fs_fault_check(FsOp op, const std::string& path);
+
+/// RAII installation for tests: installs on construction, uninstalls on
+/// destruction (restoring whatever was installed before).
+class ScopedFsFaults {
+ public:
+  explicit ScopedFsFaults(FsFaultPlan plan);
+  ~ScopedFsFaults();
+  ScopedFsFaults(const ScopedFsFaults&) = delete;
+  ScopedFsFaults& operator=(const ScopedFsFaults&) = delete;
+
+  FsFaultInjector& injector() { return injector_; }
+
+ private:
+  FsFaultInjector injector_;
+  FsFaultInjector* previous_;
+};
+
+}  // namespace easybo::io

@@ -104,4 +104,10 @@ bool file_exists(const std::string& path);
 /// rename itself is durable. Throws CheckpointError on I/O failure.
 void atomic_write_file(const std::string& path, std::string_view content);
 
+/// rename(2) \p from over \p to (+ directory fsync). Returns false when
+/// \p from does not exist — the "nothing to rotate yet" case — and
+/// throws CheckpointError on any other failure. Used by the session
+/// host's snapshot rotation (docs/service-protocol.md § Durability).
+bool try_rename_file(const std::string& from, const std::string& to);
+
 }  // namespace easybo::io

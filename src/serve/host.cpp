@@ -1,11 +1,14 @@
 #include "serve/host.h"
 
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <utility>
 
+#include "bo/checkpoint.h"
 #include "common/error.h"
 #include "io/journal.h"
 #include "io/json.h"
@@ -48,6 +51,12 @@ double parse_double_token(const std::string& token, const char* what) {
     throw Error(std::string("expected a number for ") + what + ", got \"" +
                 token + "\"");
   }
+  // strtod happily parses "inf" and "nan"; neither is an observation a
+  // model can absorb (clients report failures via the fail form).
+  if (!std::isfinite(v)) {
+    throw Error(std::string("expected a finite number for ") + what +
+                ", got \"" + token + "\"");
+  }
   return v;
 }
 
@@ -71,6 +80,35 @@ std::string suggestion_json(const bo::Suggestion& s) {
   return out + "}";
 }
 
+bool has_control_bytes(const std::string& line) {
+  for (const char c : line) {
+    if (static_cast<unsigned char>(c) < 0x20) return true;
+  }
+  return false;
+}
+
+std::string err_quarantined(const std::string& name,
+                            const std::string& reason) {
+  return one_line("ERR quarantined " + name + ": " + reason +
+                  " (CLOSE to reopen after repair)");
+}
+
+/// RAII in-flight accounting so every exit path, including throws,
+/// decrements.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<std::size_t>& n) : n_(n) {
+    count = n_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  ~InflightGuard() { n_.fetch_sub(1, std::memory_order_relaxed); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+  std::size_t count = 0;  ///< in-flight total including this request
+
+ private:
+  std::atomic<std::size_t>& n_;
+};
+
 }  // namespace
 
 bool valid_session_name(const std::string& name) {
@@ -85,10 +123,14 @@ bool valid_session_name(const std::string& name) {
   return true;
 }
 
-SessionHost::SessionHost(std::string state_dir, std::size_t max_live)
-    : state_dir_(std::move(state_dir)), max_live_(max_live) {
+SessionHost::SessionHost(std::string state_dir, std::size_t max_live,
+                         HostLimits limits)
+    : state_dir_(std::move(state_dir)), max_live_(max_live),
+      limits_(limits) {
   EASYBO_REQUIRE(!state_dir_.empty(), "SessionHost: empty state directory");
   EASYBO_REQUIRE(max_live_ > 0, "SessionHost: max_live must be positive");
+  EASYBO_REQUIRE(limits_.max_inflight > 0,
+                 "SessionHost: max_inflight must be positive");
   std::error_code ec;
   std::filesystem::create_directories(state_dir_, ec);
   if (ec) {
@@ -105,36 +147,139 @@ std::string SessionHost::checkpoint_base(const std::string& name) const {
   return state_dir_ + "/" + name;
 }
 
-void SessionHost::touch(const std::string& name) {
-  auto it = live_.find(name);
-  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+std::size_t SessionHost::live_count() const {
+  std::lock_guard<std::mutex> lk(table_mutex_);
+  return lru_.size();
 }
 
-Session& SessionHost::adopt(std::unique_ptr<Session> session) {
-  const std::string name = session->name();
-  lru_.push_front(name);
-  Live entry{std::move(session), lru_.begin()};
-  Session& ref = *entry.session;
-  live_.insert_or_assign(name, std::move(entry));
-  // Evict beyond the cap, least-recently-used first. Sessions snapshot
-  // after every mutation, so dropping the object loses nothing.
-  while (live_.size() > max_live_) {
-    const std::string victim = lru_.back();
-    lru_.pop_back();
-    live_.erase(victim);
-  }
-  return ref;
+bool SessionHost::is_live(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(table_mutex_);
+  const auto it = slots_.find(name);
+  return it != slots_.end() && it->second->in_lru;
 }
 
-Session& SessionHost::acquire(const std::string& name) {
-  if (!valid_session_name(name)) {
-    throw Error("invalid session name \"" + name + "\"");
+bool SessionHost::is_quarantined(const std::string& name) const {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lk(table_mutex_);
+    const auto it = slots_.find(name);
+    if (it == slots_.end()) return false;
+    slot = it->second;
   }
-  auto it = live_.find(name);
-  if (it != live_.end()) {
-    touch(name);
-    return *it->second.session;
+  std::lock_guard<std::mutex> lk(slot->mutex);
+  return slot->quarantined;
+}
+
+std::string SessionHost::health_json() const {
+  std::size_t live = 0;
+  {
+    std::lock_guard<std::mutex> lk(table_mutex_);
+    live = lru_.size();
   }
+  const std::size_t quarantined =
+      quarantine_gauge_.load(std::memory_order_relaxed);
+  std::string s = "{";
+  auto put = [&s](const char* key, const std::string& value) {
+    if (s.size() > 1) s += ",";
+    s += std::string("\"") + key + "\":" + value;
+  };
+  put("sessions_live", std::to_string(live));
+  put("quarantined", std::to_string(quarantined));
+  put("inflight",
+      std::to_string(inflight_.load(std::memory_order_relaxed)));
+  put("requests",
+      std::to_string(requests_.load(std::memory_order_relaxed)));
+  put("shed", std::to_string(shed_.load(std::memory_order_relaxed)));
+  put("io_faults",
+      std::to_string(io_faults_.load(std::memory_order_relaxed)));
+  put("max_live", std::to_string(max_live_));
+  put("max_inflight", std::to_string(limits_.max_inflight));
+  put("storage", quarantined > 0 ? "\"degraded\"" : "\"ok\"");
+  return s + "}";
+}
+
+void SessionHost::note_io_fault() {
+  io_faults_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(trace(), "serve.io_faults", 1);
+}
+
+void SessionHost::evict_locked(const Slot* keep, std::size_t target) {
+  if (lru_.empty() || lru_.size() <= target) return;
+  auto it = std::prev(lru_.end());
+  while (true) {
+    const bool at_begin = it == lru_.begin();
+    const auto cur = it;
+    if (!at_begin) --it;
+    Slot& victim = *slots_.at(*cur);
+    if (&victim != keep) {
+      std::unique_lock<std::mutex> vl(victim.mutex, std::try_to_lock);
+      // A victim another thread is mid-command on is skipped, never
+      // waited on — blocking here would hold the table lock across that
+      // command's model math and disk I/O.
+      if (vl.owns_lock()) {
+        victim.session.reset();
+        victim.in_lru = false;
+        lru_.erase(cur);
+        if (lru_.size() <= target) return;
+      }
+    }
+    if (at_begin) return;
+  }
+}
+
+std::shared_ptr<SessionHost::Slot> SessionHost::obtain_slot(
+    const std::string& name, bool create_missing) {
+  {
+    std::lock_guard<std::mutex> lk(table_mutex_);
+    const auto it = slots_.find(name);
+    if (it != slots_.end()) {
+      if (!it->second->in_lru) {
+        evict_locked(it->second.get(), max_live_ - 1);
+      }
+      return it->second;
+    }
+  }
+  if (!create_missing && !io::file_exists(config_path(name))) {
+    // No slot and no on-disk state: refuse without creating a slot, so
+    // the table stays bounded by the set of real sessions no matter how
+    // many bogus names a client probes.
+    throw Error("unknown session \"" + name + "\" (no state under " +
+                state_dir_ + ")");
+  }
+  std::lock_guard<std::mutex> lk(table_mutex_);
+  auto [it, inserted] = slots_.try_emplace(name);
+  if (inserted) it->second = std::make_shared<Slot>();
+  if (!it->second->in_lru) {
+    evict_locked(it->second.get(), max_live_ - 1);
+  }
+  return it->second;
+}
+
+void SessionHost::mark_used(const std::string& name, Slot& slot) {
+  std::lock_guard<std::mutex> lk(table_mutex_);
+  if (slot.in_lru) {
+    lru_.splice(lru_.begin(), lru_, slot.lru_pos);
+  } else {
+    lru_.push_front(name);
+    slot.lru_pos = lru_.begin();
+    slot.in_lru = true;
+  }
+  // Concurrent loads can race past the pre-load eviction (each sees room
+  // before any has taken it), so trim again after the fact. keep = this
+  // slot: besides being the most recent, its mutex is held by the
+  // caller and self-try_lock is undefined.
+  evict_locked(&slot, max_live_);
+}
+
+void SessionHost::mark_unloaded(const std::string& /*name*/, Slot& slot) {
+  std::lock_guard<std::mutex> lk(table_mutex_);
+  if (slot.in_lru) {
+    lru_.erase(slot.lru_pos);
+    slot.in_lru = false;
+  }
+}
+
+void SessionHost::load_locked(const std::string& name, Slot& slot) {
   // Resume-on-demand: the session was evicted or the host restarted. Its
   // persisted config re-parses to the same fingerprint the checkpoint
   // files carry, so the resume is exact.
@@ -144,103 +289,264 @@ Session& SessionHost::acquire(const std::string& name) {
                 state_dir_ + ")");
   }
   SessionSpec spec = parse_session_config(io::read_file(cpath));
-  return adopt(Session::resume(name, std::move(spec),
-                               checkpoint_base(name)));
+  try {
+    if (!io::file_exists(bo::journal_file(checkpoint_base(name)))) {
+      // The config was persisted but the journal never came to be: a
+      // crash (or injected fault) inside a previous NEW before anything
+      // beyond the config reached disk. Nothing was ever observable, so
+      // re-creating fresh is exact.
+      slot.session =
+          Session::create(name, std::move(spec), checkpoint_base(name));
+    } else {
+      slot.session =
+          Session::resume(name, std::move(spec), checkpoint_base(name));
+    }
+  } catch (const io::CheckpointError&) {
+    note_io_fault();
+    throw;  // verbatim: resume refusals carry their own precise message
+  }
+}
+
+void SessionHost::quarantine_locked(const std::string& name, Slot& slot,
+                                    const std::string& reason) {
+  slot.session.reset();
+  mark_unloaded(name, slot);
+  slot.quarantined = true;
+  slot.quarantine_reason = one_line(reason);
+  quarantine_gauge_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(trace(), "serve.quarantined", 1);
 }
 
 std::string SessionHost::handle_line(const std::string& line) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (line.size() > limits_.max_line_bytes) {
+    return "ERR request line exceeds " +
+           std::to_string(limits_.max_line_bytes) + " bytes";
+  }
+  if (has_control_bytes(line)) {
+    return "ERR request contains control bytes";
+  }
+  {
+    // The bare-STATUS health probe answers even while the host is
+    // saturated: no shedding, no per-session lock, no disk.
+    std::string_view peek = line;
+    if (next_token(peek) == "STATUS" && trim_leading(peek).empty()) {
+      return "OK " + health_json();
+    }
+  }
+  InflightGuard inflight(inflight_);
+  if (inflight.count > limits_.max_inflight) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::count(trace(), "serve.shed", 1);
+    return "ERR busy (" + std::to_string(inflight.count) +
+           " requests in flight, limit " +
+           std::to_string(limits_.max_inflight) + "; retry)";
+  }
   try {
-    std::string_view rest = line;
-    const std::string cmd = next_token(rest);
-    if (cmd.empty()) throw Error("empty request");
-
-    if (cmd == "NEW") {
-      const std::string name = next_token(rest);
-      if (!valid_session_name(name)) {
-        throw Error("invalid session name \"" + name + "\"");
-      }
-      if (live_.count(name) != 0) {
-        // Already live: NEW is idempotent (a reconnecting client need not
-        // track whether its earlier NEW arrived); the provided config is
-        // ignored in favour of the one the session runs with.
-        touch(name);
-        return "OK resumed " + name;
-      }
-      if (io::file_exists(config_path(name))) {
-        // Known but not live: re-open from the persisted config. The
-        // provided config is ignored — honouring a different one would
-        // splice proposal streams, which resume refuses anyway.
-        acquire(name);
-        return "OK resumed " + name;
-      }
-      const std::string config_json{trim_leading(rest)};
-      if (config_json.empty()) {
-        throw Error("NEW " + name + ": missing config JSON");
-      }
-      // Parse first: nothing is persisted for a config that does not
-      // validate.
-      SessionSpec spec = parse_session_config(config_json);
-      io::atomic_write_file(config_path(name), config_json);
-      adopt(Session::create(name, std::move(spec), checkpoint_base(name)));
-      return "OK created " + name;
-    }
-
-    if (cmd == "SUGGEST") {
-      const std::string name = next_token(rest);
-      if (!trim_leading(rest).empty()) {
-        throw Error("SUGGEST takes only a session name");
-      }
-      Session& s = acquire(name);
-      return "OK " + suggestion_json(s.suggest());
-    }
-
-    if (cmd == "OBSERVE") {
-      const std::string name = next_token(rest);
-      const std::size_t tag = parse_tag_token(next_token(rest));
-      const std::string value = next_token(rest);
-      Session& s = acquire(name);
-      SessionObserved ob;
-      if (value == "fail") {
-        const std::string status = next_token(rest);
-        const std::string detail{trim_leading(rest)};
-        ob = s.observe_failure(tag, status, detail);
-      } else {
-        if (!trim_leading(rest).empty()) {
-          throw Error("OBSERVE: trailing input after the observed value");
-        }
-        ob = s.observe_ok(tag, parse_double_token(value, "the observation"));
-      }
-      return std::string("OK {\"action\":\"") + ob.action + "\"}";
-    }
-
-    if (cmd == "STATUS") {
-      const std::string name = next_token(rest);
-      if (!trim_leading(rest).empty()) {
-        throw Error("STATUS takes only a session name");
-      }
-      return "OK " + acquire(name).status_json();
-    }
-
-    if (cmd == "CLOSE") {
-      const std::string name = next_token(rest);
-      if (!valid_session_name(name)) {
-        throw Error("invalid session name \"" + name + "\"");
-      }
-      auto it = live_.find(name);
-      if (it != live_.end()) {
-        lru_.erase(it->second.lru_pos);
-        live_.erase(it);
-        return "OK closed " + name;
-      }
-      if (io::file_exists(config_path(name))) return "OK closed " + name;
-      throw Error("unknown session \"" + name + "\"");
-    }
-
-    throw Error("unknown command \"" + cmd +
-                "\" (expected NEW|SUGGEST|OBSERVE|STATUS|CLOSE)");
+    return dispatch(line);
   } catch (const std::exception& e) {
     return one_line(std::string("ERR ") + e.what());
   }
+}
+
+std::string SessionHost::dispatch(const std::string& line) {
+  std::string_view rest = line;
+  const std::string cmd = next_token(rest);
+  if (cmd.empty()) throw Error("empty request");
+
+  if (cmd == "NEW") {
+    const std::string name = next_token(rest);
+    if (!valid_session_name(name)) {
+      throw Error("invalid session name \"" + name + "\"");
+    }
+    const std::string config_json{trim_leading(rest)};
+    std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/true);
+    std::lock_guard<std::mutex> lk(slot->mutex);
+    if (slot->quarantined) {
+      return err_quarantined(name, slot->quarantine_reason);
+    }
+    if (slot->session != nullptr) {
+      // Already live: NEW is idempotent (a reconnecting client need not
+      // track whether its earlier NEW arrived); the provided config is
+      // ignored in favour of the one the session runs with.
+      mark_used(name, *slot);
+      return "OK resumed " + name;
+    }
+    if (io::file_exists(config_path(name))) {
+      // Known but not live: re-open from the persisted config. The
+      // provided config is ignored — honouring a different one would
+      // splice proposal streams, which resume refuses anyway.
+      load_locked(name, *slot);
+      mark_used(name, *slot);
+      return "OK resumed " + name;
+    }
+    if (config_json.empty()) {
+      throw Error("NEW " + name + ": missing config JSON");
+    }
+    // Parse first: nothing is persisted for a config that does not
+    // validate.
+    SessionSpec spec = parse_session_config(config_json);
+    try {
+      io::atomic_write_file(config_path(name), config_json);
+    } catch (const io::CheckpointError&) {
+      // A failed (possibly torn) config write rolls back to "no such
+      // session" — a half-written config must never be what a later
+      // command resumes from. Plain ERR, no quarantine: retry NEW.
+      note_io_fault();
+      std::remove(config_path(name).c_str());
+      throw;
+    }
+    try {
+      slot->session =
+          Session::create(name, std::move(spec), checkpoint_base(name));
+    } catch (const io::CheckpointError&) {
+      // The config is durable, so nothing irreversible happened:
+      // whatever subset of the journal/snapshot exists, a retried NEW
+      // resumes or re-creates from it. Plain ERR, no quarantine.
+      note_io_fault();
+      slot->session.reset();
+      throw;
+    }
+    mark_used(name, *slot);
+    return "OK created " + name;
+  }
+
+  if (cmd == "SUGGEST") {
+    const std::string name = next_token(rest);
+    if (!trim_leading(rest).empty()) {
+      throw Error("SUGGEST takes only a session name");
+    }
+    if (!valid_session_name(name)) {
+      throw Error("invalid session name \"" + name + "\"");
+    }
+    std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/false);
+    std::lock_guard<std::mutex> lk(slot->mutex);
+    if (slot->quarantined) {
+      return err_quarantined(name, slot->quarantine_reason);
+    }
+    if (slot->session == nullptr) load_locked(name, *slot);
+    mark_used(name, *slot);
+    try {
+      return "OK " + suggestion_json(slot->session->suggest());
+    } catch (const io::CheckpointError& e) {
+      // The suggestion could not be made durable, and its tag must never
+      // reach a client it cannot survive for. Dropping the in-memory
+      // object rolls the suggest back (the files still hold the previous
+      // state); quarantine keeps later commands from churning the
+      // damaged storage.
+      note_io_fault();
+      quarantine_locked(name, *slot, e.what());
+      return one_line("ERR storage " + name + ": " + std::string(e.what()) +
+                      " (session quarantined; CLOSE to reopen after repair)");
+    }
+  }
+
+  if (cmd == "OBSERVE") {
+    const std::string name = next_token(rest);
+    const std::string tag_token = next_token(rest);
+    const std::string value = next_token(rest);
+    std::string fail_status;
+    std::string fail_detail;
+    const bool is_failure = value == "fail";
+    if (is_failure) {
+      fail_status = next_token(rest);
+      fail_detail = std::string(trim_leading(rest));
+    } else if (!trim_leading(rest).empty()) {
+      throw Error("OBSERVE: trailing input after the observed value");
+    }
+    // Parse everything before touching the session: a malformed request
+    // must leave the host exactly as it was.
+    const std::size_t tag = parse_tag_token(tag_token);
+    const double y =
+        is_failure ? 0.0 : parse_double_token(value, "the observation");
+    if (!valid_session_name(name)) {
+      throw Error("invalid session name \"" + name + "\"");
+    }
+    std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/false);
+    std::lock_guard<std::mutex> lk(slot->mutex);
+    if (slot->quarantined) {
+      return err_quarantined(name, slot->quarantine_reason);
+    }
+    if (slot->session == nullptr) load_locked(name, *slot);
+    mark_used(name, *slot);
+    SessionObserved ob;
+    try {
+      ob = is_failure
+               ? slot->session->observe_failure(tag, fail_status, fail_detail)
+               : slot->session->observe_ok(tag, y);
+    } catch (const io::CheckpointError& e) {
+      // The journal append failed, so nothing of this observe is durable
+      // — but the in-memory core consumed the pending tag before the
+      // append, so the object can no longer be trusted. Drop it (disk
+      // still holds the pre-observe state) and quarantine the name.
+      note_io_fault();
+      quarantine_locked(name, *slot, e.what());
+      return one_line("ERR storage " + name + ": " + std::string(e.what()) +
+                      " (session quarantined; CLOSE to reopen after repair)");
+    }
+    if (ob.snapshot_failed) {
+      // Journaled, so the observe is committed and the reply stays OK;
+      // the stale snapshot only widens the tail the next resume replays.
+      note_io_fault();
+    }
+    return std::string("OK {\"action\":\"") + ob.action + "\"}";
+  }
+
+  if (cmd == "STATUS") {
+    const std::string name = next_token(rest);
+    if (!trim_leading(rest).empty()) {
+      throw Error("STATUS takes only a session name");
+    }
+    if (!valid_session_name(name)) {
+      throw Error("invalid session name \"" + name + "\"");
+    }
+    std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/false);
+    std::lock_guard<std::mutex> lk(slot->mutex);
+    if (slot->quarantined) {
+      // Quarantine status is served from memory — an operator probing a
+      // degraded session must not trigger more I/O against bad storage.
+      return "OK {\"name\":" + io::json_quote(name) +
+             ",\"quarantined\":true,\"reason\":" +
+             io::json_quote(slot->quarantine_reason) + "}";
+    }
+    if (slot->session == nullptr) load_locked(name, *slot);
+    mark_used(name, *slot);
+    return "OK " + slot->session->status_json();
+  }
+
+  if (cmd == "CLOSE") {
+    const std::string name = next_token(rest);
+    if (!valid_session_name(name)) {
+      throw Error("invalid session name \"" + name + "\"");
+    }
+    std::shared_ptr<Slot> slot;
+    {
+      std::lock_guard<std::mutex> lk(table_mutex_);
+      const auto it = slots_.find(name);
+      if (it != slots_.end()) slot = it->second;
+    }
+    if (slot == nullptr) {
+      if (io::file_exists(config_path(name))) return "OK closed " + name;
+      throw Error("unknown session \"" + name + "\"");
+    }
+    std::lock_guard<std::mutex> lk(slot->mutex);
+    const bool existed = slot->session != nullptr || slot->quarantined ||
+                         io::file_exists(config_path(name));
+    slot->session.reset();
+    mark_unloaded(name, *slot);
+    if (slot->quarantined) {
+      // CLOSE is the operator's "I repaired the storage" acknowledgment:
+      // the next command on this name resumes from the files afresh.
+      slot->quarantined = false;
+      slot->quarantine_reason.clear();
+      quarantine_gauge_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    if (!existed) throw Error("unknown session \"" + name + "\"");
+    return "OK closed " + name;
+  }
+
+  throw Error("unknown command \"" + cmd +
+              "\" (expected NEW|SUGGEST|OBSERVE|STATUS|CLOSE)");
 }
 
 }  // namespace easybo::serve

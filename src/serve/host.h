@@ -11,6 +11,7 @@
 ///   OBSERVE <name> <tag> <y>      successful evaluation result
 ///   OBSERVE <name> <tag> fail <status> [detail...]   failed evaluation
 ///   STATUS <name>                 one-line JSON session status
+///   STATUS                        one-line JSON host health
 ///   CLOSE <name>                  drop the live object (files remain)
 ///
 /// Every reply is a single line: "OK[ <payload>]" or "ERR <message>".
@@ -23,18 +24,46 @@
 /// requested explicitly. A session is gone for good only when its files
 /// are deleted from the state directory, which the host never does.
 ///
-/// The host is deliberately transport-agnostic and single-threaded:
-/// handle_line() is the entire surface, and the CLI (examples/
-/// easybo_serve.cpp) pumps it from stdin or a socket. One request at a
-/// time keeps every session's suggest/observe ordering — and therefore
-/// its proposal stream — deterministic without locks.
+/// Concurrency. handle_line() is fully thread-safe and is meant to be
+/// called from many transport threads at once (examples/easybo_serve.cpp
+/// runs one thread per TCP connection). The guarantees, in order of
+/// importance:
+///
+///  - commands naming the SAME session are serialized by a per-session
+///    mutex — a session's suggest/observe interleaving, and therefore its
+///    proposal stream, is exactly the order its commands won that lock,
+///    indistinguishable from a single-threaded host fed the same order;
+///  - commands naming DIFFERENT sessions never wait on each other's model
+///    math or disk I/O — the host-level table lock covers only name→slot
+///    lookup and LRU bookkeeping, never a suggest, observe, resume or
+///    snapshot;
+///  - LRU eviction under the table lock only try_locks its victims, so a
+///    busy session is skipped rather than waited on; the live set can
+///    therefore transiently exceed max_live — by at most the number of
+///    commands in flight — and every completed command re-trims it.
+///
+/// Overload and storage failure. The host sheds load instead of queueing
+/// without bound: when more than HostLimits::max_inflight commands are in
+/// flight the newcomer gets "ERR busy ..." immediately. Storage faults
+/// follow a journal-first contract (docs/failure-model.md): a mutation
+/// whose journal append failed is rolled back by dropping the in-memory
+/// session and *quarantining* the name — subsequent commands get
+/// "ERR quarantined ..." without touching the damaged files until CLOSE
+/// clears the quarantine; a snapshot failure after a successful append is
+/// already durable, so the request still replies OK and only the health
+/// plane records the fault. The bare "STATUS" health probe bypasses both
+/// shedding and all per-session locks, so it stays responsive while the
+/// host is saturated or degraded.
 
+#include <atomic>
 #include <cstddef>
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "obs/trace.h"
 #include "serve/session.h"
 
 namespace easybo::serve {
@@ -45,55 +74,150 @@ namespace easybo::serve {
 /// this set can never escape either role).
 bool valid_session_name(const std::string& name);
 
+/// Abuse/overload knobs. The defaults are generous enough that a
+/// well-behaved client never notices them.
+struct HostLimits {
+  /// Commands allowed in flight at once before newcomers are shed with
+  /// "ERR busy". The bare "STATUS" health probe is exempt.
+  std::size_t max_inflight = 256;
+  /// Longest accepted request line; longer lines get one "ERR" reply.
+  /// Transports enforce the same cap on the wire (TcpOptions).
+  std::size_t max_line_bytes = 1u << 20;
+};
+
 class SessionHost {
  public:
   /// \param state_dir  directory for per-session state files (created if
   ///                   absent): "<name>.config" (the NEW command's JSON),
-  ///                   "<name>.journal" and "<name>.snapshot"
+  ///                   "<name>.journal", "<name>.snapshot" and the
+  ///                   rotated "<name>.snapshot.old"
   /// \param max_live   cap on concurrently live Session objects; the
   ///                   least-recently-used beyond it is dropped (its
   ///                   files stay resumable)
-  SessionHost(std::string state_dir, std::size_t max_live);
+  /// \param limits     overload/abuse knobs, see HostLimits
+  SessionHost(std::string state_dir, std::size_t max_live,
+              HostLimits limits = {});
 
   /// Handles one protocol line and returns the one-line reply. Never
   /// throws for malformed input or session errors — those become "ERR "
   /// replies (the host serves many clients; one bad request must not
-  /// take the process down).
+  /// take the process down). Thread-safe; see the file comment for the
+  /// ordering guarantees.
   std::string handle_line(const std::string& line);
 
-  std::size_t live_count() const { return live_.size(); }
-  bool is_live(const std::string& name) const {
-    return live_.count(name) != 0;
+  /// Counters mirror to \p sink as "serve.shed", "serve.io_faults" and
+  /// "serve.quarantined". Set once before serving traffic; the sink must
+  /// outlive the host (or be reset to nullptr first).
+  void set_trace(obs::TraceSink* sink) {
+    trace_.store(sink, std::memory_order_release);
+  }
+
+  /// Number of live (loaded) sessions. Quarantined names are not live.
+  std::size_t live_count() const;
+  bool is_live(const std::string& name) const;
+  bool is_quarantined(const std::string& name) const;
+
+  /// The bare-"STATUS" health object: live/quarantined session counts,
+  /// in-flight and lifetime request counts, shed and storage-fault
+  /// counts, and "storage":"ok"|"degraded" (degraded while any session
+  /// is quarantined). Takes no per-session lock and touches no disk.
+  std::string health_json() const;
+
+  std::size_t shed_count() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  std::size_t io_fault_count() const {
+    return io_faults_.load(std::memory_order_relaxed);
+  }
+  std::size_t quarantined_count() const {
+    return quarantine_gauge_.load(std::memory_order_relaxed);
   }
 
   const std::string& state_dir() const { return state_dir_; }
   std::size_t max_live() const { return max_live_; }
+  const HostLimits& limits() const { return limits_; }
 
  private:
-  std::string config_path(const std::string& name) const;
-  std::string checkpoint_base(const std::string& name) const;
-
-  /// The live session for \p name, resuming it from the state directory
-  /// when necessary. Throws easybo::Error when the name is invalid or
-  /// the session does not exist (no config file).
-  Session& acquire(const std::string& name);
-
-  /// Marks \p name most-recently-used.
-  void touch(const std::string& name);
-
-  /// Inserts a live session and evicts LRU entries beyond max_live.
-  Session& adopt(std::unique_ptr<Session> session);
-
-  struct Live {
+  /// One session name's place in the host. Slots outlive their Session
+  /// objects (they also carry quarantine state) and are only ever erased
+  /// while nobody else can hold a reference, which in practice means
+  /// never — the map is bounded by the set of names with on-disk state.
+  struct Slot {
+    /// Serializes every command naming this session, including its
+    /// resume-on-demand and all of its disk I/O.
+    std::mutex mutex;
+    /// Guarded by mutex. Null while not live.
     std::unique_ptr<Session> session;
-    /// Position in lru_ (most recent at the front).
+    /// Guarded by mutex. A quarantined name refuses everything but
+    /// STATUS and CLOSE; see quarantine_locked().
+    bool quarantined = false;
+    std::string quarantine_reason;
+    /// Guarded by the table mutex: whether (and where) this slot sits in
+    /// lru_. in_lru is true exactly while session is loaded, except for
+    /// the instant between a load and its mark_used().
+    bool in_lru = false;
     std::list<std::string>::iterator lru_pos;
   };
 
+  std::string config_path(const std::string& name) const;
+  std::string checkpoint_base(const std::string& name) const;
+
+  obs::TraceSink* trace() const {
+    return trace_.load(std::memory_order_acquire);
+  }
+
+  /// Finds the slot for \p name, creating it when \p create_missing.
+  /// Also pre-evicts LRU victims when this command is about to load a
+  /// session into a full live set. Takes the table lock.
+  std::shared_ptr<Slot> obtain_slot(const std::string& name,
+                                    bool create_missing);
+
+  /// Drops least-recently-used sessions until at most \p target remain
+  /// live. Caller holds the table lock. Victims whose slot mutex is held
+  /// elsewhere are skipped, never waited on — so the live set can remain
+  /// above target by the number of sessions busy at that instant (at
+  /// most one per transport thread; the next command trims again).
+  void evict_locked(const Slot* keep, std::size_t target);
+
+  /// LRU bookkeeping; both take the table lock and are safe to call
+  /// while holding a slot mutex (the reverse order — table lock, then
+  /// *blocking* on a slot mutex — never happens; eviction try_locks).
+  void mark_used(const std::string& name, Slot& slot);
+  void mark_unloaded(const std::string& name, Slot& slot);
+
+  /// Loads slot.session from the state directory: resume, or re-create
+  /// from the persisted config when nothing beyond the config survived a
+  /// crashed NEW. Caller holds the slot mutex. Throws on failure.
+  void load_locked(const std::string& name, Slot& slot);
+
+  /// Drops the in-memory session and marks the name quarantined. Caller
+  /// holds the slot mutex.
+  void quarantine_locked(const std::string& name, Slot& slot,
+                         const std::string& reason);
+
+  void note_io_fault();
+
+  std::string dispatch(const std::string& line);
+
   std::string state_dir_;
   std::size_t max_live_;
-  std::map<std::string, Live> live_;
-  std::list<std::string> lru_;  ///< most-recently-used first
+  HostLimits limits_;
+
+  mutable std::mutex table_mutex_;
+  /// Guarded by table_mutex_. Values are shared_ptr so a command thread
+  /// can release the table lock while it works under the slot's own
+  /// mutex.
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  /// Guarded by table_mutex_. Names of loaded sessions, most recent
+  /// first.
+  std::list<std::string> lru_;
+
+  std::atomic<obs::TraceSink*> trace_{nullptr};
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::size_t> requests_{0};
+  std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> io_faults_{0};
+  std::atomic<std::size_t> quarantine_gauge_{0};
 };
 
 }  // namespace easybo::serve

@@ -40,6 +40,26 @@ bool same_point(const Vec& a, const Vec& b) {
   return true;
 }
 
+enum class SnapLoad { Missing, Damaged, Ok };
+
+/// Loads one snapshot generation. Missing and framing-level damage (torn
+/// or unreadable — everything a crashed replace can leave behind) are
+/// reported for the caller to fall back on; a frame whose checksum holds
+/// but whose JSON does not is corruption no torn write produces, and that
+/// parse error propagates as the hard refusal it deserves.
+SnapLoad load_snapshot(const std::string& path, bo::BoCheckpoint& out) {
+  if (!io::file_exists(path)) return SnapLoad::Missing;
+  io::JournalReadResult sr;
+  try {
+    sr = io::read_journal(path);
+  } catch (const io::CheckpointError&) {
+    return SnapLoad::Damaged;
+  }
+  if (sr.payloads.size() != 1 || sr.torn_tail) return SnapLoad::Damaged;
+  out = bo::BoCheckpoint::parse(sr.payloads.front());
+  return SnapLoad::Ok;
+}
+
 }  // namespace
 
 Session::Session(std::string name, SessionSpec spec)
@@ -79,6 +99,20 @@ std::unique_ptr<Session> Session::resume(std::string name, SessionSpec spec,
   }
   const io::JournalReadResult jr = io::read_journal(jpath);
   if (jr.payloads.empty()) {
+    // No intact header. Appends are sequential and a failed append rolls
+    // the file back, so nothing can ever have been journaled — and the
+    // first snapshot is written only after the header. If no snapshot
+    // generation exists either, this is the wreckage of a crashed (or
+    // storage-faulted) NEW: nothing was ever observable, so re-creating
+    // fresh is exact. Any surviving snapshot alongside a headerless
+    // journal is real corruption and keeps the hard refusal.
+    bo::BoCheckpoint ignored;
+    if (load_snapshot(spath, ignored) == SnapLoad::Missing &&
+        load_snapshot(spath + ".old", ignored) == SnapLoad::Missing) {
+      core.start_fresh_journal();
+      s->snapshot();
+      return s;
+    }
     throw io::CheckpointError("cannot resume: journal at " + jpath +
                               " holds no intact header line");
   }
@@ -106,22 +140,39 @@ std::unique_ptr<Session> Session::resume(std::string name, SessionSpec spec,
   }
 
   // Sessions write a snapshot inside create(), so a resumable session
-  // always has one (unlike an engine run killed before its first
-  // checkpoint interval).
-  if (!io::file_exists(spath)) {
-    throw io::CheckpointError("cannot resume session: no snapshot at " +
-                              spath);
+  // normally has one. A missing or torn "<base>.snapshot" is the
+  // signature of a crash (or injected fault) mid-replace; the previous
+  // generation "<base>.snapshot.old" plus the journal tail resumes to
+  // the exact same state (see snapshot()), so a half-written snapshot is
+  // never accepted and never fatal on its own. Only when neither
+  // generation is usable does resume give up — and if the journal holds
+  // no eval records, nothing beyond the pristine state was ever
+  // observable (a crash inside create()), so the session is recreated
+  // fresh rather than refused.
+  const std::string old_path = spath + ".old";
+  bo::BoCheckpoint snap;
+  const SnapLoad primary = load_snapshot(spath, snap);
+  bool from_fallback = false;
+  if (primary != SnapLoad::Ok) {
+    if (load_snapshot(old_path, snap) == SnapLoad::Ok) {
+      from_fallback = true;
+    } else if (records.empty()) {
+      core.reopen_journal(jr.valid_bytes, 0, 0);
+      // snapshot_valid_ is still false, so this first write does not
+      // rotate whatever damaged file sits at spath into the fallback.
+      s->snapshot();
+      return s;
+    } else {
+      throw io::CheckpointError(
+          "cannot resume session: snapshot " + spath + " is " +
+          (primary == SnapLoad::Missing ? "missing" : "damaged") +
+          " and no usable fallback snapshot exists at " + old_path);
+    }
   }
-  const io::JournalReadResult sr = io::read_journal(spath);
-  if (sr.payloads.size() != 1 || sr.torn_tail) {
-    throw io::CheckpointError(
-        "snapshot " + spath +
-        " is damaged (expected exactly one intact framed line)");
-  }
-  const bo::BoCheckpoint snap = bo::BoCheckpoint::parse(sr.payloads.front());
+  const std::string used = from_fallback ? old_path : spath;
   if (snap.config_hash != core.config_hash()) {
     throw io::CheckpointError(
-        "checkpoint config mismatch: snapshot " + spath +
+        "checkpoint config mismatch: snapshot " + used +
         " was written with config fingerprint " +
         io::json_u64(snap.config_hash) +
         " but this session is configured with fingerprint " +
@@ -129,15 +180,18 @@ std::unique_ptr<Session> Session::resume(std::string name, SessionSpec spec,
   }
   if (snap.journal_count > records.size()) {
     throw io::CheckpointError(
-        "snapshot " + spath + " absorbs " +
+        "snapshot " + used + " absorbs " +
         std::to_string(snap.journal_count) + " evaluations but journal " +
         jpath + " holds only " + std::to_string(records.size()) +
         " — the files do not belong to the same run");
   }
 
   core.reopen_journal(jr.valid_bytes, records.size(), snap.journal_count);
-  core.restore_snapshot(snap, spath);
+  core.restore_snapshot(snap, used);
   s->now_ = snap.now;
+  // A resume off the fallback must not rotate the damaged primary over
+  // the very generation it just restored from.
+  s->snapshot_valid_ = !from_fallback;
 
   // Because the session snapshots after every mutation, the tail is at
   // most the one record of a crash between journal append and snapshot
@@ -182,7 +236,9 @@ std::unique_ptr<Session> Session::resume(std::string name, SessionSpec spec,
     }
     s->now_ = rec.finish;  // live observes tick the clock to their finish
   }
-  if (records.size() > snap.journal_count) s->snapshot();
+  // Re-snapshot when the tail advanced the state, and after a fallback
+  // resume (so the next resume finds an intact primary again).
+  if (records.size() > snap.journal_count || from_fallback) s->snapshot();
   return s;
 }
 
@@ -204,8 +260,20 @@ SessionObserved Session::observe_ok(std::size_t tag, double y) {
   o.finish = now_ + 1.0;
   const bo::Observed ob = core_.observe(tag, o);
   now_ += 1.0;
-  snapshot();
-  return SessionObserved{ob.action};
+  SessionObserved out;
+  out.action = ob.action;
+  // The observe is durable the moment core_.observe returns (its journal
+  // append fsyncs before the model applies it); a snapshot failure here
+  // only widens the journal tail the next resume replays. The request is
+  // committed, so the reply stays OK — but the fault is surfaced for the
+  // host's health plane.
+  try {
+    snapshot();
+  } catch (const io::CheckpointError& e) {
+    out.snapshot_failed = true;
+    out.storage_error = e.what();
+  }
+  return out;
 }
 
 SessionObserved Session::observe_failure(std::size_t tag,
@@ -220,8 +288,15 @@ SessionObserved Session::observe_failure(std::size_t tag,
   o.error = error;
   const bo::Observed ob = core_.observe(tag, o);
   now_ += 1.0;
-  snapshot();
-  return SessionObserved{ob.action};
+  SessionObserved out;
+  out.action = ob.action;
+  try {
+    snapshot();
+  } catch (const io::CheckpointError& e) {
+    out.snapshot_failed = true;
+    out.storage_error = e.what();
+  }
+  return out;
 }
 
 std::string Session::status_json() const {
@@ -262,6 +337,21 @@ std::string Session::status_json() const {
   return s + "}";
 }
 
-void Session::snapshot() { core_.write_snapshot(now_, 0.0, sup_rng_); }
+void Session::snapshot() {
+  if (snapshot_valid_) {
+    const std::string spath =
+        bo::snapshot_file(core_.config().checkpoint_path);
+    try {
+      io::try_rename_file(spath, spath + ".old");
+    } catch (const io::CheckpointError&) {
+      // Rotation is defense in depth: a failed rotation leaves the
+      // fallback one generation stale, which is still a valid resume
+      // point — it never blocks the snapshot itself.
+    }
+  }
+  snapshot_valid_ = false;
+  core_.write_snapshot(now_, 0.0, sup_rng_);
+  snapshot_valid_ = true;
+}
 
 }  // namespace easybo::serve

@@ -36,6 +36,12 @@ namespace easybo::serve {
 /// What one observe did, as reported on the wire.
 struct SessionObserved {
   const char* action = "";  ///< "observed" | "penalized" | "discarded"
+  /// The observe was journaled (committed — the reply is OK) but the
+  /// snapshot rewrite after it failed. The previous snapshot generation
+  /// plus the journal tail still resume to exactly the current state, so
+  /// nothing is lost; the host reports the fault on its health plane.
+  bool snapshot_failed = false;
+  std::string storage_error;  ///< what() of the snapshot failure, if any
 };
 
 /// A durable, named AskTellCore. Construct through create() or resume();
@@ -52,8 +58,14 @@ class Session {
   /// Rebuilds a session from its checkpoint files. \p spec must parse to
   /// the same configuration the files were written with — the config
   /// fingerprint is checked exactly as BoEngine::resume checks it
-  /// (io::CheckpointError on mismatch). Re-applies the at-most-one
-  /// journal record the snapshot has not absorbed.
+  /// (io::CheckpointError on mismatch). Re-applies whatever journal tail
+  /// the restored snapshot has not absorbed. A missing or torn
+  /// "<base>.snapshot" falls back to the previous generation
+  /// "<base>.snapshot.old" (see snapshot() below) — a half-written
+  /// snapshot is never accepted, and only when neither generation is
+  /// usable does resume refuse. A journal holding no eval records with
+  /// no usable snapshot is the signature of a crash inside create();
+  /// that resumes to the pristine session.
   static std::unique_ptr<Session> resume(std::string name, SessionSpec spec,
                                          const std::string& checkpoint_base);
 
@@ -69,6 +81,15 @@ class Session {
   /// policy (discard/penalize) decides what happens; there is no abort
   /// over the protocol. \p error is an optional human-readable detail
   /// recorded in the journal.
+  ///
+  /// Storage faults during observe_ok/observe_failure split two ways:
+  /// a failed *journal append* throws io::CheckpointError with nothing
+  /// durable (at worst a torn tail the next resume truncates) — the
+  /// request had no effect, but this in-memory object is no longer
+  /// trustworthy (the pending tag was already consumed) and must be
+  /// dropped by the caller. A failed *snapshot* after a successful
+  /// append is reported via SessionObserved::snapshot_failed with an OK
+  /// result: the mutation is durable through the journal.
   SessionObserved observe_failure(std::size_t tag, const std::string& status,
                                   const std::string& error = "");
 
@@ -81,6 +102,15 @@ class Session {
  private:
   Session(std::string name, SessionSpec spec);
 
+  /// Rewrites "<base>.snapshot" atomically, first rotating the current
+  /// (known-good) snapshot to "<base>.snapshot.old" so that a torn
+  /// replace — a non-atomic filesystem, injected via io/fs_fault.h —
+  /// still leaves one intact generation on disk. Because every mutation
+  /// snapshots, each generation absorbs all but at most one journal
+  /// record, so resuming from the previous generation plus the journal
+  /// tail is exact. Rotation is skipped while the on-disk snapshot is
+  /// not known good (a damaged generation must never clobber the intact
+  /// fallback); rotation failures are themselves non-fatal.
   void snapshot();
 
   std::string name_;
@@ -92,6 +122,9 @@ class Session {
   /// Logical clock: one tick per absorbed observation. Recorded as each
   /// proposal's submit time and as the snapshot clock.
   double now_ = 0.0;
+  /// True while "<base>.snapshot" is known to hold an intact generation
+  /// — the precondition for rotating it to ".old" (see snapshot()).
+  bool snapshot_valid_ = false;
 };
 
 }  // namespace easybo::serve

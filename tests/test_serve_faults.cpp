@@ -1,0 +1,384 @@
+// Storage-fault matrix for the session host (ISSUE: chaos-tested
+// recovery). For every fault channel (ENOSPC, EIO, short write, torn
+// rename) injected at many different operation indices, a session driven
+// to budget exhaustion must end with the bit-identical proposal stream
+// of an unfaulted control host: each injected fault either fails the
+// request cleanly (ERR, on-disk state intact — the command retries after
+// CLOSE clears the quarantine) or is absorbed (committed observe with a
+// stale snapshot, swallowed rotation fault) — never a half-written
+// snapshot accepted on resume, never a divergent stream.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/fs_fault.h"
+#include "io/journal.h"
+#include "io/json.h"
+#include "serve/host.h"
+#include "serve/session_config.h"
+
+namespace easybo::serve {
+namespace {
+
+using linalg::Vec;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "easybo_faults_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string quick_config_json(std::uint64_t seed) {
+  bo::BoConfig cfg;
+  cfg.mode = bo::Mode::Sequential;
+  cfg.acq = bo::AcqKind::EasyBo;
+  cfg.penalize = true;
+  cfg.batch = 1;
+  cfg.init_points = 3;
+  cfg.max_sims = 7;
+  cfg.seed = seed;
+  cfg.on_eval_failure = bo::EvalFailurePolicy::Discard;
+  cfg.acq_opt.sobol_candidates = 32;
+  cfg.acq_opt.random_candidates = 16;
+  cfg.acq_opt.refine_evals = 15;
+  cfg.trainer.max_iters = 8;
+  cfg.trainer.restarts = 1;
+  opt::Bounds bounds;
+  bounds.lower = {0.0, 0.0};
+  bounds.upper = {1.0, 1.0};
+  return session_config_json(cfg, bounds);
+}
+
+double objective_of(const Vec& x) {
+  double s = 0.0;
+  for (const double v : x) s += std::sin(3.0 * v) + v * v;
+  return s;
+}
+
+struct Suggested {
+  std::size_t tag = 0;
+  Vec x;
+};
+
+Suggested parse_suggest_reply(const std::string& reply) {
+  EXPECT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+  const io::JsonValue j = io::parse_json(reply.substr(3));
+  Suggested s;
+  s.tag = static_cast<std::size_t>(j.at("tag").as_double());
+  for (const auto& v : j.at("x").as_array()) s.x.push_back(v.as_double());
+  return s;
+}
+
+bool is_protocol_error(const std::string& reply) {
+  // Replies that are a *correct answer*, not a storage failure: the
+  // budget ran out. Everything else starting with ERR is treated as a
+  // fault to recover from.
+  return reply.find("budget exhausted") != std::string::npos;
+}
+
+/// Sends one command, recovering from storage faults the way an operator
+/// (or a retrying client) would: a quarantined session is CLOSEd to
+/// clear the quarantine, then the command is retried. With the fault
+/// budget capped at one, a bounded number of retries must always reach a
+/// non-storage reply; anything else is a recovery bug.
+std::string send_recovering(SessionHost& host, const std::string& name,
+                            const std::string& line) {
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const std::string reply = host.handle_line(line);
+    if (reply.rfind("ERR ", 0) != 0 || is_protocol_error(reply)) {
+      return reply;
+    }
+    if (reply.rfind("ERR quarantined", 0) == 0 ||
+        reply.rfind("ERR storage", 0) == 0) {
+      const std::string closed = host.handle_line("CLOSE " + name);
+      EXPECT_EQ(closed.rfind("OK ", 0), 0u) << closed;
+    }
+    // Plain storage ERRs (a failed NEW or resume) retry as-is.
+  }
+  ADD_FAILURE() << "no recovery after repeated retries for: " << line;
+  return "ERR unrecoverable";
+}
+
+/// Drives one session to exhaustion with fault recovery; returns the
+/// accepted proposal stream.
+std::vector<Vec> drive_recovering(SessionHost& host, const std::string& name,
+                                  const std::string& config_json) {
+  const std::string created =
+      send_recovering(host, name, "NEW " + name + " " + config_json);
+  EXPECT_EQ(created.rfind("OK ", 0), 0u) << created;
+  std::vector<Vec> xs;
+  for (;;) {
+    const std::string reply =
+        send_recovering(host, name, "SUGGEST " + name);
+    if (reply.rfind("ERR ", 0) == 0) {
+      EXPECT_TRUE(is_protocol_error(reply)) << reply;
+      break;
+    }
+    const Suggested s = parse_suggest_reply(reply);
+    const std::string ob = send_recovering(
+        host, name,
+        "OBSERVE " + name + " " + std::to_string(s.tag) + " " +
+            io::json_number(objective_of(s.x)));
+    EXPECT_EQ(ob.rfind("OK ", 0), 0u) << ob;
+    // Count a proposal only once its observe was accepted — a SUGGEST
+    // rolled back by quarantine re-issues the same tag on retry.
+    xs.push_back(s.x);
+  }
+  return xs;
+}
+
+void expect_same_proposals(const std::vector<Vec>& a,
+                           const std::vector<Vec>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "proposal " << i;
+  }
+}
+
+std::vector<Vec> control_stream(const std::string& channel_name,
+                                const std::string& config_json) {
+  // Unique per channel: ctest runs the sweep tests as separate parallel
+  // processes, which must not share a control directory.
+  const std::string dir = fresh_dir("control_" + channel_name);
+  SessionHost host(dir, 4);
+  return drive_recovering(host, "ctl", config_json);
+}
+
+/// The matrix: one injected fault per run (max_faults = 1), swept across
+/// operation indices, per channel. Every run must converge to the
+/// control stream.
+void sweep_channel(const char* channel_name,
+                   void (*arm)(io::FsFaultPlan&, std::size_t)) {
+  const std::string config = quick_config_json(101);
+  const std::vector<Vec> expected = control_stream(channel_name, config);
+  ASSERT_FALSE(expected.empty());
+  // Indices chosen to land the single fault in create, early suggests,
+  // journal appends and late snapshots alike.
+  for (const std::size_t every : {1u, 2u, 3u, 5u, 9u, 17u, 33u}) {
+    SCOPED_TRACE(std::string(channel_name) + " every=" +
+                 std::to_string(every));
+    const std::string dir =
+        fresh_dir(std::string(channel_name) + "_" + std::to_string(every));
+    SessionHost host(dir, 4);
+    io::FsFaultPlan plan;
+    arm(plan, every);
+    plan.max_faults = 1;
+    std::vector<Vec> got;
+    {
+      io::ScopedFsFaults faults(plan);
+      got = drive_recovering(host, "s", config);
+    }
+    expect_same_proposals(got, expected);
+    // And a fresh host over the surviving files resumes to the same
+    // exhausted session.
+    SessionHost reopened(dir, 4);
+    const std::string status = reopened.handle_line("STATUS s");
+    ASSERT_EQ(status.rfind("OK ", 0), 0u) << status;
+    const io::JsonValue j = io::parse_json(status.substr(3));
+    EXPECT_EQ(j.at("observed").as_double(), 7.0) << status;
+    EXPECT_EQ(reopened.handle_line("SUGGEST s").rfind("ERR ", 0), 0u);
+  }
+}
+
+TEST(ServeFaultMatrix, EnospcSweep) {
+  sweep_channel("enospc", [](io::FsFaultPlan& p, std::size_t every) {
+    p.enospc_every = every;
+  });
+}
+
+TEST(ServeFaultMatrix, EioSweep) {
+  sweep_channel("eio", [](io::FsFaultPlan& p, std::size_t every) {
+    p.eio_every = every;
+  });
+}
+
+TEST(ServeFaultMatrix, ShortWriteSweep) {
+  sweep_channel("short_write", [](io::FsFaultPlan& p, std::size_t every) {
+    p.short_write_every = every;
+  });
+}
+
+TEST(ServeFaultMatrix, TornRenameSweep) {
+  sweep_channel("torn_rename", [](io::FsFaultPlan& p, std::size_t every) {
+    p.torn_rename_every = every;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Targeted failure-path anatomy
+// ---------------------------------------------------------------------------
+
+TEST(ServeFaults, ObserveJournalFaultQuarantinesWithStateRolledBack) {
+  const std::string dir = fresh_dir("observe_quarantine");
+  SessionHost host(dir, 4);
+  const std::string config = quick_config_json(7);
+  ASSERT_EQ(host.handle_line("NEW q " + config).rfind("OK ", 0), 0u);
+  const Suggested s = parse_suggest_reply(host.handle_line("SUGGEST q"));
+
+  std::string reply;
+  {
+    // First eligible op of OBSERVE is the journal append's write.
+    io::FsFaultPlan plan;
+    plan.eio_every = 1;
+    plan.max_faults = 1;
+    io::ScopedFsFaults faults(plan);
+    reply = host.handle_line("OBSERVE q " + std::to_string(s.tag) + " 1.0");
+  }
+  EXPECT_EQ(reply.rfind("ERR storage q:", 0), 0u) << reply;
+  EXPECT_NE(reply.find("quarantined"), std::string::npos) << reply;
+  EXPECT_TRUE(host.is_quarantined("q"));
+  EXPECT_FALSE(host.is_live("q"));
+  EXPECT_GE(host.io_fault_count(), 1u);
+
+  // Quarantine refuses work but serves STATUS from memory, and the
+  // health plane reports degraded storage.
+  EXPECT_EQ(host.handle_line("SUGGEST q").rfind("ERR quarantined q:", 0),
+            0u);
+  EXPECT_EQ(host.handle_line("NEW q " + config).rfind("ERR quarantined", 0),
+            0u);
+  const std::string st = host.handle_line("STATUS q");
+  EXPECT_NE(st.find("\"quarantined\":true"), std::string::npos) << st;
+  EXPECT_NE(host.handle_line("STATUS").find("\"storage\":\"degraded\""),
+            std::string::npos);
+
+  // CLOSE clears the quarantine; the resumed session still has the tag
+  // pending (the failed observe really was rolled back) and accepts it.
+  EXPECT_EQ(host.handle_line("CLOSE q").rfind("OK ", 0), 0u);
+  EXPECT_FALSE(host.is_quarantined("q"));
+  const std::string st2 = host.handle_line("STATUS q");
+  EXPECT_NE(st2.find("\"pending\":[" + std::to_string(s.tag) + "]"),
+            std::string::npos)
+      << st2;
+  EXPECT_EQ(host.handle_line("OBSERVE q " + std::to_string(s.tag) + " 1.0")
+                .rfind("OK ", 0),
+            0u);
+  EXPECT_NE(host.handle_line("STATUS").find("\"storage\":\"ok\""),
+            std::string::npos);
+}
+
+TEST(ServeFaults, ObserveSnapshotFaultIsCommittedAndRepliesOk) {
+  const std::string dir = fresh_dir("observe_committed");
+  SessionHost host(dir, 4);
+  const std::string config = quick_config_json(8);
+  ASSERT_EQ(host.handle_line("NEW c " + config).rfind("OK ", 0), 0u);
+  const Suggested s = parse_suggest_reply(host.handle_line("SUGGEST c"));
+
+  std::string reply;
+  {
+    // Fsync #1 of OBSERVE is the journal append (succeeds), fsync #2 is
+    // the snapshot tmp file — the fault lands there.
+    io::FsFaultPlan plan;
+    plan.enospc_every = 2;
+    plan.max_faults = 1;
+    io::ScopedFsFaults faults(plan);
+    reply = host.handle_line("OBSERVE c " + std::to_string(s.tag) + " 2.0");
+  }
+  // Journal-first: the observe is durable, so the reply is OK and the
+  // session is NOT quarantined — only the health counter moves.
+  EXPECT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+  EXPECT_FALSE(host.is_quarantined("c"));
+  EXPECT_GE(host.io_fault_count(), 1u);
+
+  // A restart resumes from the stale snapshot plus the journal tail to
+  // the exact post-observe state.
+  SessionHost reopened(dir, 4);
+  const std::string st = reopened.handle_line("STATUS c");
+  ASSERT_EQ(st.rfind("OK ", 0), 0u) << st;
+  const io::JsonValue j = io::parse_json(st.substr(3));
+  EXPECT_EQ(j.at("observed").as_double(), 1.0) << st;
+  EXPECT_EQ(j.at("pending").as_array().size(), 0u) << st;
+}
+
+TEST(ServeFaults, BothSnapshotGenerationsDamagedRefusesLoudly) {
+  const std::string dir = fresh_dir("both_damaged");
+  const std::string config = quick_config_json(9);
+  {
+    SessionHost host(dir, 4);
+    ASSERT_EQ(host.handle_line("NEW d " + config).rfind("OK ", 0), 0u);
+    const Suggested s = parse_suggest_reply(host.handle_line("SUGGEST d"));
+    ASSERT_EQ(host.handle_line("OBSERVE d " + std::to_string(s.tag) + " 1.0")
+                  .rfind("OK ", 0),
+              0u);
+    // A second mutation so the rotated .old generation exists.
+    parse_suggest_reply(host.handle_line("SUGGEST d"));
+  }
+  // Vandalize both generations down to a torn half-line.
+  for (const char* suffix : {".snapshot", ".snapshot.old"}) {
+    const std::string path = dir + "/d" + suffix;
+    ASSERT_TRUE(io::file_exists(path)) << path;
+    const std::string content = io::read_file(path);
+    io::atomic_write_file(path, content.substr(0, content.size() / 2));
+  }
+  SessionHost host(dir, 4);
+  const std::string reply = host.handle_line("SUGGEST d");
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u) << reply;
+  EXPECT_NE(reply.find("cannot resume session"), std::string::npos) << reply;
+  // The journal held real records, so the host must NOT silently
+  // recreate a fresh session over them.
+  EXPECT_FALSE(host.is_live("d"));
+}
+
+TEST(ServeFaults, MissingSnapshotsWithEmptyJournalRecreatePristine) {
+  const std::string dir = fresh_dir("create_crash");
+  const std::string config = quick_config_json(10);
+  Suggested first;
+  {
+    SessionHost host(dir, 4);
+    ASSERT_EQ(host.handle_line("NEW p " + config).rfind("OK ", 0), 0u);
+    // Suggests journal nothing, so the journal stays header-only.
+    first = parse_suggest_reply(host.handle_line("SUGGEST p"));
+  }
+  std::filesystem::remove(dir + "/p.snapshot");
+  std::filesystem::remove(dir + "/p.snapshot.old");
+  SessionHost host(dir, 4);
+  // Nothing observable was lost (no observe was ever journaled): the
+  // host resumes to the pristine session whose first suggest is
+  // bit-identical to the original.
+  const std::string reply = host.handle_line("SUGGEST p");
+  ASSERT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+  const Suggested again = parse_suggest_reply(reply);
+  EXPECT_EQ(again.tag, first.tag);
+  EXPECT_EQ(again.x, first.x);
+}
+
+TEST(ServeFaults, ConfigWithoutJournalRecreatesOnNextCommand) {
+  const std::string dir = fresh_dir("config_only");
+  const std::string config = quick_config_json(11);
+  std::filesystem::create_directories(dir);
+  // The on-disk signature of a NEW that crashed right after persisting
+  // the config: no journal, no snapshot.
+  io::atomic_write_file(dir + "/r.config", config);
+  SessionHost host(dir, 4);
+  const std::string reply = host.handle_line("SUGGEST r");
+  EXPECT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+  // And the files are complete now: a restart resumes normally.
+  SessionHost reopened(dir, 4);
+  EXPECT_EQ(reopened.handle_line("STATUS r").rfind("OK ", 0), 0u);
+}
+
+TEST(ServeFaults, FaultDuringNewIsRetryableWithoutQuarantine) {
+  const std::string dir = fresh_dir("new_retry");
+  SessionHost host(dir, 4);
+  const std::string config = quick_config_json(12);
+  std::string reply;
+  {
+    io::FsFaultPlan plan;
+    plan.eio_every = 1;
+    plan.max_faults = 1;
+    io::ScopedFsFaults faults(plan);
+    reply = host.handle_line("NEW n " + config);
+  }
+  EXPECT_EQ(reply.rfind("ERR ", 0), 0u) << reply;
+  EXPECT_FALSE(host.is_quarantined("n"));
+  // The retry completes the creation from whatever subset survived.
+  const std::string retry = host.handle_line("NEW n " + config);
+  EXPECT_EQ(retry.rfind("OK ", 0), 0u) << retry;
+  EXPECT_EQ(host.handle_line("SUGGEST n").rfind("OK ", 0), 0u);
+}
+
+}  // namespace
+}  // namespace easybo::serve
