@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""GP hot-path performance trend gate.
+
+Reads a google-benchmark JSON file produced by bench/micro_gp (a fresh
+run, and optionally the committed BENCH_micro_gp.json baseline) and
+asserts the scaling contract of the PR that introduced the approximate
+backend and the zero-copy hallucination overlay:
+
+  1. BM_HallucinateOverlay/2048 must be at least MIN_OVERLAY_SPEEDUP x
+     faster than BM_HallucinateDeepCopy/2048 (k = 8 pending points —
+     the penalized-proposal hot path).
+  2. BM_RffFitFull/4096 must be faster than BM_GpFitFull/1024: the
+     approximate backend's whole point is fitting far larger archives
+     than the exact GP can.
+
+Both checks are WITHIN-RUN ratios, so they hold on any machine and any
+sane compiler — absolute times are never compared against the committed
+baseline. When a baseline file is supplied, the same two invariants are
+re-checked on it (a committed baseline that violates its own contract is
+stale) and the fresh/baseline ratio drift is reported for information
+only.
+
+Usage:
+    bench_gp_trend.py FRESH.json [BASELINE.json]
+
+Stdlib only, so the CI job needs no pip installs.
+"""
+
+import json
+import sys
+
+MIN_OVERLAY_SPEEDUP = 5.0
+
+# (label, numerator benchmark, denominator benchmark, min ratio)
+INVARIANTS = [
+    (
+        "overlay >= {:.0f}x deep-copy at n=2048, k=8".format(MIN_OVERLAY_SPEEDUP),
+        "BM_HallucinateDeepCopy/2048",
+        "BM_HallucinateOverlay/2048",
+        MIN_OVERLAY_SPEEDUP,
+    ),
+    (
+        "rff fit at n=4096 beats exact fit at n=1024",
+        "BM_GpFitFull/1024",
+        "BM_RffFitFull/4096",
+        1.0,
+    ),
+]
+
+
+def load_times(path):
+    """Map benchmark name -> real_time in nanoseconds."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            raise SystemExit(f"{path}: unknown time_unit {unit!r}")
+        times[bench["name"]] = float(bench["real_time"]) * scale
+    return times
+
+
+def check(path, times):
+    failures = []
+    for label, numerator, denominator, min_ratio in INVARIANTS:
+        missing = [n for n in (numerator, denominator) if n not in times]
+        if missing:
+            failures.append(f"{label}: missing benchmarks {missing}")
+            continue
+        ratio = times[numerator] / times[denominator]
+        verdict = "ok" if ratio >= min_ratio else "FAIL"
+        print(
+            f"{path}: {label}: {numerator} / {denominator} = "
+            f"{ratio:.2f} (need >= {min_ratio:.2f}) [{verdict}]"
+        )
+        if ratio < min_ratio:
+            failures.append(f"{label}: ratio {ratio:.2f} < {min_ratio:.2f}")
+    return failures
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    fresh_path = argv[1]
+    fresh = load_times(fresh_path)
+    failures = check(fresh_path, fresh)
+
+    if len(argv) == 3:
+        base_path = argv[2]
+        base = load_times(base_path)
+        failures += check(base_path, base)
+        # Informational drift report: flag, but do not fail on, absolute
+        # changes — CI machines differ from whoever committed the baseline.
+        common = sorted(set(fresh) & set(base))
+        for name in common:
+            drift = fresh[name] / base[name]
+            if drift > 2.0 or drift < 0.5:
+                print(
+                    f"note: {name} drifted {drift:.2f}x vs baseline "
+                    f"({base[name] / 1e6:.3f} ms -> {fresh[name] / 1e6:.3f} ms)"
+                )
+
+    if failures:
+        print("bench_gp_trend: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench_gp_trend: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -18,7 +18,7 @@ double norm_cdf(double z) { return 0.5 * std::erfc(-z / std::numbers::sqrt2); }
 // Ucb
 // ---------------------------------------------------------------------------
 
-Ucb::Ucb(const GpRegressor* model, double kappa)
+Ucb::Ucb(const gp::Regressor* model, double kappa)
     : model_(model), kappa_(kappa) {
   EASYBO_REQUIRE(model != nullptr, "Ucb: null model");
   EASYBO_REQUIRE(kappa >= 0.0, "Ucb: kappa must be non-negative");
@@ -33,7 +33,7 @@ double Ucb::operator()(const Vec& x) const {
 // Ei / Pi
 // ---------------------------------------------------------------------------
 
-Ei::Ei(const GpRegressor* model, double best_y, double xi)
+Ei::Ei(const gp::Regressor* model, double best_y, double xi)
     : model_(model), best_y_(best_y), xi_(xi) {
   EASYBO_REQUIRE(model != nullptr, "Ei: null model");
 }
@@ -47,7 +47,7 @@ double Ei::operator()(const Vec& x) const {
   return improve * norm_cdf(z) + sd * norm_pdf(z);
 }
 
-Pi::Pi(const GpRegressor* model, double best_y, double xi)
+Pi::Pi(const gp::Regressor* model, double best_y, double xi)
     : model_(model), best_y_(best_y), xi_(xi) {
   EASYBO_REQUIRE(model != nullptr, "Pi: null model");
 }
@@ -64,8 +64,8 @@ double Pi::operator()(const Vec& x) const {
 // WeightedUcb (Eq. 4 / 8 / 9)
 // ---------------------------------------------------------------------------
 
-WeightedUcb::WeightedUcb(const GpRegressor* mean_model,
-                         const GpRegressor* var_model, double w)
+WeightedUcb::WeightedUcb(const gp::Regressor* mean_model,
+                         const gp::Regressor* var_model, double w)
     : mean_model_(mean_model), var_model_(var_model), w_(w) {
   EASYBO_REQUIRE(mean_model != nullptr && var_model != nullptr,
                  "WeightedUcb: null model");
@@ -78,7 +78,7 @@ double WeightedUcb::operator()(const Vec& x) const {
   return (1.0 - w_) * mu + w_ * sd;
 }
 
-Bucb::Bucb(const GpRegressor* mean_model, const GpRegressor* var_model,
+Bucb::Bucb(const gp::Regressor* mean_model, const gp::Regressor* var_model,
            double kappa)
     : mean_model_(mean_model), var_model_(var_model), kappa_(kappa) {
   EASYBO_REQUIRE(mean_model != nullptr && var_model != nullptr,
@@ -142,7 +142,7 @@ double HighCoveragePenalty::operator()(const Vec& x) const {
   return n_hc_ * std::exp(mean_exponent);
 }
 
-PhcboAcquisition::PhcboAcquisition(const GpRegressor* model, double w,
+PhcboAcquisition::PhcboAcquisition(const gp::Regressor* model, double w,
                                    const HighCoveragePenalty* penalty)
     : base_(model, model, w), penalty_(penalty) {
   EASYBO_REQUIRE(penalty != nullptr, "PhcboAcquisition: null penalty");
@@ -157,7 +157,7 @@ double PhcboAcquisition::operator()(const Vec& x) const {
 // ---------------------------------------------------------------------------
 
 LocalPenalization::LocalPenalization(const AcquisitionFn* base,
-                                     const GpRegressor* model,
+                                     const gp::Regressor* model,
                                      std::vector<Vec> busy, double lipschitz,
                                      double best_y)
     : base_(base),
@@ -186,7 +186,7 @@ double LocalPenalization::operator()(const Vec& x) const {
   return value;
 }
 
-double estimate_lipschitz(const GpRegressor& model, easybo::Rng& rng,
+double estimate_lipschitz(const gp::Regressor& model, easybo::Rng& rng,
                           std::size_t probes) {
   EASYBO_REQUIRE(probes >= 2, "estimate_lipschitz: need at least two probes");
   const std::size_t d = model.dim();

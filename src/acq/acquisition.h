@@ -13,11 +13,11 @@
 #include <memory>
 
 #include "common/rng.h"
-#include "gp/gp.h"
+#include "gp/regressor.h"
 
 namespace easybo::acq {
 
-using gp::GpRegressor;
+using gp::Regressor;
 using linalg::Vec;
 
 /// Interface: a scalar utility over the normalized design space.
@@ -32,13 +32,13 @@ class AcquisitionFn {
 /// optimistic bound used for maximization).
 class Ucb final : public AcquisitionFn {
  public:
-  Ucb(const GpRegressor* model, double kappa);
+  Ucb(const gp::Regressor* model, double kappa);
   double operator()(const Vec& x) const override;
 
   double kappa() const { return kappa_; }
 
  private:
-  const GpRegressor* model_;
+  const gp::Regressor* model_;
   double kappa_;
 };
 
@@ -46,11 +46,11 @@ class Ucb final : public AcquisitionFn {
 /// EI(x) = (mu - y* - xi) Phi(z) + sigma phi(z), z = (mu - y* - xi)/sigma.
 class Ei final : public AcquisitionFn {
  public:
-  Ei(const GpRegressor* model, double best_y, double xi = 0.0);
+  Ei(const gp::Regressor* model, double best_y, double xi = 0.0);
   double operator()(const Vec& x) const override;
 
  private:
-  const GpRegressor* model_;
+  const gp::Regressor* model_;
   double best_y_;
   double xi_;
 };
@@ -58,11 +58,11 @@ class Ei final : public AcquisitionFn {
 /// Probability of improvement: PI(x) = Phi((mu - y* - xi)/sigma).
 class Pi final : public AcquisitionFn {
  public:
-  Pi(const GpRegressor* model, double best_y, double xi = 0.0);
+  Pi(const gp::Regressor* model, double best_y, double xi = 0.0);
   double operator()(const Vec& x) const override;
 
  private:
-  const GpRegressor* model_;
+  const gp::Regressor* model_;
   double best_y_;
   double xi_;
 };
@@ -72,19 +72,19 @@ class Pi final : public AcquisitionFn {
 ///     alpha(x, w) = (1 - w) * mu(x) + w * sigma_hat(x)
 /// where mu comes from \p mean_model (always fitted on observed data only)
 /// and sigma_hat from \p var_model. Passing the same model twice gives the
-/// unpenalized Eq. 4/8; passing the hallucinated model (GpRegressor::
-/// with_hallucinated) as var_model gives Eq. 9.
+/// unpenalized Eq. 4/8; passing the hallucinated posterior
+/// (TrainableRegressor::hallucinate) as var_model gives Eq. 9.
 class WeightedUcb final : public AcquisitionFn {
  public:
-  WeightedUcb(const GpRegressor* mean_model, const GpRegressor* var_model,
+  WeightedUcb(const gp::Regressor* mean_model, const gp::Regressor* var_model,
               double w);
   double operator()(const Vec& x) const override;
 
   double weight() const { return w_; }
 
  private:
-  const GpRegressor* mean_model_;
-  const GpRegressor* var_model_;
+  const gp::Regressor* mean_model_;
+  const gp::Regressor* var_model_;
   double w_;
 };
 
@@ -96,13 +96,13 @@ class WeightedUcb final : public AcquisitionFn {
 /// batch baseline beyond the paper's roster.
 class Bucb final : public AcquisitionFn {
  public:
-  Bucb(const GpRegressor* mean_model, const GpRegressor* var_model,
+  Bucb(const gp::Regressor* mean_model, const gp::Regressor* var_model,
        double kappa);
   double operator()(const Vec& x) const override;
 
  private:
-  const GpRegressor* mean_model_;
-  const GpRegressor* var_model_;
+  const gp::Regressor* mean_model_;
+  const gp::Regressor* var_model_;
   double kappa_;
 };
 
@@ -146,7 +146,7 @@ class HighCoveragePenalty {
 /// pHCBO acquisition (Eq. 5): alpha_pBO(x, w) - alpha_HC(x).
 class PhcboAcquisition final : public AcquisitionFn {
  public:
-  PhcboAcquisition(const GpRegressor* model, double w,
+  PhcboAcquisition(const gp::Regressor* model, double w,
                    const HighCoveragePenalty* penalty);
   double operator()(const Vec& x) const override;
 
@@ -165,13 +165,13 @@ class LocalPenalization final : public AcquisitionFn {
   /// \param busy       points under evaluation (copied)
   /// \param lipschitz  estimated Lipschitz constant of the objective
   /// \param best_y     current incumbent (the estimated max M)
-  LocalPenalization(const AcquisitionFn* base, const GpRegressor* model,
+  LocalPenalization(const AcquisitionFn* base, const gp::Regressor* model,
                     std::vector<Vec> busy, double lipschitz, double best_y);
   double operator()(const Vec& x) const override;
 
  private:
   const AcquisitionFn* base_;
-  const GpRegressor* model_;
+  const gp::Regressor* model_;
   std::vector<Vec> busy_;
   double lipschitz_;
   double best_y_;
@@ -179,7 +179,7 @@ class LocalPenalization final : public AcquisitionFn {
 
 /// Crude Lipschitz estimate for LP: max gradient magnitude proxy from GP
 /// mean differences over random probe pairs.
-double estimate_lipschitz(const GpRegressor& model, easybo::Rng& rng,
+double estimate_lipschitz(const gp::Regressor& model, easybo::Rng& rng,
                           std::size_t probes = 64);
 
 /// Standard normal pdf / cdf (shared by EI/PI/LP).

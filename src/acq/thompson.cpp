@@ -8,59 +8,20 @@
 
 namespace easybo::acq {
 
-std::size_t thompson_sample_argmax(const GpRegressor& model,
+std::size_t thompson_sample_argmax(const gp::Regressor& model,
                                    const std::vector<Vec>& candidates,
                                    easybo::Rng& rng) {
   EASYBO_REQUIRE(!candidates.empty(), "thompson: no candidates");
   EASYBO_REQUIRE(model.fitted(), "thompson: model not fitted");
-  const std::size_t m = candidates.size();
-
-  // Posterior mean vector and covariance matrix over the candidate set:
-  //   mu_i    = m + k_i^T alpha
-  //   Sigma_ij = k(c_i, c_j) - q_i^T q_j,  q_i = L^{-1} k(X, c_i).
-  // We recompute via the public API (predict gives the diagonal; for the
-  // cross terms we need the q vectors, reconstructed from solve_lower).
-  const auto& kernel = model.kernel();
-  const auto& xs = model.inputs();
-
-  // q vectors and means.
-  std::vector<Vec> q(m);
-  Vec mu(m);
-  for (std::size_t i = 0; i < m; ++i) {
-    mu[i] = model.predict(candidates[i]).mean;
-  }
-  // Rebuild q_i through the model's factor: we do not have direct access,
-  // so recompute with a local Cholesky of the training covariance. This
-  // keeps the function self-contained at O(n^3) once per call.
-  linalg::Matrix ktrain = kernel.gram(xs);
-  ktrain.add_diagonal(model.noise_variance());
-  const linalg::Cholesky chol(ktrain);
-  for (std::size_t i = 0; i < m; ++i) {
-    q[i] = chol.solve_lower(kernel.cross(candidates[i], xs));
-  }
-
-  linalg::Matrix sigma(m, m);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = i; j < m; ++j) {
-      const double v =
-          kernel(candidates[i], candidates[j]) - linalg::dot(q[i], q[j]);
-      sigma(i, j) = v;
-      sigma(j, i) = v;
-    }
-  }
-
-  // Sample f = mu + L_sigma z.
-  const linalg::Cholesky sig_chol(sigma, /*initial_jitter=*/1e-8);
-  Vec z(m);
-  for (auto& v : z) v = rng.normal();
-  const auto& l = sig_chol.factor();
+  // The joint draw lives in the backend (exact GPs build the m x m
+  // posterior covariance, RFF samples weight space); this wrapper only
+  // picks the maximizer.
+  const Vec f = model.sample_posterior(candidates, rng);
   std::size_t best = 0;
   double best_value = -1e300;
-  for (std::size_t i = 0; i < m; ++i) {
-    double f = mu[i];
-    for (std::size_t jj = 0; jj <= i; ++jj) f += l(i, jj) * z[jj];
-    if (f > best_value) {
-      best_value = f;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    if (f[i] > best_value) {
+      best_value = f[i];
       best = i;
     }
   }

@@ -347,6 +347,14 @@ std::uint64_t config_fingerprint(const BoConfig& config,
   put_u(s, "refit_every", config.refit_every);
   put(s, "async_slot_rotation", config.async_slot_rotation ? "1" : "0");
   put(s, "kernel", config.kernel);
+  // The surrogate backend and its knobs shape every post-init proposal, so
+  // a checkpoint taken under one backend refuses to resume under another.
+  // (hallucinate_overlay is deliberately absent: both hallucination paths
+  // produce bit-identical streams.)
+  put(s, "gp_backend", config.gp_backend);
+  put_u(s, "rff_features", config.rff_features);
+  put_u(s, "rff_train_subset", config.rff_train_subset);
+  put(s, "pin_hallucinated_mean", config.pin_hallucinated_mean ? "1" : "0");
   put_u(s, "seed", config.seed);
   put(s, "on_eval_failure", to_string(config.on_eval_failure));
   put(s, "eval_timeout", config.eval_timeout);

@@ -8,6 +8,7 @@
 #include "acq/acq_optimizer.h"
 #include "acq/acquisition.h"
 #include "common/error.h"
+#include "gp/gp.h"
 #include "gp/kernel.h"
 #include "gp/normalizer.h"
 #include "gp/trainer.h"
@@ -26,8 +27,8 @@ using linalg::Vec;
 /// small probability would otherwise *reward* infeasibility).
 class FeasibleEasyBo final : public acq::AcquisitionFn {
  public:
-  FeasibleEasyBo(const gp::GpRegressor* mean_model,
-                 const gp::GpRegressor* var_model, double w, double floor,
+  FeasibleEasyBo(const gp::Regressor* mean_model,
+                 const gp::Regressor* var_model, double w, double floor,
                  const std::vector<gp::GpRegressor>* constraint_models)
       : base_(mean_model, var_model, w),
         floor_(floor),
@@ -154,11 +155,12 @@ ConstrainedResult run_constrained_bo(
       const auto p = obj_model.predict(x);
       floor = std::min(floor, (1.0 - w) * p.mean + w * p.stddev());
     }
-    std::unique_ptr<gp::GpRegressor> hallucinated;
-    const gp::GpRegressor* var_model = &obj_model;
+    std::unique_ptr<gp::Regressor> hallucinated;
+    const gp::Regressor* var_model = &obj_model;
     if (config.penalize && !pending.empty()) {
-      hallucinated = std::make_unique<gp::GpRegressor>(
-          obj_model.with_hallucinated(pending));
+      // Zero-copy overlay; historical unpinned-mean semantics (the
+      // constrained runner predates BoConfig::pin_hallucinated_mean).
+      hallucinated = obj_model.hallucinate(pending, /*pin_mean=*/false);
       var_model = hallucinated.get();
     }
     const FeasibleEasyBo fn(&obj_model, var_model, w, floor, &con_models);

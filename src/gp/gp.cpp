@@ -3,12 +3,64 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 #include "common/error.h"
 
 namespace easybo::gp {
 
-double Prediction::stddev() const { return std::sqrt(std::max(var, 0.0)); }
+namespace {
+
+/// One joint posterior sample over \p candidates for an exact GP with
+/// training inputs \p xs and observation noise \p noise_var:
+///   mu_i     = model.predict(c_i).mean
+///   Sigma_ij = k(c_i, c_j) - q_i^T q_j,   q_i = L^{-1} k(X, c_i)
+///   f        = mu + L_Sigma z,            z ~ N(0, I_m).
+/// Shared by GpRegressor and its hallucination overlay: passing the
+/// overlay's combined inputs and its predict() reproduces the sample a
+/// materialized augmented model would draw, bit for bit. Rebuilds a local
+/// Cholesky of the training covariance (O(n^3) once per call) so the
+/// routine only needs the public surface.
+Vec exact_joint_sample(const Kernel& kernel, const std::vector<Vec>& xs,
+                       double noise_var, const Regressor& model,
+                       const std::vector<Vec>& candidates, Rng& rng) {
+  const std::size_t m = candidates.size();
+  std::vector<Vec> q(m);
+  Vec mu(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    mu[i] = model.predict(candidates[i]).mean;
+  }
+  linalg::Matrix ktrain = kernel.gram(xs);
+  ktrain.add_diagonal(noise_var);
+  const linalg::Cholesky chol(ktrain);
+  for (std::size_t i = 0; i < m; ++i) {
+    q[i] = chol.solve_lower(kernel.cross(candidates[i], xs));
+  }
+
+  linalg::Matrix sigma(m, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = i; j < m; ++j) {
+      const double v =
+          kernel(candidates[i], candidates[j]) - linalg::dot(q[i], q[j]);
+      sigma(i, j) = v;
+      sigma(j, i) = v;
+    }
+  }
+
+  const linalg::Cholesky sig_chol(sigma, /*initial_jitter=*/1e-8);
+  Vec z(m);
+  for (auto& v : z) v = rng.normal();
+  const auto& l = sig_chol.factor();
+  Vec f(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double v = mu[i];
+    for (std::size_t jj = 0; jj <= i; ++jj) v += l(i, jj) * z[jj];
+    f[i] = v;
+  }
+  return f;
+}
+
+}  // namespace
 
 GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, double noise_variance)
     : kernel_(std::move(kernel)), noise_var_(noise_variance) {
@@ -64,17 +116,28 @@ void GpRegressor::add_point(Vec x, double y) {
   // The factor (if any) still covers the first n-1 points; fit() extends.
 }
 
-void GpRegressor::fit() {
+void GpRegressor::fit() { fit_impl(nullptr); }
+
+void GpRegressor::fit_impl(const double* pinned_mean) {
   EASYBO_REQUIRE(!xs_.empty(), "GpRegressor::fit: no training data");
-  y_mean_ = 0.0;
-  for (double y : ys_) y_mean_ += y;
-  y_mean_ /= static_cast<double>(ys_.size());
+  if (pinned_mean != nullptr) {
+    y_mean_ = *pinned_mean;
+  } else {
+    y_mean_ = 0.0;
+    for (double y : ys_) y_mean_ += y;
+    y_mean_ /= static_cast<double>(ys_.size());
+  }
 
   // Incremental fast path: extend the existing factor row by row while the
   // hyperparameters are unchanged and only appended points are missing.
   bool extended = chol_.has_value() && chol_->size() <= xs_.size() &&
                   chol_->size() > 0 && log_hyperparams() == fitted_params_;
+  std::size_t extended_rows = 0;
   if (extended) {
+    // The factor covers gram + (noise + jitter) I: appended diagonals must
+    // carry the escalated jitter too, or incremental and full fits would
+    // factor different matrices and log_det/LML would drift.
+    const double diag_shift = noise_var_ + chol_->jitter_used();
     while (chol_->size() < xs_.size()) {
       const std::size_t n = chol_->size();
       const Vec& x_new = xs_[n];
@@ -82,15 +145,21 @@ void GpRegressor::fit() {
       for (std::size_t i = 0; i < n; ++i) {
         column[i] = (*kernel_)(x_new, xs_[i]);
       }
-      column[n] = (*kernel_)(x_new, x_new) + noise_var_;
+      column[n] = (*kernel_)(x_new, x_new) + diag_shift;
       if (!chol_->extend(column)) {
         extended = false;  // lost positive definiteness: full refactor
         break;
       }
-      obs::count(trace_, "gp.chol_extend");
+      ++extended_rows;
     }
   }
   if (!extended || chol_->size() != xs_.size()) {
+    // Rows extended before a mid-loop failure are discarded by the
+    // refactor below: they were work, not progress.
+    if (extended_rows > 0) {
+      obs::count(trace_, "gp.chol_extend_abandoned",
+                 static_cast<std::uint64_t>(extended_rows));
+    }
     Matrix k = kernel_->gram(xs_);
     k.add_diagonal(noise_var_);
     chol_.emplace(k);
@@ -100,6 +169,9 @@ void GpRegressor::fit() {
       obs::count(trace_, "gp.jitter_escalation",
                  static_cast<std::uint64_t>(chol_->attempts() - 1));
     }
+  } else if (extended_rows > 0) {
+    obs::count(trace_, "gp.chol_extend",
+               static_cast<std::uint64_t>(extended_rows));
   }
 
   Vec centered(ys_.size());
@@ -117,6 +189,13 @@ Prediction GpRegressor::predict(const Vec& x) const {
   const Vec z = chol_->solve_lower(kstar);
   const double var = (*kernel_)(x, x) - linalg::dot(z, z);
   return {mean, std::max(var, 0.0)};
+}
+
+double GpRegressor::predict_mean(const Vec& x) const {
+  EASYBO_REQUIRE(fitted(), "GpRegressor::predict_mean before fit()");
+  EASYBO_REQUIRE(x.size() == dim(), "GpRegressor::predict_mean dim mismatch");
+  const Vec kstar = kernel_->cross(x, xs_);
+  return y_mean_ + linalg::dot(kstar, alpha_);
 }
 
 double GpRegressor::predict_observation_var(const Vec& x) const {
@@ -180,16 +259,174 @@ void GpRegressor::set_log_hyperparams(const Vec& lp) {
   chol_.reset();
 }
 
-GpRegressor GpRegressor::with_hallucinated(
-    const std::vector<Vec>& pending) const {
+Vec GpRegressor::sample_posterior(const std::vector<Vec>& candidates,
+                                  Rng& rng) const {
+  EASYBO_REQUIRE(fitted(), "sample_posterior before fit()");
+  EASYBO_REQUIRE(!candidates.empty(), "sample_posterior: no candidates");
+  return exact_joint_sample(*kernel_, xs_, noise_var_, *this, candidates,
+                            rng);
+}
+
+GpRegressor GpRegressor::with_hallucinated(const std::vector<Vec>& pending,
+                                           bool pin_mean) const {
   EASYBO_REQUIRE(fitted(), "with_hallucinated requires a fitted model");
   GpRegressor augmented(*this);
   for (const auto& x : pending) {
-    const double mu = predict(x).mean;
-    augmented.add_point(x, mu);
+    augmented.add_point(x, predict_mean(x));
   }
-  augmented.fit();
+  const double base_mean = y_mean_;
+  augmented.fit_impl(pin_mean ? &base_mean : nullptr);
   return augmented;
+}
+
+// ---------------------------------------------------------------------------
+// HallucinatedGp: the zero-copy penalization overlay
+// ---------------------------------------------------------------------------
+
+/// The posterior a materialized with_hallucinated() model serves, computed
+/// without copying the base model: pseudo targets from the base posterior,
+/// factor rows appended over the borrowed base factor (CholeskyExt), and a
+/// combined alpha. Every arithmetic step replays the materialized path's
+/// operation order, so predictions and posterior samples are bit-identical
+/// — the property the proposal-stream compatibility tests pin down.
+class HallucinatedGp final : public Regressor {
+ public:
+  HallucinatedGp(const GpRegressor* base, const std::vector<Vec>& pending,
+                 bool pin_mean)
+      : base_(base), pend_x_(pending), ext_(&base->factor()) {
+    obs::TraceSink* trace = base_->trace_;
+    obs::count(trace, "gp.hallucinate");
+    const Kernel& kernel = *base_->kernel_;
+    const std::size_t n0 = base_->xs_.size();
+
+    // Pseudo targets: the BASE model's predictive means (§III-C), exactly
+    // as with_hallucinated computes them before any pseudo point is added.
+    // Mean-only: the variance solve would be dead work here.
+    pend_y_.reserve(pend_x_.size());
+    for (const Vec& x : pend_x_) pend_y_.push_back(base_->predict_mean(x));
+
+    if (pin_mean) {
+      y_mean_ = base_->y_mean_;
+    } else {
+      // The historical stream: empirical mean over data + pseudo targets,
+      // in the materialized model's summation order.
+      double acc = 0.0;
+      for (double y : base_->ys_) acc += y;
+      for (double y : pend_y_) acc += y;
+      y_mean_ = acc / static_cast<double>(n0 + pend_y_.size());
+    }
+
+    // Append one factor row per pending point — the same columns fit()'s
+    // incremental path builds, including the base factor's jitter.
+    const double diag_shift = base_->noise_var_ + ext_.jitter_used();
+    bool extended = true;
+    std::size_t rows = 0;
+    for (std::size_t p = 0; p < pend_x_.size(); ++p) {
+      const Vec& x_new = pend_x_[p];
+      Vec column(n0 + p + 1);
+      for (std::size_t i = 0; i < n0; ++i) {
+        column[i] = kernel(x_new, base_->xs_[i]);
+      }
+      for (std::size_t i = 0; i < p; ++i) {
+        column[n0 + i] = kernel(x_new, pend_x_[i]);
+      }
+      column[n0 + p] = kernel(x_new, x_new) + diag_shift;
+      if (!ext_.extend(column)) {
+        extended = false;
+        break;
+      }
+      ++rows;
+    }
+    if (extended) {
+      if (rows > 0) {
+        obs::count(trace, "gp.chol_extend",
+                   static_cast<std::uint64_t>(rows));
+      }
+    } else {
+      // Fall back to one full jittered factorization of the combined
+      // matrix — the same escape hatch fit() takes when an extension
+      // loses positive definiteness.
+      if (rows > 0) {
+        obs::count(trace, "gp.chol_extend_abandoned",
+                   static_cast<std::uint64_t>(rows));
+      }
+      obs::count(trace, "gp.hallucinate_fallback");
+      Matrix k = kernel.gram(combined_inputs());
+      k.add_diagonal(base_->noise_var_);
+      full_.emplace(k);
+      obs::count(trace, "gp.chol_refactor");
+      if (full_->attempts() > 1) {
+        obs::count(trace, "gp.jitter_escalation",
+                   static_cast<std::uint64_t>(full_->attempts() - 1));
+      }
+    }
+
+    Vec centered(n0 + pend_y_.size());
+    for (std::size_t i = 0; i < n0; ++i) {
+      centered[i] = base_->ys_[i] - y_mean_;
+    }
+    for (std::size_t i = 0; i < pend_y_.size(); ++i) {
+      centered[n0 + i] = pend_y_[i] - y_mean_;
+    }
+    alpha_ = full_ ? full_->solve(centered) : ext_.solve(centered);
+  }
+
+  std::size_t dim() const override { return base_->dim(); }
+  std::size_t num_points() const override {
+    return base_->xs_.size() + pend_x_.size();
+  }
+  bool fitted() const override { return true; }
+  double noise_variance() const override { return base_->noise_var_; }
+
+  Prediction predict(const Vec& x) const override {
+    EASYBO_REQUIRE(x.size() == dim(),
+                   "HallucinatedGp::predict dim mismatch");
+    const Kernel& kernel = *base_->kernel_;
+    const std::size_t n0 = base_->xs_.size();
+    Vec kstar(num_points());
+    for (std::size_t i = 0; i < n0; ++i) {
+      kstar[i] = kernel(x, base_->xs_[i]);
+    }
+    for (std::size_t j = 0; j < pend_x_.size(); ++j) {
+      kstar[n0 + j] = kernel(x, pend_x_[j]);
+    }
+    const double mean = y_mean_ + linalg::dot(kstar, alpha_);
+    const Vec z = full_ ? full_->solve_lower(kstar) : ext_.solve_lower(kstar);
+    const double var = kernel(x, x) - linalg::dot(z, z);
+    return {mean, std::max(var, 0.0)};
+  }
+
+  double predict_observation_var(const Vec& x) const override {
+    return predict(x).var + base_->noise_var_;
+  }
+
+  Vec sample_posterior(const std::vector<Vec>& candidates,
+                       Rng& rng) const override {
+    EASYBO_REQUIRE(!candidates.empty(), "sample_posterior: no candidates");
+    return exact_joint_sample(*base_->kernel_, combined_inputs(),
+                              base_->noise_var_, *this, candidates, rng);
+  }
+
+ private:
+  std::vector<Vec> combined_inputs() const {
+    std::vector<Vec> all = base_->xs_;
+    all.insert(all.end(), pend_x_.begin(), pend_x_.end());
+    return all;
+  }
+
+  const GpRegressor* base_;  // borrowed; must stay alive and fitted
+  std::vector<Vec> pend_x_;
+  Vec pend_y_;  // pseudo targets: base predictive means
+  double y_mean_ = 0.0;
+  linalg::CholeskyExt ext_;
+  std::optional<linalg::Cholesky> full_;  // fallback factor (rare)
+  Vec alpha_;  // combined K^{-1} (y - mean)
+};
+
+std::unique_ptr<Regressor> GpRegressor::hallucinate(
+    const std::vector<Vec>& pending, bool pin_mean) const {
+  EASYBO_REQUIRE(fitted(), "hallucinate requires a fitted model");
+  return std::make_unique<HallucinatedGp>(this, pending, pin_mean);
 }
 
 }  // namespace easybo::gp

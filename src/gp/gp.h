@@ -1,6 +1,6 @@
 #pragma once
 /// \file gp.h
-/// \brief Gaussian process regression (paper §II-B, Eq. 2).
+/// \brief Exact Gaussian process regression (paper §II-B, Eq. 2).
 ///
 /// The regressor implements the standard zero/constant-mean GP posterior
 ///   mu(x*)     = m + k(x*, X) K^{-1} (y - m)
@@ -11,25 +11,20 @@
 /// penalization scheme (paper §III-C): pending query points are appended to
 /// the training set with their current predictive mean as pseudo
 /// observations; the shrunken predictive deviation of the augmented model is
-/// what Eq. 9 calls sigma-hat.
+/// what Eq. 9 calls sigma-hat. hallucinate() serves it as a zero-copy
+/// overlay over the base factor; with_hallucinated() is the materialized
+/// deep-copy reference the overlay is proven bit-identical against.
 
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "gp/kernel.h"
+#include "gp/regressor.h"
 #include "linalg/cholesky.h"
 #include "obs/trace.h"
 
 namespace easybo::gp {
-
-/// Posterior moments at a test point.
-struct Prediction {
-  double mean = 0.0;
-  double var = 0.0;  ///< latent variance, >= 0
-
-  double stddev() const;
-};
 
 /// Exact GP regressor with owned kernel and Gaussian observation noise.
 ///
@@ -38,7 +33,7 @@ struct Prediction {
 /// written as one flat vector for maximum-likelihood training (see
 /// gp/trainer.h). The model uses an empirical constant mean (the sample mean
 /// of y) so callers need not pre-center observations.
-class GpRegressor {
+class GpRegressor final : public TrainableRegressor {
  public:
   /// \param kernel          covariance function (ownership transferred)
   /// \param noise_variance  sn^2, must be positive
@@ -51,10 +46,10 @@ class GpRegressor {
   GpRegressor& operator=(GpRegressor&&) noexcept = default;
 
   /// Replaces the training set. Invalidates any previous fit.
-  void set_data(std::vector<Vec> xs, Vec ys);
+  void set_data(std::vector<Vec> xs, Vec ys) override;
 
   /// Appends one observation. Invalidates any previous fit.
-  void add_point(Vec x, double y);
+  void add_point(Vec x, double y) override;
 
   /// Factorizes the covariance matrix with the current hyperparameters.
   /// Must be called after data or hyperparameter changes, before predict().
@@ -64,59 +59,104 @@ class GpRegressor {
   /// factor is extended one row at a time (O(n^2) per point instead of the
   /// O(n^3) refactorization) — this is what keeps the asynchronous loop's
   /// per-observation model refresh and the hallucinated batch posteriors
-  /// cheap. Falls back to the full factorization automatically when the
-  /// extension would lose positive definiteness.
-  void fit();
+  /// cheap. Extended diagonal entries include the base factor's jitter so
+  /// incremental and full fits factor the same matrix. Falls back to the
+  /// full factorization automatically when the extension would lose
+  /// positive definiteness.
+  void fit() override;
 
-  bool fitted() const {
+  bool fitted() const override {
     return chol_.has_value() && chol_->size() == xs_.size() &&
            alpha_.size() == xs_.size();
   }
-  std::size_t num_points() const { return xs_.size(); }
-  std::size_t dim() const { return kernel_->dim(); }
+  std::size_t num_points() const override { return xs_.size(); }
+  std::size_t dim() const override { return kernel_->dim(); }
   const std::vector<Vec>& inputs() const { return xs_; }
   const Vec& targets() const { return ys_; }
   const Kernel& kernel() const { return *kernel_; }
 
   /// Posterior mean and latent variance at x (Eq. 2). Requires fitted().
-  Prediction predict(const Vec& x) const;
+  Prediction predict(const Vec& x) const override;
+
+  /// Posterior mean only — O(n) against the cached alpha, skipping the
+  /// O(n^2) variance solve. Bit-identical to predict(x).mean.
+  double predict_mean(const Vec& x) const;
 
   /// Variance including observation noise (for posterior sampling of y).
-  double predict_observation_var(const Vec& x) const;
+  double predict_observation_var(const Vec& x) const override;
 
   /// Log marginal likelihood of the training data under the current
   /// hyperparameters. Requires fitted().
-  double log_marginal_likelihood() const;
+  double log_marginal_likelihood() const override;
 
   /// Gradient of the log marginal likelihood w.r.t. the flat log
   /// hyperparameter vector [kernel params..., log sn^2]. Requires fitted().
   /// O(n^3) — used only during hyperparameter training.
-  Vec lml_gradient() const;
+  Vec lml_gradient() const override;
+  bool supports_lml_gradient() const override { return true; }
 
   /// Flat hyperparameters: kernel log-params followed by log noise variance.
-  Vec log_hyperparams() const;
+  Vec log_hyperparams() const override;
 
   /// Sets the flat hyperparameters. Invalidates any previous fit.
-  void set_log_hyperparams(const Vec& lp);
+  void set_log_hyperparams(const Vec& lp) override;
 
-  double noise_variance() const { return noise_var_; }
+  double noise_variance() const override { return noise_var_; }
 
-  /// Hallucinated model for batch penalization: returns a copy whose
-  /// training set is D ∪ {pending, mu(pending)} (pseudo observations at the
-  /// current predictive mean), already fitted. Hyperparameters are copied,
-  /// NOT re-optimized (paper §III-C / Algorithm 1 line 6).
-  GpRegressor with_hallucinated(const std::vector<Vec>& pending) const;
+  /// One joint posterior sample over \p candidates: O(m^2 n + m^3) for m
+  /// candidates (cross covariances + a Cholesky of the m x m posterior
+  /// covariance). Draws exactly m normals from \p rng.
+  Vec sample_posterior(const std::vector<Vec>& candidates,
+                       Rng& rng) const override;
+
+  /// Hallucinated posterior for batch penalization (paper §III-C /
+  /// Algorithm 1 line 6) as a zero-copy overlay: the pending points'
+  /// factor rows are appended over the base factor (linalg::CholeskyExt),
+  /// no training data or O(n^2) triangle is copied. Predictions and
+  /// posterior samples are bit-identical to with_hallucinated(). This
+  /// model must stay alive, unmodified and fitted while the overlay is in
+  /// use.
+  std::unique_ptr<Regressor> hallucinate(const std::vector<Vec>& pending,
+                                         bool pin_mean) const override;
+
+  /// Materialized hallucinated model: a full copy whose training set is
+  /// D ∪ {pending, mu(pending)} (pseudo observations at the current
+  /// predictive mean), already fitted. Hyperparameters are copied, NOT
+  /// re-optimized. Kept as the reference implementation hallucinate() is
+  /// tested bit-identical against — production paths use the overlay.
+  ///
+  /// \param pin_mean  keep this model's empirical mean instead of
+  ///                  recomputing it over data + pseudo observations.
+  GpRegressor with_hallucinated(const std::vector<Vec>& pending,
+                                bool pin_mean = false) const;
 
   /// Installs a non-owning trace sink (nullptr = off, the default).
   /// fit() then counts "gp.chol_refactor" (full O(n^3) factorizations),
-  /// "gp.chol_extend" (O(n^2) incremental rows) and
-  /// "gp.jitter_escalation" (jitter retries inside a refactorization).
-  /// Copies — including the hallucinated posteriors — inherit the sink,
-  /// so their Cholesky work is counted too.
-  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  /// "gp.chol_extend" (O(n^2) incremental rows that made it into the
+  /// final factor), "gp.chol_extend_abandoned" (rows extended but
+  /// discarded by a mid-extension fallback) and "gp.jitter_escalation"
+  /// (jitter retries inside a refactorization). Copies — including the
+  /// hallucinated posteriors — inherit the sink, so their Cholesky work
+  /// is counted too.
+  void set_trace(obs::TraceSink* sink) override { trace_ = sink; }
   obs::TraceSink* trace() const { return trace_; }
 
+  const char* backend_name() const override { return "exact"; }
+
+  /// The current factor (requires fitted()); read by the hallucination
+  /// overlay and by tests asserting jitter behaviour.
+  const linalg::Cholesky& factor() const { return *chol_; }
+
+  /// The empirical constant mean of the current fit.
+  double empirical_mean() const { return y_mean_; }
+
  private:
+  friend class HallucinatedGp;
+
+  /// fit() with an optionally pinned constant mean (hallucination's
+  /// pin_mean semantics); nullptr recomputes the empirical mean.
+  void fit_impl(const double* pinned_mean);
+
   std::unique_ptr<Kernel> kernel_;
   double noise_var_;
   std::vector<Vec> xs_;

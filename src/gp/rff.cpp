@@ -1,0 +1,285 @@
+#include "gp/rff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace easybo::gp {
+
+RffRegressor::RffRegressor(std::unique_ptr<Kernel> kernel,
+                           double noise_variance, std::size_t num_features,
+                           std::uint64_t feature_seed)
+    : kernel_(std::move(kernel)),
+      noise_var_(noise_variance),
+      num_features_(num_features),
+      feature_seed_(feature_seed) {
+  EASYBO_REQUIRE(kernel_ != nullptr, "RffRegressor needs a kernel");
+  EASYBO_REQUIRE(noise_var_ > 0.0, "noise variance must be positive");
+  EASYBO_REQUIRE(num_features_ >= 1, "RffRegressor needs >= 1 feature");
+  EASYBO_REQUIRE(dynamic_cast<const SquaredExponentialArd*>(kernel_.get()) !=
+                     nullptr,
+                 "RffRegressor supports only the SE-ARD kernel (its spectral "
+                 "density is Gaussian); got a different kernel family");
+  // One-time spectral draw: M x d standard normals. Rescaled — never
+  // redrawn — when lengthscales change, so the approximation is a smooth
+  // deterministic function of the hyperparameters.
+  Rng rng(feature_seed_);
+  eps_ = Matrix(num_features_, kernel_->dim());
+  for (std::size_t m = 0; m < num_features_; ++m) {
+    for (std::size_t d = 0; d < kernel_->dim(); ++d) {
+      eps_(m, d) = rng.normal();
+    }
+  }
+}
+
+RffRegressor::RffRegressor(const RffRegressor& other)
+    : kernel_(other.kernel_->clone()),
+      noise_var_(other.noise_var_),
+      num_features_(other.num_features_),
+      feature_seed_(other.feature_seed_),
+      eps_(other.eps_),
+      xs_(other.xs_),
+      ys_(other.ys_),
+      omega_(other.omega_),
+      feat_scale_(other.feat_scale_),
+      phis_(other.phis_),
+      a_(other.a_),
+      chol_(other.chol_),
+      w_mean_(other.w_mean_),
+      b_(other.b_),
+      y_mean_(other.y_mean_),
+      ycty_(other.ycty_),
+      fitted_params_(other.fitted_params_),
+      trace_(other.trace_) {}
+
+RffRegressor& RffRegressor::operator=(const RffRegressor& other) {
+  if (this == &other) return *this;
+  kernel_ = other.kernel_->clone();
+  noise_var_ = other.noise_var_;
+  num_features_ = other.num_features_;
+  feature_seed_ = other.feature_seed_;
+  eps_ = other.eps_;
+  xs_ = other.xs_;
+  ys_ = other.ys_;
+  omega_ = other.omega_;
+  feat_scale_ = other.feat_scale_;
+  phis_ = other.phis_;
+  a_ = other.a_;
+  chol_ = other.chol_;
+  w_mean_ = other.w_mean_;
+  b_ = other.b_;
+  y_mean_ = other.y_mean_;
+  ycty_ = other.ycty_;
+  fitted_params_ = other.fitted_params_;
+  trace_ = other.trace_;
+  return *this;
+}
+
+void RffRegressor::set_data(std::vector<Vec> xs, Vec ys) {
+  EASYBO_REQUIRE(xs.size() == ys.size(),
+                 "RffRegressor::set_data: |X| must equal |y|");
+  for (const auto& x : xs) {
+    EASYBO_REQUIRE(x.size() == dim(), "RffRegressor: input dim mismatch");
+  }
+  // Keep the absorbed feature Gram when the new inputs are the old ones
+  // plus appended points; fit() then absorbs only the new rows.
+  const bool appended = xs.size() >= xs_.size() &&
+                        std::equal(xs_.begin(), xs_.end(), xs.begin());
+  xs_ = std::move(xs);
+  ys_ = std::move(ys);
+  if (!appended) {
+    phis_.clear();
+    a_ = Matrix();
+    chol_.reset();
+  }
+}
+
+void RffRegressor::add_point(Vec x, double y) {
+  EASYBO_REQUIRE(x.size() == dim(), "RffRegressor: input dim mismatch");
+  xs_.push_back(std::move(x));
+  ys_.push_back(y);
+}
+
+void RffRegressor::refresh_frequencies() {
+  const auto* se = static_cast<const SquaredExponentialArd*>(kernel_.get());
+  const Vec& ls = se->lengthscales();
+  omega_.assign(num_features_, Vec(dim()));
+  for (std::size_t m = 0; m < num_features_; ++m) {
+    for (std::size_t d = 0; d < dim(); ++d) {
+      omega_[m][d] = eps_(m, d) / ls[d];
+    }
+  }
+  feat_scale_ =
+      std::sqrt(se->signal_variance() / static_cast<double>(num_features_));
+}
+
+Vec RffRegressor::features(const Vec& x) const {
+  EASYBO_REQUIRE(x.size() == dim(), "RffRegressor::features dim mismatch");
+  EASYBO_REQUIRE(omega_.size() == num_features_,
+                 "RffRegressor::features before any fit");
+  Vec phi(2 * num_features_);
+  for (std::size_t m = 0; m < num_features_; ++m) {
+    const double t = linalg::dot(omega_[m], x);
+    phi[2 * m] = feat_scale_ * std::cos(t);
+    phi[2 * m + 1] = feat_scale_ * std::sin(t);
+  }
+  return phi;
+}
+
+void RffRegressor::fit() { fit_impl(nullptr); }
+
+void RffRegressor::fit_impl(const double* pinned_mean) {
+  EASYBO_REQUIRE(!xs_.empty(), "RffRegressor::fit: no training data");
+  if (pinned_mean != nullptr) {
+    y_mean_ = *pinned_mean;
+  } else {
+    y_mean_ = 0.0;
+    for (double y : ys_) y_mean_ += y;
+    y_mean_ /= static_cast<double>(ys_.size());
+  }
+
+  const std::size_t m2 = 2 * num_features_;
+  // Hyperparameter change (or a non-append data replacement, which cleared
+  // phis_) invalidates the cached features: rebuild from scratch. Both
+  // paths absorb points in index order, one at a time, so incremental and
+  // scratch builds produce bit-identical Grams.
+  const bool fresh = phis_.empty() || log_hyperparams() != fitted_params_;
+  if (fresh) {
+    refresh_frequencies();
+    phis_.clear();
+    a_ = Matrix(m2, m2, 0.0);
+    fitted_params_ = log_hyperparams();
+    obs::count(trace_, "gp.rff_refactor");
+  }
+  const std::size_t absorbed_before = phis_.size();
+  while (phis_.size() < xs_.size()) {
+    Vec phi = features(xs_[phis_.size()]);
+    // Lower triangle only: the Cholesky reads nothing above the diagonal.
+    for (std::size_t i = 0; i < m2; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        a_(i, j) += phi[i] * phi[j];
+      }
+    }
+    phis_.push_back(std::move(phi));
+  }
+  if (!fresh && phis_.size() > absorbed_before) {
+    obs::count(trace_, "gp.rff_extend",
+               static_cast<std::uint64_t>(phis_.size() - absorbed_before));
+  }
+
+  // Posterior weights: (A + sn^2 I) w_mean = Phi^T (y - mean). A + sn^2 I
+  // is positive definite by construction, so the factorization is clean.
+  Matrix reg = a_;
+  reg.add_diagonal(noise_var_);
+  chol_.emplace(reg);
+
+  b_.assign(m2, 0.0);
+  ycty_ = 0.0;
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    const double yc = ys_[i] - y_mean_;
+    ycty_ += yc * yc;
+    const Vec& phi = phis_[i];
+    for (std::size_t j = 0; j < m2; ++j) b_[j] += phi[j] * yc;
+  }
+  w_mean_ = chol_->solve(b_);
+}
+
+bool RffRegressor::fitted() const {
+  return chol_.has_value() && phis_.size() == xs_.size() && !xs_.empty() &&
+         w_mean_.size() == 2 * num_features_;
+}
+
+Prediction RffRegressor::predict(const Vec& x) const {
+  EASYBO_REQUIRE(fitted(), "RffRegressor::predict before fit()");
+  const Vec phi = features(x);
+  const double mean = y_mean_ + linalg::dot(phi, w_mean_);
+  // Weight-space posterior: var = sn^2 phi^T (A + sn^2 I)^{-1} phi
+  //                             = sn^2 ||L^{-1} phi||^2.
+  const Vec z = chol_->solve_lower(phi);
+  const double var = noise_var_ * linalg::dot(z, z);
+  return {mean, std::max(var, 0.0)};
+}
+
+double RffRegressor::predict_observation_var(const Vec& x) const {
+  return predict(x).var + noise_var_;
+}
+
+double RffRegressor::log_marginal_likelihood() const {
+  EASYBO_REQUIRE(fitted(), "log_marginal_likelihood before fit()");
+  const auto n = static_cast<double>(xs_.size());
+  const auto m2 = static_cast<double>(2 * num_features_);
+  // Woodbury/Sylvester on the degenerate prior K = Phi Phi^T:
+  //   log|K + sn^2 I_n| = log|A + sn^2 I_2M| + (n - 2M) log sn^2
+  //   y_c^T (K + sn^2 I)^{-1} y_c = (y_c^T y_c - b^T w_mean) / sn^2.
+  const double log_det =
+      chol_->log_det() + (n - m2) * std::log(noise_var_);
+  const double quad = (ycty_ - linalg::dot(b_, w_mean_)) / noise_var_;
+  return -0.5 * quad - 0.5 * log_det -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+Vec RffRegressor::lml_gradient() const {
+  EASYBO_REQUIRE(false,
+                 "RffRegressor has no analytic LML gradient; train via an "
+                 "exact-GP proxy (supports_lml_gradient() is false)");
+  return {};
+}
+
+Vec RffRegressor::log_hyperparams() const {
+  Vec lp = kernel_->log_params();
+  lp.push_back(std::log(noise_var_));
+  return lp;
+}
+
+void RffRegressor::set_log_hyperparams(const Vec& lp) {
+  EASYBO_REQUIRE(lp.size() == kernel_->num_params() + 1,
+                 "set_log_hyperparams: wrong parameter count");
+  Vec kernel_lp(lp.begin(), lp.end() - 1);
+  kernel_->set_log_params(kernel_lp);
+  noise_var_ = std::exp(lp.back());
+  chol_.reset();  // fit() notices the parameter change and rebuilds
+}
+
+Vec RffRegressor::sample_posterior(const std::vector<Vec>& candidates,
+                                   Rng& rng) const {
+  EASYBO_REQUIRE(fitted(), "sample_posterior before fit()");
+  EASYBO_REQUIRE(!candidates.empty(), "sample_posterior: no candidates");
+  // Weight-space sampling: w ~ N(w_mean, sn^2 (A + sn^2 I)^{-1}), i.e.
+  // w = w_mean + sn L^{-T} zeta. One weight draw serves every candidate —
+  // this is what makes RFF Thompson sampling O(M) per candidate.
+  const std::size_t m2 = 2 * num_features_;
+  Vec zeta(m2);
+  for (auto& v : zeta) v = rng.normal();
+  Vec w = chol_->solve_upper(zeta);
+  const double sn = std::sqrt(noise_var_);
+  Vec f(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Vec phi = features(candidates[i]);
+    double acc = y_mean_ + linalg::dot(phi, w_mean_);
+    acc += sn * linalg::dot(phi, w);
+    f[i] = acc;
+  }
+  return f;
+}
+
+std::unique_ptr<Regressor> RffRegressor::hallucinate(
+    const std::vector<Vec>& pending, bool pin_mean) const {
+  EASYBO_REQUIRE(fitted(), "hallucinate requires a fitted model");
+  obs::count(trace_, "gp.hallucinate");
+  auto augmented = std::make_unique<RffRegressor>(*this);
+  for (const auto& x : pending) {
+    const double mu = predict(x).mean;
+    augmented->add_point(x, mu);
+  }
+  const double base_mean = y_mean_;
+  // The copy shares this model's hyperparameters, so the pseudo rows are
+  // absorbed incrementally: O(k M^2 + M^3), never O(n^3).
+  augmented->fit_impl(pin_mean ? &base_mean : nullptr);
+  return augmented;
+}
+
+}  // namespace easybo::gp

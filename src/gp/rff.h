@@ -1,0 +1,154 @@
+#pragma once
+/// \file rff.h
+/// \brief Random-Fourier-feature GP approximation (Rahimi & Recht, 2007).
+///
+/// The exact GP's O(n^3) fit and O(n^2) predict cap the training-set size
+/// the asynchronous loop can afford. This backend approximates the SE-ARD
+/// kernel by its Monte-Carlo spectral expansion
+///   k(x, x') ~= phi(x)^T phi(x'),
+///   phi(x)[2m]   = s * cos(w_m . x),    phi(x)[2m+1] = s * sin(w_m . x),
+///   w_m ~ N(0, diag(l)^{-2}),           s = sqrt(sf^2 / M),
+/// and runs exact Bayesian linear regression in the 2M-dimensional feature
+/// space: fit is O(n M^2 + M^3), predict O(M^2), independent of how the
+/// training set grows past M. The approximation error decays as
+/// O(1/sqrt(M)) (tested in test_rff.cpp's convergence sweep).
+///
+/// Determinism: the spectral directions are drawn once at construction from
+/// a dedicated seed, then rescaled (not redrawn) when lengthscales change —
+/// so the model is a deterministic function of (seed, data,
+/// hyperparameters), which checkpoint/resume relies on. Incremental fits
+/// absorb only appended rows into the feature Gram and are bit-identical to
+/// a from-scratch rebuild.
+///
+/// Select with BoConfig::gp_backend = "rff"; feature count M via
+/// BoConfig::rff_features. SE-ARD kernels only (the spectral density of
+/// Matern kernels is a Student-t; not implemented).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gp/kernel.h"
+#include "gp/regressor.h"
+#include "linalg/cholesky.h"
+#include "obs/trace.h"
+
+namespace easybo::gp {
+
+/// Random-Fourier-feature regressor: approximate GP posterior via Bayesian
+/// linear regression on 2M random cosine/sine features of an SE-ARD kernel.
+class RffRegressor final : public TrainableRegressor {
+ public:
+  /// \param kernel          SE-ARD kernel (ownership transferred; other
+  ///                        kernel families are rejected)
+  /// \param noise_variance  sn^2, must be positive
+  /// \param num_features    M, the number of spectral frequencies (feature
+  ///                        dimension is 2M), must be >= 1
+  /// \param feature_seed    seed for the one-time spectral draw
+  RffRegressor(std::unique_ptr<Kernel> kernel, double noise_variance,
+               std::size_t num_features, std::uint64_t feature_seed);
+
+  RffRegressor(const RffRegressor& other);
+  RffRegressor& operator=(const RffRegressor& other);
+  RffRegressor(RffRegressor&&) noexcept = default;
+  RffRegressor& operator=(RffRegressor&&) noexcept = default;
+
+  void set_data(std::vector<Vec> xs, Vec ys) override;
+  void add_point(Vec x, double y) override;
+
+  /// Rebuilds the feature-space posterior: w_mean = (Phi^T Phi + sn^2
+  /// I)^{-1} Phi^T (y - mean). When points were only appended and the
+  /// hyperparameters are unchanged, only the new rows are absorbed into
+  /// the feature Gram (O(k M^2) instead of O(n M^2)); the M x M Cholesky
+  /// is redone either way.
+  void fit() override;
+
+  bool fitted() const override;
+  std::size_t num_points() const override { return xs_.size(); }
+  std::size_t dim() const override { return kernel_->dim(); }
+  std::size_t num_features() const { return num_features_; }
+  const std::vector<Vec>& inputs() const { return xs_; }
+  const Vec& targets() const { return ys_; }
+  const Kernel& kernel() const { return *kernel_; }
+
+  /// Approximate posterior mean phi^T w_mean + mean and weight-space
+  /// latent variance sn^2 ||L^{-1} phi||^2. Requires fitted().
+  Prediction predict(const Vec& x) const override;
+  double predict_observation_var(const Vec& x) const override;
+
+  /// Exact LML of the degenerate (rank-2M) GP prior K = Phi Phi^T, via the
+  /// Woodbury identity — O(M) given the fit. Requires fitted().
+  double log_marginal_likelihood() const override;
+
+  /// Not available: the features depend non-linearly on the lengthscales
+  /// and the Monte-Carlo LML surface is not worth differentiating. Always
+  /// throws; train through an exact-GP proxy instead (see
+  /// AskTellCore::update_model).
+  Vec lml_gradient() const override;
+  bool supports_lml_gradient() const override { return false; }
+
+  Vec log_hyperparams() const override;
+  void set_log_hyperparams(const Vec& lp) override;
+  double noise_variance() const override { return noise_var_; }
+
+  /// One joint posterior sample: draws w = w_mean + sn L^{-T} zeta with
+  /// zeta ~ N(0, I_2M) — exactly 2M normals regardless of the candidate
+  /// count — and evaluates f_i = mean + phi(c_i)^T w.
+  Vec sample_posterior(const std::vector<Vec>& candidates,
+                       Rng& rng) const override;
+
+  /// Hallucinated posterior (paper §III-C): pending points conditioned at
+  /// their current predictive mean. Copies the model and absorbs the
+  /// pseudo rows incrementally — O(n M + k M^2 + M^3), no O(n^3) anywhere.
+  std::unique_ptr<Regressor> hallucinate(const std::vector<Vec>& pending,
+                                         bool pin_mean) const override;
+
+  /// Counts "gp.rff_refactor" (from-scratch feature Gram rebuilds),
+  /// "gp.rff_extend" (appended rows absorbed incrementally) and
+  /// "gp.hallucinate".
+  void set_trace(obs::TraceSink* sink) override { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
+  const char* backend_name() const override { return "rff"; }
+
+  /// The feature map phi(x) in R^{2M} for the current hyperparameters
+  /// (exposed for tests).
+  Vec features(const Vec& x) const;
+
+ private:
+  /// fit() with an optionally pinned constant mean (hallucination's
+  /// pin_mean semantics); nullptr recomputes the empirical mean.
+  void fit_impl(const double* pinned_mean);
+
+  /// Rescales the spectral directions by the current lengthscales and
+  /// signal variance.
+  void refresh_frequencies();
+
+  std::unique_ptr<Kernel> kernel_;  // SE-ARD (enforced at construction)
+  double noise_var_;
+  std::size_t num_features_;        // M; feature dimension is 2M
+  std::uint64_t feature_seed_;
+  Matrix eps_;                      // M x d standard-normal spectral draws
+
+  std::vector<Vec> xs_;
+  Vec ys_;
+
+  // Feature state for the hyperparameters in fitted_params_.
+  std::vector<Vec> omega_;   // scaled frequencies, omega_[m] = eps_m / l
+  double feat_scale_ = 1.0;  // sqrt(sf^2 / M)
+  std::vector<Vec> phis_;    // cached phi(x_i), one per absorbed point
+  Matrix a_;                 // lower triangle of Phi^T Phi over phis_
+
+  // Fit state.
+  std::optional<linalg::Cholesky> chol_;  // factor of A + sn^2 I
+  Vec w_mean_;                            // posterior mean weights
+  Vec b_;                                 // Phi^T (y - mean), kept for LML
+  double y_mean_ = 0.0;
+  double ycty_ = 0.0;                     // (y - mean)^T (y - mean)
+  Vec fitted_params_;  // hyperparameters the feature state was built with
+
+  obs::TraceSink* trace_ = nullptr;
+};
+
+}  // namespace easybo::gp

@@ -36,7 +36,7 @@ Vec random_start(std::size_t num_params, Rng& rng,
 
 /// Fits the model at lp and returns the LML, or -inf when the covariance is
 /// numerically hopeless at these hyperparameters.
-double evaluate(GpRegressor& model, const Vec& lp) {
+double evaluate(TrainableRegressor& model, const Vec& lp) {
   model.set_log_hyperparams(lp);
   try {
     model.fit();
@@ -50,11 +50,14 @@ double evaluate(GpRegressor& model, const Vec& lp) {
 
 }  // namespace
 
-TrainResult train_mle(GpRegressor& model, Rng& rng,
+TrainResult train_mle(TrainableRegressor& model, Rng& rng,
                       const TrainerOptions& opt) {
   EASYBO_REQUIRE(model.num_points() > 0, "train_mle: model has no data");
   EASYBO_REQUIRE(opt.max_iters >= 1 && opt.restarts >= 0,
                  "train_mle: invalid options");
+  EASYBO_REQUIRE(model.supports_lml_gradient(),
+                 "train_mle needs an analytic LML gradient; train this "
+                 "backend through an exact-GP proxy instead");
 
   const std::size_t p = model.log_hyperparams().size();
   TrainResult result;
@@ -63,21 +66,19 @@ TrainResult train_mle(GpRegressor& model, Rng& rng,
   clamp_params(best_lp, opt);
   double best_lml = evaluate(model, best_lp);
 
-  std::vector<Vec> starts;
-  starts.push_back(best_lp);  // warm start
-  for (int r = 0; r < opt.restarts; ++r) {
-    starts.push_back(random_start(p, rng, opt));
-  }
-
   constexpr double kBeta1 = 0.9;
   constexpr double kBeta2 = 0.999;
   constexpr double kEps = 1e-8;
 
-  for (const Vec& start : starts) {
+  // Runs Adam from `start`, whose fit and likelihood `start_lml` the caller
+  // already computed — the model must currently be fitted at `start`. This
+  // shape lets the warm start reuse its baseline evaluation instead of
+  // refitting the same O(n^3) covariance twice.
+  const auto descend = [&](const Vec& start, double start_lml) {
     ++result.starts;
+    if (!std::isfinite(start_lml)) return;
     Vec lp = start;
-    double lml = evaluate(model, lp);
-    if (!std::isfinite(lml)) continue;
+    double lml = start_lml;
 
     Vec m(p, 0.0), v(p, 0.0);
     for (int it = 1; it <= opt.max_iters; ++it) {
@@ -108,6 +109,12 @@ TrainResult train_mle(GpRegressor& model, Rng& rng,
       best_lml = lml;
       best_lp = lp;
     }
+  };
+
+  descend(best_lp, best_lml);  // warm start, already evaluated above
+  for (int r = 0; r < opt.restarts; ++r) {
+    const Vec start = random_start(p, rng, opt);
+    descend(start, evaluate(model, start));
   }
 
   // Leave the model fitted at the best hyperparameters found.

@@ -1,17 +1,21 @@
 #pragma once
 /// \file trainer.h
-/// \brief Maximum-likelihood hyperparameter training for GpRegressor.
+/// \brief Maximum-likelihood hyperparameter training for GP regressors.
 ///
 /// Maximizes the log marginal likelihood over the flat log-hyperparameter
-/// vector with Adam (analytic gradients from GpRegressor::lml_gradient),
-/// multi-started from the current parameters plus random restarts. Box
-/// constraints in log space keep lengthscales/noise in sane ranges for
-/// inputs normalized to [0,1]^d and standardized targets.
+/// vector with Adam (analytic gradients from lml_gradient()), multi-started
+/// from the current parameters plus random restarts. Box constraints in log
+/// space keep lengthscales/noise in sane ranges for inputs normalized to
+/// [0,1]^d and standardized targets.
+///
+/// Works on any TrainableRegressor with supports_lml_gradient(); backends
+/// without an analytic gradient (gp/rff.h) are trained through an exact-GP
+/// proxy on a data subset instead (see AskTellCore::update_model).
 
 #include <cmath>
 
 #include "common/rng.h"
-#include "gp/gp.h"
+#include "gp/regressor.h"
 
 namespace easybo::gp {
 
@@ -41,9 +45,10 @@ struct TrainResult {
 
 /// Trains \p model in place: on return the model holds the best
 /// hyperparameters found and is fitted. The warm start (current parameters)
-/// is always one of the candidates, so training can never make the stored
-/// likelihood worse.
-TrainResult train_mle(GpRegressor& model, Rng& rng,
+/// is always one of the candidates — and is fitted and scored exactly once
+/// — so training can never make the stored likelihood worse. Requires
+/// model.supports_lml_gradient().
+TrainResult train_mle(TrainableRegressor& model, Rng& rng,
                       const TrainerOptions& options = {});
 
 }  // namespace easybo::gp

@@ -116,6 +116,19 @@ bool Cholesky::extend(const Vec& new_column) {
   return true;
 }
 
+Vec Cholesky::solve_upper(const Vec& b) const {
+  const std::size_t n = size();
+  EASYBO_REQUIRE(b.size() == n, "Cholesky::solve_upper size mismatch");
+  Vec x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) acc -= l_(k, i) * x[k];
+    x[i] = acc / l_(i, i);
+  }
+  return x;
+}
+
 double Cholesky::log_det() const {
   double acc = 0.0;
   for (std::size_t i = 0; i < size(); ++i) acc += std::log(l_(i, i));
@@ -148,6 +161,90 @@ Matrix Cholesky::inverse() const {
     }
   }
   return inv;
+}
+
+// ---------------------------------------------------------------------------
+// CholeskyExt
+// ---------------------------------------------------------------------------
+
+CholeskyExt::CholeskyExt(const Cholesky* base) : base_(base) {
+  EASYBO_REQUIRE(base != nullptr, "CholeskyExt: null base factor");
+  EASYBO_REQUIRE(base->size() > 0, "CholeskyExt: empty base factor");
+}
+
+bool CholeskyExt::extend(const Vec& new_column) {
+  const std::size_t n = size();
+  EASYBO_REQUIRE(new_column.size() == n + 1,
+                 "CholeskyExt::extend: need n cross terms plus the diagonal");
+  // Same algebra (and the same operation order) as Cholesky::extend, run
+  // against the combined factor.
+  const Vec b(new_column.begin(), new_column.end() - 1);
+  Vec head = solve_lower(b);
+  const double d = new_column.back() - dot(head, head);
+  if (!(d > 0.0) || !std::isfinite(d)) return false;
+  head.push_back(std::sqrt(d));
+  rows_.push_back(std::move(head));
+  return true;
+}
+
+Vec CholeskyExt::solve_lower(const Vec& b) const {
+  const std::size_t n0 = base_->size();
+  const std::size_t n = size();
+  EASYBO_REQUIRE(b.size() == n, "CholeskyExt::solve_lower size mismatch");
+  const Matrix& l = base_->factor();
+  Vec z(n);
+  // Rows of the base triangle, then the appended rows: together this is
+  // the monolithic forward substitution, element for element.
+  for (std::size_t i = 0; i < n0; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * z[k];
+    z[i] = acc / l(i, i);
+  }
+  for (std::size_t j = 0; j < rows_.size(); ++j) {
+    const Vec& row = rows_[j];
+    const std::size_t i = n0 + j;
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= row[k] * z[k];
+    z[i] = acc / row[i];
+  }
+  return z;
+}
+
+Vec CholeskyExt::solve(const Vec& b) const {
+  const std::size_t n0 = base_->size();
+  const std::size_t n = size();
+  EASYBO_REQUIRE(b.size() == n, "CholeskyExt::solve size mismatch");
+  Vec z = solve_lower(b);
+  // Back substitution L^T x = z over the combined factor. For i >= n0
+  // every sub-diagonal entry in column i lives in an appended row; for
+  // i < n0 the column crosses from the base triangle into the appended
+  // rows — accumulate base entries first, appended entries after, which
+  // is exactly ascending-k order in the monolithic loop.
+  const Matrix& l = base_->factor();
+  Vec x(n);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = z[i];
+    if (i >= n0) {
+      for (std::size_t k = i + 1; k < n; ++k) acc -= rows_[k - n0][i] * x[k];
+      x[i] = acc / rows_[i - n0][i];
+    } else {
+      for (std::size_t k = i + 1; k < n0; ++k) acc -= l(k, i) * x[k];
+      for (std::size_t j = 0; j < rows_.size(); ++j) {
+        acc -= rows_[j][i] * x[n0 + j];
+      }
+      x[i] = acc / l(i, i);
+    }
+  }
+  return x;
+}
+
+double CholeskyExt::log_det() const {
+  const Matrix& l = base_->factor();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < base_->size(); ++i) acc += std::log(l(i, i));
+  for (const Vec& row : rows_) acc += std::log(row.back());
+  return 2.0 * acc;
 }
 
 }  // namespace easybo::linalg

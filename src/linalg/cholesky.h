@@ -47,6 +47,10 @@ class Cholesky {
   /// term k** - ||L^{-1} k*||^2.
   Vec solve_lower(const Vec& b) const;
 
+  /// Solves L^T x = b (back substitution only). Used for weight-space
+  /// posterior sampling, w = w_mean + sigma * L^{-T} z.
+  Vec solve_upper(const Vec& b) const;
+
   /// Extends the factorization of A (n x n) to that of the (n+1) x (n+1)
   /// matrix [[A, b], [b^T, c]] in O(n^2): the new bottom row of L is
   /// [L^{-1} b; sqrt(c - ||L^{-1} b||^2)].
@@ -74,6 +78,57 @@ class Cholesky {
   Matrix l_;
   double jitter_used_ = 0.0;
   int attempts_ = 1;
+};
+
+/// Zero-copy extension of a borrowed Cholesky factor by appended rows.
+///
+/// Extending a factor of A to cover [[A, B], [B^T, C]] only ever ADDS rows
+/// below the existing triangle — the base factor's entries are immutable.
+/// Cholesky::extend still copies the whole O(n^2) factor per appended row,
+/// which is exactly the cost that made hallucinated posteriors a deep copy
+/// of the model. This view instead borrows the base factor and stores only
+/// the appended rows (row i of the extension holds base_size + i + 1
+/// entries), so k pseudo-observations cost O(k n^2) arithmetic and O(k n)
+/// memory with no copy of the base triangle.
+///
+/// Arithmetic parity: every solve walks the combined factor in exactly the
+/// element order the monolithic Cholesky routines use, so results are
+/// bit-identical to extending a copied factor — the property the
+/// hallucination overlay's stream-compatibility rests on.
+///
+/// The base factor must outlive the view and must not be mutated while the
+/// view is alive.
+class CholeskyExt {
+ public:
+  explicit CholeskyExt(const Cholesky* base);
+
+  std::size_t base_size() const { return base_->size(); }
+  std::size_t size() const { return base_->size() + rows_.size(); }
+  std::size_t appended() const { return rows_.size(); }
+
+  /// Jitter baked into the borrowed base factor's diagonal; callers
+  /// extending a jittered factor must include it in new diagonals so the
+  /// combined factor keeps factoring one consistent matrix.
+  double jitter_used() const { return base_->jitter_used(); }
+
+  /// Appends one row: \p new_column holds the size() cross terms followed
+  /// by the diagonal entry (size() + 1 values). Returns false — leaving
+  /// the view unchanged — when the extended matrix is not positive
+  /// definite; the caller should fall back to a full factorization.
+  bool extend(const Vec& new_column);
+
+  /// Solves (combined A) x = b through forward/back substitution.
+  Vec solve(const Vec& b) const;
+
+  /// Solves (combined L) z = b, forward substitution only.
+  Vec solve_lower(const Vec& b) const;
+
+  /// log(det of the combined A) = 2 * sum_i log L_ii.
+  double log_det() const;
+
+ private:
+  const Cholesky* base_;    // borrowed, immutable while this view lives
+  std::vector<Vec> rows_;   // appended factor rows; row i has n0+i+1 entries
 };
 
 }  // namespace easybo::linalg

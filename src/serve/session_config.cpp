@@ -91,6 +91,9 @@ const std::set<std::string>& known_keys() {
       "lcb_kappa",     "ei_xi",
       "hc_d",          "hc_n",
       "kernel",        "refit_every",
+      "gp_backend",    "rff_features",
+      "rff_train_subset",
+      "pin_hallucinated_mean",
       "checkpoint_every",
       "async_slot_rotation",
       "on_eval_failure",
@@ -181,6 +184,18 @@ SessionSpec parse_session_config(const std::string& json_text) {
   if (const JsonValue* v = j.find("kernel")) {
     spec.config.kernel = v->as_string();
   }
+  if (const JsonValue* v = j.find("gp_backend")) {
+    spec.config.gp_backend = v->as_string();
+  }
+  if (const JsonValue* v = j.find("rff_features")) {
+    spec.config.rff_features = size_from(*v, "rff_features");
+  }
+  if (const JsonValue* v = j.find("rff_train_subset")) {
+    spec.config.rff_train_subset = size_from(*v, "rff_train_subset");
+  }
+  if (const JsonValue* v = j.find("pin_hallucinated_mean")) {
+    spec.config.pin_hallucinated_mean = v->as_bool();
+  }
   if (const JsonValue* v = j.find("refit_every")) {
     spec.config.refit_every = size_from(*v, "refit_every");
   }
@@ -255,6 +270,13 @@ std::string session_config_json(const bo::BoConfig& config,
   put("hc_d", io::json_number(config.hc_d));
   put("hc_n", io::json_number(config.hc_n));
   put("kernel", io::json_quote(config.kernel));
+  put("gp_backend", io::json_quote(config.gp_backend));
+  put("rff_features",
+      io::json_number(static_cast<double>(config.rff_features)));
+  put("rff_train_subset",
+      io::json_number(static_cast<double>(config.rff_train_subset)));
+  put("pin_hallucinated_mean",
+      config.pin_hallucinated_mean ? "true" : "false");
   put("refit_every",
       io::json_number(static_cast<double>(config.refit_every)));
   put("checkpoint_every",

@@ -12,10 +12,12 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "gp/gp.h"
 
 namespace easybo::acq {
 namespace {
 
+using gp::GpRegressor;
 using gp::SquaredExponentialArd;
 
 GpRegressor make_model() {

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "gp/gp.h"
 #include "linalg/cholesky.h"
+#include "obs/recording.h"
 
 namespace easybo {
 namespace {
@@ -88,6 +89,58 @@ TEST(CholeskyExtend, RejectsWrongColumnSize) {
   Matrix a = {{2.0}};
   Cholesky chol(a);
   EXPECT_THROW(chol.extend({1.0}), InvalidArgument);
+}
+
+using linalg::CholeskyExt;
+
+TEST(CholeskyExtView, MatchesInPlaceExtension) {
+  Rng rng(21);
+  const std::size_t n = 10, k = 3;
+  const Matrix a = random_spd(n + k, rng);
+  Matrix leading(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) leading(i, j) = a(i, j);
+  }
+  const Cholesky base(leading);
+
+  // Reference: the owning factor grown column by column.
+  Cholesky owned = base;
+  CholeskyExt view(&base);
+  for (std::size_t c = n; c < n + k; ++c) {
+    Vec column(c + 1);
+    for (std::size_t i = 0; i <= c; ++i) column[i] = a(i, c);
+    ASSERT_TRUE(owned.extend(column));
+    ASSERT_TRUE(view.extend(column));
+  }
+  ASSERT_EQ(view.size(), n + k);
+  EXPECT_EQ(view.appended(), k);
+  EXPECT_EQ(view.base_size(), n);
+
+  // The view replays the monolithic factor's arithmetic exactly: solves
+  // and the log-determinant are bit-identical, not merely close.
+  Vec rhs(n + k);
+  for (auto& v : rhs) v = rng.normal();
+  const Vec xo = owned.solve(rhs);
+  const Vec xv = view.solve(rhs);
+  for (std::size_t i = 0; i < n + k; ++i) EXPECT_EQ(xv[i], xo[i]);
+  const Vec zo = owned.solve_lower(rhs);
+  const Vec zv = view.solve_lower(rhs);
+  for (std::size_t i = 0; i < n + k; ++i) EXPECT_EQ(zv[i], zo[i]);
+  EXPECT_EQ(view.log_det(), owned.log_det());
+}
+
+TEST(CholeskyExtView, RefusesIndefiniteExtensionAndKeepsState) {
+  Matrix a = {{1.0}};
+  const Cholesky base(a);
+  CholeskyExt view(&base);
+  ASSERT_TRUE(view.extend({0.5, 2.0}));
+  // [[1, .5, 1], [.5, 2, ...], [1, ..., 1]] with the last column chosen to
+  // destroy positive definiteness.
+  EXPECT_FALSE(view.extend({1.0, 0.5, 0.25}));
+  // The failed extension left both the view and the base untouched.
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(base.size(), 1u);
+  EXPECT_DOUBLE_EQ(base.factor()(0, 0), 1.0);
 }
 
 GpRegressor make_gp(std::size_t n, Rng& rng) {
@@ -177,6 +230,89 @@ TEST(GpIncrementalFit, NearDuplicatePointFallsBackGracefully) {
   EXPECT_NO_THROW(gp.fit());  // falls back to the jittered full factor
   EXPECT_TRUE(gp.fitted());
   EXPECT_TRUE(std::isfinite(gp.predict(existing).mean));
+}
+
+// Regression: when the base factor needed escalated jitter, the appended
+// diagonals must carry that same jitter. Without it the incremental path
+// factors a DIFFERENT matrix than the one the base rows encode — K +
+// (noise + j) I on the old block but K + noise I on new rows — and
+// predictions silently drift from any full refit by O(jitter).
+TEST(GpIncrementalFit, JitteredBaseExtendMatchesEscalatedRefactor) {
+  Rng rng(31);
+  // Coincident cluster at kernel resolution with noise below double
+  // epsilon: the Gram is the exact all-ones matrix, so the first
+  // factorization must escalate jitter.
+  const std::size_t n = 12;
+  std::vector<Vec> xs(n);
+  Vec ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = {0.4 + 1e-12 * rng.uniform(), 0.6 + 1e-12 * rng.uniform()};
+    ys[i] = rng.normal();
+  }
+  const double noise = 1e-16;
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1.0, Vec{0.3, 0.3}),
+                 noise);
+  gp.set_data(xs, ys);
+  gp.fit();
+  const double j = gp.factor().jitter_used();
+  ASSERT_GT(j, 0.0) << "setup failed to force jitter escalation";
+
+  // Append a well-separated point: the extension itself succeeds.
+  easybo::obs::RecordingSink sink;
+  gp.set_trace(&sink);
+  gp.add_point({0.9, 0.1}, 0.5);
+  gp.fit();
+  ASSERT_EQ(sink.counter("gp.chol_extend"), 1u);
+  ASSERT_EQ(sink.counter("gp.chol_refactor"), 0u);
+
+  // The factor must encode ONE consistent matrix, K + (noise + j) I over
+  // all 13 points: reconstruct L L^T and compare entry by entry. The
+  // pre-fix behavior left the appended diagonal short by exactly j —
+  // orders of magnitude outside this tolerance.
+  const SquaredExponentialArd kernel(1.0, Vec{0.3, 0.3});
+  const auto& l = gp.factor().factor();
+  const auto& all = gp.inputs();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t k = 0; k <= i; ++k) {
+      double a_ik = 0.0;
+      for (std::size_t t = 0; t <= k; ++t) a_ik += l(i, t) * l(k, t);
+      const double expected =
+          kernel(all[i], all[k]) + (i == k ? noise + j : 0.0);
+      EXPECT_NEAR(a_ik, expected, 1e-2 * j) << "entry " << i << "," << k;
+    }
+  }
+}
+
+// Mid-loop extension failures are work, not progress: the rows extended
+// before the failure are discarded by the refactor and reported under
+// their own counter so "gp.chol_extend" keeps meaning rows SERVED by the
+// fast path.
+TEST(GpIncrementalFit, AbandonedExtensionRowsAreCountedSeparately) {
+  Rng rng(33);
+  // Noise below double precision epsilon: repeated exact duplicates leave
+  // no numerical slack, so the extension chain must fail part-way.
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1.0, Vec{0.3, 0.4}),
+                 1e-16);
+  std::vector<Vec> xs(8);
+  Vec ys(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    xs[i] = {rng.uniform(), rng.uniform()};
+    ys[i] = rng.normal();
+  }
+  gp.set_data(std::move(xs), std::move(ys));
+  gp.fit();
+
+  easybo::obs::RecordingSink sink;
+  gp.set_trace(&sink);
+  // One good point (extends fine), then exact duplicates of a fresh point
+  // until the covariance collapses and the extension is refused.
+  gp.add_point({0.25, 0.75}, 0.1);
+  for (int r = 0; r < 3; ++r) gp.add_point({0.5, 0.5}, 0.0);
+  gp.fit();
+  EXPECT_EQ(sink.counter("gp.chol_extend"), 0u);
+  EXPECT_GE(sink.counter("gp.chol_extend_abandoned"), 1u);
+  EXPECT_EQ(sink.counter("gp.chol_refactor"), 1u);
+  EXPECT_TRUE(gp.fitted());
 }
 
 TEST(GpIncrementalFit, FittedReflectsPendingAppends) {

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include "gp/gp.h"
+
 #include <cmath>
 #include <memory>
 
 #include "common/error.h"
+#include "obs/recording.h"
 
 namespace easybo::gp {
 namespace {
@@ -127,6 +130,31 @@ TEST(Trainer, RejectsEmptyModelAndBadOptions) {
   TrainerOptions opt;
   opt.max_iters = 0;
   EXPECT_THROW(train_mle(gp, rng, opt), InvalidArgument);
+}
+
+// Regression: the warm start's baseline fit is evaluated ONCE and handed
+// to the descent, not recomputed. Observable as exactly two covariance
+// factorizations when a huge gradient tolerance stops the descent before
+// its first step: the baseline evaluation plus the final refit at the
+// winner. The pre-fix code refitted the identical warm-start covariance a
+// third time.
+TEST(Trainer, WarmStartEvaluatesTheBaselineOnce) {
+  Rng rng(8);
+  const auto xs = grid_1d(12);
+  Vec ys(12);
+  for (std::size_t i = 0; i < 12; ++i) ys[i] = std::sin(5.0 * xs[i][0]);
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1), 1e-3);
+  gp.set_data(xs, ys);
+  gp.fit();
+
+  easybo::obs::RecordingSink sink;
+  gp.set_trace(&sink);
+  TrainerOptions opt;
+  opt.max_iters = 1;
+  opt.restarts = 0;
+  opt.tol = 1e18;  // the gradient check trips immediately
+  train_mle(gp, rng, opt);
+  EXPECT_EQ(sink.counter("gp.chol_refactor"), 2u);
 }
 
 TEST(Trainer, WorksWithMatern) {

@@ -1,0 +1,276 @@
+/// \file test_hallucinate.cpp
+/// \brief The zero-copy hallucination overlay (gp::GpRegressor::
+/// hallucinate): bit-parity with the historical deep-copy path
+/// (with_hallucinated) on healthy, jittered and degenerate bases, mean
+/// pinning, honest counters, and the engine-level guarantee that flipping
+/// BoConfig::hallucinate_overlay does not move a single proposal.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "bo/engine.h"
+#include "circuit/testfunc.h"
+#include "common/rng.h"
+#include "gp/gp.h"
+#include "gp/kernel.h"
+#include "obs/recording.h"
+
+namespace easybo {
+namespace {
+
+using gp::GpRegressor;
+using gp::SquaredExponentialArd;
+using gp::Vec;
+
+GpRegressor fitted_gp(std::size_t n, double noise, Rng& rng) {
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1.0, Vec{0.3, 0.4}),
+                 noise);
+  std::vector<Vec> xs(n);
+  Vec ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = {rng.uniform(), rng.uniform()};
+    ys[i] = std::sin(4.0 * xs[i][0]) + xs[i][1] * xs[i][1] + 0.1 * rng.normal();
+  }
+  gp.set_data(std::move(xs), std::move(ys));
+  gp.fit();
+  return gp;
+}
+
+std::vector<Vec> make_pending(std::size_t k, Rng& rng) {
+  std::vector<Vec> pending(k);
+  for (auto& p : pending) p = {rng.uniform(), rng.uniform()};
+  return pending;
+}
+
+// The property everything else rests on: for every batch size and both
+// mean conventions, the overlay serves the EXACT posterior the deep copy
+// serves — same bits, not merely close.
+TEST(HallucinateOverlay, BitIdenticalToDeepCopy) {
+  for (const std::size_t k : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    for (const bool pin : {false, true}) {
+      Rng rng(41);
+      const GpRegressor gp = fitted_gp(15, 1e-6, rng);
+      const auto pending = make_pending(k, rng);
+
+      const GpRegressor deep = gp.with_hallucinated(pending, pin);
+      const auto overlay = gp.hallucinate(pending, pin);
+
+      EXPECT_EQ(overlay->num_points(), deep.num_points());
+      EXPECT_EQ(overlay->dim(), deep.dim());
+      EXPECT_EQ(overlay->noise_variance(), deep.noise_variance());
+      EXPECT_TRUE(overlay->fitted());
+
+      Rng probe(42);
+      for (int i = 0; i < 25; ++i) {
+        const Vec x = {probe.uniform(), probe.uniform()};
+        const auto pd = deep.predict(x);
+        const auto po = overlay->predict(x);
+        EXPECT_EQ(po.mean, pd.mean) << "k=" << k << " pin=" << pin;
+        EXPECT_EQ(po.var, pd.var) << "k=" << k << " pin=" << pin;
+        EXPECT_EQ(overlay->predict_observation_var(x),
+                  deep.predict_observation_var(x));
+      }
+    }
+  }
+}
+
+// Thompson draws go through the same joint-sampling routine: identical
+// values from an identical number of rng consumptions.
+TEST(HallucinateOverlay, SamplePosteriorBitIdentical) {
+  Rng rng(43);
+  const GpRegressor gp = fitted_gp(12, 1e-6, rng);
+  const auto pending = make_pending(4, rng);
+  const auto candidates = make_pending(6, rng);
+
+  const GpRegressor deep = gp.with_hallucinated(pending);
+  const auto overlay = gp.hallucinate(pending, /*pin_mean=*/false);
+
+  Rng ra(99), rb(99);
+  const Vec fd = deep.sample_posterior(candidates, ra);
+  const Vec fo = overlay->sample_posterior(candidates, rb);
+  ASSERT_EQ(fd.size(), fo.size());
+  for (std::size_t i = 0; i < fd.size(); ++i) EXPECT_EQ(fo[i], fd[i]);
+  // Both consumed the same number of draws: the streams stay aligned.
+  EXPECT_EQ(ra.normal(), rb.normal());
+}
+
+// A base factor that needed escalated jitter: the overlay must bake the
+// same jitter into its appended diagonals (the companion of the
+// incremental-fit regression in test_gp_incremental.cpp).
+TEST(HallucinateOverlay, BitIdenticalOnJitteredBase) {
+  Rng rng(44);
+  GpRegressor gp(std::make_unique<SquaredExponentialArd>(1.0, Vec{0.3, 0.3}),
+                 1e-16);
+  std::vector<Vec> xs(10);
+  Vec ys(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    xs[i] = {0.3 + 1e-12 * rng.uniform(), 0.7 + 1e-12 * rng.uniform()};
+    ys[i] = rng.normal();
+  }
+  gp.set_data(std::move(xs), std::move(ys));
+  gp.fit();
+  ASSERT_GT(gp.factor().jitter_used(), 0.0)
+      << "setup failed to force jitter escalation";
+
+  const std::vector<Vec> pending = {{0.9, 0.1}, {0.1, 0.9}};
+  const GpRegressor deep = gp.with_hallucinated(pending);
+  const auto overlay = gp.hallucinate(pending, /*pin_mean=*/false);
+  Rng probe(45);
+  for (int i = 0; i < 20; ++i) {
+    const Vec x = {probe.uniform(), probe.uniform()};
+    EXPECT_EQ(overlay->predict(x).mean, deep.predict(x).mean);
+    EXPECT_EQ(overlay->predict(x).var, deep.predict(x).var);
+  }
+}
+
+// When extension is impossible (duplicated pending points, no noise
+// slack), the overlay falls back to one full factorization — the same
+// escape hatch the deep copy takes — and says so in the counters.
+TEST(HallucinateOverlay, FallbackBitIdenticalAndCounted) {
+  Rng rng(46);
+  GpRegressor gp = fitted_gp(10, 1e-16, rng);
+  // The same point three times: the hallucinated covariance collapses.
+  const Vec dup = {0.5, 0.5};
+  const std::vector<Vec> pending = {dup, dup, dup};
+
+  obs::RecordingSink sink;
+  gp.set_trace(&sink);
+  const auto overlay = gp.hallucinate(pending, /*pin_mean=*/false);
+  EXPECT_EQ(sink.counter("gp.hallucinate"), 1u);
+  EXPECT_EQ(sink.counter("gp.hallucinate_fallback"), 1u);
+  EXPECT_EQ(sink.counter("gp.chol_refactor"), 1u);
+  EXPECT_EQ(sink.counter("gp.chol_extend"), 0u);
+  EXPECT_GE(sink.counter("gp.chol_extend_abandoned"), 1u);
+
+  gp.set_trace(nullptr);
+  const GpRegressor deep = gp.with_hallucinated(pending);
+  Rng probe(47);
+  for (int i = 0; i < 20; ++i) {
+    const Vec x = {probe.uniform(), probe.uniform()};
+    EXPECT_EQ(overlay->predict(x).mean, deep.predict(x).mean);
+    EXPECT_EQ(overlay->predict(x).var, deep.predict(x).var);
+  }
+}
+
+// The healthy path reports one hallucination and k extended rows, and
+// never touches the base model's factor.
+TEST(HallucinateOverlay, CountsRowsAndLeavesBaseUntouched) {
+  Rng rng(48);
+  GpRegressor gp = fitted_gp(12, 1e-6, rng);
+  const auto pending = make_pending(4, rng);
+
+  const Vec x_probe = {0.42, 0.58};
+  const auto before = gp.predict(x_probe);
+
+  obs::RecordingSink sink;
+  gp.set_trace(&sink);
+  const auto overlay = gp.hallucinate(pending, /*pin_mean=*/false);
+  EXPECT_EQ(sink.counter("gp.hallucinate"), 1u);
+  EXPECT_EQ(sink.counter("gp.chol_extend"), 4u);
+  EXPECT_EQ(sink.counter("gp.hallucinate_fallback"), 0u);
+  EXPECT_EQ(sink.counter("gp.chol_refactor"), 0u);
+
+  const auto after = gp.predict(x_probe);
+  EXPECT_EQ(after.mean, before.mean);
+  EXPECT_EQ(after.var, before.var);
+  EXPECT_EQ(gp.num_points(), 12u);
+}
+
+// pin_mean = true keeps the base empirical mean instead of recomputing it
+// over data + pseudo targets; both conventions must match their deep-copy
+// twin, and they must genuinely differ from each other.
+TEST(HallucinateOverlay, MeanPinningMatchesDeepCopyAndMatters) {
+  Rng rng(49);
+  const GpRegressor gp = fitted_gp(10, 1e-6, rng);
+  // A far-out pending point whose predictive mean reverts toward the
+  // prior: recomputing the empirical mean over pseudo targets moves it.
+  const std::vector<Vec> pending = {{0.99, 0.01}};
+
+  const auto pinned = gp.hallucinate(pending, /*pin_mean=*/true);
+  const auto unpinned = gp.hallucinate(pending, /*pin_mean=*/false);
+  const GpRegressor deep_pinned = gp.with_hallucinated(pending, true);
+
+  const Vec x = {0.2, 0.8};
+  EXPECT_EQ(pinned->predict(x).mean, deep_pinned.predict(x).mean);
+  EXPECT_EQ(pinned->predict(x).var, deep_pinned.predict(x).var);
+  EXPECT_NE(pinned->predict(x).mean, unpinned->predict(x).mean);
+}
+
+// ---------------------------------------------------------------------------
+// Engine level: the overlay is a pure implementation swap
+// ---------------------------------------------------------------------------
+
+bo::BoConfig engine_cfg(bo::Mode mode, std::uint64_t seed) {
+  bo::BoConfig c;
+  c.mode = mode;
+  c.acq = bo::AcqKind::EasyBo;
+  c.penalize = true;
+  c.batch = mode == bo::Mode::Sequential ? 1 : 4;
+  c.init_points = 8;
+  c.max_sims = 24;
+  c.seed = seed;
+  c.acq_opt.sobol_candidates = 64;
+  c.acq_opt.random_candidates = 32;
+  c.acq_opt.refine_evals = 30;
+  c.trainer.max_iters = 10;
+  c.trainer.restarts = 1;
+  return c;
+}
+
+// hallucinate_overlay is documented as stream-invariant (and therefore
+// absent from the checkpoint fingerprint): flipping it must reproduce
+// every evaluation bit for bit in every batch mode.
+TEST(HallucinateEngine, OverlayFlagNeverMovesAProposal) {
+  const auto tf = circuit::branin();
+  for (const auto mode :
+       {bo::Mode::Sequential, bo::Mode::SyncBatch, bo::Mode::AsyncBatch}) {
+    bo::BoConfig with_overlay = engine_cfg(mode, 7);
+    with_overlay.hallucinate_overlay = true;
+    bo::BoConfig with_copy = engine_cfg(mode, 7);
+    with_copy.hallucinate_overlay = false;
+
+    const auto a = bo::BoEngine(with_overlay, tf.bounds, tf.fn).run();
+    const auto b = bo::BoEngine(with_copy, tf.bounds, tf.fn).run();
+    ASSERT_EQ(a.num_evals(), b.num_evals());
+    for (std::size_t i = 0; i < a.num_evals(); ++i) {
+      EXPECT_EQ(a.evals[i].x, b.evals[i].x)
+          << "mode " << static_cast<int>(mode) << " eval " << i;
+      EXPECT_DOUBLE_EQ(a.evals[i].y, b.evals[i].y);
+    }
+    EXPECT_EQ(a.best_x, b.best_x);
+    EXPECT_DOUBLE_EQ(a.best_y, b.best_y);
+  }
+}
+
+// The BUCB path hallucinates too; cover it in the busiest mode.
+TEST(HallucinateEngine, OverlayFlagIsStreamInvariantForBucb) {
+  const auto tf = circuit::branin();
+  bo::BoConfig with_overlay = engine_cfg(bo::Mode::AsyncBatch, 11);
+  with_overlay.acq = bo::AcqKind::Bucb;
+  with_overlay.hallucinate_overlay = true;
+  bo::BoConfig with_copy = with_overlay;
+  with_copy.hallucinate_overlay = false;
+
+  const auto a = bo::BoEngine(with_overlay, tf.bounds, tf.fn).run();
+  const auto b = bo::BoEngine(with_copy, tf.bounds, tf.fn).run();
+  ASSERT_EQ(a.num_evals(), b.num_evals());
+  for (std::size_t i = 0; i < a.num_evals(); ++i) {
+    EXPECT_EQ(a.evals[i].x, b.evals[i].x) << "eval " << i;
+  }
+}
+
+// Proposals under penalization book k factor-row extensions per
+// hallucination on the metrics channel — the honest accounting the
+// engine's capacity planning reads.
+TEST(HallucinateEngine, MetricsReportHallucinations) {
+  const auto tf = circuit::branin();
+  bo::BoConfig cfg = engine_cfg(bo::Mode::AsyncBatch, 13);
+  cfg.collect_metrics = true;
+  const auto r = bo::BoEngine(cfg, tf.bounds, tf.fn).run();
+  EXPECT_GT(r.metrics.counter("gp.hallucinate"), 0u);
+}
+
+}  // namespace
+}  // namespace easybo
