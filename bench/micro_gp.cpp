@@ -25,6 +25,7 @@
 #include "gp/rff.h"
 #include "linalg/cholesky.h"
 #include "obs/recording.h"
+#include "obs/stream.h"
 #include "obs/trace.h"
 
 namespace {
@@ -310,6 +311,25 @@ void BM_RecordingSpanAndCounter(benchmark::State& state) {
   benchmark::DoNotOptimize(sink.counter("gp.chol_extend"));
 }
 BENCHMARK(BM_RecordingSpanAndCounter);
+
+// Live streaming (obs/stream.h): the hot-path cost of a span + counter
+// with the bounded queue and drainer thread armed, frames going to
+// /dev/null. This is the number docs/telemetry.md quotes for the
+// "never blocks the BO hot path" contract — expect roughly clock-read
+// plus short-critical-section cost, orders of magnitude under one
+// objective evaluation.
+void BM_StreamSpanAndCounter(benchmark::State& state) {
+  easybo::obs::StreamOptions opt;
+  opt.source = "bench:micro_gp";
+  easybo::obs::StreamSink sink("/dev/null", opt);
+  for (auto _ : state) {
+    easybo::obs::ScopedTimer span(&sink, easybo::obs::Phase::ModelFit);
+    easybo::obs::count(&sink, "gp.chol_extend");
+  }
+  state.counters["dropped"] =
+      static_cast<double>(sink.stats().dropped);
+}
+BENCHMARK(BM_StreamSpanAndCounter);
 
 // End-to-end check that fit() is not measurably slower when traced.
 void BM_GpFitRecorded(benchmark::State& state) {

@@ -16,7 +16,8 @@
 ///              [--inject-throw-every N] [--inject-nan-every N]
 ///              [--inject-slow-every N] [--inject-sleep-ms MS]
 ///              [--checkpoint PATH] [--checkpoint-every N]
-///              [--resume PATH]
+///              [--resume PATH] [--stream FILE]
+///              [--adapt-refit-cadence] [--adapt-refit-budget R]
 ///
 /// Prints the best result, virtual wall-clock and (with --csv) the
 /// per-evaluation trace as CSV on stdout for external plotting.
@@ -29,6 +30,11 @@
 /// injection" recipe). --checkpoint journals every evaluation to
 /// PATH.journal and snapshots engine state to PATH.snapshot; --resume
 /// continues a killed run from those files (docs/checkpoint-format.md).
+/// --stream FILE emits live "easybo.stream.v1" JSONL telemetry frames to
+/// FILE while the run is in flight (docs/telemetry.md; tail it with
+/// scripts/obs_tail.py). --adapt-refit-cadence lets measured refit/eval
+/// cost stretch the hyper-refit schedule mid-run (proposals are then
+/// machine-dependent; see docs/boconfig-reference.md).
 /// SIGINT/SIGTERM stop the run gracefully: in-flight evaluations drain,
 /// a final snapshot is written, and the process exits 5. A second signal
 /// kills immediately (the journal keeps completed work safe either way).
@@ -47,12 +53,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "circuit/fault_injection.h"
 #include "common/format.h"
 #include "core/easybo.h"
 #include "io/journal.h"
+#include "obs/stream.h"
 
 namespace {
 
@@ -82,6 +90,9 @@ struct CliOptions {
   std::string checkpoint;     // empty: no journaling
   std::size_t checkpoint_every = 1;
   std::string resume;         // empty: fresh run
+  std::string stream;         // empty: no live telemetry stream
+  bool adapt_refit_cadence = false;
+  double adapt_refit_budget = 0.1;
 };
 
 // Set by the SIGINT/SIGTERM handler; polled by the engine at loop
@@ -128,7 +139,9 @@ bool write_text(const std::string& path, const std::string& text) {
       "                  [--fail-quantile Q] [--inject-throw-every N]\n"
       "                  [--inject-nan-every N] [--inject-slow-every N]\n"
       "                  [--inject-sleep-ms MS] [--checkpoint PATH]\n"
-      "                  [--checkpoint-every N] [--resume PATH]\n");
+      "                  [--checkpoint-every N] [--resume PATH]\n"
+      "                  [--stream FILE] [--adapt-refit-cadence]\n"
+      "                  [--adapt-refit-budget R]\n");
   std::exit(2);
 }
 
@@ -205,6 +218,10 @@ CliOptions parse(int argc, char** argv) {
     else if (arg == "--checkpoint-every")
       opt.checkpoint_every = next_size();
     else if (arg == "--resume") opt.resume = next();
+    else if (arg == "--stream") opt.stream = next();
+    else if (arg == "--adapt-refit-cadence") opt.adapt_refit_cadence = true;
+    else if (arg == "--adapt-refit-budget")
+      opt.adapt_refit_budget = next_double();
     else if (arg == "--help" || arg == "-h") usage_and_exit();
     else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
@@ -363,6 +380,8 @@ int main(int argc, char** argv) {
 
   config.checkpoint_path = cli.resume.empty() ? cli.checkpoint : cli.resume;
   config.checkpoint_every = cli.checkpoint_every;
+  config.adapt_refit_cadence = cli.adapt_refit_cadence;
+  config.adapt_refit_budget = cli.adapt_refit_budget;
 
   const bool injecting = cli.faults.throw_every > 0 ||
                          cli.faults.nan_every > 0 ||
@@ -384,14 +403,45 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Every validated field comes from a flag, so a bad combination is a
+  // usage error (exit 2), not an aborted run (exit 3).
+  try {
+    config.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "easybo_cli: %s\n", e.what());
+    return 2;
+  }
+
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
   bo::BoResult result;
+  // Declared before the engine scope so frames can still flush while the
+  // run is torn down; closed explicitly right after the run so the bye
+  // frame is on disk before the metrics files are written.
+  std::unique_ptr<obs::StreamSink> stream;
   try {
     bo::BoEngine engine(config, problem.bounds, fn, sim_time);
     engine.set_stop_token(&g_stop);
+    if (!cli.stream.empty()) {
+      obs::StreamOptions sopts;
+      sopts.source = "cli:" + cli.problem + ":" + config.label();
+      // Forward to whatever the engine installed for itself (the
+      // collect_metrics recorder, or nothing) so one run streams live
+      // AND assembles the post-hoc report.
+      try {
+        stream = std::make_unique<obs::StreamSink>(cli.stream, sopts,
+                                                   engine.trace());
+      } catch (const std::exception& e) {
+        // An unopenable stream file is an environment error, not an
+        // aborted optimization.
+        std::fprintf(stderr, "easybo_cli: %s\n", e.what());
+        return 1;
+      }
+      engine.set_trace(stream.get());
+    }
     result = cli.resume.empty() ? engine.run() : engine.resume(cli.resume);
+    if (stream != nullptr) stream->close();
   } catch (const io::CheckpointError& e) {
     std::fprintf(stderr, "resume failed: %s\n", e.what());
     return 4;

@@ -4,9 +4,16 @@
 /// Usage:
 ///   easybo_serve --state-dir DIR [--max-live N] [--port P]
 ///                [--max-clients N] [--max-inflight N] [--idle-timeout S]
+///                [--stream FILE]
 ///                [--inject-enospc-every N] [--inject-eio-every N]
 ///                [--inject-short-write-every N]
 ///                [--inject-torn-rename-every N] [--inject-fs-max N]
+///
+/// --stream FILE emits live "easybo.stream.v1" JSONL telemetry
+/// (docs/telemetry.md) for every hosted session: serve.* counters, core
+/// counters and wall SUGGEST-to-OBSERVE turnaround spans. Tail it with
+/// scripts/obs_tail.py; the bare STATUS health JSON additionally carries
+/// the stream's online statistics under "stream".
 ///
 /// Speaks the line protocol of docs/service-protocol.md — one request
 /// line in, one reply line out:
@@ -48,9 +55,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "io/fs_fault.h"
+#include "obs/stream.h"
 #include "serve/host.h"
 #include "serve/tcp_server.h"
 
@@ -96,6 +105,7 @@ struct ServeOptions {
   std::size_t max_clients = 64;
   std::size_t max_inflight = 256;
   double idle_timeout_s = 300.0;
+  std::string stream;  // empty: no live telemetry
   easybo::io::FsFaultPlan fault_plan;
   bool inject_faults = false;
 };
@@ -105,7 +115,7 @@ int usage() {
       stderr,
       "usage: easybo_serve --state-dir DIR [--max-live N] [--port P]\n"
       "                    [--max-clients N] [--max-inflight N]\n"
-      "                    [--idle-timeout SECONDS]\n"
+      "                    [--idle-timeout SECONDS] [--stream FILE]\n"
       "                    [--inject-enospc-every N] [--inject-eio-every N]\n"
       "                    [--inject-short-write-every N]\n"
       "                    [--inject-torn-rename-every N] "
@@ -185,6 +195,12 @@ bool parse_args(int argc, char** argv, ServeOptions& opt) {
       opt.max_inflight = parse_count(arg, value(), 1);
     } else if (arg == "--idle-timeout") {
       opt.idle_timeout_s = parse_seconds(arg, value());
+    } else if (arg == "--stream") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        bad_flag(arg, v, "a file path");
+      }
+      opt.stream = v;
     } else if (arg == "--inject-enospc-every") {
       opt.fault_plan.enospc_every = parse_count(arg, value(), 1);
       opt.inject_faults = true;
@@ -276,7 +292,23 @@ int main(int argc, char** argv) {
     easybo::serve::HostLimits limits;
     limits.max_inflight = opt.max_inflight;
     easybo::serve::SessionHost host(opt.state_dir, opt.max_live, limits);
-    if (opt.port < 0) return serve_stdio(host);
+    // The stream outlives the host's serving life inside this scope;
+    // wired before any traffic so every session inherits it.
+    std::unique_ptr<easybo::obs::StreamSink> stream;
+    if (!opt.stream.empty()) {
+      easybo::obs::StreamOptions sopts;
+      sopts.source = "serve:" + opt.state_dir;
+      stream = std::make_unique<easybo::obs::StreamSink>(opt.stream, sopts);
+      host.set_trace(stream.get());
+      host.set_stream(stream.get());
+      std::fprintf(stderr, "easybo_serve: streaming telemetry to %s\n",
+                   opt.stream.c_str());
+    }
+    if (opt.port < 0) {
+      const int rc = serve_stdio(host);
+      if (stream != nullptr) stream->close();
+      return rc;
+    }
     easybo::serve::TcpOptions tcp;
     tcp.port = opt.port;
     tcp.max_clients = opt.max_clients;
@@ -292,6 +324,7 @@ int main(int argc, char** argv) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
     server.stop();
+    if (stream != nullptr) stream->close();
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "easybo_serve: %s\n", e.what());

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Syntax-check every fenced code block in the user-facing docs.
+
+Walks README.md, DESIGN.md, EXPERIMENTS.md and docs/*.md, extracts
+every ``` fenced block, and validates the ones whose language tag we
+can check mechanically:
+
+  sh / bash   parsed with `sh -n` (a "$ " shell prompt prefix is
+              stripped first, so transcript-style blocks stay valid)
+  json        parsed with json.loads
+
+Blocks tagged with anything else (cpp, ...) and untagged blocks
+(ASCII diagrams, wire grammars, transcripts) are counted but skipped —
+tag a block `sh` or `json` to put it under this gate. A stale command
+line in a tagged block fails CI with its file and line number.
+
+Stdlib only; exits non-zero listing every failing block.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CHECKED = {"sh", "bash", "json"}
+
+
+def repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def doc_files(root):
+    files = [os.path.join(root, name)
+             for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md")]
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        files.extend(os.path.join(docs, name)
+                     for name in sorted(os.listdir(docs))
+                     if name.endswith(".md"))
+    return [f for f in files if os.path.isfile(f)]
+
+
+def fenced_blocks(path):
+    """Yield (start_line, language, text) for every ``` fence in path."""
+    lang = None
+    start = 0
+    body = []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            stripped = line.rstrip("\n")
+            if stripped.startswith("```"):
+                if lang is None:
+                    lang = stripped[3:].strip().split()[0].lower() \
+                        if stripped[3:].strip() else ""
+                    start = lineno
+                    body = []
+                else:
+                    yield start, lang, "".join(body)
+                    lang = None
+            elif lang is not None:
+                body.append(line)
+    if lang is not None:
+        yield start, lang, "ERROR: unterminated fence"
+
+
+def strip_prompts(text):
+    """Drop the "$ " prompt convention so transcripts parse as scripts."""
+    out = []
+    for line in text.splitlines():
+        if line.startswith("$ "):
+            line = line[2:]
+        out.append(line)
+    return "\n".join(out) + "\n"
+
+
+def check_shell(text):
+    with tempfile.NamedTemporaryFile("w", suffix=".sh", delete=False) as tmp:
+        tmp.write(strip_prompts(text))
+        tmp_path = tmp.name
+    try:
+        proc = subprocess.run(["sh", "-n", tmp_path],
+                              capture_output=True, text=True)
+        if proc.returncode != 0:
+            return proc.stderr.strip().replace(tmp_path, "<block>")
+        return None
+    finally:
+        os.unlink(tmp_path)
+
+
+def check_json(text):
+    try:
+        json.loads(text)
+        return None
+    except json.JSONDecodeError as e:
+        return str(e)
+
+
+def main():
+    root = repo_root()
+    checked = skipped = 0
+    failures = []
+    for path in doc_files(root):
+        rel = os.path.relpath(path, root)
+        for start, lang, text in fenced_blocks(path):
+            if lang not in CHECKED:
+                skipped += 1
+                continue
+            checked += 1
+            if text.startswith("ERROR:"):
+                failures.append(f"{rel}:{start}: {text}")
+                continue
+            error = check_shell(text) if lang in ("sh", "bash") \
+                else check_json(text)
+            if error is not None:
+                failures.append(f"{rel}:{start}: bad {lang} block: {error}")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"check_doc_snippets: {len(failures)} of {checked} checked "
+              "blocks failed", file=sys.stderr)
+        return 1
+    print(f"check_doc_snippets: {checked} sh/json blocks parse cleanly "
+          f"({skipped} untagged/other blocks skipped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

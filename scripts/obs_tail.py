@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""Tail/aggregate easybo.stream.v1 telemetry streams (docs/telemetry.md).
+
+Reads one or more JSONL stream files produced by `easybo_cli --stream`
+or `easybo_serve --stream` and prints fleet-level progress: per-stream
+event/drop totals, counter totals, and the same online statistics the
+server keeps (bias-corrected EMA and P-squared p50/p90 over objective
+eval latency) recomputed client-side from the span frames.
+
+Modes:
+  obs_tail.py STREAM [STREAM...]             one-shot summary of each
+                                             stream plus a fleet total
+  obs_tail.py --follow STREAM [STREAM...]    live: keep reading as the
+                                             files grow (^C to stop)
+  obs_tail.py --check-counters METRICS.json STREAM [STREAM...]
+                                             verify the streams' counter
+                                             totals reproduce the final
+                                             MetricsReport ("counters"
+                                             section) of a clean run;
+                                             exits 1 on any mismatch
+
+Dropped events (drop frames / seq gaps) make a stream an under-count of
+the run; --check-counters therefore refuses streams that report drops.
+Stdlib only, so the CI jobs need no pip installs.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+
+class Cema:
+    """Bias-corrected EMA, the exact formula of obs/online_stats.h:
+    b_n = (1-a) b_{n-1} + a x_n, value = b_n / (1 - (1-a)^n)."""
+
+    def __init__(self, alpha=0.05):
+        self.alpha = alpha
+        self.biased = 0.0
+        self.decay = 1.0
+        self.count = 0
+
+    def add(self, x):
+        self.biased += self.alpha * (x - self.biased)
+        self.decay *= 1.0 - self.alpha
+        self.count += 1
+
+    def value(self):
+        correction = 1.0 - self.decay
+        return self.biased / correction if correction > 0.0 else 0.0
+
+
+class P2Quantile:
+    """Jain & Chlamtac's P-squared streaming quantile, matching
+    obs/online_stats.cpp marker for marker."""
+
+    def __init__(self, q):
+        self.q = q
+        self.count = 0
+        self.heights = [0.0] * 5
+        self.positions = [0.0] * 5
+        self.desired = [0.0] * 5
+        self.increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+
+    def add(self, x):
+        if self.count < 5:
+            self.heights[self.count] = x
+            self.count += 1
+            if self.count == 5:
+                self.heights.sort()
+                self.positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                q = self.q
+                self.desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                                3.0 + 2.0 * q, 5.0]
+            return
+        if x < self.heights[0]:
+            self.heights[0] = x
+            k = 0
+        elif x >= self.heights[4]:
+            self.heights[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= self.heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            self.positions[i] += 1.0
+        for i in range(5):
+            self.desired[i] += self.increments[i]
+        self.count += 1
+        for i in (1, 2, 3):
+            d = self.desired[i] - self.positions[i]
+            below = self.positions[i] - self.positions[i - 1]
+            above = self.positions[i + 1] - self.positions[i]
+            if (d >= 1.0 and above > 1.0) or (d <= -1.0 and below > 1.0):
+                d = 1.0 if d >= 0.0 else -1.0
+                h = self._parabolic(i, d)
+                if not self.heights[i - 1] < h < self.heights[i + 1]:
+                    h = self._linear(i, d)
+                self.heights[i] = h
+                self.positions[i] += d
+
+    def _parabolic(self, i, d):
+        p = self.positions
+        h = self.heights
+        return h[i] + d / (p[i + 1] - p[i - 1]) * (
+            (p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+            + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+
+    def _linear(self, i, d):
+        j = i + int(d)
+        return self.heights[i] + d * (self.heights[j] - self.heights[i]) / (
+            self.positions[j] - self.positions[i])
+
+    def value(self):
+        if self.count == 0:
+            return 0.0
+        if self.count < 5:
+            xs = sorted(self.heights[: self.count])
+            rank = self.q * (self.count - 1)
+            lo = int(rank)
+            hi = min(lo + 1, self.count - 1)
+            frac = rank - lo
+            return xs[lo] + frac * (xs[hi] - xs[lo])
+        return self.heights[2]
+
+
+class StreamState:
+    """Everything aggregated from one stream's frames so far."""
+
+    def __init__(self, path):
+        self.path = path
+        self.source = "?"
+        self.offset = 0  # bytes consumed (for --follow)
+        self.events = 0
+        self.dropped = 0  # from drop frames / the bye frame
+        self.seq_gaps = 0  # independent cross-check from seq gaps
+        self.next_seq = None
+        self.counters = {}
+        self.spans = {}  # phase -> [count, seconds]
+        self.eval_latency = Cema()
+        self.eval_p50 = P2Quantile(0.5)
+        self.eval_p90 = P2Quantile(0.9)
+        self.saw_bye = False
+        self.bad_lines = 0
+
+    def feed(self, line):
+        line = line.strip()
+        if not line:
+            return
+        try:
+            frame = json.loads(line)
+        except json.JSONDecodeError:
+            self.bad_lines += 1  # a torn tail mid-write is normal in --follow
+            return
+        ftype = frame.get("type")
+        if ftype == "hello":
+            self.source = frame.get("source", "?")
+            return
+        if ftype == "drop":
+            self.dropped = max(self.dropped, int(frame["dropped_total"]))
+            return
+        if ftype == "bye":
+            self.saw_bye = True
+            self.dropped = max(self.dropped, int(frame["dropped_total"]))
+            return
+        if ftype not in ("span", "counter"):
+            return  # stats frames are the server's own view; we recompute
+        seq = int(frame["seq"])
+        if self.next_seq is not None and seq > self.next_seq:
+            self.seq_gaps += seq - self.next_seq
+        self.next_seq = seq + 1
+        self.events += 1
+        if ftype == "counter":
+            name = frame["name"]
+            self.counters[name] = self.counters.get(name, 0) + int(
+                frame["delta"])
+        else:
+            phase = frame["phase"]
+            seconds = float(frame["seconds"])
+            stat = self.spans.setdefault(phase, [0, 0.0])
+            stat[0] += 1
+            stat[1] += seconds
+            if phase == "objective_eval":
+                self.eval_latency.add(seconds)
+                self.eval_p50.add(seconds)
+                self.eval_p90.add(seconds)
+
+    def read_new(self):
+        """Consume whatever the file has grown by since the last call."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as f:
+                f.seek(self.offset)
+                chunk = f.read()
+                self.offset = f.tell()
+        except OSError as e:
+            print(f"obs_tail: cannot read {self.path}: {e}", file=sys.stderr)
+            return
+        for line in chunk.splitlines():
+            self.feed(line)
+
+    def summary_lines(self):
+        drop_note = "" if self.dropped == 0 else (
+            f"  [UNDER-COUNT: {self.dropped} dropped]")
+        yield (f"{self.source} ({self.path}): {self.events} events, "
+               f"{self.dropped} dropped{drop_note}"
+               + ("" if self.saw_bye else "  [live]"))
+        ev = self.eval_latency
+        if ev.count:
+            yield (f"  eval latency: n={ev.count} cema={ev.value():.6g}s "
+                   f"p50={self.eval_p50.value():.6g}s "
+                   f"p90={self.eval_p90.value():.6g}s")
+        for phase in sorted(self.spans):
+            n, secs = self.spans[phase]
+            yield f"  phase {phase}: {n} spans, {secs:.6g}s"
+        for name in sorted(self.counters):
+            yield f"  counter {name}: {self.counters[name]}"
+
+
+def fleet_summary(states):
+    total_events = sum(s.events for s in states)
+    total_dropped = sum(s.dropped for s in states)
+    counters = {}
+    for s in states:
+        for name, value in s.counters.items():
+            counters[name] = counters.get(name, 0) + value
+    lines = [f"fleet: {len(states)} stream(s), {total_events} events, "
+             f"{total_dropped} dropped"]
+    proposals = sum(v for n, v in counters.items()
+                    if n.startswith("bo.proposals."))
+    refits = counters.get("bo.hyper_refit", 0)
+    failures = counters.get("eval.failures", 0)
+    lines.append(f"fleet: {proposals} proposals, {refits} hyper-refits, "
+                 f"{failures} eval failures")
+    return lines
+
+
+def check_counters(metrics_path, states):
+    """Final MetricsReport counters must be reproducible from the streams
+    alone (summed across streams; a clean run only)."""
+    with open(metrics_path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if report.get("schema") != "easybo.metrics.v1":
+        print(f"obs_tail: {metrics_path} is not an easybo.metrics.v1 report",
+              file=sys.stderr)
+        return 1
+    for s in states:
+        if s.dropped or s.seq_gaps:
+            print(f"obs_tail: {s.path} reports dropped events; an "
+                  "under-counting stream cannot reconcile counter totals",
+                  file=sys.stderr)
+            return 1
+        if not s.saw_bye:
+            print(f"obs_tail: {s.path} has no bye frame (still live or "
+                  "truncated); refusing to reconcile", file=sys.stderr)
+            return 1
+    streamed = {}
+    for s in states:
+        for name, value in s.counters.items():
+            streamed[name] = streamed.get(name, 0) + value
+    mismatches = 0
+    for name, value in sorted(report.get("counters", {}).items()):
+        got = streamed.get(name, 0)
+        if got != value:
+            print(f"MISMATCH {name}: metrics={value} stream={got}")
+            mismatches += 1
+    for name in sorted(set(streamed) - set(report.get("counters", {}))):
+        print(f"MISMATCH {name}: metrics=absent stream={streamed[name]}")
+        mismatches += 1
+    if mismatches:
+        print(f"obs_tail: {mismatches} counter(s) failed to reconcile "
+              f"against {metrics_path}", file=sys.stderr)
+        return 1
+    n = len(report.get("counters", {}))
+    print(f"obs_tail: all {n} counters reconcile against {metrics_path}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Tail/aggregate easybo.stream.v1 telemetry streams.")
+    parser.add_argument("--follow", action="store_true",
+                        help="keep reading as the stream files grow")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="--follow poll period in seconds")
+    parser.add_argument("--check-counters", metavar="METRICS_JSON",
+                        help="verify counter totals against a "
+                             "MetricsReport JSON export")
+    parser.add_argument("streams", nargs="+", help="stream JSONL file(s)")
+    args = parser.parse_args()
+
+    states = [StreamState(path) for path in args.streams]
+    for s in states:
+        s.read_new()
+
+    if args.check_counters:
+        return check_counters(args.check_counters, states)
+
+    if args.follow:
+        try:
+            while True:
+                for s in states:
+                    s.read_new()
+                print("\x1b[2J\x1b[H", end="")  # clear screen, home cursor
+                for s in states:
+                    for line in s.summary_lines():
+                        print(line)
+                for line in fleet_summary(states):
+                    print(line)
+                if all(s.saw_bye for s in states):
+                    break
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    for s in states:
+        for line in s.summary_lines():
+            print(line)
+    for line in fleet_summary(states):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,7 +46,10 @@ config='{"dim":2,"mode":"sequential","init_points":4,"max_sims":12,
 "trainer_max_iters":10,"trainer_restarts":1,"seed":"11"}'
 config=$(printf '%s' "$config" | tr -d '\n')
 
+# Both server generations stream live telemetry (docs/telemetry.md);
+# obs_tail.py summarizes the files at the end of the smoke.
 "$serve" --state-dir "$workdir/state" --port "$port" \
+  --stream "$workdir/stream1.jsonl" \
   > "$workdir/serve1.log" 2>&1 &
 pid=$!
 wait_up
@@ -79,6 +82,7 @@ echo "serve_smoke: killed server after 3 interleaved turns per session"
 [ -s "$workdir/state/b.snapshot" ] || { echo "serve_smoke: no snapshot for session b" >&2; exit 1; }
 
 "$serve" --state-dir "$workdir/state" --port "$port" \
+  --stream "$workdir/stream2.jsonl" \
   > "$workdir/serve2.log" 2>&1 &
 pid=$!
 wait_up
@@ -96,3 +100,16 @@ printf '%s' "$out" | grep -q "budget exhausted" \
   || { echo "serve_smoke: expected exhausted budget, got: $out" >&2; exit 1; }
 
 echo "serve_smoke: session a resumed at tag 3 and completed 12/12 sims"
+
+# Tear the server down cleanly (TERM runs the bye frame) and make the
+# telemetry streams account for the run: both generations must have
+# produced events, dropped nothing, and be parseable by obs_tail.py.
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=
+tail=$(dirname -- "$0")/obs_tail.py
+summary=$(python3 "$tail" "$workdir/stream1.jsonl" "$workdir/stream2.jsonl")
+printf '%s\n' "$summary"
+printf '%s\n' "$summary" | grep -q '^fleet: 2 stream(s), [1-9][0-9]* events, 0 dropped$' \
+  || { echo "serve_smoke: telemetry streams incomplete or dropped events" >&2; exit 1; }
+echo "serve_smoke: telemetry streams reconcile (0 dropped across both generations)"

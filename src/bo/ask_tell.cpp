@@ -1,6 +1,8 @@
 #include "bo/ask_tell.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 #include <utility>
 
@@ -16,6 +18,18 @@ namespace easybo::bo {
 std::size_t async_proposal_slot(const BoConfig& config, std::size_t tag) {
   if (!config.async_slot_rotation) return 0;  // historical behaviour
   return tag % config.batch;
+}
+
+std::size_t adaptive_refit_gap(double refit_seconds, double eval_seconds,
+                               double budget, std::size_t refit_every) {
+  const std::size_t lo = std::max<std::size_t>(refit_every, 1);
+  const std::size_t hi = lo * 64;
+  const double denom = budget * eval_seconds;
+  if (!(denom > 0.0) || !std::isfinite(refit_seconds)) return hi;
+  const double gap = std::ceil(refit_seconds / denom);
+  if (!(gap > 0.0)) return lo;  // also catches NaN
+  if (gap >= static_cast<double>(hi)) return hi;
+  return std::max(lo, static_cast<std::size_t>(gap));
 }
 
 AskTellCore::AskTellCore(BoConfig config, opt::Bounds bounds,
@@ -130,6 +144,13 @@ Observed AskTellCore::observe(std::size_t tag, const Outcome& o,
   rec.worker = o.worker;
   rec.is_init = prop_init_[tag];
   rec.attempts = o.attempts;
+
+  // Feed the adaptive cost model from the outcome's own clock (executor
+  // time: virtual or wall, whichever the caller runs on). Replayed
+  // outcomes are skipped — their durations belong to a previous process.
+  if (cfg_.adapt_refit_cadence && !o.replayed && o.finish > o.start) {
+    adapt_eval_cema_.add(o.finish - o.start);
+  }
 
   Observed ob;
   if (o.status == sched::EvalStatus::Ok) {
@@ -458,21 +479,45 @@ void AskTellCore::update_model(bool force_train) {
 
   const bool train = force_train || obs_x_.size() >= next_hyper_refit_;
   if (train) {
-    obs::ScopedTimer span(trace_, obs::Phase::HyperRefit);
-    if (model_->supports_lml_gradient()) {
-      gp::train_mle(*model_, rng_, cfg_.trainer);
-    } else {
-      train_model_via_proxy();
+    const auto refit_begin = cfg_.adapt_refit_cadence
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
+    {
+      obs::ScopedTimer span(trace_, obs::Phase::HyperRefit);
+      if (model_->supports_lml_gradient()) {
+        gp::train_mle(*model_, rng_, cfg_.trainer);
+      } else {
+        train_model_via_proxy();
+      }
     }
     obs::count(trace_, "bo.hyper_refit");
     ++hyper_refits_;
-    // Geometrically thinning schedule: early observations shift the
-    // hyperparameters a lot, late ones barely; this caps total O(n^3)
-    // training cost without changing behaviour materially.
     const auto n = obs_x_.size();
-    next_hyper_refit_ = std::max(
-        n + cfg_.refit_every,
-        static_cast<std::size_t>(static_cast<double>(n) * 1.5));
+    if (cfg_.adapt_refit_cadence) {
+      adapt_refit_cema_.add(std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                refit_begin)
+                                .count());
+      if (adapt_eval_cema_.count() > 0) {
+        // Cost-driven schedule: wait long enough that refitting stays
+        // near adapt_refit_budget of measured eval spend.
+        next_hyper_refit_ =
+            n + adaptive_refit_gap(adapt_refit_cema_.value(),
+                                   adapt_eval_cema_.value(),
+                                   cfg_.adapt_refit_budget,
+                                   cfg_.refit_every);
+        obs::count(trace_, "bo.adapt_refit");
+      } else {
+        next_hyper_refit_ = n + cfg_.refit_every;
+      }
+    } else {
+      // Geometrically thinning schedule: early observations shift the
+      // hyperparameters a lot, late ones barely; this caps total O(n^3)
+      // training cost without changing behaviour materially.
+      next_hyper_refit_ = std::max(
+          n + cfg_.refit_every,
+          static_cast<std::size_t>(static_cast<double>(n) * 1.5));
+    }
   } else {
     obs::ScopedTimer span(trace_, obs::Phase::ModelFit);
     model_->fit();

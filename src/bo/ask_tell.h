@@ -52,6 +52,7 @@
 #include "gp/gp.h"
 #include "gp/normalizer.h"
 #include "io/journal.h"
+#include "obs/online_stats.h"
 #include "obs/trace.h"
 #include "opt/objective.h"
 #include "sched/supervisor.h"
@@ -99,6 +100,22 @@ struct Observed {
 /// per-slot scheme). Exposed as a free function so the rotation semantics
 /// are directly testable.
 std::size_t async_proposal_slot(const BoConfig& config, std::size_t tag);
+
+/// The adaptive hyper-refit schedule (BoConfig::adapt_refit_cadence): how
+/// many further observations to wait before the next hyperparameter MLE,
+/// given corrected-EMA cost estimates. The policy amortizes one refit
+/// over enough evaluations that refit time stays near \p budget (a ratio,
+/// e.g. 0.1 = 10%) of evaluation time:
+///
+///   gap = ceil(refit_seconds / (budget * eval_seconds))
+///
+/// clamped to [refit_every, 64 * refit_every] so a degenerate estimate
+/// (zero-cost evals, enormous refits) can neither refit every step nor
+/// freeze the hyperparameters for the rest of the run. Pure — no clocks,
+/// no state — so the policy is unit-testable; AskTellCore feeds it from
+/// its internal CEMAs.
+std::size_t adaptive_refit_gap(double refit_seconds, double eval_seconds,
+                               double budget, std::size_t refit_every);
 
 /// The suggest/observe core. Construct with the same arguments BoEngine
 /// takes minus the objective (evaluating is the caller's job), then
@@ -321,6 +338,12 @@ class AskTellCore {
 
   std::size_t next_hyper_refit_ = 0;
   std::size_t hyper_refits_ = 0;
+
+  // adapt_refit_cadence cost models (only touched when the knob is on):
+  // eval durations settle slowly across many observations, refit cost
+  // tracks the growing dataset so it gets a faster horizon.
+  obs::Cema adapt_eval_cema_{0.05};
+  obs::Cema adapt_refit_cema_{0.3};
 
   // Evaluation records in observation order (BoResult::evals).
   std::vector<EvalRecord> evals_;

@@ -350,7 +350,10 @@ std::uint64_t config_fingerprint(const BoConfig& config,
   // The surrogate backend and its knobs shape every post-init proposal, so
   // a checkpoint taken under one backend refuses to resume under another.
   // (hallucinate_overlay is deliberately absent: both hallucination paths
-  // produce bit-identical streams.)
+  // produce bit-identical streams. adapt_refit_cadence/adapt_refit_budget
+  // are absent too: the adaptive schedule is wall-clock driven — never
+  // reproducible across machines anyway — and the schedule state itself
+  // rides in snapshots via next_hyper_refit, so resume stays coherent.)
   put(s, "gp_backend", config.gp_backend);
   put_u(s, "rff_features", config.rff_features);
   put_u(s, "rff_train_subset", config.rff_train_subset);

@@ -122,6 +122,8 @@ void BoConfig::validate() const {
   EASYBO_REQUIRE(
       eval_failure_quantile >= 0.0 && eval_failure_quantile <= 1.0,
       "eval_failure_quantile must be in [0, 1]");
+  EASYBO_REQUIRE(adapt_refit_budget > 0.0,
+                 "adapt_refit_budget must be > 0");
   EASYBO_REQUIRE(checkpoint_every >= 1, "checkpoint_every must be >= 1");
   EASYBO_REQUIRE(gp_backend == "exact" || gp_backend == "rff",
                  "gp_backend must be \"exact\" or \"rff\"");

@@ -145,6 +145,18 @@ struct BoConfig {
   /// per-worker busy/idle. Off by default — the null sink costs nothing
   /// and collection never changes the proposal sequence either way.
   bool collect_metrics = false;
+  /// Adapt the hyper-refit cadence to measured cost mid-run: corrected
+  /// EMAs of refit time and objective-eval time pick the next refit point
+  /// so refitting stays near adapt_refit_budget of eval spend (see
+  /// bo::adaptive_refit_gap and docs/telemetry.md). Wall-clock driven, so
+  /// the proposal stream is NOT reproducible across machines with it on.
+  /// Off by default — all seed streams stay bit-identical. Not
+  /// fingerprinted: the chosen schedule rides in snapshots either way.
+  bool adapt_refit_cadence = false;
+  /// Target ratio of hyper-refit time to objective-eval time when
+  /// adapt_refit_cadence is on. 0.1 = spend at most ~10% of eval time
+  /// refitting. Not fingerprinted.
+  double adapt_refit_budget = 0.1;
 
   // --- fault tolerance (sched::EvalSupervisor; docs/failure-model.md) ---
   /// Failure policy once supervision gives up on an evaluation.

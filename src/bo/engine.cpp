@@ -529,7 +529,8 @@ void BoEngine::write_snapshot(sched::EvalSupervisor& sup) {
 }
 
 void BoEngine::finalize_metrics(sched::Executor& exec, BoResult& result) {
-  auto* recorder = dynamic_cast<obs::RecordingSink*>(trace_);
+  obs::RecordingSink* recorder =
+      trace_ == nullptr ? nullptr : trace_->recording_sink();
   if (recorder == nullptr) return;
   result.metrics = recorder->report();
   result.metrics.evals = std::move(eval_log_);

@@ -99,8 +99,16 @@ class BoEngine {
   /// obs::RecordingSink, run() additionally assembles its contents — plus
   /// the executor's per-worker busy/idle — into BoResult::metrics.
   /// BoConfig::collect_metrics is the self-contained variant: the engine
-  /// then owns a RecordingSink and installs it here itself.
+  /// then owns a RecordingSink and installs it here itself. A decorator
+  /// whose recording_sink() chases its forward pointer (obs::StreamSink)
+  /// keeps the metrics assembly working through the chain.
   void set_trace(obs::TraceSink* sink);
+
+  /// The currently installed sink (nullptr = the null default). Lets a
+  /// caller wrap whatever the engine installed for itself:
+  ///   obs::StreamSink stream(path, {}, engine.trace());
+  ///   engine.set_trace(&stream);
+  obs::TraceSink* trace() const { return trace_; }
 
  private:
   /// One terminal evaluation outcome as delivered to observe_arrival():

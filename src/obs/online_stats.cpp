@@ -1,0 +1,100 @@
+#include "obs/online_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace easybo::obs {
+
+void P2Quantile::add(double x) {
+  // Warm-up: collect the first five samples verbatim, sorted.
+  if (count_ < 5) {
+    heights_[count_] = x;
+    ++count_;
+    std::sort(heights_.begin(), heights_.begin() +
+                                    static_cast<std::ptrdiff_t>(count_));
+    if (count_ == 5) {
+      for (std::size_t i = 0; i < 5; ++i) {
+        positions_[i] = static_cast<double>(i + 1);
+      }
+      desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+      increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+    }
+    return;
+  }
+
+  // Find the cell k with heights_[k] <= x < heights_[k+1], updating the
+  // extreme markers as needed.
+  std::size_t k = 0;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++count_;
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic prediction of the marker height at its new
+      // position.
+      const double np = positions_[i] + s;
+      const double hq =
+          heights_[i] +
+          s / (positions_[i + 1] - positions_[i - 1]) *
+              ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+               (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < hq && hq < heights_[i + 1]) {
+        heights_[i] = hq;
+      } else {
+        // Parabolic prediction left the bracket: fall back to linear.
+        const std::size_t j = d >= 0.0 ? i + 1 : i - 1;
+        heights_[i] += s * (heights_[j] - heights_[i]) /
+                       (positions_[j] - positions_[i]);
+      }
+      positions_[i] = np;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) return 0.0;
+  if (count_ < 5) {
+    // Exact sample quantile over the sorted warm-up buffer (nearest-rank
+    // with linear interpolation).
+    const double pos = q_ * static_cast<double>(count_ - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return heights_[lo] + frac * (heights_[hi] - heights_[lo]);
+  }
+  return heights_[2];
+}
+
+std::string OnlineStat::json() const {
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::string s = "{\"count\":" + std::to_string(count_);
+  s += ",\"total\":" + num(total_);
+  s += ",\"last\":" + num(last_);
+  s += ",\"cema\":" + num(cema());
+  s += ",\"p50\":" + num(p50());
+  s += ",\"p90\":" + num(p90());
+  return s + "}";
+}
+
+}  // namespace easybo::obs

@@ -21,6 +21,7 @@ class RecordingSink final : public TraceSink {
  public:
   void add_time(Phase phase, double seconds) override;
   void add_counter(std::string_view name, std::uint64_t delta) override;
+  RecordingSink* recording_sink() override { return this; }
 
   /// Accumulated seconds / span count of one phase so far.
   double seconds(Phase phase) const;

@@ -49,6 +49,8 @@ inline constexpr std::size_t kNumPhases =
 /// Stable snake_case name, also the key used in the JSON/CSV exports.
 const char* to_string(Phase phase);
 
+class RecordingSink;
+
 /// Consumer of trace events. Implementations must tolerate concurrent
 /// calls (executor workers may report while the proposer records spans).
 class TraceSink {
@@ -61,6 +63,13 @@ class TraceSink {
   /// Increments the named monotonic counter. Names are dotted lowercase
   /// paths, e.g. "gp.chol_extend"; they become JSON keys verbatim.
   virtual void add_counter(std::string_view name, std::uint64_t delta) = 0;
+
+  /// The RecordingSink at the end of this sink's forwarding chain, when
+  /// there is one — BoEngine grafts executor/worker stats onto it at the
+  /// end of a run. Plain sinks have none; RecordingSink returns itself;
+  /// decorators that forward downstream (obs::StreamSink) chase their
+  /// forward pointer.
+  virtual RecordingSink* recording_sink() { return nullptr; }
 };
 
 /// Null-safe counter bump — the call every instrumented site uses, so a

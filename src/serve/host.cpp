@@ -195,6 +195,10 @@ std::string SessionHost::health_json() const {
   put("max_live", std::to_string(max_live_));
   put("max_inflight", std::to_string(limits_.max_inflight));
   put("storage", quarantined > 0 ? "\"degraded\"" : "\"ok\"");
+  // The stream's own mutexes are held only for snapshot copies, so this
+  // stays within the health probe's never-blocks-on-a-session contract.
+  obs::StreamSink* stream = stream_.load(std::memory_order_acquire);
+  if (stream != nullptr) put("stream", stream->stats_json());
   return s + "}";
 }
 
@@ -305,6 +309,7 @@ void SessionHost::load_locked(const std::string& name, Slot& slot) {
     note_io_fault();
     throw;  // verbatim: resume refusals carry their own precise message
   }
+  slot.session->set_trace(trace());
 }
 
 void SessionHost::quarantine_locked(const std::string& name, Slot& slot,
@@ -407,6 +412,7 @@ std::string SessionHost::dispatch(const std::string& line) {
       slot->session.reset();
       throw;
     }
+    slot->session->set_trace(trace());
     mark_used(name, *slot);
     return "OK created " + name;
   }

@@ -63,6 +63,7 @@
 #include <mutex>
 #include <string>
 
+#include "obs/stream.h"
 #include "obs/trace.h"
 #include "serve/session.h"
 
@@ -106,10 +107,22 @@ class SessionHost {
   std::string handle_line(const std::string& line);
 
   /// Counters mirror to \p sink as "serve.shed", "serve.io_faults" and
-  /// "serve.quarantined". Set once before serving traffic; the sink must
-  /// outlive the host (or be reset to nullptr first).
+  /// "serve.quarantined"; sessions loaded afterwards inherit the sink too
+  /// (core counters plus wall SUGGEST-to-OBSERVE turnaround spans). Set
+  /// once before serving traffic; the sink must outlive the host (or be
+  /// reset to nullptr first).
   void set_trace(obs::TraceSink* sink) {
     trace_.store(sink, std::memory_order_release);
+  }
+
+  /// Registers the live telemetry stream for the health plane: when set,
+  /// the bare-"STATUS" health object gains a "stream" field holding the
+  /// sink's stats_json() — events emitted/dropped plus the online eval
+  /// latency/inner-evals/retry statistics. Usually the same object as
+  /// set_trace's sink (easybo_serve --stream wires both). Same lifetime
+  /// contract as set_trace.
+  void set_stream(obs::StreamSink* sink) {
+    stream_.store(sink, std::memory_order_release);
   }
 
   /// Number of live (loaded) sessions. Quarantined names are not live.
@@ -213,6 +226,7 @@ class SessionHost {
   std::list<std::string> lru_;
 
   std::atomic<obs::TraceSink*> trace_{nullptr};
+  std::atomic<obs::StreamSink*> stream_{nullptr};
   std::atomic<std::size_t> inflight_{0};
   std::atomic<std::size_t> requests_{0};
   std::atomic<std::size_t> shed_{0};

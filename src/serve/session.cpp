@@ -242,13 +242,32 @@ std::unique_ptr<Session> Session::resume(std::string name, SessionSpec spec,
   return s;
 }
 
+void Session::set_trace(obs::TraceSink* sink) {
+  trace_ = sink;
+  core_.set_trace(sink);
+  if (sink == nullptr) inflight_wall_.clear();
+}
+
 bo::Suggestion Session::suggest() {
   bo::Suggestion s = core_.suggest(now_);
   // Durable before the reply leaves the process: the tag in this
   // suggestion must survive eviction and crash — the client holds it and
   // will OBSERVE it against whatever object resumes from these files.
   snapshot();
+  if (trace_ != nullptr) {
+    inflight_wall_[s.tag] = std::chrono::steady_clock::now();
+  }
   return s;
+}
+
+void Session::record_turnaround(std::size_t tag) {
+  if (trace_ == nullptr) return;
+  const auto it = inflight_wall_.find(tag);
+  if (it == inflight_wall_.end()) return;  // suggested by a previous process
+  const auto elapsed = std::chrono::steady_clock::now() - it->second;
+  inflight_wall_.erase(it);
+  trace_->add_time(obs::Phase::ObjectiveEval,
+                   std::chrono::duration<double>(elapsed).count());
 }
 
 SessionObserved Session::observe_ok(std::size_t tag, double y) {
@@ -260,6 +279,7 @@ SessionObserved Session::observe_ok(std::size_t tag, double y) {
   o.finish = now_ + 1.0;
   const bo::Observed ob = core_.observe(tag, o);
   now_ += 1.0;
+  record_turnaround(tag);
   SessionObserved out;
   out.action = ob.action;
   // The observe is durable the moment core_.observe returns (its journal
@@ -288,6 +308,7 @@ SessionObserved Session::observe_failure(std::size_t tag,
   o.error = error;
   const bo::Observed ob = core_.observe(tag, o);
   now_ += 1.0;
+  record_turnaround(tag);
   SessionObserved out;
   out.action = ob.action;
   try {

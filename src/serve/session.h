@@ -24,7 +24,9 @@
 /// busy time, and the supervisor stream's seed-derived initial state —
 /// so the files stay schema-complete.
 
+#include <chrono>
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -96,6 +98,14 @@ class Session {
   /// One-line JSON status object (docs/service-protocol.md).
   std::string status_json() const;
 
+  /// Installs a non-owning trace sink on the core (counters, refit spans)
+  /// and on the session itself. The session never runs the objective, so
+  /// its "objective eval" spans are wall SUGGEST-to-OBSERVE turnaround:
+  /// the client-side latency an operator actually waits on. Like every
+  /// sink wiring this is behaviorally inert — with nullptr (the default)
+  /// no clock is read and no proposal changes.
+  void set_trace(obs::TraceSink* sink);
+
   const std::string& name() const { return name_; }
   const bo::AskTellCore& core() const { return core_; }
 
@@ -113,6 +123,9 @@ class Session {
   /// fallback); rotation failures are themselves non-fatal.
   void snapshot();
 
+  /// Closes the turnaround span for \p tag, when one is open.
+  void record_turnaround(std::size_t tag);
+
   std::string name_;
   bo::AskTellCore core_;
   /// Stand-in for the supervisor jitter stream a BoEngine run would
@@ -125,6 +138,12 @@ class Session {
   /// True while "<base>.snapshot" is known to hold an intact generation
   /// — the precondition for rotating it to ".old" (see snapshot()).
   bool snapshot_valid_ = false;
+  obs::TraceSink* trace_ = nullptr;
+  /// Wall-clock SUGGEST times of in-flight tags, kept only while a trace
+  /// sink is installed — the basis of the turnaround spans above. Entries
+  /// for tags observed after eviction/resume are simply absent (their
+  /// suggest happened in another process) and produce no span.
+  std::map<std::size_t, std::chrono::steady_clock::time_point> inflight_wall_;
 };
 
 }  // namespace easybo::serve

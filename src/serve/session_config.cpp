@@ -101,7 +101,9 @@ const std::set<std::string>& known_keys() {
       "sobol_candidates",
       "random_candidates",
       "refine_evals",  "trainer_max_iters",
-      "trainer_restarts"};
+      "trainer_restarts",
+      "adapt_refit_cadence",
+      "adapt_refit_budget"};
   return keys;
 }
 
@@ -229,6 +231,12 @@ SessionSpec parse_session_config(const std::string& json_text) {
     spec.config.trainer.restarts =
         static_cast<int>(size_from(*v, "trainer_restarts"));
   }
+  if (const JsonValue* v = j.find("adapt_refit_cadence")) {
+    spec.config.adapt_refit_cadence = v->as_bool();
+  }
+  if (const JsonValue* v = j.find("adapt_refit_budget")) {
+    spec.config.adapt_refit_budget = v->as_double();
+  }
 
   spec.config.validate();
   spec.bounds.validate();
@@ -296,6 +304,8 @@ std::string session_config_json(const bo::BoConfig& config,
       io::json_number(static_cast<double>(config.trainer.max_iters)));
   put("trainer_restarts",
       io::json_number(static_cast<double>(config.trainer.restarts)));
+  put("adapt_refit_cadence", config.adapt_refit_cadence ? "true" : "false");
+  put("adapt_refit_budget", io::json_number(config.adapt_refit_budget));
   return s + "}";
 }
 
