@@ -31,7 +31,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -344,5 +346,153 @@ int main() {
               tcp_host.live_count(), tcp_sessions,
               server.stats().accepted);
   if (!verify_streams("tcp", tcp_configs, tcp_streams)) return 1;
+
+  // === Phase 3: worker pool with one slow session among fast ones. ===
+  // The same socket exercise through a 4-worker pool, with one session
+  // carrying an injected 50 ms SUGGEST slowdown (cooperative, well under
+  // the deadline — nothing is cut; the deadline-cut paths are pinned in
+  // test_serve_deadline.cpp and scripts/serve_chaos.sh). What this phase
+  // measures: the pool keeps fast sessions' turnaround decoupled from
+  // the slow one, queue-wait shows up on the health plane, and pooled
+  // execution still reproduces every stream bit-for-bit.
+  const std::size_t pool_sessions = env_size("EASYBO_POOL_SESSIONS", 16);
+  const std::string pool_dir = state_dir + "_pool";
+  std::filesystem::remove_all(pool_dir);
+  std::printf(
+      "=== Worker-pool phase (%zu clients, %zu sessions, 4 workers, "
+      "pool0 slowed 50ms) ===\n",
+      clients, pool_sessions);
+
+  serve::HostLimits pool_limits;
+  pool_limits.serve_workers = 4;
+  pool_limits.request_deadline_s = 30.0;  // generous: a load run, not a cut run
+  pool_limits.queue_wait_s = 0.0;         // no shedding; every turn completes
+  serve::SessionHost pool_host(pool_dir, max_live, pool_limits);
+  serve::SessionHost::DebugSlowdown slow;
+  slow.session = "pool0";
+  slow.sleep_s = 0.05;
+  pool_host.set_debug_slowdown(slow);
+  serve::TcpServer pool_server(pool_host, serve::TcpOptions{});
+  pool_server.start();
+
+  std::vector<std::string> pool_configs(pool_sessions);
+  for (std::size_t i = 0; i < pool_sessions; ++i) {
+    pool_configs[i] = config_json(9000 + i, sims);
+  }
+  std::vector<std::vector<Vec>> pool_streams(pool_sessions);
+  // SUGGEST turnaround seconds, split slow session vs the rest; each
+  // client thread appends to its own slot, merged after the join.
+  std::vector<std::vector<double>> fast_lat(clients), slow_lat(clients);
+  std::atomic<bool> pool_failed{false};
+  std::vector<std::thread> pool_threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool_threads.emplace_back([&, c] {
+      LineClient client(pool_server.port());
+      std::vector<std::size_t> mine;
+      for (std::size_t i = c; i < pool_sessions; i += clients) {
+        mine.push_back(i);
+        const std::string name = "pool" + std::to_string(i);
+        const std::string reply =
+            client.request("NEW " + name + " " + pool_configs[i]);
+        if (reply != "OK created " + name) {
+          std::fprintf(stderr, "serve_load: %s\n", reply.c_str());
+          pool_failed.store(true);
+          return;
+        }
+      }
+      std::vector<bool> exhausted(mine.size(), false);
+      std::size_t remaining = mine.size();
+      while (remaining > 0) {
+        for (std::size_t k = 0; k < mine.size(); ++k) {
+          if (exhausted[k]) continue;
+          const std::size_t i = mine[k];
+          const std::string name = "pool" + std::to_string(i);
+          const auto t0 = std::chrono::steady_clock::now();
+          const Turn t =
+              parse_suggest(name, client.request("SUGGEST " + name));
+          const double secs =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+          (i == 0 ? slow_lat : fast_lat)[c].push_back(secs);
+          if (t.x.empty()) {
+            exhausted[k] = true;
+            --remaining;
+            continue;
+          }
+          pool_streams[i].push_back(t.x);
+          const std::string ob = client.request(
+              "OBSERVE " + name + " " + std::to_string(t.tag) + " " +
+              io::json_number(tf.fn(t.x)));
+          if (ob.rfind("OK ", 0) != 0) {
+            std::fprintf(stderr, "serve_load: %s: %s\n", name.c_str(),
+                         ob.c_str());
+            pool_failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : pool_threads) t.join();
+
+  // Queue-wait and execution stats straight off the health plane while
+  // the host is still up (the stream/health contract is reconciled in
+  // scripts/serve_chaos.sh; here we report the numbers under load).
+  const std::string health = pool_host.handle_line("STATUS");
+  pool_server.stop();
+  if (pool_failed.load()) return 1;
+
+  auto percentile = [](std::vector<double> xs, double q) {
+    if (xs.empty()) return 0.0;
+    std::sort(xs.begin(), xs.end());
+    const std::size_t idx = std::min(
+        xs.size() - 1, static_cast<std::size_t>(q * (xs.size() - 1) + 0.5));
+    return xs[idx];
+  };
+  std::vector<double> fast_all, slow_all;
+  for (std::size_t c = 0; c < clients; ++c) {
+    fast_all.insert(fast_all.end(), fast_lat[c].begin(), fast_lat[c].end());
+    slow_all.insert(slow_all.end(), slow_lat[c].begin(), slow_lat[c].end());
+  }
+  std::printf(
+      "pool turnaround: fast n=%zu p50=%.1fms p99=%.1fms | slow n=%zu "
+      "p50=%.1fms p99=%.1fms\n",
+      fast_all.size(), percentile(fast_all, 0.5) * 1e3,
+      percentile(fast_all, 0.99) * 1e3, slow_all.size(),
+      percentile(slow_all, 0.5) * 1e3, percentile(slow_all, 0.99) * 1e3);
+  const io::JsonValue hj = io::parse_json(health.substr(3));
+  const io::JsonValue& qw = hj.at("queue_wait");
+  std::printf(
+      "pool health: queue_wait n=%.0f cema=%.3fms p90=%.3fms | exec "
+      "cema=%.1fms | deadline_cut=%.0f queue_shed=%.0f watchdog_trips=%.0f\n",
+      qw.at("count").as_double(), qw.at("cema").as_double() * 1e3,
+      qw.at("p90").as_double() * 1e3,
+      hj.at("exec").at("cema").as_double() * 1e3,
+      hj.at("deadline_cut").as_double(), hj.at("queue_shed").as_double(),
+      hj.at("watchdog_trips").as_double());
+
+  // Loose sanity bounds only (a CI machine under load is not a latency
+  // lab): the slow session really was slowed, nothing was cut or shed,
+  // every request's wait was measured, and fast p99 stays far below the
+  // deadline — the slow session did not convoy the pool.
+  bool pool_ok = true;
+  auto expect = [&pool_ok](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "serve_load: pool phase: %s\n", what);
+      pool_ok = false;
+    }
+  };
+  expect(percentile(slow_all, 0.5) >= 0.05,
+         "slow session p50 below the injected 50ms sleep");
+  expect(percentile(fast_all, 0.99) < 10.0, "fast p99 implausibly large");
+  expect(pool_host.deadline_cut_count() == 0, "unexpected deadline cuts");
+  expect(pool_host.queue_shed_count() == 0, "unexpected queue sheds");
+  expect(pool_host.watchdog_trip_count() == 0, "unexpected watchdog trips");
+  expect(qw.at("count").as_double() >= static_cast<double>(fast_all.size()),
+         "queue-wait stats missed requests");
+  if (!pool_ok) return 1;
+
+  if (!verify_streams("pool", pool_configs, pool_streams)) return 1;
   return 0;
 }

@@ -4,10 +4,32 @@
 /// Usage:
 ///   easybo_serve --state-dir DIR [--max-live N] [--port P]
 ///                [--max-clients N] [--max-inflight N] [--idle-timeout S]
+///                [--serve-workers N] [--queue-capacity N]
+///                [--request-deadline-ms N] [--queue-wait-ms N]
+///                [--watchdog-grace-ms N]
 ///                [--stream FILE]
 ///                [--inject-enospc-every N] [--inject-eio-every N]
 ///                [--inject-short-write-every N]
 ///                [--inject-torn-rename-every N] [--inject-fs-max N]
+///                [--inject-sleep-ms N] [--inject-sleep-session NAME]
+///                [--inject-sleep-hang]
+///
+/// --serve-workers N > 0 switches SUGGEST/OBSERVE onto a bounded worker
+/// pool with per-request deadlines (docs/service-protocol.md
+/// § Deadlines): connection threads parse and enqueue; workers execute;
+/// a request that exceeds --request-deadline-ms is cut at a safe
+/// checkpoint with its session state rolled back ("ERR deadline ...;
+/// retry"), one that sat queued past --queue-wait-ms is shed unrun, and
+/// one that ignores cancellation past --watchdog-grace-ms trips the
+/// watchdog and quarantines only its own session. With the default
+/// --serve-workers 0 every command runs on its connection thread with no
+/// deadline, exactly as before.
+///
+/// --inject-sleep-ms arms the debug slowdown seam on the session named
+/// by --inject-sleep-session: its SUGGESTs sleep that long while holding
+/// the session lock (cooperatively — a deadline cuts the sleep — unless
+/// --inject-sleep-hang makes it ignore cancellation, the watchdog
+/// rehearsal). Testing only, like the --inject-* storage faults.
 ///
 /// --stream FILE emits live "easybo.stream.v1" JSONL telemetry
 /// (docs/telemetry.md) for every hosted session: serve.* counters, core
@@ -105,9 +127,17 @@ struct ServeOptions {
   std::size_t max_clients = 64;
   std::size_t max_inflight = 256;
   double idle_timeout_s = 300.0;
+  std::size_t serve_workers = 0;
+  std::size_t queue_capacity = 64;
+  double request_deadline_s = 2.0;
+  double queue_wait_s = 1.0;
+  double watchdog_grace_s = 2.0;
   std::string stream;  // empty: no live telemetry
   easybo::io::FsFaultPlan fault_plan;
   bool inject_faults = false;
+  double inject_sleep_s = 0.0;
+  std::string inject_sleep_session;
+  bool inject_sleep_hang = false;
 };
 
 int usage() {
@@ -116,10 +146,15 @@ int usage() {
       "usage: easybo_serve --state-dir DIR [--max-live N] [--port P]\n"
       "                    [--max-clients N] [--max-inflight N]\n"
       "                    [--idle-timeout SECONDS] [--stream FILE]\n"
+      "                    [--serve-workers N] [--queue-capacity N]\n"
+      "                    [--request-deadline-ms N] [--queue-wait-ms N]\n"
+      "                    [--watchdog-grace-ms N]\n"
       "                    [--inject-enospc-every N] [--inject-eio-every N]\n"
       "                    [--inject-short-write-every N]\n"
       "                    [--inject-torn-rename-every N] "
-      "[--inject-fs-max N]\n");
+      "[--inject-fs-max N]\n"
+      "                    [--inject-sleep-ms N] "
+      "[--inject-sleep-session NAME] [--inject-sleep-hang]\n");
   return 2;
 }
 
@@ -173,6 +208,21 @@ double parse_seconds(const std::string& flag, const char* value) {
   return v;
 }
 
+/// Millisecond flags: a non-negative integer (0 disables the knob),
+/// returned as seconds for HostLimits.
+double parse_millis(const std::string& flag, const char* value) {
+  if (value == nullptr || *value == '\0') {
+    bad_flag(flag, value, "a non-negative integer of milliseconds");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (*end != '\0' || errno == ERANGE || value[0] == '-') {
+    bad_flag(flag, value, "a non-negative integer of milliseconds");
+  }
+  return static_cast<double>(v) / 1000.0;
+}
+
 bool parse_args(int argc, char** argv, ServeOptions& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -195,6 +245,26 @@ bool parse_args(int argc, char** argv, ServeOptions& opt) {
       opt.max_inflight = parse_count(arg, value(), 1);
     } else if (arg == "--idle-timeout") {
       opt.idle_timeout_s = parse_seconds(arg, value());
+    } else if (arg == "--serve-workers") {
+      opt.serve_workers = parse_count(arg, value(), 0);
+    } else if (arg == "--queue-capacity") {
+      opt.queue_capacity = parse_count(arg, value(), 1);
+    } else if (arg == "--request-deadline-ms") {
+      opt.request_deadline_s = parse_millis(arg, value());
+    } else if (arg == "--queue-wait-ms") {
+      opt.queue_wait_s = parse_millis(arg, value());
+    } else if (arg == "--watchdog-grace-ms") {
+      opt.watchdog_grace_s = parse_millis(arg, value());
+    } else if (arg == "--inject-sleep-ms") {
+      opt.inject_sleep_s = parse_millis(arg, value());
+    } else if (arg == "--inject-sleep-session") {
+      const char* v = value();
+      if (v == nullptr || *v == '\0') {
+        bad_flag(arg, v, "a session name");
+      }
+      opt.inject_sleep_session = v;
+    } else if (arg == "--inject-sleep-hang") {
+      opt.inject_sleep_hang = true;
     } else if (arg == "--stream") {
       const char* v = value();
       if (v == nullptr || *v == '\0') {
@@ -223,6 +293,12 @@ bool parse_args(int argc, char** argv, ServeOptions& opt) {
   }
   if (opt.state_dir.empty()) {
     std::fprintf(stderr, "easybo_serve: --state-dir is required\n");
+    return false;
+  }
+  if (opt.inject_sleep_s > 0.0 && opt.inject_sleep_session.empty()) {
+    std::fprintf(stderr,
+                 "easybo_serve: --inject-sleep-ms requires "
+                 "--inject-sleep-session\n");
     return false;
   }
   return true;
@@ -291,7 +367,31 @@ int main(int argc, char** argv) {
   try {
     easybo::serve::HostLimits limits;
     limits.max_inflight = opt.max_inflight;
+    limits.serve_workers = opt.serve_workers;
+    limits.queue_capacity = opt.queue_capacity;
+    limits.request_deadline_s = opt.request_deadline_s;
+    limits.queue_wait_s = opt.queue_wait_s;
+    limits.watchdog_grace_s = opt.watchdog_grace_s;
     easybo::serve::SessionHost host(opt.state_dir, opt.max_live, limits);
+    if (opt.inject_sleep_s > 0.0) {
+      easybo::serve::SessionHost::DebugSlowdown slow;
+      slow.session = opt.inject_sleep_session;
+      slow.sleep_s = opt.inject_sleep_s;
+      slow.ignore_stop = opt.inject_sleep_hang;
+      host.set_debug_slowdown(slow);
+      std::fprintf(stderr,
+                   "easybo_serve: injecting %.0fms SUGGEST slowdown on "
+                   "session %s%s\n",
+                   opt.inject_sleep_s * 1000.0,
+                   opt.inject_sleep_session.c_str(),
+                   opt.inject_sleep_hang ? " (ignoring cancellation)" : "");
+    }
+    if (opt.serve_workers > 0) {
+      std::fprintf(stderr,
+                   "easybo_serve: worker pool enabled (%zu workers, "
+                   "deadline %.0fms)\n",
+                   opt.serve_workers, opt.request_deadline_s * 1000.0);
+    }
     // The stream outlives the host's serving life inside this scope;
     // wired before any traffic so every session inherits it.
     std::unique_ptr<easybo::obs::StreamSink> stream;

@@ -18,10 +18,16 @@ Modes:
                                              MetricsReport ("counters"
                                              section) of a clean run;
                                              exits 1 on any mismatch
+  obs_tail.py --check-health HEALTH.json STREAM [STREAM...]
+                                             verify a captured `STATUS`
+                                             health payload (the serve
+                                             health plane) against the
+                                             streams' serve.* counter
+                                             totals; exits 1 on mismatch
 
 Dropped events (drop frames / seq gaps) make a stream an under-count of
-the run; --check-counters therefore refuses streams that report drops.
-Stdlib only, so the CI jobs need no pip installs.
+the run; --check-counters and --check-health therefore refuse streams
+that report drops. Stdlib only, so the CI jobs need no pip installs.
 """
 
 import argparse
@@ -244,16 +250,8 @@ def check_counters(metrics_path, states):
         print(f"obs_tail: {metrics_path} is not an easybo.metrics.v1 report",
               file=sys.stderr)
         return 1
-    for s in states:
-        if s.dropped or s.seq_gaps:
-            print(f"obs_tail: {s.path} reports dropped events; an "
-                  "under-counting stream cannot reconcile counter totals",
-                  file=sys.stderr)
-            return 1
-        if not s.saw_bye:
-            print(f"obs_tail: {s.path} has no bye frame (still live or "
-                  "truncated); refusing to reconcile", file=sys.stderr)
-            return 1
+    if not refuse_undercounting(states, "counter totals"):
+        return 1
     streamed = {}
     for s in states:
         for name, value in s.counters.items():
@@ -276,6 +274,76 @@ def check_counters(metrics_path, states):
     return 0
 
 
+def refuse_undercounting(states, mode):
+    """A stream with drops or no bye frame cannot prove totals."""
+    for s in states:
+        if s.dropped or s.seq_gaps:
+            print(f"obs_tail: {s.path} reports dropped events; an "
+                  f"under-counting stream cannot reconcile {mode}",
+                  file=sys.stderr)
+            return False
+        if not s.saw_bye:
+            print(f"obs_tail: {s.path} has no bye frame (still live or "
+                  "truncated); refusing to reconcile", file=sys.stderr)
+            return False
+    return True
+
+
+# Health-plane integers that are cumulative counters mirrored 1:1 onto
+# the stream (docs/metrics-schema.md). Gauges (inflight, queue_depth,
+# sessions_live, quarantined — the latter counts CURRENT quarantines
+# while serve.quarantined counts historical ones) cannot reconcile and
+# are deliberately absent.
+HEALTH_COUNTER_KEYS = {
+    "shed": "serve.shed",
+    "io_faults": "serve.io_faults",
+    "deadline_cut": "serve.deadline_cut",
+    "queue_shed": "serve.queue_shed",
+    "watchdog_trips": "serve.watchdog_trips",
+}
+
+
+def check_health(health_path, states):
+    """A captured `STATUS` health payload must agree with the serve.*
+    counter totals summed across the streams (docs/service-protocol.md:
+    the health plane and the stream are two views of the same atomics)."""
+    with open(health_path, "r", encoding="utf-8") as f:
+        text = f.read().strip()
+    if text.startswith("OK "):
+        text = text[3:]  # accept the raw reply line, not just the JSON
+    try:
+        health = json.loads(text)
+    except json.JSONDecodeError as e:
+        print(f"obs_tail: {health_path} is not a health JSON payload: {e}",
+              file=sys.stderr)
+        return 1
+    missing = [k for k in HEALTH_COUNTER_KEYS if k not in health]
+    if missing:
+        print(f"obs_tail: {health_path} lacks health keys {missing}; is "
+              "this really a `STATUS` reply?", file=sys.stderr)
+        return 1
+    if not refuse_undercounting(states, "health counters"):
+        return 1
+    streamed = {}
+    for s in states:
+        for name, value in s.counters.items():
+            streamed[name] = streamed.get(name, 0) + value
+    mismatches = 0
+    for key, counter in sorted(HEALTH_COUNTER_KEYS.items()):
+        want = int(health[key])
+        got = streamed.get(counter, 0)
+        if got != want:
+            print(f"MISMATCH {key}: health={want} stream({counter})={got}")
+            mismatches += 1
+    if mismatches:
+        print(f"obs_tail: {mismatches} health counter(s) failed to "
+              f"reconcile against {health_path}", file=sys.stderr)
+        return 1
+    print(f"obs_tail: all {len(HEALTH_COUNTER_KEYS)} health counters "
+          f"reconcile against {health_path}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Tail/aggregate easybo.stream.v1 telemetry streams.")
@@ -286,6 +354,9 @@ def main():
     parser.add_argument("--check-counters", metavar="METRICS_JSON",
                         help="verify counter totals against a "
                              "MetricsReport JSON export")
+    parser.add_argument("--check-health", metavar="HEALTH_JSON",
+                        help="verify a captured `STATUS` health payload "
+                             "against the streams' serve.* counters")
     parser.add_argument("streams", nargs="+", help="stream JSONL file(s)")
     args = parser.parse_args()
 
@@ -295,6 +366,8 @@ def main():
 
     if args.check_counters:
         return check_counters(args.check_counters, states)
+    if args.check_health:
+        return check_health(args.check_health, states)
 
     if args.follow:
         try:

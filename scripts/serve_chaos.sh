@@ -205,3 +205,122 @@ printf '%s' "$health" | grep -q '"storage":"ok"' \
   || { echo "serve_chaos: storage not ok after clean restart: $health" >&2; exit 1; }
 
 echo "serve_chaos: all $nsessions sessions recovered to $max_sims/$max_sims sims after chaos"
+
+# === Phase 4: slow session under the worker pool =====================
+# One session (slow0) gets an injected 800 ms SUGGEST slowdown against a
+# 300 ms request deadline: every one of its SUGGESTs must be deadline-cut
+# with state rolled back, while six fast sessions sharing the same
+# 4-worker pool run to exhaustion with bounded turnaround (the pool's
+# hard bound is deadline + watchdog grace). Afterwards the health plane
+# must reconcile exactly against the telemetry stream
+# (obs_tail.py --check-health), and a restart without injection must
+# hand slow0 tag 0 — its cut SUGGESTs consumed nothing.
+stop_server
+nfast=6
+deadline_ms=300
+grace_ms=2000
+start_server serve5.log --serve-workers 4 \
+  --request-deadline-ms "$deadline_ms" --queue-wait-ms 2000 \
+  --watchdog-grace-ms "$grace_ms" \
+  --inject-sleep-ms 800 --inject-sleep-session slow0 \
+  --stream "$workdir/phase4.stream.jsonl"
+
+[ "$(req "NEW slow0 $(config_for 900)")" = "OK created slow0" ] \
+  || { echo "serve_chaos: NEW slow0 failed" >&2; exit 1; }
+i=0
+while [ "$i" -lt "$nfast" ]; do
+  [ "$(req "NEW f$i $(config_for $((200 + i)))")" = "OK created f$i" ] \
+    || { echo "serve_chaos: NEW f$i failed" >&2; exit 1; }
+  i=$((i + 1))
+done
+
+# Fast fleet: one thread per session, full budget each, pooled p99
+# turnaround must stay under the server's own bound.
+python3 -c '
+import json, socket, sys, threading
+port, nfast, turns = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+bound = float(sys.argv[4])
+import time
+lat, errs = [], []
+lock = threading.Lock()
+def drive(name):
+    try:
+        with socket.create_connection(("127.0.0.1", port), timeout=60) as s:
+            f = s.makefile("rw")
+            def req(line):
+                t0 = time.monotonic()
+                f.write(line + "\n"); f.flush()
+                out = f.readline().rstrip("\n")
+                with lock:
+                    lat.append(time.monotonic() - t0)
+                return out
+            for k in range(turns):
+                out = req("SUGGEST " + name)
+                if not out.startswith("OK "):
+                    raise RuntimeError(f"{name}: SUGGEST: {out}")
+                tag = json.loads(out[3:])["tag"]
+                if tag != k:
+                    raise RuntimeError(f"{name}: expected tag {k}, got {tag}")
+                out = req(f"OBSERVE {name} {tag} 0.5")
+                if not out.startswith("OK "):
+                    raise RuntimeError(f"{name}: OBSERVE {tag}: {out}")
+    except Exception as e:
+        with lock:
+            errs.append(str(e))
+threads = [threading.Thread(target=drive, args=(f"f{i}",))
+           for i in range(nfast)]
+for t in threads: t.start()
+for t in threads: t.join()
+if errs:
+    sys.exit("fast sessions hit errors: " + "; ".join(errs))
+lat.sort()
+p99 = lat[min(len(lat) - 1, int(0.99 * len(lat)))]
+print(f"serve_chaos: fast fleet {len(lat)} requests, "
+      f"p99={p99 * 1000:.1f}ms (bound {bound * 1000:.0f}ms)")
+if p99 > bound:
+    sys.exit(f"fast-session p99 {p99:.3f}s exceeds bound {bound:.3f}s")
+' "$port" "$nfast" "$max_sims" "$(python3 -c "print(($deadline_ms + $grace_ms) / 1000.0 + 0.2)")" &
+fast_fleet=$!
+
+# Meanwhile the slow session keeps getting cut — and keeps tag 0.
+cuts=0
+k=0
+while [ "$k" -lt 4 ]; do
+  out=$(req "SUGGEST slow0")
+  case $out in
+    "ERR deadline slow0"*) cuts=$((cuts + 1)) ;;
+    *) echo "serve_chaos: slow0 expected a deadline cut, got: $out" >&2
+       exit 1 ;;
+  esac
+  k=$((k + 1))
+done
+
+wait "$fast_fleet" \
+  || { echo "serve_chaos: fast fleet failed under the slow session" >&2; exit 1; }
+
+# Health plane: the cuts were counted, and the snapshot reconciles
+# against the stream's serve.* counters once the server says bye.
+health=$(req "STATUS")
+printf '%s' "$health" | grep -q '"deadline_cut":[1-9]' \
+  || { echo "serve_chaos: health shows no deadline cuts: $health" >&2; exit 1; }
+printf '%s\n' "$health" > "$workdir/phase4.health.json"
+stop_server
+python3 scripts/obs_tail.py --check-health "$workdir/phase4.health.json" \
+  "$workdir/phase4.stream.jsonl" \
+  || { echo "serve_chaos: health/stream reconciliation failed" >&2; exit 1; }
+
+# Restart with no injection: the cut SUGGESTs consumed nothing, so
+# slow0 starts from tag 0 and runs normally.
+start_server serve6.log --serve-workers 4 \
+  --request-deadline-ms "$deadline_ms" --queue-wait-ms 2000 \
+  --watchdog-grace-ms "$grace_ms"
+out=$(req "SUGGEST slow0")
+printf '%s' "$out" | grep -q '^OK {"tag":0,' \
+  || { echo "serve_chaos: slow0 did not restart at tag 0: $out" >&2; exit 1; }
+tag=$(printf '%s' "$out" | sed -n 's/^OK {"tag":\([0-9]*\),.*/\1/p')
+out=$(req "OBSERVE slow0 $tag 0.5")
+case $out in
+  "OK "*) ;;
+  *) echo "serve_chaos: slow0 OBSERVE after restart: $out" >&2; exit 1 ;;
+esac
+echo "serve_chaos: phase 4 ok ($cuts deadline cuts on slow0, fast fleet unaffected, health reconciled, tag 0 preserved)"

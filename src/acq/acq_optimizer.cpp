@@ -15,7 +15,8 @@ AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
                                   easybo::Rng& rng,
                                   const std::vector<Vec>& anchors,
                                   const AcqOptOptions& opt,
-                                  obs::TraceSink* sink) {
+                                  obs::TraceSink* sink,
+                                  const common::StopToken* stop) {
   obs::ScopedTimer span(sink, obs::Phase::AcqMaximize);
   EASYBO_REQUIRE(dim >= 1, "maximize_acquisition: dim must be >= 1");
   EASYBO_REQUIRE(opt.sobol_candidates + opt.random_candidates > 0,
@@ -62,9 +63,14 @@ AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
     }
   }
 
-  // Screen.
+  // Screen. The cancellation poll sits between evaluations (every 32nd,
+  // plus once up front so an expired token never starts the sweep); it
+  // reads no RNG, so surviving the token leaves the stream untouched.
   Vec values(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (stop != nullptr && (i & 31u) == 0) {
+      stop->check("acquisition screening");
+    }
     values[i] = fn(candidates[i]);
     ++result.num_evals;
   }
@@ -90,6 +96,7 @@ AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
     nm.max_evals = opt.refine_evals;
     nm.initial_step = 0.05;
     for (std::size_t i = 0; i < k; ++i) {
+      if (stop != nullptr) stop->check("acquisition refinement");
       const auto local = opt::nelder_mead_maximize(
           [&fn](const Vec& x) { return fn(x); }, unit, candidates[order[i]],
           nm);

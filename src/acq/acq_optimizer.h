@@ -15,6 +15,7 @@
 
 #include "acq/acquisition.h"
 #include "common/rng.h"
+#include "common/stop_token.h"
 #include "obs/trace.h"
 #include "opt/nelder_mead.h"
 
@@ -41,10 +42,16 @@ struct AcqOptResult {
 /// \param sink     optional trace sink: times the whole maximization as
 ///                 Phase::AcqMaximize and counts "acq.inner_evals"
 ///                 (acquisition evaluations spent). Null = no overhead.
+/// \param stop     optional cancellation token, polled between batches of
+///                 screening evaluations and between Nelder–Mead starts
+///                 (common::Cancelled unwinds from the poll, never
+///                 mid-evaluation). Polls consume no RNG, so a run that
+///                 survives its token is bit-identical to one without.
 AcqOptResult maximize_acquisition(const AcquisitionFn& fn, std::size_t dim,
                                   easybo::Rng& rng,
                                   const std::vector<linalg::Vec>& anchors = {},
                                   const AcqOptOptions& options = {},
-                                  obs::TraceSink* sink = nullptr);
+                                  obs::TraceSink* sink = nullptr,
+                                  const common::StopToken* stop = nullptr);
 
 }  // namespace easybo::acq

@@ -63,7 +63,30 @@ void AskTellCore::set_trace(obs::TraceSink* sink) {
 // The two mutation points
 // ---------------------------------------------------------------------------
 
-Suggestion AskTellCore::suggest(double now) {
+namespace {
+
+/// Clears AskTellCore::stop_ on every exit path of suggest(), thrown
+/// Cancelled included — a dangling request-scoped token must never leak
+/// into a later observe()'s model refresh.
+class StopScope {
+ public:
+  StopScope(const common::StopToken*& slot, const common::StopToken* stop)
+      : slot_(slot) {
+    slot_ = stop;
+  }
+  ~StopScope() { slot_ = nullptr; }
+  StopScope(const StopScope&) = delete;
+  StopScope& operator=(const StopScope&) = delete;
+
+ private:
+  const common::StopToken*& slot_;
+};
+
+}  // namespace
+
+Suggestion AskTellCore::suggest(double now, const common::StopToken* stop) {
+  StopScope scope(stop_, stop);
+  if (stop_ != nullptr) stop_->check("suggest admission");
   if (issued_ >= cfg_.max_sims) {
     throw Error("suggest: simulation budget exhausted (" +
                 std::to_string(cfg_.max_sims) + " evaluations issued)");
@@ -321,7 +344,7 @@ Vec AskTellCore::propose(const std::vector<Vec>& pending, std::size_t slot) {
   }
 
   auto best = acq::maximize_acquisition(*fn, dim, rng_, anchors,
-                                        cfg_.acq_opt, trace_);
+                                        cfg_.acq_opt, trace_, stop_);
   Vec x = dedup(std::move(best.best_x), pending);
   if (cfg_.acq == AcqKind::Phcbo) {
     hc_penalties_[slot % hc_penalties_.size()].record(x);
@@ -336,6 +359,7 @@ Vec AskTellCore::propose_thompson(const std::vector<Vec>& pending) {
   // generation through the posterior argmax is this algorithm's
   // acquisition maximization, hence the span over the whole body.
   obs::ScopedTimer span(trace_, obs::Phase::AcqMaximize);
+  if (stop_ != nullptr) stop_->check("Thompson candidate generation");
   const std::size_t dim = bounds_.dim();
   std::vector<Vec> candidates;
   const std::size_t sobol_count =
@@ -412,7 +436,7 @@ Vec AskTellCore::propose_hedge(const std::vector<Vec>& pending) {
   for (const auto* member : members) {
     hedge_nominees_.push_back(acq::maximize_acquisition(
                                   *member, dim, rng_, anchors, cfg_.acq_opt,
-                                  trace_)
+                                  trace_, stop_)
                                   .best_x);
   }
   const std::size_t choice = hedge_.choose(rng_);
@@ -485,7 +509,7 @@ void AskTellCore::update_model(bool force_train) {
     {
       obs::ScopedTimer span(trace_, obs::Phase::HyperRefit);
       if (model_->supports_lml_gradient()) {
-        gp::train_mle(*model_, rng_, cfg_.trainer);
+        gp::train_mle(*model_, rng_, cfg_.trainer, stop_);
       } else {
         train_model_via_proxy();
       }
@@ -541,7 +565,7 @@ void AskTellCore::train_model_via_proxy() {
   gp::GpRegressor proxy(make_kernel(cfg_, bounds_.dim()), 1e-6);
   proxy.set_log_hyperparams(model_->log_hyperparams());  // warm start
   proxy.set_data(std::move(xs), std::move(ys));
-  gp::train_mle(proxy, rng_, cfg_.trainer);
+  gp::train_mle(proxy, rng_, cfg_.trainer, stop_);
   model_->set_log_hyperparams(proxy.log_hyperparams());
   model_->fit();
   obs::count(trace_, "bo.proxy_train");

@@ -49,6 +49,7 @@
 #include "bo/config.h"
 #include "bo/result.h"
 #include "common/rng.h"
+#include "common/stop_token.h"
 #include "gp/gp.h"
 #include "gp/normalizer.h"
 #include "io/journal.h"
@@ -151,10 +152,22 @@ class AskTellCore {
   /// \param now  the caller's logical clock, recorded as the proposal's
   ///             submit time (snapshot re-anchoring); pass 0 when there
   ///             is no meaningful clock.
+  /// \param stop optional cancellation token, polled at the safe
+  ///             checkpoints inside model training and acquisition
+  ///             maximization. When it fires, common::Cancelled unwinds
+  ///             out of this call BEFORE the proposal is committed —
+  ///             nothing was issued, no tag exists — but the in-memory
+  ///             model/normalizer/RNG may have been touched mid-flight,
+  ///             so a cancelled core must be discarded and rebuilt from
+  ///             its snapshot (the serve layer drops the Session; the
+  ///             disk still holds the pre-suggest state). Polls consume
+  ///             no RNG: a call that survives its token returns the
+  ///             bit-identical suggestion of a call without one.
   /// Throws easybo::Error when the simulation budget is exhausted, or
   /// when the initial design is fully in flight but not yet observed
   /// (a BO proposal needs a trained model; observe first).
-  Suggestion suggest(double now = 0.0);
+  Suggestion suggest(double now = 0.0,
+                     const common::StopToken* stop = nullptr);
 
   /// Absorbs the terminal outcome of suggestion \p tag: journals it
   /// (durable before applied), then records an observation (ok), or
@@ -356,6 +369,13 @@ class AskTellCore {
 
   obs::TraceSink* trace_ = nullptr;
   std::string proposal_counter_;  // "bo.proposals.<acq>", built once
+
+  /// The cancellation token of the suggest() currently on the stack
+  /// (null otherwise — observe-triggered model refreshes are never
+  /// cancelled: once journaled the mutation must complete). Set/cleared
+  /// by suggest() itself so propose/update_model need no parameter
+  /// plumbing through every acquisition branch.
+  const common::StopToken* stop_ = nullptr;
 };
 
 /// Resolves a proposal that collides (squared distance < 1e-12) with an

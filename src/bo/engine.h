@@ -92,7 +92,14 @@ class BoEngine {
   /// drains the evaluations already in flight, writes a final snapshot
   /// (when journaling) and returns with BoResult::interrupted set. The
   /// pointee must outlive the run; nullptr (the default) disables it.
-  void set_stop_token(const std::atomic<bool>* stop) { stop_ = stop; }
+  /// Internally this is the flag source of common::StopToken — the same
+  /// machinery the serve layer's request deadlines ride
+  /// (common/stop_token.h) — but the engine only ever polls it at loop
+  /// boundaries: a mid-suggest cut would need the caller to discard the
+  /// core, which a graceful drain precisely must not do.
+  void set_stop_token(const std::atomic<bool>* stop) {
+    stop_token_ = common::StopToken::from_flag(stop);
+  }
 
   /// Installs a non-owning trace sink for the run (call before run();
   /// nullptr restores the zero-cost null default). When the sink is an
@@ -151,9 +158,7 @@ class BoEngine {
       sched::EvalSupervisor& sup);
 
   // --- durability (checkpoint/resume; docs/checkpoint-format.md) --------
-  bool stop_requested() const {
-    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
-  }
+  bool stop_requested() const { return stop_token_.stop_requested(); }
 
   /// Evaluations logically in flight: really running on the executor plus
   /// those whose journaled outcome is still queued for replay. Equals
@@ -231,7 +236,7 @@ class BoEngine {
   double busy_base_ = 0.0;          // restored busy the executor never saw
   double last_replay_finish_ = 0.0;
   bool resumed_ = false;
-  const std::atomic<bool>* stop_ = nullptr;
+  common::StopToken stop_token_;  // default: never fires
   std::string resume_note_;
 
   // Observability (src/obs). trace_ is non-owning and nullptr by default

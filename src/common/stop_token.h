@@ -1,0 +1,122 @@
+#pragma once
+/// \file stop_token.h
+/// \brief Cooperative cancellation for long-running computations.
+///
+/// A StopToken is a polling-side view of "should this work stop now?".
+/// Long computations (acquisition maximization, GP hyperparameter
+/// training, a full suggest) accept an optional `const StopToken*` and
+/// call check() at their safe checkpoints; when the token has fired,
+/// check() throws Cancelled and the computation unwinds without having
+/// committed anything. Three sources can fire a token:
+///
+///  - an external flag: the `const std::atomic<bool>*` graceful-stop
+///    seam BoEngine::set_stop_token has always taken (signal handlers
+///    flip it);
+///  - a wall-clock deadline: the serving layer's per-request budget
+///    (docs/service-protocol.md § Deadlines);
+///  - a deterministic countdown: fire on the Nth poll. Time-based cuts
+///    land at nondeterministic checkpoints, so the seeded parity tests
+///    (tests/test_serve_deadline.cpp) use this source to cut the same
+///    computation at the same checkpoint on every run.
+///
+/// Polling NEVER consumes RNG state and never mutates the computation —
+/// that is what makes a cancelled suggest invisible to the proposal
+/// stream: the caller discards the unwound object, and a retry replays
+/// the identical sequence (the determinism contract of bo/ask_tell.h).
+///
+/// The token is immutable after construction except for the countdown
+/// counter, which only the polling thread touches — a token handed to a
+/// worker thread is safe to observe from there while the submitting
+/// thread merely waits.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace easybo::common {
+
+/// Thrown by StopToken::check() when the token has fired. Derives
+/// easybo::Error so generic catch sites keep working, but callers that
+/// must distinguish "cancelled at a safe checkpoint, nothing committed"
+/// from a real failure (the serve layer's deadline rollback) catch this
+/// type specifically.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+class StopToken {
+ public:
+  /// A token that never fires (the default for every stop-aware API).
+  StopToken() = default;
+
+  /// Fires while \p flag (owned by the caller, may be null = never)
+  /// holds true. The relaxed load matches the historical
+  /// BoEngine::set_stop_token semantics.
+  static StopToken from_flag(const std::atomic<bool>* flag) {
+    StopToken t;
+    t.flag_ = flag;
+    return t;
+  }
+
+  /// Fires once steady_clock::now() reaches \p deadline.
+  static StopToken after_deadline(
+      std::chrono::steady_clock::time_point deadline) {
+    StopToken t;
+    t.use_deadline_ = true;
+    t.deadline_ = deadline;
+    return t;
+  }
+
+  /// Deterministic source: the first \p polls calls to stop_requested()
+  /// return false, every later one returns true (polls == 0 fires
+  /// immediately). For seeded cancellation-parity tests.
+  static StopToken after_polls(std::uint64_t polls) {
+    StopToken t;
+    t.use_countdown_ = true;
+    t.polls_left_ = polls;
+    return t;
+  }
+
+  /// True when any source has fired. Counts down the deterministic
+  /// source, so only the thread running the cancellable computation may
+  /// call this (the usual ownership anyway).
+  bool stop_requested() const {
+    if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (use_countdown_) {
+      if (polls_left_ == 0) return true;
+      --polls_left_;
+    }
+    if (use_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Throws Cancelled naming the checkpoint when the token has fired.
+  void check(const char* where) const {
+    if (stop_requested()) {
+      throw Cancelled(std::string("cancelled during ") + where);
+    }
+  }
+
+  bool has_deadline() const { return use_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+ private:
+  const std::atomic<bool>* flag_ = nullptr;
+  bool use_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  bool use_countdown_ = false;
+  /// Touched only by the polling thread; mutable so a const token (the
+  /// natural way to hand one down a call chain) still counts down.
+  mutable std::uint64_t polls_left_ = 0;
+};
+
+}  // namespace easybo::common

@@ -51,7 +51,8 @@ double evaluate(TrainableRegressor& model, const Vec& lp) {
 }  // namespace
 
 TrainResult train_mle(TrainableRegressor& model, Rng& rng,
-                      const TrainerOptions& opt) {
+                      const TrainerOptions& opt,
+                      const common::StopToken* stop) {
   EASYBO_REQUIRE(model.num_points() > 0, "train_mle: model has no data");
   EASYBO_REQUIRE(opt.max_iters >= 1 && opt.restarts >= 0,
                  "train_mle: invalid options");
@@ -82,6 +83,7 @@ TrainResult train_mle(TrainableRegressor& model, Rng& rng,
 
     Vec m(p, 0.0), v(p, 0.0);
     for (int it = 1; it <= opt.max_iters; ++it) {
+      if (stop != nullptr) stop->check("hyperparameter training");
       ++result.iterations;
       const Vec grad = model.lml_gradient();
       double gmax = 0.0;
@@ -113,6 +115,7 @@ TrainResult train_mle(TrainableRegressor& model, Rng& rng,
 
   descend(best_lp, best_lml);  // warm start, already evaluated above
   for (int r = 0; r < opt.restarts; ++r) {
+    if (stop != nullptr) stop->check("hyperparameter training restart");
     const Vec start = random_start(p, rng, opt);
     descend(start, evaluate(model, start));
   }

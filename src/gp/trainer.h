@@ -15,6 +15,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "common/stop_token.h"
 #include "gp/regressor.h"
 
 namespace easybo::gp {
@@ -48,7 +49,14 @@ struct TrainResult {
 /// is always one of the candidates — and is fitted and scored exactly once
 /// — so training can never make the stored likelihood worse. Requires
 /// model.supports_lml_gradient().
+///
+/// \p stop is polled between Adam iterations and between restarts;
+/// common::Cancelled unwinds mid-training with the model left at
+/// whatever hyperparameters the last evaluate() set — callers must
+/// treat the model as dirty and discard or refit it (the serve layer
+/// drops the whole session object). Polls consume no RNG.
 TrainResult train_mle(TrainableRegressor& model, Rng& rng,
-                      const TrainerOptions& options = {});
+                      const TrainerOptions& options = {},
+                      const common::StopToken* stop = nullptr);
 
 }  // namespace easybo::gp

@@ -1,11 +1,13 @@
 #include "serve/host.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "bo/checkpoint.h"
@@ -93,6 +95,57 @@ std::string err_quarantined(const std::string& name,
                   " (CLOSE to reopen after repair)");
 }
 
+std::string err_runaway(const std::string& name, std::size_t hint_ms) {
+  return one_line("ERR busy " + name +
+                  ": a runaway request is still executing (watchdog "
+                  "tripped; retry in " +
+                  std::to_string(hint_ms) + "ms)");
+}
+
+/// Milliseconds as a wire-friendly integer string.
+std::string ms_str(double seconds) {
+  return std::to_string(
+      static_cast<long long>(std::llround(seconds * 1000.0)));
+}
+
+std::chrono::steady_clock::duration steady_dur(double seconds) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(std::max(0.0, seconds)));
+}
+
+/// Deadline-bounded mutex acquisition. Not timed_mutex::try_lock_until:
+/// on glibc that lowers to pthread_mutex_clocklock, which TSan's
+/// interceptors do not cover, so a successful timed acquire is invisible
+/// to the race detector and the eventual unlock reports as unpaired.
+/// Polling plain try_lock (fully instrumented) at a 1 ms grain bounds
+/// the wait just as hard, and the grain is noise against the
+/// hundreds-of-ms deadlines this serves.
+bool lock_until(std::unique_lock<std::timed_mutex>& lk,
+                std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    if (lk.try_lock()) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// The debug slowdown seam's sleep: cooperative (polls the token every
+/// few milliseconds, so a deadline cuts it like real model math) unless
+/// ignore_stop simulates a computation with no safe checkpoints.
+void injected_sleep(const SessionHost::DebugSlowdown& d,
+                    const common::StopToken* stop) {
+  const auto end = std::chrono::steady_clock::now() + steady_dur(d.sleep_s);
+  for (;;) {
+    if (!d.ignore_stop && stop != nullptr) stop->check("injected slowdown");
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= end) break;
+    const auto slice = std::min<std::chrono::steady_clock::duration>(
+        std::chrono::milliseconds(5), end - now);
+    std::this_thread::sleep_for(slice);
+  }
+  if (!d.ignore_stop && stop != nullptr) stop->check("injected slowdown");
+}
+
 /// RAII in-flight accounting so every exit path, including throws,
 /// decrements.
 class InflightGuard {
@@ -131,12 +184,29 @@ SessionHost::SessionHost(std::string state_dir, std::size_t max_live,
   EASYBO_REQUIRE(max_live_ > 0, "SessionHost: max_live must be positive");
   EASYBO_REQUIRE(limits_.max_inflight > 0,
                  "SessionHost: max_inflight must be positive");
+  EASYBO_REQUIRE(limits_.request_deadline_s >= 0.0 &&
+                     limits_.queue_wait_s >= 0.0 &&
+                     limits_.watchdog_grace_s >= 0.0,
+                 "SessionHost: deadline knobs must be non-negative");
   std::error_code ec;
   std::filesystem::create_directories(state_dir_, ec);
   if (ec) {
     throw Error("SessionHost: cannot create state directory " + state_dir_ +
                 ": " + ec.message());
   }
+  if (limits_.serve_workers > 0) {
+    WorkQueueOptions opt;
+    opt.workers = limits_.serve_workers;
+    opt.capacity = limits_.queue_capacity;
+    queue_ = std::make_unique<WorkQueue>(opt);
+  }
+}
+
+SessionHost::~SessionHost() {
+  // Drain and join the workers while every member they touch is intact
+  // (queue_ is also the last-declared member, so this is belt and
+  // braces).
+  queue_.reset();
 }
 
 std::string SessionHost::config_path(const std::string& name) const {
@@ -166,8 +236,33 @@ bool SessionHost::is_quarantined(const std::string& name) const {
     if (it == slots_.end()) return false;
     slot = it->second;
   }
-  std::lock_guard<std::mutex> lk(slot->mutex);
+  std::lock_guard<std::timed_mutex> lk(slot->mutex);
   return slot->quarantined;
+}
+
+void SessionHost::set_debug_slowdown(DebugSlowdown d) {
+  std::lock_guard<std::mutex> lk(slowdown_mutex_);
+  slowdown_ = std::move(d);
+}
+
+std::size_t SessionHost::queue_depth() const {
+  return queue_ != nullptr ? queue_->depth() : 0;
+}
+
+std::size_t SessionHost::retry_hint_ms() const {
+  double wait_p90 = 0.0;
+  double exec_cema = 0.0;
+  std::uint64_t samples = 0;
+  {
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    samples = wait_stats_.count() + exec_stats_.count();
+    wait_p90 = wait_stats_.p90();
+    exec_cema = exec_stats_.cema();
+  }
+  if (samples == 0) return 100;
+  const double hint_ms = (2.0 * wait_p90 + exec_cema) * 1000.0;
+  return static_cast<std::size_t>(
+      std::lround(std::min(30000.0, std::max(25.0, hint_ms))));
 }
 
 std::string SessionHost::health_json() const {
@@ -192,8 +287,25 @@ std::string SessionHost::health_json() const {
   put("shed", std::to_string(shed_.load(std::memory_order_relaxed)));
   put("io_faults",
       std::to_string(io_faults_.load(std::memory_order_relaxed)));
+  put("deadline_cut",
+      std::to_string(deadline_cut_.load(std::memory_order_relaxed)));
+  put("queue_shed",
+      std::to_string(queue_shed_.load(std::memory_order_relaxed)));
+  put("watchdog_trips",
+      std::to_string(watchdog_trips_.load(std::memory_order_relaxed)));
   put("max_live", std::to_string(max_live_));
   put("max_inflight", std::to_string(limits_.max_inflight));
+  put("workers",
+      std::to_string(queue_ != nullptr ? queue_->workers() : 0));
+  put("queue_depth", std::to_string(queue_depth()));
+  put("retry_hint_ms", std::to_string(retry_hint_ms()));
+  if (queue_ != nullptr) {
+    // The stats mutex guards plain arithmetic, never a session lock or
+    // disk, so this stays within the health probe's contract.
+    std::lock_guard<std::mutex> lk(stats_mutex_);
+    put("queue_wait", wait_stats_.json());
+    put("exec", exec_stats_.json());
+  }
   put("storage", quarantined > 0 ? "\"degraded\"" : "\"ok\"");
   // The stream's own mutexes are held only for snapshot copies, so this
   // stays within the health probe's never-blocks-on-a-session contract.
@@ -207,6 +319,31 @@ void SessionHost::note_io_fault() {
   obs::count(trace(), "serve.io_faults", 1);
 }
 
+void SessionHost::note_deadline_cut() {
+  deadline_cut_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(trace(), "serve.deadline_cut", 1);
+}
+
+void SessionHost::note_queue_shed() {
+  queue_shed_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(trace(), "serve.queue_shed", 1);
+}
+
+void SessionHost::note_watchdog_trip() {
+  watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+  obs::count(trace(), "serve.watchdog_trips", 1);
+}
+
+void SessionHost::record_wait(double seconds) {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  wait_stats_.add(seconds);
+}
+
+void SessionHost::record_exec(double seconds) {
+  std::lock_guard<std::mutex> lk(stats_mutex_);
+  exec_stats_.add(seconds);
+}
+
 void SessionHost::evict_locked(const Slot* keep, std::size_t target) {
   if (lru_.empty() || lru_.size() <= target) return;
   auto it = std::prev(lru_.end());
@@ -216,7 +353,7 @@ void SessionHost::evict_locked(const Slot* keep, std::size_t target) {
     if (!at_begin) --it;
     Slot& victim = *slots_.at(*cur);
     if (&victim != keep) {
-      std::unique_lock<std::mutex> vl(victim.mutex, std::try_to_lock);
+      std::unique_lock<std::timed_mutex> vl(victim.mutex, std::try_to_lock);
       // A victim another thread is mid-command on is skipped, never
       // waited on — blocking here would hold the table lock across that
       // command's model math and disk I/O.
@@ -322,6 +459,54 @@ void SessionHost::quarantine_locked(const std::string& name, Slot& slot,
   obs::count(trace(), "serve.quarantined", 1);
 }
 
+void SessionHost::cache_status_locked(Slot& slot) {
+  std::string status = slot.session->status_json();
+  std::lock_guard<std::mutex> ml(slot.meta_mutex);
+  slot.last_status = std::move(status);
+}
+
+void SessionHost::poison(const std::string& name,
+                         const std::string& reason) {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lk(table_mutex_);
+    const auto it = slots_.find(name);
+    if (it == slots_.end()) return;
+    slot = it->second;
+  }
+  {
+    std::lock_guard<std::mutex> ml(slot->meta_mutex);
+    slot->poison_reason = one_line(reason);
+  }
+  slot->poisoned.store(true, std::memory_order_release);
+}
+
+void SessionHost::watchdog_quarantine(const std::string& name) {
+  std::shared_ptr<Slot> slot;
+  {
+    std::lock_guard<std::mutex> lk(table_mutex_);
+    const auto it = slots_.find(name);
+    if (it == slots_.end()) return;
+    slot = it->second;
+  }
+  // The runaway closure has returned, so its lock is released; nothing
+  // long-running can hold it now.
+  std::lock_guard<std::timed_mutex> lk(slot->mutex);
+  if (!slot->poisoned.exchange(false, std::memory_order_acq_rel)) {
+    return;  // a CLOSE won the race and cleared the poison: nothing to do
+  }
+  std::string reason;
+  {
+    std::lock_guard<std::mutex> ml(slot->meta_mutex);
+    reason = std::move(slot->poison_reason);
+    slot->poison_reason.clear();
+  }
+  if (reason.empty()) {
+    reason = "a request ignored cancellation past the watchdog grace";
+  }
+  if (!slot->quarantined) quarantine_locked(name, *slot, reason);
+}
+
 std::string SessionHost::handle_line(const std::string& line) {
   requests_.fetch_add(1, std::memory_order_relaxed);
   if (line.size() > limits_.max_line_bytes) {
@@ -345,16 +530,110 @@ std::string SessionHost::handle_line(const std::string& line) {
     obs::count(trace(), "serve.shed", 1);
     return "ERR busy (" + std::to_string(inflight.count) +
            " requests in flight, limit " +
-           std::to_string(limits_.max_inflight) + "; retry)";
+           std::to_string(limits_.max_inflight) + "; retry in " +
+           std::to_string(retry_hint_ms()) + "ms)";
   }
   try {
-    return dispatch(line);
+    if (queue_ != nullptr) {
+      // Pool mode: the two session-mutating commands run on a worker
+      // with a deadline; everything else (cheap or administrative) stays
+      // on the calling thread. Invalid names fall through for the
+      // ordinary parse error.
+      std::string_view peek = line;
+      const std::string cmd = next_token(peek);
+      if (cmd == "SUGGEST" || cmd == "OBSERVE") {
+        const std::string name = next_token(peek);
+        if (valid_session_name(name)) return run_deadline(line, name);
+      }
+    }
+    return dispatch(line, nullptr);
   } catch (const std::exception& e) {
     return one_line(std::string("ERR ") + e.what());
   }
 }
 
-std::string SessionHost::dispatch(const std::string& line) {
+std::string SessionHost::run_deadline(const std::string& line,
+                                      const std::string& name) {
+  const bool bounded = limits_.request_deadline_s > 0.0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        steady_dur(limits_.request_deadline_s);
+  common::StopToken token;
+  if (bounded) token = common::StopToken::after_deadline(deadline);
+  std::shared_ptr<WorkQueue::Task> task = queue_->submit(
+      [this, line](const common::StopToken& stop, double queued_seconds) {
+        return run_pooled(line, stop, queued_seconds);
+      },
+      token, [this, name] { watchdog_quarantine(name); });
+  if (task == nullptr) {
+    note_queue_shed();
+    return "ERR busy (admission queue full, " +
+           std::to_string(limits_.queue_capacity) + " queued; retry in " +
+           std::to_string(retry_hint_ms()) + "ms)";
+  }
+  if (!bounded) {
+    task->wait();
+    return task->take_reply();
+  }
+  const auto grace = steady_dur(limits_.watchdog_grace_s);
+  if (task->wait_until(deadline + grace)) return task->take_reply();
+  switch (task->abandon()) {
+    case WorkQueue::Abandon::Completed:
+      // Finished in the race between the timeout and the abandon.
+      return task->take_reply();
+    case WorkQueue::Abandon::Queued:
+      // Never reached a worker within deadline + grace; the worker will
+      // discard it unrun, so nothing was attempted, let alone committed.
+      note_deadline_cut();
+      return one_line("ERR deadline " + name +
+                      ": request expired in the admission queue (nothing "
+                      "was attempted; retry in " +
+                      std::to_string(retry_hint_ms()) + "ms)");
+    case WorkQueue::Abandon::Running:
+      // The computation ignored its token past the grace period. Poison
+      // the slot now (so other commands refuse instead of queueing on
+      // the runaway's lock); the quarantine lands when it returns. The
+      // pre-commit token check in Session::suggest keeps even this
+      // request from committing anything.
+      note_watchdog_trip();
+      poison(name, "a request ignored cancellation for " +
+                       ms_str(limits_.watchdog_grace_s) +
+                       "ms past its deadline");
+      return one_line("ERR deadline " + name +
+                      ": request ignored cancellation past the " +
+                      ms_str(limits_.watchdog_grace_s) +
+                      "ms watchdog grace (watchdog tripped; session "
+                      "quarantined once it completes; retry after CLOSE)");
+  }
+  return "ERR internal: unreachable abandon state";
+}
+
+std::string SessionHost::run_pooled(const std::string& line,
+                                    const common::StopToken& stop,
+                                    double queued_seconds) {
+  record_wait(queued_seconds);
+  if (limits_.queue_wait_s > 0.0 && queued_seconds > limits_.queue_wait_s) {
+    // The request went stale in the queue; its client has likely given
+    // up (or is about to). Shed before spending model math on it.
+    note_queue_shed();
+    return "ERR busy (queued " + ms_str(queued_seconds) + "ms, past the " +
+           ms_str(limits_.queue_wait_s) + "ms queue-wait cap; retry in " +
+           std::to_string(retry_hint_ms()) + "ms)";
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  std::string reply;
+  try {
+    reply = dispatch(line, &stop);
+  } catch (const std::exception& e) {
+    reply = one_line(std::string("ERR ") + e.what());
+  }
+  record_exec(std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - begin)
+                  .count());
+  return reply;
+}
+
+std::string SessionHost::dispatch(const std::string& line,
+                                  const common::StopToken* stop) {
   std::string_view rest = line;
   const std::string cmd = next_token(rest);
   if (cmd.empty()) throw Error("empty request");
@@ -366,7 +645,10 @@ std::string SessionHost::dispatch(const std::string& line) {
     }
     const std::string config_json{trim_leading(rest)};
     std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/true);
-    std::lock_guard<std::mutex> lk(slot->mutex);
+    if (slot->poisoned.load(std::memory_order_acquire)) {
+      return err_runaway(name, retry_hint_ms());
+    }
+    std::lock_guard<std::timed_mutex> lk(slot->mutex);
     if (slot->quarantined) {
       return err_quarantined(name, slot->quarantine_reason);
     }
@@ -426,14 +708,62 @@ std::string SessionHost::dispatch(const std::string& line) {
       throw Error("invalid session name \"" + name + "\"");
     }
     std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/false);
-    std::lock_guard<std::mutex> lk(slot->mutex);
+    if (slot->poisoned.load(std::memory_order_acquire)) {
+      return err_runaway(name, retry_hint_ms());
+    }
+    std::unique_lock<std::timed_mutex> lk(slot->mutex, std::defer_lock);
+    if (stop != nullptr && stop->has_deadline()) {
+      // Bound the lock wait by the request's own deadline: queueing
+      // behind a slow holder is time spent exactly like queue wait.
+      if (!lock_until(lk, stop->deadline())) {
+        note_deadline_cut();
+        return one_line("ERR deadline " + name +
+                        ": session lock not acquired within the deadline "
+                        "(nothing was attempted; retry in " +
+                        std::to_string(retry_hint_ms()) + "ms)");
+      }
+    } else {
+      lk.lock();
+    }
     if (slot->quarantined) {
       return err_quarantined(name, slot->quarantine_reason);
+    }
+    if (stop != nullptr && stop->stop_requested()) {
+      // Expired while waiting for the lock/queue: refuse before the
+      // resume-on-demand I/O, not after.
+      note_deadline_cut();
+      return one_line("ERR deadline " + name +
+                      ": deadline expired before execution began (nothing "
+                      "was attempted; retry in " +
+                      std::to_string(retry_hint_ms()) + "ms)");
     }
     if (slot->session == nullptr) load_locked(name, *slot);
     mark_used(name, *slot);
     try {
-      return "OK " + suggestion_json(slot->session->suggest());
+      {
+        DebugSlowdown d;
+        {
+          std::lock_guard<std::mutex> sl(slowdown_mutex_);
+          d = slowdown_;
+        }
+        if (d.session == name && d.sleep_s > 0.0) injected_sleep(d, stop);
+      }
+      const std::string reply =
+          "OK " + suggestion_json(slot->session->suggest(stop));
+      cache_status_locked(*slot);
+      return reply;
+    } catch (const common::Cancelled& e) {
+      // The deadline fired at one of the computation's safe checkpoints
+      // (or at the pre-commit gate). Nothing was committed: the files
+      // still hold the exact pre-suggest state, so dropping the dirty
+      // in-memory object IS the rollback — the next command resumes from
+      // disk and a retried SUGGEST reproduces the identical proposal.
+      slot->session.reset();
+      mark_unloaded(name, *slot);
+      note_deadline_cut();
+      return one_line("ERR deadline " + name + ": " + e.what() +
+                      " (state rolled back; retry in " +
+                      std::to_string(retry_hint_ms()) + "ms)");
     } catch (const io::CheckpointError& e) {
       // The suggestion could not be made durable, and its tag must never
       // reach a client it cannot survive for. Dropping the in-memory
@@ -469,9 +799,33 @@ std::string SessionHost::dispatch(const std::string& line) {
       throw Error("invalid session name \"" + name + "\"");
     }
     std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/false);
-    std::lock_guard<std::mutex> lk(slot->mutex);
+    if (slot->poisoned.load(std::memory_order_acquire)) {
+      return err_runaway(name, retry_hint_ms());
+    }
+    std::unique_lock<std::timed_mutex> lk(slot->mutex, std::defer_lock);
+    if (stop != nullptr && stop->has_deadline()) {
+      if (!lock_until(lk, stop->deadline())) {
+        note_deadline_cut();
+        return one_line("ERR deadline " + name +
+                        ": session lock not acquired within the deadline "
+                        "(nothing was attempted; retry in " +
+                        std::to_string(retry_hint_ms()) + "ms)");
+      }
+    } else {
+      lk.lock();
+    }
     if (slot->quarantined) {
       return err_quarantined(name, slot->quarantine_reason);
+    }
+    if (stop != nullptr && stop->stop_requested()) {
+      // An observe is only ever cut BEFORE it starts: once the record is
+      // journaled the mutation is committed and must run to completion
+      // (model refresh included), deadline or not.
+      note_deadline_cut();
+      return one_line("ERR deadline " + name +
+                      ": deadline expired before execution began (nothing "
+                      "was attempted; retry in " +
+                      std::to_string(retry_hint_ms()) + "ms)");
     }
     if (slot->session == nullptr) load_locked(name, *slot);
     mark_used(name, *slot);
@@ -495,6 +849,7 @@ std::string SessionHost::dispatch(const std::string& line) {
       // the stale snapshot only widens the tail the next resume replays.
       note_io_fault();
     }
+    cache_status_locked(*slot);
     return std::string("OK {\"action\":\"") + ob.action + "\"}";
   }
 
@@ -507,7 +862,21 @@ std::string SessionHost::dispatch(const std::string& line) {
       throw Error("invalid session name \"" + name + "\"");
     }
     std::shared_ptr<Slot> slot = obtain_slot(name, /*create_missing=*/false);
-    std::lock_guard<std::mutex> lk(slot->mutex);
+    std::unique_lock<std::timed_mutex> lk(slot->mutex, std::try_to_lock);
+    if (!lk.owns_lock()) {
+      // Busy fast path: a status probe must never queue behind a
+      // session's model math just to report on it. Serve the summary
+      // cached by the last completed command instead ("last": null until
+      // one has completed in this process).
+      std::string last;
+      {
+        std::lock_guard<std::mutex> ml(slot->meta_mutex);
+        last = slot->last_status;
+      }
+      return "OK {\"name\":" + io::json_quote(name) +
+             ",\"busy\":true,\"last\":" +
+             (last.empty() ? std::string("null") : last) + "}";
+    }
     if (slot->quarantined) {
       // Quarantine status is served from memory — an operator probing a
       // degraded session must not trigger more I/O against bad storage.
@@ -517,6 +886,7 @@ std::string SessionHost::dispatch(const std::string& line) {
     }
     if (slot->session == nullptr) load_locked(name, *slot);
     mark_used(name, *slot);
+    cache_status_locked(*slot);
     return "OK " + slot->session->status_json();
   }
 
@@ -535,11 +905,29 @@ std::string SessionHost::dispatch(const std::string& line) {
       if (io::file_exists(config_path(name))) return "OK closed " + name;
       throw Error("unknown session \"" + name + "\"");
     }
-    std::lock_guard<std::mutex> lk(slot->mutex);
+    std::unique_lock<std::timed_mutex> lk(slot->mutex, std::defer_lock);
+    if (!lk.try_lock()) {
+      if (slot->poisoned.load(std::memory_order_acquire)) {
+        // The runaway request still holds the lock; CLOSE must not queue
+        // behind it (that is exactly what the watchdog exists to avoid).
+        return err_runaway(name, retry_hint_ms());
+      }
+      lk.lock();  // ordinary contention: brief, wait it out
+    }
+    if (slot->poisoned.exchange(false, std::memory_order_acq_rel)) {
+      // CLOSE won the race against watchdog_quarantine: the operator's
+      // explicit drop supersedes the pending quarantine.
+      std::lock_guard<std::mutex> ml(slot->meta_mutex);
+      slot->poison_reason.clear();
+    }
     const bool existed = slot->session != nullptr || slot->quarantined ||
                          io::file_exists(config_path(name));
     slot->session.reset();
     mark_unloaded(name, *slot);
+    {
+      std::lock_guard<std::mutex> ml(slot->meta_mutex);
+      slot->last_status.clear();
+    }
     if (slot->quarantined) {
       // CLOSE is the operator's "I repaired the storage" acknowledgment:
       // the next command on this name resumes from the files afresh.

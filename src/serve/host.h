@@ -42,6 +42,34 @@
 ///    therefore transiently exceed max_live — by at most the number of
 ///    commands in flight — and every completed command re-trims it.
 ///
+/// Deadline-bounded execution. With HostLimits::serve_workers > 0 the
+/// host runs SUGGEST/OBSERVE through a bounded WorkQueue instead of on
+/// the calling (connection) thread: the caller parses, submits a closure
+/// and waits on it with a per-request deadline. Three mechanisms keep one
+/// slow session from starving the rest (docs/service-protocol.md
+/// § Deadlines, docs/failure-model.md § Watchdog):
+///
+///  - a cooperative cancellation token (common::StopToken carrying the
+///    request deadline) is threaded through the session's model math;
+///    when it fires mid-SUGGEST the computation unwinds at a safe
+///    checkpoint *before* anything is committed, the in-memory session is
+///    dropped (disk still holds the exact pre-suggest state — a cancelled
+///    suggest consumed nothing) and the client gets "ERR deadline ...;
+///    retry";
+///  - requests that sat in the admission queue longer than queue_wait_s
+///    are shed at dequeue without touching the session ("ERR busy ...;
+///    retry"), and submit() itself refuses when queue_capacity requests
+///    are already waiting;
+///  - a request that ignores cancellation past watchdog_grace_s trips the
+///    watchdog: the caller stops waiting, replies "ERR deadline", and the
+///    offending session — only that session — is quarantined once its
+///    runaway computation finally returns. A pre-commit token check in
+///    Session::suggest guarantees even the runaway cannot commit a
+///    proposal past its deadline.
+///
+/// Retry hints in "ERR busy"/"ERR deadline" replies are derived from the
+/// host's online queue-wait/execution statistics (retry_hint_ms()).
+///
 /// Overload and storage failure. The host sheds load instead of queueing
 /// without bound: when more than HostLimits::max_inflight commands are in
 /// flight the newcomer gets "ERR busy ..." immediately. Storage faults
@@ -56,6 +84,7 @@
 /// host is saturated or degraded.
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <list>
 #include <map>
@@ -63,9 +92,12 @@
 #include <mutex>
 #include <string>
 
+#include "common/stop_token.h"
+#include "obs/online_stats.h"
 #include "obs/stream.h"
 #include "obs/trace.h"
 #include "serve/session.h"
+#include "serve/work_queue.h"
 
 namespace easybo::serve {
 
@@ -84,6 +116,22 @@ struct HostLimits {
   /// Longest accepted request line; longer lines get one "ERR" reply.
   /// Transports enforce the same cap on the wire (TcpOptions).
   std::size_t max_line_bytes = 1u << 20;
+  /// Worker threads executing SUGGEST/OBSERVE off the calling thread.
+  /// 0 (the default) keeps the direct path: the calling thread runs the
+  /// command itself, with no deadlines — exactly the pre-pool behavior.
+  std::size_t serve_workers = 0;
+  /// Admission-queue bound (pool mode): submissions beyond it are shed
+  /// with "ERR busy" before anything is enqueued.
+  std::size_t queue_capacity = 64;
+  /// Per-request deadline in seconds (pool mode). 0 disables deadlines:
+  /// requests run to completion however long they take.
+  double request_deadline_s = 2.0;
+  /// Shed a request at dequeue when it sat queued longer than this
+  /// (pool mode; its client has likely timed out already). 0 disables.
+  double queue_wait_s = 1.0;
+  /// How long past the deadline a request may ignore cancellation before
+  /// the watchdog classifies it as stuck and quarantines its session.
+  double watchdog_grace_s = 2.0;
 };
 
 class SessionHost {
@@ -99,6 +147,10 @@ class SessionHost {
   SessionHost(std::string state_dir, std::size_t max_live,
               HostLimits limits = {});
 
+  /// Joins the worker pool (draining queued requests) before any host
+  /// state the workers touch is torn down.
+  ~SessionHost();
+
   /// Handles one protocol line and returns the one-line reply. Never
   /// throws for malformed input or session errors — those become "ERR "
   /// replies (the host serves many clients; one bad request must not
@@ -106,11 +158,12 @@ class SessionHost {
   /// ordering guarantees.
   std::string handle_line(const std::string& line);
 
-  /// Counters mirror to \p sink as "serve.shed", "serve.io_faults" and
-  /// "serve.quarantined"; sessions loaded afterwards inherit the sink too
-  /// (core counters plus wall SUGGEST-to-OBSERVE turnaround spans). Set
-  /// once before serving traffic; the sink must outlive the host (or be
-  /// reset to nullptr first).
+  /// Counters mirror to \p sink as "serve.shed", "serve.io_faults",
+  /// "serve.quarantined", "serve.deadline_cut", "serve.queue_shed" and
+  /// "serve.watchdog_trips"; sessions loaded afterwards inherit the sink
+  /// too (core counters plus wall SUGGEST-to-OBSERVE turnaround spans).
+  /// Set once before serving traffic; the sink must outlive the host (or
+  /// be reset to nullptr first).
   void set_trace(obs::TraceSink* sink) {
     trace_.store(sink, std::memory_order_release);
   }
@@ -125,15 +178,31 @@ class SessionHost {
     stream_.store(sink, std::memory_order_release);
   }
 
+  /// Test/chaos seam: injects a sleep into SUGGEST on one named session,
+  /// while it holds its slot lock (simulating a slow acquisition
+  /// maximization). With ignore_stop false the sleep polls the request's
+  /// cancellation token every few milliseconds — a deadline cuts it like
+  /// any cooperative computation. With ignore_stop true it sleeps
+  /// through, modelling a computation with no safe checkpoints — the
+  /// watchdog path. Behaviorally inert unless set (and session matches).
+  struct DebugSlowdown {
+    std::string session;  ///< empty = disabled
+    double sleep_s = 0.0;
+    bool ignore_stop = false;
+  };
+  void set_debug_slowdown(DebugSlowdown d);
+
   /// Number of live (loaded) sessions. Quarantined names are not live.
   std::size_t live_count() const;
   bool is_live(const std::string& name) const;
   bool is_quarantined(const std::string& name) const;
 
   /// The bare-"STATUS" health object: live/quarantined session counts,
-  /// in-flight and lifetime request counts, shed and storage-fault
-  /// counts, and "storage":"ok"|"degraded" (degraded while any session
-  /// is quarantined). Takes no per-session lock and touches no disk.
+  /// in-flight and lifetime request counts, shed/storage-fault/deadline
+  /// counters, "storage":"ok"|"degraded" (degraded while any session is
+  /// quarantined), and — in pool mode — worker/queue gauges plus the
+  /// online queue-wait and execution statistics behind retry_hint_ms().
+  /// Takes no per-session lock and touches no disk.
   std::string health_json() const;
 
   std::size_t shed_count() const {
@@ -145,6 +214,25 @@ class SessionHost {
   std::size_t quarantined_count() const {
     return quarantine_gauge_.load(std::memory_order_relaxed);
   }
+  std::size_t deadline_cut_count() const {
+    return deadline_cut_.load(std::memory_order_relaxed);
+  }
+  std::size_t queue_shed_count() const {
+    return queue_shed_.load(std::memory_order_relaxed);
+  }
+  std::size_t watchdog_trip_count() const {
+    return watchdog_trips_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests waiting for a worker right now (0 in direct mode).
+  std::size_t queue_depth() const;
+
+  /// How long a shed/deadline-cut client should wait before retrying, in
+  /// milliseconds: derived from the online queue-wait p90 and execution
+  /// CEMA (2 * wait_p90 + exec_cema, clamped to [25ms, 30s]; 100ms until
+  /// the first sample). Embedded in every "ERR busy"/"ERR deadline"
+  /// reply as "retry in <N>ms".
+  std::size_t retry_hint_ms() const;
 
   const std::string& state_dir() const { return state_dir_; }
   std::size_t max_live() const { return max_live_; }
@@ -157,14 +245,30 @@ class SessionHost {
   /// never — the map is bounded by the set of names with on-disk state.
   struct Slot {
     /// Serializes every command naming this session, including its
-    /// resume-on-demand and all of its disk I/O.
-    std::mutex mutex;
+    /// resume-on-demand and all of its disk I/O. Timed so a deadline
+    /// request can bound its lock wait (try_lock_until) instead of
+    /// queueing behind a slow holder indefinitely.
+    std::timed_mutex mutex;
     /// Guarded by mutex. Null while not live.
     std::unique_ptr<Session> session;
     /// Guarded by mutex. A quarantined name refuses everything but
     /// STATUS and CLOSE; see quarantine_locked().
     bool quarantined = false;
     std::string quarantine_reason;
+    /// Set (without holding mutex — the runaway has it) when the
+    /// watchdog trips on this session; converted into a quarantine by
+    /// watchdog_quarantine() once the runaway computation returns, or
+    /// cleared by a CLOSE that wins the race. While set, commands refuse
+    /// instead of blocking on the runaway's lock.
+    std::atomic<bool> poisoned{false};
+    /// Leaf lock (never held while taking any other) for the small
+    /// metadata below, readable while mutex is held elsewhere.
+    std::mutex meta_mutex;
+    /// Guarded by meta_mutex. Why the watchdog poisoned this slot.
+    std::string poison_reason;
+    /// Guarded by meta_mutex. Last successfully computed status_json,
+    /// served by STATUS's try-lock fast path while the slot is busy.
+    std::string last_status;
     /// Guarded by the table mutex: whether (and where) this slot sits in
     /// lru_. in_lru is true exactly while session is loaded, except for
     /// the instant between a load and its mark_used().
@@ -208,9 +312,40 @@ class SessionHost {
   void quarantine_locked(const std::string& name, Slot& slot,
                          const std::string& reason);
 
-  void note_io_fault();
+  /// Recomputes and caches the slot's status_json (STATUS fast path).
+  /// Caller holds the slot mutex; slot.session must be loaded.
+  void cache_status_locked(Slot& slot);
 
-  std::string dispatch(const std::string& line);
+  /// Marks \p name poisoned with \p reason (watchdog trip). Does NOT
+  /// take the slot mutex — the runaway request holds it.
+  void poison(const std::string& name, const std::string& reason);
+
+  /// Runs on a worker thread after an abandoned-while-Running request's
+  /// closure finally returns: converts the poison mark into a proper
+  /// quarantine (unless a CLOSE intervened and cleared it).
+  void watchdog_quarantine(const std::string& name);
+
+  void note_io_fault();
+  void note_deadline_cut();
+  void note_queue_shed();
+  void note_watchdog_trip();
+  void record_wait(double seconds);
+  void record_exec(double seconds);
+
+  /// Pool-mode path for SUGGEST/OBSERVE: submit to the WorkQueue, wait
+  /// out the deadline (+ watchdog grace), classify the outcome.
+  std::string run_deadline(const std::string& line, const std::string& name);
+
+  /// The closure a worker executes: queue-wait-cap check, then dispatch
+  /// with the request's cancellation token. Never throws.
+  std::string run_pooled(const std::string& line,
+                         const common::StopToken& stop,
+                         double queued_seconds);
+
+  /// Executes one parsed command. \p stop is the request's cancellation
+  /// token (null on the direct path and for NEW/STATUS/CLOSE).
+  std::string dispatch(const std::string& line,
+                       const common::StopToken* stop);
 
   std::string state_dir_;
   std::size_t max_live_;
@@ -232,6 +367,22 @@ class SessionHost {
   std::atomic<std::size_t> shed_{0};
   std::atomic<std::size_t> io_faults_{0};
   std::atomic<std::size_t> quarantine_gauge_{0};
+  std::atomic<std::size_t> deadline_cut_{0};
+  std::atomic<std::size_t> queue_shed_{0};
+  std::atomic<std::size_t> watchdog_trips_{0};
+
+  /// Guarded by stats_mutex_: online queue-wait and execution-time
+  /// statistics (seconds) behind retry_hint_ms() and the health plane.
+  mutable std::mutex stats_mutex_;
+  obs::OnlineStat wait_stats_;
+  obs::OnlineStat exec_stats_;
+
+  mutable std::mutex slowdown_mutex_;
+  DebugSlowdown slowdown_;
+
+  /// Present only in pool mode (serve_workers > 0). Declared LAST so it
+  /// is destroyed FIRST: workers touch every member above during drain.
+  std::unique_ptr<WorkQueue> queue_;
 };
 
 }  // namespace easybo::serve

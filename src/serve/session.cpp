@@ -248,8 +248,13 @@ void Session::set_trace(obs::TraceSink* sink) {
   if (sink == nullptr) inflight_wall_.clear();
 }
 
-bo::Suggestion Session::suggest() {
-  bo::Suggestion s = core_.suggest(now_);
+bo::Suggestion Session::suggest(const common::StopToken* stop) {
+  bo::Suggestion s = core_.suggest(now_, stop);
+  // The pre-commit gate: a suggest whose deadline passed while it
+  // computed must not become durable, even when the computation ignored
+  // every cooperative poll on the way (the watchdog path). Before the
+  // snapshot below, nothing of this suggest has been published.
+  if (stop != nullptr) stop->check("suggest commit");
   // Durable before the reply leaves the process: the tag in this
   // suggestion must survive eviction and crash — the client holds it and
   // will OBSERVE it against whatever object resumes from these files.

@@ -73,7 +73,18 @@ class Session {
 
   /// suggest + snapshot. Throws easybo::Error when the budget is
   /// exhausted or the initial design is fully in flight.
-  bo::Suggestion suggest();
+  ///
+  /// \p stop is the request's cancellation token (null = none). It is
+  /// polled at the core's safe checkpoints AND re-checked after the core
+  /// returns, immediately before the snapshot — so even a computation
+  /// that ignored every cooperative poll cannot commit a proposal past
+  /// its deadline. On common::Cancelled the caller MUST discard this
+  /// Session object: the in-memory core is mid-mutation dirty, while the
+  /// files still hold the exact pre-suggest state (the snapshot below is
+  /// the only thing that publishes a suggest). Resuming from them and
+  /// retrying reproduces the identical proposal — a cancelled suggest
+  /// consumed nothing (tests/test_serve_deadline.cpp pins this).
+  bo::Suggestion suggest(const common::StopToken* stop = nullptr);
 
   /// Successful evaluation result for \p tag: observe + snapshot.
   SessionObserved observe_ok(std::size_t tag, double y);

@@ -164,7 +164,8 @@ void TcpServer::accept_loop() {
       // connection that hangs in a backlog the host will never drain.
       rejected_.fetch_add(1, std::memory_order_relaxed);
       send_all(fd, "ERR busy (connection limit " +
-                       std::to_string(options_.max_clients) + "; retry)\n");
+                       std::to_string(options_.max_clients) + "; retry in " +
+                       std::to_string(host_.retry_hint_ms()) + "ms)\n");
       ::close(fd);
       continue;
     }
@@ -224,6 +225,11 @@ void TcpServer::serve_connection(int fd) {
         drop = true;
         break;
       }
+      // The idle clock measures CLIENT silence, so it restarts when the
+      // reply goes out, not when the request came in: a slow in-flight
+      // command (a long SUGGEST) must not eat into the client's idle
+      // budget (tests/test_tcp_server.cpp pins this).
+      last_activity = monotonic_seconds();
     }
     buf.erase(0, pos);
     if (drop) break;

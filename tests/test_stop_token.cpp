@@ -1,0 +1,95 @@
+// common::StopToken semantics: the three sources (external flag, wall
+// deadline, deterministic poll countdown), check() throwing Cancelled
+// with the checkpoint name, and the default token never firing. These
+// are the primitives the serve layer's deadline cuts stand on, so their
+// edge cases (countdown of zero, repeated polls after firing) are pinned
+// here.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "common/stop_token.h"
+
+namespace easybo::common {
+namespace {
+
+TEST(StopToken, DefaultNeverFires) {
+  StopToken t;
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(t.stop_requested());
+  EXPECT_NO_THROW(t.check("anything"));
+  EXPECT_FALSE(t.has_deadline());
+}
+
+TEST(StopToken, FlagSourceTracksTheAtomic) {
+  std::atomic<bool> flag{false};
+  StopToken t = StopToken::from_flag(&flag);
+  EXPECT_FALSE(t.stop_requested());
+  flag.store(true);
+  EXPECT_TRUE(t.stop_requested());
+  flag.store(false);
+  // The flag is live, not latched: graceful-stop seams may be re-armed.
+  EXPECT_FALSE(t.stop_requested());
+}
+
+TEST(StopToken, NullFlagNeverFires) {
+  StopToken t = StopToken::from_flag(nullptr);
+  EXPECT_FALSE(t.stop_requested());
+}
+
+TEST(StopToken, DeadlineSourceFiresAtTheDeadline) {
+  const auto now = std::chrono::steady_clock::now();
+  StopToken future = StopToken::after_deadline(now + std::chrono::hours(1));
+  EXPECT_FALSE(future.stop_requested());
+  EXPECT_TRUE(future.has_deadline());
+  EXPECT_EQ(future.deadline(), now + std::chrono::hours(1));
+
+  StopToken past = StopToken::after_deadline(now - std::chrono::seconds(1));
+  EXPECT_TRUE(past.stop_requested());
+  EXPECT_THROW(past.check("x"), Cancelled);
+}
+
+TEST(StopToken, CountdownFiresOnTheNthPollAndStaysFired) {
+  StopToken t = StopToken::after_polls(3);
+  EXPECT_FALSE(t.stop_requested());
+  EXPECT_FALSE(t.stop_requested());
+  EXPECT_FALSE(t.stop_requested());
+  EXPECT_TRUE(t.stop_requested());
+  // Latched: once fired, every later poll fires too (a computation that
+  // ignored one checkpoint must still be caught at the next).
+  EXPECT_TRUE(t.stop_requested());
+  EXPECT_TRUE(t.stop_requested());
+}
+
+TEST(StopToken, CountdownOfZeroFiresImmediately) {
+  StopToken t = StopToken::after_polls(0);
+  EXPECT_TRUE(t.stop_requested());
+}
+
+TEST(StopToken, CheckNamesTheCheckpoint) {
+  StopToken t = StopToken::after_polls(0);
+  try {
+    t.check("acquisition screening");
+    FAIL() << "check() did not throw";
+  } catch (const Cancelled& e) {
+    EXPECT_STREQ(e.what(), "cancelled during acquisition screening");
+  }
+  // Cancelled is an easybo::Error, so generic catch sites keep working.
+  try {
+    t.check("x");
+    FAIL() << "check() did not throw";
+  } catch (const Error&) {
+  }
+}
+
+TEST(StopToken, CheckDoesNotCountAgainstAnUnfiredCountdown) {
+  // check() polls exactly once per call — no double counting.
+  StopToken t = StopToken::after_polls(2);
+  EXPECT_NO_THROW(t.check("a"));
+  EXPECT_NO_THROW(t.check("b"));
+  EXPECT_THROW(t.check("c"), Cancelled);
+}
+
+}  // namespace
+}  // namespace easybo::common

